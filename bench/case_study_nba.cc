@@ -1,0 +1,82 @@
+// Section VII case study: stream the synthetic NBA dataset under the
+// paper's setting (d=5, m=7, dhat=3, mhat=3) and report the prominent
+// facts the way the paper's bullet list does — as narrated sentences —
+// plus the tail of per-1K prominent-fact counts that Fig. 14 plots.
+//
+// The paper's own examples (Lamar Odom's 30/19/11, Iverson's 38/16,
+// Stoudamire's 54 as a Trail Blazer) come from the real gamelog; ours come
+// from the synthetic stream, so names differ while the *kind* of sentence
+// and the selectivity (a handful of prominent facts per thousand arrivals)
+// is the reproduction target.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/narrator.h"
+#include "harness.h"
+
+namespace sitfact {
+namespace bench {
+namespace {
+
+void Run() {
+  const int n = Scaled(12000);
+  const double tau = 500;
+  Dataset data = MakeNbaData(n, 5, 7);
+  Relation relation(data.schema());
+  DiscoveryOptions options;
+  options.max_bound_dims = 3;
+  options.max_measure_dims = 3;
+  auto disc_or =
+      DiscoveryEngine::CreateDiscoverer("STopDown", &relation, options);
+  SITFACT_CHECK(disc_or.ok());
+  DiscoveryEngine::Config config;
+  config.options = options;
+  config.tau = tau;
+  DiscoveryEngine engine(&relation, std::move(disc_or).value(), config);
+
+  int entity = data.schema().DimensionIndex("player");
+  FactNarrator narrator(&relation, entity);
+
+  std::printf(
+      "# Case study (Sec. VII): NBA, d=5, m=7, dhat=3, mhat=3, tau=%.0f\n",
+      tau);
+
+  std::vector<int> per_1k;
+  int in_window = 0;
+  int shown = 0;
+  for (size_t i = 0; i < data.rows().size(); ++i) {
+    ArrivalReport report = engine.Append(data.rows()[i]);
+    if (!report.prominent.empty()) {
+      ++in_window;
+      // Print a sample of the discovered facts, paper-bullet style.
+      if (shown < 12 && i > static_cast<size_t>(n) / 2) {
+        ++shown;
+        std::printf("  [tuple %6zu] %s\n", i,
+                    narrator.Narrate(report.tuple,
+                                     report.prominent.front()).c_str());
+      }
+    }
+    if ((i + 1) % 1000 == 0) {
+      per_1k.push_back(in_window);
+      in_window = 0;
+    }
+  }
+
+  std::printf("\n# Arrivals with prominent facts per 1K tuples "
+              "(Fig. 14 shape: oscillating, no downward trend)\n");
+  std::printf("%12s  %s\n", "window", "count");
+  for (size_t w = 0; w < per_1k.size(); ++w) {
+    std::printf("%6zuK-%zuK  %5d\n", w, w + 1, per_1k[w]);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace sitfact
+
+int main() {
+  sitfact::bench::Run();
+  return 0;
+}

@@ -1,0 +1,197 @@
+#ifndef SITFACT_BENCH_HARNESS_H_
+#define SITFACT_BENCH_HARNESS_H_
+
+// Shared stream-driver for the per-figure bench binaries. Each binary
+// replays a generated dataset through one or more discovery algorithms,
+// samples per-tuple latency and work counters at checkpoints, and prints the
+// series the corresponding paper figure plots.
+//
+// Scaling: the 2014 experiments ran for hours on the full datasets; the
+// defaults here are sized so the whole bench suite finishes on a laptop in
+// minutes while preserving every qualitative shape (algorithm ordering,
+// growth trends, crossovers). Set SITFACT_BENCH_SCALE=<float> to grow or
+// shrink every stream length (e.g. 4 for a longer run closer to the paper's
+// operating points).
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "core/discoverer.h"
+#include "core/engine.h"
+#include "datagen/nba_generator.h"
+#include "datagen/weather_generator.h"
+#include "relation/dataset.h"
+
+namespace sitfact {
+namespace bench {
+
+inline double BenchScale() {
+  const char* env = std::getenv("SITFACT_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  double v = std::strtod(env, nullptr);
+  return v > 0 ? v : 1.0;
+}
+
+inline int Scaled(int n) {
+  return static_cast<int>(static_cast<double>(n) * BenchScale());
+}
+
+/// NBA stream projected onto the Table V / Table VI spaces for (d, m).
+inline Dataset MakeNbaData(int n, int d, int m) {
+  NbaGenerator::Config cfg;
+  // Keep roughly the real data's tuples-per-season ratio at small n so new
+  // seasons (fresh contexts) still appear.
+  cfg.tuples_per_season = n > 8 ? n / 8 : 1;
+  NbaGenerator gen(cfg);
+  Dataset full = gen.Generate(n);
+  auto proj = full.Project(NbaGenerator::DimensionsForD(d),
+                           NbaGenerator::MeasuresForM(m));
+  SITFACT_CHECK(proj.ok());
+  return std::move(proj).value();
+}
+
+/// Weather stream projected onto the first d dimensions / m measures.
+inline Dataset MakeWeatherData(int n, int d, int m) {
+  WeatherGenerator::Config cfg;
+  cfg.num_locations = 512;  // scaled-down station count for short streams
+  cfg.records_per_day = n > 24 ? n / 24 : 1;
+  WeatherGenerator gen(cfg);
+  Dataset full = gen.Generate(n);
+  auto proj = full.Project(WeatherGenerator::DimensionsForD(d),
+                           WeatherGenerator::MeasuresForM(m));
+  SITFACT_CHECK(proj.ok());
+  return std::move(proj).value();
+}
+
+/// One checkpoint sample of a timed stream replay.
+struct Sample {
+  uint64_t tuple_id = 0;       // 1-based arrival count at the checkpoint
+  double per_tuple_ms = 0;     // mean Discover() latency in the window
+  uint64_t comparisons = 0;    // cumulative (Fig. 11a)
+  uint64_t traversed = 0;      // cumulative (Fig. 11b)
+  uint64_t stored_tuples = 0;  // current (Fig. 10b)
+  size_t memory_bytes = 0;     // current (Fig. 10a)
+  uint64_t file_reads = 0;     // cumulative (file stores)
+  uint64_t file_writes = 0;
+};
+
+struct StreamResult {
+  std::string algorithm;
+  std::vector<Sample> samples;
+  double total_seconds = 0;
+  double mean_per_tuple_ms = 0;
+};
+
+/// Replays `data` through a fresh instance of `algorithm`, sampling at every
+/// multiple of `window` arrivals. The relation is owned here so every replay
+/// starts from an empty table.
+inline StreamResult ReplayStream(const std::string& algorithm,
+                                 const Dataset& data, int window,
+                                 const DiscoveryOptions& options) {
+  Relation relation(data.schema());
+  std::string dir;
+  if (algorithm.rfind("FS", 0) == 0) {
+    dir = (std::filesystem::temp_directory_path() /
+           ("sitfact_bench_" + algorithm))
+              .string();
+  }
+  auto disc_or =
+      DiscoveryEngine::CreateDiscoverer(algorithm, &relation, options, dir);
+  SITFACT_CHECK_MSG(disc_or.ok(), disc_or.status().ToString().c_str());
+  std::unique_ptr<Discoverer> disc = std::move(disc_or).value();
+
+  StreamResult result;
+  result.algorithm = algorithm;
+  std::vector<SkylineFact> facts;
+  WallTimer total;
+  double window_ms = 0;
+  int in_window = 0;
+  for (size_t i = 0; i < data.rows().size(); ++i) {
+    TupleId t = relation.Append(data.rows()[i]);
+    facts.clear();
+    WallTimer timer;
+    disc->Discover(t, &facts);
+    window_ms += timer.ElapsedMillis();
+    ++in_window;
+    if (in_window == window || i + 1 == data.rows().size()) {
+      Sample s;
+      s.tuple_id = i + 1;
+      s.per_tuple_ms = window_ms / in_window;
+      s.comparisons = disc->stats().comparisons;
+      s.traversed = disc->stats().constraints_traversed;
+      s.stored_tuples = disc->StoredTupleCount();
+      s.memory_bytes = disc->ApproxMemoryBytes();
+      if (disc->store() != nullptr) {
+        s.file_reads = disc->store()->stats().file_reads;
+        s.file_writes = disc->store()->stats().file_writes;
+      }
+      result.samples.push_back(s);
+      window_ms = 0;
+      in_window = 0;
+    }
+  }
+  result.total_seconds = total.ElapsedSeconds();
+  result.mean_per_tuple_ms =
+      result.total_seconds * 1000.0 / static_cast<double>(data.size());
+  return result;
+}
+
+/// Prints one figure series as an aligned table: rows = checkpoints,
+/// columns = algorithms, cell = the chosen metric.
+template <typename MetricFn>
+void PrintSeriesTable(const std::string& title, const std::string& row_label,
+                      const std::vector<StreamResult>& results,
+                      MetricFn&& metric) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%12s", row_label.c_str());
+  for (const auto& r : results) std::printf("  %14s", r.algorithm.c_str());
+  std::printf("\n");
+  size_t rows = 0;
+  for (const auto& r : results) rows = std::max(rows, r.samples.size());
+  for (size_t i = 0; i < rows; ++i) {
+    uint64_t tid = 0;
+    for (const auto& r : results) {
+      if (i < r.samples.size()) tid = r.samples[i].tuple_id;
+    }
+    std::printf("%12llu", static_cast<unsigned long long>(tid));
+    for (const auto& r : results) {
+      if (i < r.samples.size()) {
+        std::printf("  %14.4f", metric(r.samples[i]));
+      } else {
+        std::printf("  %14s", "-");
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+/// Prints a one-row-per-configuration summary (the varying-d / varying-m
+/// panels, which plot a single mean per configuration).
+inline void PrintSummaryHeader(const std::string& title,
+                               const std::string& param_name,
+                               const std::vector<std::string>& algorithms) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%12s", param_name.c_str());
+  for (const auto& a : algorithms) std::printf("  %14s", a.c_str());
+  std::printf("\n");
+}
+
+inline void PrintSummaryRow(int param,
+                            const std::vector<StreamResult>& results) {
+  std::printf("%12d", param);
+  for (const auto& r : results) {
+    std::printf("  %14.4f", r.mean_per_tuple_ms);
+  }
+  std::printf("\n");
+}
+
+}  // namespace bench
+}  // namespace sitfact
+
+#endif  // SITFACT_BENCH_HARNESS_H_

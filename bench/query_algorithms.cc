@@ -1,0 +1,73 @@
+// Ablation: forward skyline query evaluators (query/skyline_query.h).
+// Not a paper figure — the paper's contribution is the reverse problem —
+// but the query module backs the CLI and the differential test oracle, so
+// its design choices get the same treatment: BNL vs sort-filter vs
+// divide-and-conquer across context sizes and dimensionalities, reporting
+// per-query latency and dominance comparisons.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "harness.h"
+#include "query/skyline_query.h"
+
+namespace sitfact {
+namespace bench {
+namespace {
+
+struct AlgoRow {
+  QueryAlgorithm algo;
+  const char* name;
+};
+
+const AlgoRow kAlgos[] = {
+    {QueryAlgorithm::kBlockNestedLoops, "bnl"},
+    {QueryAlgorithm::kSortFilter, "sfs"},
+    {QueryAlgorithm::kDivideConquer, "dnc"},
+};
+
+void RunPanel(const char* title, int m) {
+  std::printf("\n%s\n", title);
+  std::printf("%10s", "n");
+  for (const auto& a : kAlgos) {
+    std::printf("  %10s_ms  %12s_cmp", a.name, a.name);
+  }
+  std::printf("  %10s\n", "skyline");
+
+  for (int n : {1000, 5000, 20000, 80000}) {
+    Dataset data = MakeNbaData(Scaled(n), 5, m);
+    Relation relation(data.schema());
+    for (const Row& row : data.rows()) relation.Append(row);
+    std::vector<TupleId> ids(relation.size());
+    for (TupleId t = 0; t < relation.size(); ++t) ids[t] = t;
+    SkylineQueryEngine engine(&relation);
+    MeasureMask full = relation.schema().FullMeasureMask();
+
+    std::printf("%10d", n);
+    size_t skyline_size = 0;
+    for (const auto& a : kAlgos) {
+      WallTimer timer;
+      auto result = engine.EvaluateCandidates(ids, full, a.algo);
+      double ms = timer.ElapsedMillis();
+      std::printf("  %13.3f  %16llu", ms,
+                  static_cast<unsigned long long>(result.stats.comparisons));
+      skyline_size = result.skyline.size();
+    }
+    std::printf("  %10zu\n", skyline_size);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace sitfact
+
+int main() {
+  sitfact::bench::RunPanel(
+      "# Query ablation (a): NBA full 7-measure space, one-shot skyline",
+      7);
+  sitfact::bench::RunPanel(
+      "# Query ablation (b): NBA 4-measure space (smaller skylines)", 4);
+  return 0;
+}

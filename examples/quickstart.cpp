@@ -1,0 +1,77 @@
+// Quickstart: the smallest end-to-end use of the library.
+//
+// We replay the paper's Table I mini-world of basketball box scores and ask,
+// for each arriving stat line, in which (context, measure-subspace) pairs it
+// is a contextual skyline tuple — i.e. which "situational facts" it creates.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "core/narrator.h"
+#include "relation/relation.h"
+
+using sitfact::ArrivalReport;
+using sitfact::Direction;
+using sitfact::DiscoveryEngine;
+using sitfact::FactNarrator;
+using sitfact::RankedFact;
+using sitfact::Relation;
+using sitfact::Row;
+using sitfact::Schema;
+
+int main() {
+  // 1. Declare the schema: dimension attributes form contexts, measure
+  //    attributes define dominance (with a preference direction each).
+  Schema schema({{"player"}, {"month"}, {"season"}, {"team"}, {"opp_team"}},
+                {{"points", Direction::kLargerIsBetter},
+                 {"assists", Direction::kLargerIsBetter},
+                 {"rebounds", Direction::kLargerIsBetter}});
+  Relation relation(std::move(schema));
+
+  // 2. Pick a discovery algorithm. STopDown is the paper's most
+  //    memory-friendly fast variant; BottomUp trades memory for speed.
+  auto discoverer =
+      DiscoveryEngine::CreateDiscoverer("STopDown", &relation, {});
+  if (!discoverer.ok()) {
+    std::fprintf(stderr, "%s\n", discoverer.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. Wrap it in an engine that also ranks facts by prominence.
+  DiscoveryEngine::Config config;
+  config.tau = 2.0;  // report facts that are at least 2x selective
+  DiscoveryEngine engine(&relation, std::move(discoverer).value(), config);
+
+  const Row games[] = {
+      {{"Bogues", "Feb", "1991-92", "Hornets", "Hawks"}, {4, 12, 5}},
+      {{"Seikaly", "Feb", "1991-92", "Heat", "Hawks"}, {24, 5, 15}},
+      {{"Sherman", "Dec", "1993-94", "Celtics", "Nets"}, {13, 13, 5}},
+      {{"Wesley", "Feb", "1994-95", "Celtics", "Nets"}, {2, 5, 2}},
+      {{"Wesley", "Feb", "1994-95", "Celtics", "Timberwolves"}, {3, 5, 3}},
+      {{"Strickland", "Jan", "1995-96", "Blazers", "Celtics"}, {27, 18, 8}},
+      {{"Wesley", "Feb", "1995-96", "Celtics", "Nets"}, {12, 13, 5}},
+  };
+
+  FactNarrator narrator(&relation, relation.schema().DimensionIndex("player"));
+  for (const Row& game : games) {
+    ArrivalReport report = engine.Append(game);
+    std::printf("tuple %u (%s): %zu facts, %zu prominent\n", report.tuple,
+                relation.DimString(report.tuple, 0).c_str(),
+                report.facts.size(), report.prominent.size());
+    // On a 7-tuple toy table many facts tie at the top; print a few.
+    size_t shown = 0;
+    for (const RankedFact& fact : report.prominent) {
+      if (++shown > 3) {
+        std::printf("  ... and %zu more at the same prominence\n",
+                    report.prominent.size() - 3);
+        break;
+      }
+      std::printf("  NEWS: %s\n", narrator.Narrate(report.tuple, fact).c_str());
+    }
+  }
+  return 0;
+}

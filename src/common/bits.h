@@ -1,0 +1,62 @@
+#ifndef SITFACT_COMMON_BITS_H_
+#define SITFACT_COMMON_BITS_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace sitfact {
+
+/// Number of set bits.
+inline int PopCount(uint32_t mask) { return std::popcount(mask); }
+
+/// True iff `sub` is a (not necessarily proper) subset of `super`.
+inline bool IsSubsetOf(uint32_t sub, uint32_t super) {
+  return (sub & ~super) == 0;
+}
+
+/// True iff `sub` is a proper subset of `super`.
+inline bool IsProperSubsetOf(uint32_t sub, uint32_t super) {
+  return sub != super && IsSubsetOf(sub, super);
+}
+
+/// Index of the lowest set bit; undefined for 0.
+inline int LowestBit(uint32_t mask) { return std::countr_zero(mask); }
+
+/// Full mask over the lowest `n` bits.
+inline uint32_t FullMask(int n) {
+  return n >= 32 ? 0xFFFFFFFFu : ((1u << n) - 1u);
+}
+
+/// Calls `fn(int bit)` for every set bit of `mask`, lowest first.
+template <typename Fn>
+void ForEachBit(uint32_t mask, Fn&& fn) {
+  while (mask != 0) {
+    int bit = std::countr_zero(mask);
+    fn(bit);
+    mask &= mask - 1;
+  }
+}
+
+/// Calls `fn(uint32_t submask)` for every subset of `mask`, including 0 and
+/// `mask` itself, in the standard descending submask-enumeration order.
+template <typename Fn>
+void ForEachSubset(uint32_t mask, Fn&& fn) {
+  uint32_t sub = mask;
+  while (true) {
+    fn(sub);
+    if (sub == 0) break;
+    sub = (sub - 1) & mask;
+  }
+}
+
+/// Iterates subsets of `mask` that are proper subsets (excludes `mask`).
+template <typename Fn>
+void ForEachProperSubset(uint32_t mask, Fn&& fn) {
+  ForEachSubset(mask, [&](uint32_t sub) {
+    if (sub != mask) fn(sub);
+  });
+}
+
+}  // namespace sitfact
+
+#endif  // SITFACT_COMMON_BITS_H_

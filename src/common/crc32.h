@@ -1,0 +1,34 @@
+#ifndef SITFACT_COMMON_CRC32_H_
+#define SITFACT_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sitfact {
+
+/// Incremental CRC-32 (IEEE 802.3 polynomial, the zlib/gzip variant).
+/// Snapshot files carry a trailing checksum so torn writes and bit rot are
+/// reported as Corruption instead of being decoded into garbage state.
+class Crc32 {
+ public:
+  /// Extends `crc` (0 for a fresh stream) over `data[0, len)`.
+  static uint32_t Extend(uint32_t crc, const void* data, size_t len);
+
+  /// One-shot convenience.
+  static uint32_t Of(const void* data, size_t len) {
+    return Extend(0, data, len);
+  }
+
+  void Update(const void* data, size_t len) {
+    value_ = Extend(value_, data, len);
+  }
+  uint32_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  uint32_t value_ = 0;
+};
+
+}  // namespace sitfact
+
+#endif  // SITFACT_COMMON_CRC32_H_

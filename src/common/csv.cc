@@ -1,0 +1,51 @@
+#include "common/csv.h"
+
+namespace sitfact {
+
+bool CsvNeedsQuoting(const std::string& s) {
+  return s.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string CsvQuote(const std::string& s) {
+  if (!CsvNeedsQuoting(s)) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+Status SplitCsvLine(const std::string& line, std::vector<std::string>* out) {
+  out->clear();
+  std::string field;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      out->push_back(std::move(field));
+      field.clear();
+    } else {
+      field += c;
+    }
+  }
+  if (in_quotes) return Status::Corruption("unterminated quote in CSV line");
+  out->push_back(std::move(field));
+  return Status::Ok();
+}
+
+}  // namespace sitfact

@@ -1,0 +1,27 @@
+#ifndef SITFACT_COMMON_CSV_H_
+#define SITFACT_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sitfact {
+
+/// RFC-4180-style CSV field helpers shared by Dataset CSV IO, CsvTable and
+/// the CLI. Fields containing commas, quotes or newlines are double-quoted;
+/// embedded quotes are doubled.
+
+/// True when `s` must be quoted to survive a round trip.
+bool CsvNeedsQuoting(const std::string& s);
+
+/// Quotes `s` if needed, else returns it unchanged.
+std::string CsvQuote(const std::string& s);
+
+/// Splits one line into fields, honoring quoting. Fails with Corruption on
+/// an unterminated quote. `out` is cleared first.
+Status SplitCsvLine(const std::string& line, std::vector<std::string>* out);
+
+}  // namespace sitfact
+
+#endif  // SITFACT_COMMON_CSV_H_

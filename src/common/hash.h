@@ -1,0 +1,25 @@
+#ifndef SITFACT_COMMON_HASH_H_
+#define SITFACT_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sitfact {
+
+/// 64-bit mix (SplitMix64 finalizer); good avalanche for integer keys.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Order-dependent combine of a running hash with one more value.
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return Mix64(seed ^ (value + 0x9E3779B97F4A7C15ull + (seed << 6) +
+                       (seed >> 2)));
+}
+
+}  // namespace sitfact
+
+#endif  // SITFACT_COMMON_HASH_H_

@@ -1,0 +1,37 @@
+#ifndef SITFACT_COMMON_LOGGING_H_
+#define SITFACT_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Minimal assertion macros in the spirit of glog's CHECK. A failed CHECK
+// indicates a programming error inside the library, never a data error; data
+// errors are reported through Status.
+
+#define SITFACT_CHECK(cond)                                               \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,       \
+                   __LINE__, #cond);                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#define SITFACT_CHECK_MSG(cond, msg)                                      \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__,  \
+                   __LINE__, #cond, msg);                                 \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#ifndef NDEBUG
+#define SITFACT_DCHECK(cond) SITFACT_CHECK(cond)
+#else
+#define SITFACT_DCHECK(cond) \
+  do {                       \
+  } while (0)
+#endif
+
+#endif  // SITFACT_COMMON_LOGGING_H_

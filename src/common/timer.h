@@ -1,0 +1,38 @@
+#ifndef SITFACT_COMMON_TIMER_H_
+#define SITFACT_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace sitfact {
+
+/// Monotonic wall-clock stopwatch used by the bench harness.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or last Restart, in nanoseconds.
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) / 1e6;
+  }
+
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) / 1e9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sitfact
+
+#endif  // SITFACT_COMMON_TIMER_H_

@@ -1,0 +1,33 @@
+#ifndef SITFACT_COMMON_TYPES_H_
+#define SITFACT_COMMON_TYPES_H_
+
+#include <cstdint>
+
+namespace sitfact {
+
+/// Index of a tuple within a Relation (append order, 0-based).
+using TupleId = uint32_t;
+
+/// Dictionary-encoded dimension value. `kUnboundValue` is reserved for the
+/// wildcard `*` in constraints and never produced by a Dictionary.
+using ValueId = uint32_t;
+inline constexpr ValueId kUnboundValue = 0xFFFFFFFFu;
+
+/// Bit set over dimension attributes; bit `i` set means dimension `i` is
+/// bound in a constraint (or, in agreement masks, that two tuples share the
+/// value of dimension `i`).
+using DimMask = uint32_t;
+
+/// Bit set over measure attributes; bit `j` set means measure `j` belongs to
+/// the measure subspace.
+using MeasureMask = uint32_t;
+
+/// Hard caps so per-arrival lattice state fits in dense arrays. The paper
+/// evaluates d in [4,7] and m in [4,7]; 16 leaves generous headroom while
+/// keeping `2^d` lattice enumeration tractable.
+inline constexpr int kMaxDimensions = 16;
+inline constexpr int kMaxMeasures = 16;
+
+}  // namespace sitfact
+
+#endif  // SITFACT_COMMON_TYPES_H_

@@ -1,0 +1,157 @@
+#include "core/aggregate_facts.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace sitfact {
+
+namespace {
+
+/// Joins group values with an unlikely separator to form the accumulator
+/// key. \x1f (ASCII unit separator) cannot collide with printable values.
+std::string GroupKey(const std::vector<std::string>& values) {
+  std::string key;
+  for (const auto& v : values) {
+    key += v;
+    key += '\x1f';
+  }
+  return key;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<AggregateFactStream>> AggregateFactStream::Create(
+    const Schema& base_schema, const Config& config) {
+  if (config.aggregates.empty()) {
+    return Status::InvalidArgument("at least one aggregate is required");
+  }
+  if (config.group_dims.empty()) {
+    return Status::InvalidArgument("at least one group dimension is required");
+  }
+  std::vector<DimensionAttribute> dims;
+  for (int d : config.group_dims) {
+    if (d < 0 || d >= base_schema.num_dimensions()) {
+      return Status::InvalidArgument("group dimension index out of range: " +
+                                     std::to_string(d));
+    }
+    dims.push_back(base_schema.dimension(d));
+  }
+  dims.push_back({config.period_name});
+  std::vector<MeasureAttribute> meas;
+  for (const auto& spec : config.aggregates) {
+    if (spec.kind != AggregateSpec::Kind::kCount &&
+        (spec.measure_index < 0 ||
+         spec.measure_index >= base_schema.num_measures())) {
+      return Status::InvalidArgument("aggregate measure index out of range: " +
+                                     std::to_string(spec.measure_index));
+    }
+    if (spec.name.empty()) {
+      return Status::InvalidArgument("aggregate name must be non-empty");
+    }
+    meas.push_back({spec.name, spec.direction});
+  }
+  auto rollup_or = Schema::Create(std::move(dims), std::move(meas));
+  if (!rollup_or.ok()) return rollup_or.status();
+
+  auto stream = std::unique_ptr<AggregateFactStream>(new AggregateFactStream(
+      base_schema, config, std::move(rollup_or).value()));
+  if (stream->engine_ == nullptr) {
+    return Status::NotFound("unknown discovery algorithm: " +
+                            config.algorithm);
+  }
+  return stream;
+}
+
+AggregateFactStream::AggregateFactStream(const Schema& base_schema,
+                                         const Config& config,
+                                         Schema rollup_schema)
+    : config_(config), base_measures_(base_schema.num_measures()) {
+  relation_ = std::make_unique<Relation>(std::move(rollup_schema));
+  auto disc_or = DiscoveryEngine::CreateDiscoverer(
+      config_.algorithm, relation_.get(), config_.options);
+  if (!disc_or.ok()) return;  // Create() reports the error
+  DiscoveryEngine::Config engine_config;
+  engine_config.options = config_.options;
+  engine_config.tau = config_.tau;
+  engine_config.rank_facts = config_.rank_facts;
+  engine_ = std::make_unique<DiscoveryEngine>(
+      relation_.get(), std::move(disc_or).value(), engine_config);
+}
+
+void AggregateFactStream::Add(const Row& base_row) {
+  SITFACT_CHECK_MSG(
+      static_cast<int>(base_row.measures.size()) == base_measures_,
+      "base row measure arity mismatch");
+  std::vector<std::string> group_values;
+  group_values.reserve(config_.group_dims.size());
+  for (int d : config_.group_dims) {
+    SITFACT_CHECK(d < static_cast<int>(base_row.dimensions.size()));
+    group_values.push_back(base_row.dimensions[static_cast<size_t>(d)]);
+  }
+  std::string key = GroupKey(group_values);
+  auto [it, inserted] = groups_.try_emplace(key);
+  if (inserted) {
+    it->second.sum.assign(static_cast<size_t>(base_measures_), 0.0);
+    it->second.min.assign(static_cast<size_t>(base_measures_),
+                          std::numeric_limits<double>::infinity());
+    it->second.max.assign(static_cast<size_t>(base_measures_),
+                          -std::numeric_limits<double>::infinity());
+    order_.emplace_back(std::move(key), std::move(group_values));
+  }
+  Accumulator& acc = it->second;
+  ++acc.count;
+  for (int j = 0; j < base_measures_; ++j) {
+    const double v = base_row.measures[static_cast<size_t>(j)];
+    acc.sum[static_cast<size_t>(j)] += v;
+    acc.min[static_cast<size_t>(j)] =
+        std::min(acc.min[static_cast<size_t>(j)], v);
+    acc.max[static_cast<size_t>(j)] =
+        std::max(acc.max[static_cast<size_t>(j)], v);
+  }
+}
+
+std::vector<AggregateFactStream::AggregateArrival>
+AggregateFactStream::ClosePeriod(const std::string& period_label) {
+  std::vector<AggregateArrival> out;
+  out.reserve(order_.size());
+  for (const auto& [key, group_values] : order_) {
+    const Accumulator& acc = groups_.at(key);
+    Row row;
+    row.dimensions = group_values;
+    row.dimensions.push_back(period_label);
+    row.measures.reserve(config_.aggregates.size());
+    for (const auto& spec : config_.aggregates) {
+      const auto j = static_cast<size_t>(spec.measure_index);
+      switch (spec.kind) {
+        case AggregateSpec::Kind::kCount:
+          row.measures.push_back(static_cast<double>(acc.count));
+          break;
+        case AggregateSpec::Kind::kSum:
+          row.measures.push_back(acc.sum[j]);
+          break;
+        case AggregateSpec::Kind::kMax:
+          row.measures.push_back(acc.max[j]);
+          break;
+        case AggregateSpec::Kind::kMin:
+          row.measures.push_back(acc.min[j]);
+          break;
+        case AggregateSpec::Kind::kMean:
+          row.measures.push_back(acc.sum[j] /
+                                 static_cast<double>(acc.count));
+          break;
+      }
+    }
+    AggregateArrival arrival;
+    arrival.report = engine_->Append(row);
+    arrival.row = std::move(row);
+    out.push_back(std::move(arrival));
+  }
+  groups_.clear();
+  order_.clear();
+  return out;
+}
+
+}  // namespace sitfact

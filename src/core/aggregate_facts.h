@@ -1,0 +1,106 @@
+#ifndef SITFACT_CORE_AGGREGATE_FACTS_H_
+#define SITFACT_CORE_AGGREGATE_FACTS_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/engine.h"
+#include "relation/relation.h"
+#include "relation/schema.h"
+
+namespace sitfact {
+
+/// Situational facts about aggregates — the paper's conclusion lists
+/// "aggregates over tuples" as future work, and the introduction motivates
+/// it directly: "There were 35 DUI arrests and 20 collisions in city C
+/// yesterday, the first time in 2013." That statement is a contextual
+/// skyline fact not about one base tuple but about one (city, day) rollup.
+///
+/// AggregateFactStream turns a base stream into such facts: base rows are
+/// grouped by a chosen set of dimension attributes within an explicit
+/// period (a day, a game week, a quarter); closing the period emits one
+/// aggregate row per active group into an internal derived relation, and
+/// each emitted row runs through an ordinary DiscoveryEngine. Everything
+/// the library offers for base facts — constraint lattices, measure
+/// subspaces, prominence, narration — applies unchanged to the rollups.
+class AggregateFactStream {
+ public:
+  /// One derived measure of the rollup relation.
+  struct AggregateSpec {
+    enum class Kind { kCount, kSum, kMax, kMin, kMean };
+    Kind kind = Kind::kCount;
+    /// Base-relation measure index aggregated; ignored for kCount.
+    int measure_index = 0;
+    /// Output measure attribute name.
+    std::string name;
+    Direction direction = Direction::kLargerIsBetter;
+  };
+
+  struct Config {
+    /// Base-relation dimension indices that identify a group (e.g. {city}).
+    /// They become dimension attributes of the rollup relation.
+    std::vector<int> group_dims;
+    /// Name of the extra rollup dimension holding the period label passed
+    /// to ClosePeriod (e.g. "day").
+    std::string period_name = "period";
+    std::vector<AggregateSpec> aggregates;
+    /// Discovery algorithm for the rollup stream.
+    std::string algorithm = "STopDown";
+    DiscoveryOptions options;
+    double tau = 0.0;
+    bool rank_facts = true;
+  };
+
+  /// One rollup arrival: the emitted aggregate row and its discovery report.
+  struct AggregateArrival {
+    Row row;
+    ArrivalReport report;
+  };
+
+  /// Validates the config against the base schema (group indices in range,
+  /// aggregate measure indices in range, at least one aggregate).
+  static StatusOr<std::unique_ptr<AggregateFactStream>> Create(
+      const Schema& base_schema, const Config& config);
+
+  /// Accumulates one base row into the open period. The row must match the
+  /// base schema's arity.
+  void Add(const Row& base_row);
+
+  /// Closes the open period: emits one rollup row per group that received
+  /// rows, labeled `period_label`, runs discovery on each, and clears the
+  /// accumulators. Emission order is first-touch order, so replays are
+  /// deterministic.
+  std::vector<AggregateArrival> ClosePeriod(const std::string& period_label);
+
+  /// The derived rollup relation (grows by one row per group per period).
+  const Relation& rollup_relation() const { return *relation_; }
+  DiscoveryEngine& engine() { return *engine_; }
+  const Schema& rollup_schema() const { return relation_->schema(); }
+
+ private:
+  struct Accumulator {
+    uint64_t count = 0;
+    std::vector<double> sum;
+    std::vector<double> min;
+    std::vector<double> max;
+  };
+
+  AggregateFactStream(const Schema& base_schema, const Config& config,
+                      Schema rollup_schema);
+
+  Config config_;
+  int base_measures_;
+  std::unique_ptr<Relation> relation_;
+  std::unique_ptr<DiscoveryEngine> engine_;
+  /// Group key (joined dimension strings) -> accumulator; insertion order
+  /// kept separately for deterministic emission.
+  std::unordered_map<std::string, Accumulator> groups_;
+  std::vector<std::pair<std::string, std::vector<std::string>>> order_;
+};
+
+}  // namespace sitfact
+
+#endif  // SITFACT_CORE_AGGREGATE_FACTS_H_

@@ -1,0 +1,44 @@
+#include "core/baseline_idx.h"
+
+#include "lattice/constraint_enumerator.h"
+#include "lattice/pruner_set.h"
+#include "skyline/dominance.h"
+
+namespace sitfact {
+
+BaselineIdxDiscoverer::BaselineIdxDiscoverer(const Relation* relation,
+                                             const DiscoveryOptions& options)
+    : Discoverer(relation, options),
+      masks_(MasksByAscendingBound(relation->schema().num_dimensions(),
+                                   max_bound_)),
+      tree_(relation) {}
+
+void BaselineIdxDiscoverer::Discover(TupleId t,
+                                     std::vector<SkylineFact>* facts) {
+  ++stats_.arrivals;
+  const Relation& r = *relation_;
+  PrunerSet pruned;
+  for (MeasureMask m : universe_.masks()) {
+    pruned.Clear();
+    tree_.VisitDominators(t, m, [&](TupleId cand) {
+      if (r.IsDeleted(cand)) return true;  // tombstoned; still in the tree
+      ++stats_.comparisons;
+      // The range query returns weak dominators (>= on all of M); skyline
+      // dominance additionally needs a strict improvement somewhere in M.
+      if (Dominates(r, cand, t, m)) {
+        pruned.Add(r.AgreeMask(t, cand));
+      }
+      return true;
+    });
+    for (DimMask mask : masks_) {
+      ++stats_.constraints_traversed;
+      if (!pruned.IsPruned(mask)) {
+        facts->push_back(
+            SkylineFact{Constraint::ForTuple(r, t, mask), m});
+      }
+    }
+  }
+  tree_.Insert(t);
+}
+
+}  // namespace sitfact

@@ -1,0 +1,53 @@
+#ifndef SITFACT_CORE_BASELINE_IDX_H_
+#define SITFACT_CORE_BASELINE_IDX_H_
+
+#include <vector>
+
+#include "core/discoverer.h"
+#include "skyline/kdtree.h"
+
+namespace sitfact {
+
+/// BaselineIdx (Sec. IV): like BaselineSeq, but instead of scanning every
+/// historical tuple it pulls dominator candidates from a k-d tree over the
+/// full measure space with the one-sided range query ∧_{mi∈M}(mi >= t.mi),
+/// then applies the same Prop. 3 constraint pruning.
+class BaselineIdxDiscoverer : public Discoverer {
+ public:
+  BaselineIdxDiscoverer(const Relation* relation,
+                        const DiscoveryOptions& options);
+
+  std::string_view name() const override { return "BaselineIdx"; }
+  void Discover(TupleId t, std::vector<SkylineFact>* facts) override;
+  size_t ApproxMemoryBytes() const override {
+    return tree_.ApproxMemoryBytes();
+  }
+
+  /// Deletion needs no structural repair: tombstoned tuples stay in the
+  /// k-d tree but are filtered out of every candidate scan.
+  bool SupportsRemoval() const override { return true; }
+  Status Remove(TupleId t) override {
+    if (!relation_->IsDeleted(t)) {
+      return Status::InvalidArgument("tuple must be tombstoned first");
+    }
+    return Status::Ok();
+  }
+
+  /// Rebuilds the k-d tree from the restored relation (tombstoned tuples are
+  /// re-inserted too: they would have been inserted on arrival, and candidate
+  /// scans filter them anyway).
+  Status RebuildAuxiliary() override {
+    for (TupleId t = 0; t < relation_->size(); ++t) tree_.Insert(t);
+    return Status::Ok();
+  }
+
+  const KdTree& tree() const { return tree_; }
+
+ private:
+  std::vector<DimMask> masks_;
+  KdTree tree_;
+};
+
+}  // namespace sitfact
+
+#endif  // SITFACT_CORE_BASELINE_IDX_H_

@@ -1,0 +1,39 @@
+#include "core/baseline_seq.h"
+
+#include "lattice/constraint_enumerator.h"
+#include "skyline/dominance.h"
+
+namespace sitfact {
+
+BaselineSeqDiscoverer::BaselineSeqDiscoverer(const Relation* relation,
+                                             const DiscoveryOptions& options)
+    : Discoverer(relation, options),
+      masks_(MasksByAscendingBound(relation->schema().num_dimensions(),
+                                   max_bound_)) {}
+
+void BaselineSeqDiscoverer::Discover(TupleId t,
+                                     std::vector<SkylineFact>* facts) {
+  ++stats_.arrivals;
+  const Relation& r = *relation_;
+  PrunerSet pruned;
+  for (MeasureMask m : universe_.masks()) {
+    pruned.Clear();
+    for (TupleId other = 0; other < t; ++other) {
+      if (r.IsDeleted(other)) continue;
+      ++stats_.comparisons;
+      if (Dominates(r, other, t, m)) {
+        // S <- S - C^{t,other}: all masks within the agreement set die.
+        pruned.Add(r.AgreeMask(t, other));
+      }
+    }
+    for (DimMask mask : masks_) {
+      ++stats_.constraints_traversed;
+      if (!pruned.IsPruned(mask)) {
+        facts->push_back(
+            SkylineFact{Constraint::ForTuple(r, t, mask), m});
+      }
+    }
+  }
+}
+
+}  // namespace sitfact

@@ -1,0 +1,40 @@
+#ifndef SITFACT_CORE_BASELINE_SEQ_H_
+#define SITFACT_CORE_BASELINE_SEQ_H_
+
+#include <vector>
+
+#include "core/discoverer.h"
+#include "lattice/pruner_set.h"
+
+namespace sitfact {
+
+/// Algorithm 3 (BaselineSeq): per measure subspace, compare the new tuple
+/// with every historical tuple; each dominator t' removes all of C^{t,t'}
+/// (Prop. 3) from the surviving constraint set. Smarter than BruteForce —
+/// one pass over R per subspace instead of one per (C, M) — but still linear
+/// in |R| per subspace per arrival.
+class BaselineSeqDiscoverer : public Discoverer {
+ public:
+  BaselineSeqDiscoverer(const Relation* relation,
+                        const DiscoveryOptions& options);
+
+  std::string_view name() const override { return "BaselineSeq"; }
+  void Discover(TupleId t, std::vector<SkylineFact>* facts) override;
+  size_t ApproxMemoryBytes() const override { return 0; }
+
+  /// Deletion needs no repair here: discovery scans the live relation.
+  bool SupportsRemoval() const override { return true; }
+  Status Remove(TupleId t) override {
+    if (!relation_->IsDeleted(t)) {
+      return Status::InvalidArgument("tuple must be tombstoned first");
+    }
+    return Status::Ok();
+  }
+
+ private:
+  std::vector<DimMask> masks_;
+};
+
+}  // namespace sitfact
+
+#endif  // SITFACT_CORE_BASELINE_SEQ_H_

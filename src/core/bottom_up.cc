@@ -1,0 +1,135 @@
+#include "core/bottom_up.h"
+
+#include <utility>
+
+#include "common/bits.h"
+#include "skyline/dominance.h"
+#include "storage/memory_mu_store.h"
+
+namespace sitfact {
+
+BottomUpDiscoverer::BottomUpDiscoverer(const Relation* relation,
+                                       const DiscoveryOptions& options,
+                                       std::unique_ptr<MuStore> store,
+                                       bool enable_pruning)
+    : LatticeDiscovererBase(relation, options, std::move(store)),
+      enable_pruning_(enable_pruning) {
+  size_t dense = static_cast<size_t>(
+                     FullMask(relation->schema().num_dimensions())) +
+                 1;
+  in_queue_.assign(dense, 0);
+}
+
+BottomUpDiscoverer::BottomUpDiscoverer(const Relation* relation,
+                                       const DiscoveryOptions& options)
+    : BottomUpDiscoverer(relation, options,
+                         std::make_unique<MemoryMuStore>()) {}
+
+void BottomUpDiscoverer::Discover(TupleId t, std::vector<SkylineFact>* facts) {
+  ++stats_.arrivals;
+  BeginArrival(t);
+  PrunerSet no_pre_pruning;
+  for (MeasureMask m : universe_.masks()) {
+    RunPass(t, m, no_pre_pruning, /*report=*/true, facts,
+            /*observer=*/nullptr);
+  }
+}
+
+void BottomUpDiscoverer::RunPass(TupleId t, MeasureMask m,
+                                 const PrunerSet& pre_pruned, bool report,
+                                 std::vector<SkylineFact>* facts,
+                                 CompareObserver* observer) {
+  const Relation& r = *relation_;
+  int nd = r.schema().num_dimensions();
+
+  PrunerSet pruned = pre_pruned;  // Pass-local copy; grows as dominators hit.
+
+  // Alg. 4 line 4: start from ⊥(C^t). With the d̂ truncation the lattice has
+  // C(d, d̂) minimal elements; enqueue them all (popcount == d̂ masks come
+  // first in masks_descending()).
+  queue_.clear();
+  int bottom_level = max_bound_ < nd ? max_bound_ : nd;
+  for (DimMask mask : masks_descending()) {
+    if (PopCount(mask) != bottom_level) break;
+    queue_.push_back(mask);
+    in_queue_[mask] = 1;
+  }
+
+  // Breadth-first bottom-up sweep. queue_ is consumed by index; parents are
+  // appended, and popcount strictly decreases along the scan, so this is a
+  // level-by-level BFS.
+  for (size_t head = 0; head < queue_.size(); ++head) {
+    DimMask c = queue_[head];
+    in_queue_[c] = 0;
+    if (enable_pruning_ && pruned.IsPruned(c)) {
+      // All ancestors of a pruned constraint are pruned too, so this branch
+      // of the traversal ends here.
+      continue;
+    }
+    ++stats_.constraints_traversed;
+
+    MuStore::Context* ctx = CachedContext(c, /*create=*/false);
+    bool dominated = false;
+    bool modified = false;
+    BucketCursor cursor;
+    cursor.Open(ctx, m, &bucket_);
+    std::vector<TupleId>& bucket = cursor.contents();
+    {
+      size_t keep = 0;
+      for (size_t i = 0; i < bucket.size(); ++i) {
+        TupleId other = bucket[i];
+        ++stats_.comparisons;
+        Relation::MeasurePartition p = r.Partition(t, other);
+        if (observer != nullptr) observer->OnComparison(other, p);
+        if (DominatedInSubspace(p, m)) {
+          // Alg. 4 lines 9-12: t loses here and at every ancestor of C;
+          // skip the rest of the bucket (skyline members never dominate
+          // each other, so no pending deletions can be missed).
+          dominated = true;
+          pruned.Add(c);
+          // Preserve the unscanned suffix before bailing out. (When a
+          // dominator exists no earlier entry can have been removed —
+          // skyline members never dominate each other — so this normally
+          // leaves the bucket untouched.)
+          for (size_t j = i; j < bucket.size(); ++j) {
+            bucket[keep++] = bucket[j];
+          }
+          break;
+        }
+        if (DominatesInSubspace(p, m)) {
+          modified = true;  // Alg. 4 line 13: drop the dethroned tuple.
+        } else {
+          bucket[keep++] = other;
+        }
+      }
+      bucket.resize(keep);
+    }
+
+    if (!dominated) {
+      if (report) {
+        facts->push_back(SkylineFact{CachedConstraint(c), m});
+      }
+      bucket.push_back(t);
+      modified = true;
+      // Alg. 4 lines 17-18: continue towards the more general constraints.
+      ForEachBit(c, [&](int bit) {
+        DimMask parent = c & ~(1u << bit);
+        if (!in_queue_[parent] &&
+            !(enable_pruning_ && pruned.IsPruned(parent))) {
+          in_queue_[parent] = 1;
+          queue_.push_back(parent);
+        }
+      });
+    }
+
+    if (modified) {
+      if (ctx == nullptr) ctx = CachedContext(c, /*create=*/true);
+      cursor.Commit(ctx);
+    }
+  }
+
+  // Reset queue flags for masks still marked (pruned leftovers).
+  for (DimMask mask : queue_) in_queue_[mask] = 0;
+}
+
+}  // namespace sitfact

@@ -1,0 +1,69 @@
+#ifndef SITFACT_CORE_BOTTOM_UP_H_
+#define SITFACT_CORE_BOTTOM_UP_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/lattice_base.h"
+#include "lattice/pruner_set.h"
+
+namespace sitfact {
+
+/// Algorithm 4 (BottomUp). Maintains Invariant 1 — µ_{C,M} stores the full
+/// contextual skyline λ_M(σ_C(R)) — and, per measure subspace, walks C^t
+/// breadth-first from the most specific constraints towards ⊤. When the new
+/// tuple is dominated at C, all of C's ancestors are pruned (they contain
+/// the dominator too); when it survives, it joins the bucket and the
+/// traversal continues to C's parents.
+///
+/// An optional `enable_pruning=false` mode visits every constraint
+/// regardless of recorded dominators (used by the ablation bench to measure
+/// how much constraint pruning buys).
+class BottomUpDiscoverer : public LatticeDiscovererBase {
+ public:
+  /// Observes every bucket comparison of a pass; SBottomUp's root pass uses
+  /// this to derive subspace prunings from full-space comparisons (Prop. 4).
+  class CompareObserver {
+   public:
+    virtual ~CompareObserver() = default;
+    virtual void OnComparison(TupleId other,
+                              const Relation::MeasurePartition& partition) = 0;
+  };
+
+  BottomUpDiscoverer(const Relation* relation, const DiscoveryOptions& options,
+                     std::unique_ptr<MuStore> store,
+                     bool enable_pruning = true);
+
+  /// Convenience: in-memory store.
+  BottomUpDiscoverer(const Relation* relation,
+                     const DiscoveryOptions& options);
+
+  std::string_view name() const override { return "BottomUp"; }
+  StoragePolicy storage_policy() const override {
+    return StoragePolicy::kAllSkylineConstraints;
+  }
+
+  void Discover(TupleId t, std::vector<SkylineFact>* facts) override;
+
+ protected:
+  /// One bottom-up pass over C^t in subspace `m`. `pre_pruned` carries
+  /// constraint prunings discovered elsewhere (SBottomUp's root pass seeds
+  /// it); pass an empty set for the plain algorithm. Facts are appended only
+  /// when `report` is true (the sharing variant keeps full-space buckets
+  /// warm even when the full space is not an admissible subspace).
+  void RunPass(TupleId t, MeasureMask m, const PrunerSet& pre_pruned,
+               bool report, std::vector<SkylineFact>* facts,
+               CompareObserver* observer);
+
+  bool enable_pruning_;
+
+ private:
+  // Per-pass scratch, reused across subspaces to avoid reallocation.
+  std::vector<DimMask> queue_;
+  std::vector<uint8_t> in_queue_;
+  std::vector<TupleId> bucket_;
+};
+
+}  // namespace sitfact
+
+#endif  // SITFACT_CORE_BOTTOM_UP_H_

@@ -1,0 +1,35 @@
+#include "core/brute_force.h"
+
+#include "lattice/constraint_enumerator.h"
+#include "skyline/dominance.h"
+
+namespace sitfact {
+
+BruteForceDiscoverer::BruteForceDiscoverer(const Relation* relation,
+                                           const DiscoveryOptions& options)
+    : Discoverer(relation, options),
+      masks_(EnumerateTupleConstraints(relation->schema().num_dimensions(),
+                                       max_bound_)) {}
+
+void BruteForceDiscoverer::Discover(TupleId t,
+                                    std::vector<SkylineFact>* facts) {
+  ++stats_.arrivals;
+  const Relation& r = *relation_;
+  for (MeasureMask m : universe_.masks()) {
+    for (DimMask mask : masks_) {
+      ++stats_.constraints_traversed;
+      Constraint c = Constraint::ForTuple(r, t, mask);
+      bool pruned = false;
+      for (TupleId other = 0; other < t && !pruned; ++other) {
+        if (r.IsDeleted(other)) continue;
+        ++stats_.comparisons;
+        if (Dominates(r, other, t, m) && c.SatisfiedBy(r, other)) {
+          pruned = true;
+        }
+      }
+      if (!pruned) facts->push_back(SkylineFact{c, m});
+    }
+  }
+}
+
+}  // namespace sitfact

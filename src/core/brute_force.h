@@ -1,0 +1,40 @@
+#ifndef SITFACT_CORE_BRUTE_FORCE_H_
+#define SITFACT_CORE_BRUTE_FORCE_H_
+
+#include <vector>
+
+#include "core/discoverer.h"
+
+namespace sitfact {
+
+/// Algorithm 2 (BruteForce): for every measure subspace and every constraint
+/// satisfied by the new tuple, scan the whole history for a dominating tuple
+/// inside the context. Keeps no state besides the shared Relation.
+///
+/// Exponentially slow by design; it doubles as the correctness oracle for
+/// the test suite.
+class BruteForceDiscoverer : public Discoverer {
+ public:
+  BruteForceDiscoverer(const Relation* relation,
+                       const DiscoveryOptions& options);
+
+  std::string_view name() const override { return "BruteForce"; }
+  void Discover(TupleId t, std::vector<SkylineFact>* facts) override;
+  size_t ApproxMemoryBytes() const override { return 0; }
+
+  /// Deletion needs no repair here: discovery scans the live relation.
+  bool SupportsRemoval() const override { return true; }
+  Status Remove(TupleId t) override {
+    if (!relation_->IsDeleted(t)) {
+      return Status::InvalidArgument("tuple must be tombstoned first");
+    }
+    return Status::Ok();
+  }
+
+ private:
+  std::vector<DimMask> masks_;
+};
+
+}  // namespace sitfact
+
+#endif  // SITFACT_CORE_BRUTE_FORCE_H_

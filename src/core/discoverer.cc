@@ -1,0 +1,32 @@
+#include "core/discoverer.h"
+
+#include "common/logging.h"
+
+namespace sitfact {
+
+namespace {
+
+int ResolveMaxBound(const Relation& r, int requested) {
+  int nd = r.schema().num_dimensions();
+  if (requested < 0 || requested > nd) return nd;
+  SITFACT_CHECK_MSG(requested >= 0, "max_bound_dims must be >= -1");
+  return requested;
+}
+
+int ResolveMaxMeasures(const Relation& r, int requested) {
+  int nm = r.schema().num_measures();
+  if (requested < 0 || requested > nm) return nm;
+  SITFACT_CHECK_MSG(requested >= 1, "max_measure_dims must be >= 1 or -1");
+  return requested;
+}
+
+}  // namespace
+
+Discoverer::Discoverer(const Relation* relation,
+                       const DiscoveryOptions& options)
+    : relation_(relation),
+      max_bound_(ResolveMaxBound(*relation, options.max_bound_dims)),
+      universe_(relation->schema().num_measures(),
+                ResolveMaxMeasures(*relation, options.max_measure_dims)) {}
+
+}  // namespace sitfact

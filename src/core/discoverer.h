@@ -1,0 +1,121 @@
+#ifndef SITFACT_CORE_DISCOVERER_H_
+#define SITFACT_CORE_DISCOVERER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "core/fact.h"
+#include "lattice/subspace_universe.h"
+#include "relation/relation.h"
+#include "storage/mu_store.h"
+
+namespace sitfact {
+
+/// Search-space truncation knobs (Sec. VI-A).
+struct DiscoveryOptions {
+  /// The paper's d̂: maximum bound dimension attributes per constraint.
+  /// -1 means "all dimensions".
+  int max_bound_dims = -1;
+
+  /// The paper's m̂: maximum measure-subspace size. -1 means "all measures".
+  int max_measure_dims = -1;
+};
+
+/// Work counters matching the paper's Fig. 11 metrics, cumulative over the
+/// stream.
+struct DiscoveryStats {
+  uint64_t arrivals = 0;
+  /// Tuple-pair dominance evaluations (Fig. 11a "Number of Comparisons").
+  uint64_t comparisons = 0;
+  /// (constraint, subspace) lattice visits (Fig. 11b "Traversed Constraints").
+  uint64_t constraints_traversed = 0;
+};
+
+/// Incremental situational-fact discovery: upon each arrival, produce every
+/// (C, M) pair that admits the new tuple into the contextual skyline.
+///
+/// Protocol: append the tuple to the shared Relation first, then call
+/// Discover(t). Implementations treat tuples [0, t) as history and update
+/// any internal state (µ buckets, k-d tree, skycubes) to include t before
+/// returning, so the next arrival sees a consistent world.
+class Discoverer {
+ public:
+  Discoverer(const Relation* relation, const DiscoveryOptions& options);
+  virtual ~Discoverer() = default;
+
+  Discoverer(const Discoverer&) = delete;
+  Discoverer& operator=(const Discoverer&) = delete;
+
+  virtual std::string_view name() const = 0;
+
+  /// Computes S_t for tuple `t` (which must be relation->size() - 1, i.e.
+  /// just appended) and folds `t` into internal state. Facts are appended to
+  /// *facts in no particular order; use CanonicalizeFacts to compare.
+  virtual void Discover(TupleId t, std::vector<SkylineFact>* facts) = 0;
+
+  /// Deletion extension (the paper's stated future work). The caller first
+  /// tombstones the tuple (Relation::MarkDeleted — DiscoveryEngine::Remove
+  /// does both steps); Remove then repairs internal state so subsequent
+  /// discovery behaves as if the tuple had never arrived. Deletion is a
+  /// rare administrative operation in the append-mostly model, so repairs
+  /// may rescan affected contexts (documented slow path). Unsupported
+  /// algorithms (C-CSC) return Unimplemented and are detectable up front
+  /// via SupportsRemoval().
+  virtual bool SupportsRemoval() const { return false; }
+  virtual Status Remove(TupleId t) {
+    (void)t;
+    return Status::Unimplemented(std::string(name()) +
+                                 " does not support deletion");
+  }
+
+  /// Snapshot support (io/snapshot.h). An algorithm is restorable when its
+  /// whole private state is (a) the µ store, reloaded bucket-by-bucket, plus
+  /// (b) whatever RebuildAuxiliary() can recompute from the restored
+  /// Relation. C-CSC keeps a bespoke skycube per context and opts out.
+  virtual bool SupportsSnapshotRestore() const { return true; }
+
+  /// Recomputes derived structures from the relation after a snapshot load
+  /// (e.g. BaselineIdx re-inserts every tuple into its k-d tree). Called
+  /// once, after the relation and µ store are in place.
+  virtual Status RebuildAuxiliary() { return Status::Ok(); }
+
+  const DiscoveryStats& stats() const { return stats_; }
+
+  /// The µ store backing this algorithm, or nullptr (baselines keep none).
+  virtual const MuStore* store() const { return nullptr; }
+  virtual MuStore* mutable_store() { return nullptr; }
+
+  /// Which invariant the store follows; meaningful only when store() is
+  /// non-null.
+  virtual StoragePolicy storage_policy() const {
+    return StoragePolicy::kAllSkylineConstraints;
+  }
+
+  /// Approximate bytes of all algorithm-private state (Fig. 10a), excluding
+  /// the shared Relation.
+  virtual size_t ApproxMemoryBytes() const = 0;
+
+  /// Skyline tuples currently materialized (Fig. 10b). Defaults to the µ
+  /// store's count; algorithms with private storage (C-CSC) override.
+  virtual uint64_t StoredTupleCount() const {
+    return store() == nullptr ? 0 : store()->stats().stored_tuples;
+  }
+
+  const Relation& relation() const { return *relation_; }
+  int max_bound_dims() const { return max_bound_; }
+  const SubspaceUniverse& subspaces() const { return universe_; }
+
+ protected:
+  const Relation* relation_;
+  int max_bound_;              // resolved d̂
+  SubspaceUniverse universe_;  // admissible measure subspaces (m̂ applied)
+  DiscoveryStats stats_;
+};
+
+}  // namespace sitfact
+
+#endif  // SITFACT_CORE_DISCOVERER_H_

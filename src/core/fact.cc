@@ -1,0 +1,30 @@
+#include "core/fact.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+
+namespace sitfact {
+
+void CanonicalizeFacts(std::vector<SkylineFact>* facts) {
+  std::sort(facts->begin(), facts->end());
+}
+
+std::string SubspaceToString(const Relation& r, MeasureMask m) {
+  std::string out = "{";
+  bool first = true;
+  ForEachBit(m, [&](int j) {
+    if (!first) out += ", ";
+    out += r.schema().measure(j).name;
+    first = false;
+  });
+  out += "}";
+  return out;
+}
+
+std::string FactToString(const Relation& r, const SkylineFact& fact) {
+  return "(" + fact.constraint.ToPredicateString(r) + ") x " +
+         SubspaceToString(r, fact.subspace);
+}
+
+}  // namespace sitfact

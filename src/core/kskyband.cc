@@ -1,0 +1,109 @@
+#include "core/kskyband.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace sitfact {
+
+KSkybandDiscoverer::KSkybandDiscoverer(const Relation* relation,
+                                       const Options& options)
+    : relation_(relation),
+      options_(options),
+      max_bound_(options.max_bound_dims < 0
+                     ? relation->schema().num_dimensions()
+                     : options.max_bound_dims),
+      universe_(relation->schema().num_measures(),
+                options.max_measure_dims < 0
+                    ? relation->schema().num_measures()
+                    : options.max_measure_dims) {
+  SITFACT_CHECK(relation != nullptr);
+  SITFACT_CHECK_MSG(options.k >= 1, "k-skyband requires k >= 1");
+}
+
+void KSkybandDiscoverer::Discover(TupleId t,
+                                  std::vector<KSkybandFact>* facts) {
+  const Relation& r = *relation_;
+  const int num_dims = r.schema().num_dimensions();
+  const DimMask full_dims = FullMask(num_dims);
+  const size_t num_subspaces = static_cast<size_t>(universe_.size());
+
+  counts_.assign((static_cast<size_t>(full_dims) + 1) * num_subspaces, 0);
+  context_.assign(static_cast<size_t>(full_dims) + 1, 0);
+  transformed_ = false;
+  ++stats_.arrivals;
+
+  // Pass 1: bucket every history tuple by its agreement mask with t, and
+  // within the bucket count dominators per admissible subspace (Prop. 4).
+  for (TupleId other = 0; other < r.size(); ++other) {
+    if (other == t || r.IsDeleted(other)) continue;
+    DimMask agree = r.AgreeMask(t, other);
+    ++context_[agree];
+    Relation::MeasurePartition p = r.Partition(t, other);
+    ++stats_.comparisons;
+    if (p.worse == 0) continue;  // dominates t in no subspace
+    uint32_t* row = counts_.data() + static_cast<size_t>(agree) *
+                                         num_subspaces;
+    for (size_t i = 0; i < num_subspaces; ++i) {
+      MeasureMask m = universe_.masks()[i];
+      if ((m & p.worse) != 0 && (m & p.better) == 0) ++row[i];
+    }
+  }
+
+  // Pass 2: zeta transform (subset-sum from supersets): after this,
+  // counts_[c][i] = Σ_{a ⊇ c} raw[a][i] — the dominator count of t within
+  // σ_C(R) for the constraint with bound mask c — and context_[c] likewise
+  // the context size (minus t itself).
+  for (int d = 0; d < num_dims; ++d) {
+    const DimMask bit = DimMask{1} << d;
+    for (DimMask mask = 0; mask <= full_dims; ++mask) {
+      if ((mask & bit) != 0) continue;
+      const uint32_t* from =
+          counts_.data() + static_cast<size_t>(mask | bit) * num_subspaces;
+      uint32_t* into = counts_.data() + static_cast<size_t>(mask) *
+                                            num_subspaces;
+      for (size_t i = 0; i < num_subspaces; ++i) into[i] += from[i];
+      context_[mask] += context_[mask | bit];
+    }
+  }
+  transformed_ = true;
+
+  // Pass 3: report every (C, M) with fewer than k dominators. C^t is
+  // exactly the set of bound masks (every bound attribute carries t's
+  // value), truncated by the d̂ cap.
+  const uint32_t k = static_cast<uint32_t>(options_.k);
+  for (DimMask mask = 0; mask <= full_dims; ++mask) {
+    if (PopCount(mask) > max_bound_) continue;
+    ++stats_.constraints_traversed;
+    const uint32_t* row =
+        counts_.data() + static_cast<size_t>(mask) * num_subspaces;
+    for (size_t i = 0; i < num_subspaces; ++i) {
+      if (row[i] < k) {
+        KSkybandFact out;
+        out.fact.constraint = Constraint::ForTuple(r, t, mask);
+        out.fact.subspace = universe_.masks()[i];
+        out.dominators = row[i];
+        facts->push_back(out);
+      }
+    }
+  }
+}
+
+uint32_t KSkybandDiscoverer::LastDominatorCount(DimMask bound,
+                                                MeasureMask m) const {
+  SITFACT_CHECK_MSG(transformed_, "Discover() has not run");
+  int idx = universe_.IndexOf(m);
+  SITFACT_CHECK_MSG(idx >= 0, "subspace not admissible");
+  return counts_[static_cast<size_t>(bound) *
+                     static_cast<size_t>(universe_.size()) +
+                 static_cast<size_t>(idx)];
+}
+
+uint32_t KSkybandDiscoverer::LastContextSize(DimMask bound) const {
+  SITFACT_CHECK_MSG(transformed_, "Discover() has not run");
+  // +1: the discovered tuple itself belongs to every constraint it satisfies.
+  return context_[bound] + 1;
+}
+
+}  // namespace sitfact

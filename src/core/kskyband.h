@@ -1,0 +1,91 @@
+#ifndef SITFACT_CORE_KSKYBAND_H_
+#define SITFACT_CORE_KSKYBAND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/discoverer.h"
+#include "core/fact.h"
+#include "lattice/subspace_universe.h"
+#include "relation/relation.h"
+
+namespace sitfact {
+
+/// A k-skyband situational fact: in context C under subspace M the new tuple
+/// is dominated by fewer than k others. `dominators` is the exact count, so
+/// 0 means the tuple is a contextual skyline tuple (the paper's fact) and
+/// 1..k-1 grade how close it came.
+struct KSkybandFact {
+  SkylineFact fact;
+  uint32_t dominators = 0;
+};
+
+/// Incremental discovery of k-skyband facts — the "facts of other forms" the
+/// paper's conclusion points at, generalizing the skyline membership test to
+/// "one of the few" membership (Wu et al., KDD'12 study the static version).
+///
+/// Algorithm: one pass over history per arrival. For each previous live
+/// tuple t', two masks localize its entire effect on the answer:
+///   * the agreement mask a = AgreeMask(t, t') — t' belongs to σ_C(R) for
+///     exactly the tuple-satisfied constraints C with bound set ⊆ a
+///     (Def. 8: a is the bottom of the lattice intersection C^{t,t'});
+///   * the measure partition (Prop. 4) — t' dominates t in M iff M meets
+///     t's worse set and misses its better set.
+/// The pass accumulates, per (agreement mask, subspace), how many history
+/// tuples dominate t; a superset-sum (zeta transform) over the 2^d agreement
+/// masks then yields the dominator count for every constraint in C^t at once:
+/// dominators(C, M) = Σ_{a ⊇ C.bound} raw[a][M]. Total cost is
+/// O(n·m + 2^d·d·|subspaces|) per arrival, independent of k.
+///
+/// The same transform also produces context cardinalities (counting every
+/// t', not just dominators), so prominence-style ratios come for free.
+class KSkybandDiscoverer {
+ public:
+  struct Options {
+    /// Facts report tuples dominated by fewer than k others; k >= 1.
+    int k = 2;
+    /// Search-space truncation, as in DiscoveryOptions.
+    int max_bound_dims = -1;
+    int max_measure_dims = -1;
+  };
+
+  /// `relation` must outlive the discoverer.
+  KSkybandDiscoverer(const Relation* relation, const Options& options);
+
+  /// Computes all k-skyband facts for tuple `t` (the most recently appended
+  /// live tuple). Facts are appended to *facts ordered by (constraint,
+  /// subspace). Unlike Discoverer, this class keeps no µ state: every call
+  /// scans history, so arrivals may also be replayed out of order for
+  /// back-testing.
+  void Discover(TupleId t, std::vector<KSkybandFact>* facts);
+
+  /// Dominator count for one (C, M) from the most recent Discover() pass;
+  /// exposed for tests. `bound` must be a subset of the last tuple's
+  /// tuple-satisfied masks with PopCount <= max_bound_dims.
+  uint32_t LastDominatorCount(DimMask bound, MeasureMask m) const;
+
+  /// Context size |σ_C(R)| (including the discovered tuple) from the most
+  /// recent pass.
+  uint32_t LastContextSize(DimMask bound) const;
+
+  const DiscoveryStats& stats() const { return stats_; }
+  const Options& options() const { return options_; }
+
+ private:
+  const Relation* relation_;
+  Options options_;
+  int max_bound_;
+  SubspaceUniverse universe_;
+  DiscoveryStats stats_;
+
+  /// raw_[mask * num_subspaces + subspace_index] — dominator counts keyed by
+  /// exact agreement mask, then zeta-transformed in place to superset sums.
+  std::vector<uint32_t> counts_;
+  /// Context sizes per agreement mask (subspace-independent).
+  std::vector<uint32_t> context_;
+  bool transformed_ = false;
+};
+
+}  // namespace sitfact
+
+#endif  // SITFACT_CORE_KSKYBAND_H_

@@ -1,0 +1,120 @@
+#ifndef SITFACT_CORE_LATTICE_BASE_H_
+#define SITFACT_CORE_LATTICE_BASE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/discoverer.h"
+#include "lattice/constraint.h"
+#include "storage/mu_store.h"
+
+namespace sitfact {
+
+/// Shared machinery for the lattice-traversing algorithms (BottomUp,
+/// TopDown, SBottomUp, STopDown): per-arrival caches that lift DimMasks to
+/// global Constraints and µ-store Context handles exactly once per arrival,
+/// plus the admissible mask lists in both traversal orders.
+class LatticeDiscovererBase : public Discoverer {
+ public:
+  LatticeDiscovererBase(const Relation* relation,
+                        const DiscoveryOptions& options,
+                        std::unique_ptr<MuStore> store);
+
+  const MuStore* store() const override { return store_.get(); }
+  MuStore* mutable_store() override { return store_.get(); }
+
+  size_t ApproxMemoryBytes() const override;
+
+  /// Deletion repair for both storage policies (see Discoverer::Remove).
+  /// Invariant 1: only buckets of constraints satisfied by `t` can change;
+  /// those containing `t` get their contextual skyline recomputed from the
+  /// live relation. Invariant 2 additionally rebuilds the maximal-constraint
+  /// registration of every live tuple `t` dominated somewhere — removing a
+  /// dominator can both add skyline constraints to a victim and demote some
+  /// of its previously-maximal constraints (now covered by new, more general
+  /// ones), including constraints outside C^t.
+  bool SupportsRemoval() const override { return true; }
+  Status Remove(TupleId t) override;
+
+ protected:
+  /// Resets the per-arrival caches for tuple `t`.
+  void BeginArrival(TupleId t);
+
+  /// The constraint for `mask` with the current tuple's values (cached).
+  const Constraint& CachedConstraint(DimMask mask);
+
+  /// µ-store context for `mask`; nullptr when absent and !create.
+  MuStore::Context* CachedContext(DimMask mask, bool create);
+
+  /// One bucket visit: prefers the store's in-place path (memory store) and
+  /// falls back to a Read-into-scratch / Write-back cycle (file store).
+  /// Usage: Open, mutate contents(), then Commit(ctx) iff modified.
+  class BucketCursor {
+   public:
+    /// `ctx` may be null (unknown constraint); `scratch` must outlive the
+    /// cursor and is only used on the fallback path.
+    void Open(MuStore::Context* ctx, MeasureMask m,
+              std::vector<TupleId>* scratch) {
+      m_ = m;
+      scratch_ = scratch;
+      direct_ = ctx != nullptr ? ctx->Direct(m, /*create=*/false) : nullptr;
+      if (direct_ != nullptr) {
+        old_size_ = direct_->size();
+      } else {
+        scratch_->clear();
+        if (ctx != nullptr && !ctx->Empty(m)) ctx->Read(m, scratch_);
+      }
+    }
+
+    std::vector<TupleId>& contents() {
+      return direct_ != nullptr ? *direct_ : *scratch_;
+    }
+
+    /// Persists mutations. `ctx` must be non-null by now (create it before
+    /// committing an insertion into a previously unknown constraint).
+    void Commit(MuStore::Context* ctx) {
+      if (direct_ != nullptr) {
+        ctx->CommitDirect(m_, old_size_);
+      } else {
+        ctx->Write(m_, *scratch_);
+      }
+    }
+
+   private:
+    MeasureMask m_ = 0;
+    std::vector<TupleId>* direct_ = nullptr;
+    std::vector<TupleId>* scratch_ = nullptr;
+    size_t old_size_ = 0;
+  };
+
+  /// Admissible masks (popcount <= d̂), ascending popcount: the top-down
+  /// breadth-first visit order (every ancestor strictly before any of its
+  /// descendants).
+  const std::vector<DimMask>& masks_ascending() const {
+    return masks_ascending_;
+  }
+
+  /// Same masks, descending popcount: the bottom-up visit order.
+  const std::vector<DimMask>& masks_descending() const {
+    return masks_descending_;
+  }
+
+  /// Number of masks in the truncated lattice of one tuple.
+  size_t lattice_size() const { return masks_ascending_.size(); }
+
+  std::unique_ptr<MuStore> store_;
+
+ private:
+  TupleId current_tuple_ = 0;
+  std::vector<DimMask> masks_ascending_;
+  std::vector<DimMask> masks_descending_;
+  // Dense per-mask caches, indexed by mask value (size 2^d).
+  std::vector<Constraint> constraint_cache_;
+  std::vector<uint8_t> constraint_cached_;
+  std::vector<MuStore::Context*> context_cache_;
+  std::vector<uint8_t> context_resolved_;
+};
+
+}  // namespace sitfact
+
+#endif  // SITFACT_CORE_LATTICE_BASE_H_

@@ -1,0 +1,69 @@
+#include "core/narrator.h"
+
+#include <cstdio>
+
+#include "common/bits.h"
+
+namespace sitfact {
+
+namespace {
+
+std::string FormatNumber(double v) {
+  char buf[32];
+  if (v == static_cast<int64_t>(v)) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+FactNarrator::FactNarrator(const Relation* relation, int entity_dim)
+    : relation_(relation), entity_dim_(entity_dim) {}
+
+std::string FactNarrator::Narrate(TupleId t, const RankedFact& fact) const {
+  const Relation& r = *relation_;
+  std::string out;
+  if (entity_dim_ >= 0) {
+    out += r.DimString(t, entity_dim_);
+    out += " ";
+  } else {
+    out += "A new tuple ";
+  }
+  out += "(";
+  bool first = true;
+  ForEachBit(fact.fact.subspace, [&](int j) {
+    if (!first) out += ", ";
+    out += r.schema().measure(j).name;
+    out += "=";
+    out += FormatNumber(r.measure(t, j));
+    first = false;
+  });
+  out += ") is undominated on ";
+  out += SubspaceToString(r, fact.fact.subspace);
+  out += " among the ";
+  out += std::to_string(fact.context_size);
+  out += " tuples with ";
+  out += fact.fact.constraint.ToPredicateString(r);
+  out += " — one of only ";
+  out += std::to_string(fact.skyline_size);
+  out += " such tuples (prominence ";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", fact.prominence);
+  out += buf;
+  out += ").";
+  return out;
+}
+
+std::string FactNarrator::Summarize(const RankedFact& fact) const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "  prominence=%.2f  |ctx|=%llu  |sky|=%llu",
+                fact.prominence,
+                static_cast<unsigned long long>(fact.context_size),
+                static_cast<unsigned long long>(fact.skyline_size));
+  return FactToString(*relation_, fact.fact) + buf;
+}
+
+}  // namespace sitfact

@@ -1,0 +1,79 @@
+#include "core/promotion.h"
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace sitfact {
+
+PromotionFinder::PromotionFinder(const Relation* relation, int score_measure,
+                                 const Options& options)
+    : relation_(relation),
+      score_measure_(score_measure),
+      options_(options),
+      max_bound_(options.max_bound_dims < 0
+                     ? relation->schema().num_dimensions()
+                     : options.max_bound_dims) {
+  SITFACT_CHECK(relation != nullptr);
+  SITFACT_CHECK_MSG(
+      score_measure >= 0 &&
+          score_measure < relation->schema().num_measures(),
+      "score measure index out of range");
+  SITFACT_CHECK_MSG(options.k >= 1, "promotion requires k >= 1");
+}
+
+void PromotionFinder::Discover(TupleId t,
+                               std::vector<PromotionFact>* facts) {
+  const Relation& r = *relation_;
+  const int num_dims = r.schema().num_dimensions();
+  const DimMask full = FullMask(num_dims);
+  const double own_key = r.measure_key(t, score_measure_);
+  ++stats_.arrivals;
+
+  better_.assign(static_cast<size_t>(full) + 1, 0);
+  tied_.assign(static_cast<size_t>(full) + 1, 0);
+  context_.assign(static_cast<size_t>(full) + 1, 0);
+
+  // Pass 1: bucket history by agreement mask.
+  for (TupleId other = 0; other < r.size(); ++other) {
+    if (other == t || r.IsDeleted(other)) continue;
+    ++stats_.comparisons;
+    DimMask agree = r.AgreeMask(t, other);
+    ++context_[agree];
+    const double key = r.measure_key(other, score_measure_);
+    if (key > own_key) {
+      ++better_[agree];
+    } else if (key == own_key) {
+      ++tied_[agree];
+    }
+  }
+
+  // Pass 2: superset-sum, turning per-bucket counts into per-constraint
+  // counts (a constraint's context is the union of the buckets of all
+  // supersets of its bound mask).
+  for (int d = 0; d < num_dims; ++d) {
+    const DimMask bit = DimMask{1} << d;
+    for (DimMask mask = 0; mask <= full; ++mask) {
+      if ((mask & bit) != 0) continue;
+      better_[mask] += better_[mask | bit];
+      tied_[mask] += tied_[mask | bit];
+      context_[mask] += context_[mask | bit];
+    }
+  }
+
+  // Pass 3: report top-k ranks over the tuple-satisfied lattice.
+  const uint32_t k = static_cast<uint32_t>(options_.k);
+  for (DimMask mask = 0; mask <= full; ++mask) {
+    if (PopCount(mask) > max_bound_) continue;
+    ++stats_.constraints_traversed;
+    const uint32_t rank = better_[mask] + 1;
+    if (rank > k) continue;
+    PromotionFact fact;
+    fact.constraint = Constraint::ForTuple(r, t, mask);
+    fact.rank = rank;
+    fact.tied = tied_[mask] + 1;
+    fact.context_size = context_[mask] + 1;
+    facts->push_back(std::move(fact));
+  }
+}
+
+}  // namespace sitfact

@@ -1,0 +1,77 @@
+#ifndef SITFACT_CORE_PROMOTION_H_
+#define SITFACT_CORE_PROMOTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/discoverer.h"
+#include "lattice/constraint.h"
+#include "relation/relation.h"
+
+namespace sitfact {
+
+/// Promotion analysis (Wu et al., VLDB'09 — the paper's Table II row [10]):
+/// find the contexts in which an object *ranks high on a single score
+/// attribute*. The original is a one-shot computation over static data;
+/// this is the incremental counterpart in the spirit of this library —
+/// upon each arrival, report every constraint where the new tuple's rank
+/// by the chosen measure is within the top k of its context.
+///
+/// Facts of this form back statements like "Damon Stoudamire scored 54 —
+/// the highest score in history made by any Trail Blazers": rank 1 on
+/// {points} within team=Blazers.
+///
+/// Same machinery as KSkybandDiscoverer, one measure at a time: each
+/// history pass buckets tuples by agreement mask and counts, per bucket,
+/// how many strictly beat the new tuple on the score; a superset-sum over
+/// the 2^d masks converts bucket counts into per-constraint ranks in
+/// O(n + 2^d · d) per arrival.
+class PromotionFinder {
+ public:
+  /// Ties use competition ranking: rank = 1 + #strictly-better, so tuples
+  /// equal on the score share a rank.
+  struct Options {
+    /// Report constraints where the arrival ranks within the top k.
+    int k = 3;
+    /// The paper's d̂; -1 means all dimensions.
+    int max_bound_dims = -1;
+  };
+
+  struct PromotionFact {
+    Constraint constraint;
+    /// Competition rank of the tuple within σ_C(R) on the score measure.
+    uint32_t rank = 0;
+    /// Tuples tied with it (including itself).
+    uint32_t tied = 0;
+    /// |σ_C(R)| including the tuple.
+    uint32_t context_size = 0;
+  };
+
+  /// `relation` must outlive the finder; `score_measure` indexes the
+  /// measure attribute ranked on (direction-adjusted: "high" always means
+  /// "preferred").
+  PromotionFinder(const Relation* relation, int score_measure,
+                  const Options& options);
+
+  /// Reports every qualifying constraint for tuple `t` (normally the most
+  /// recent arrival), ordered by constraint mask. Stateless between calls;
+  /// each call scans live history once.
+  void Discover(TupleId t, std::vector<PromotionFact>* facts);
+
+  const DiscoveryStats& stats() const { return stats_; }
+  int score_measure() const { return score_measure_; }
+
+ private:
+  const Relation* relation_;
+  int score_measure_;
+  Options options_;
+  int max_bound_;
+  DiscoveryStats stats_;
+  std::vector<uint32_t> better_;   // per agreement mask, then superset-sum
+  std::vector<uint32_t> tied_;     // ties on the score, same transform
+  std::vector<uint32_t> context_;  // context sizes, same transform
+};
+
+}  // namespace sitfact
+
+#endif  // SITFACT_CORE_PROMOTION_H_

@@ -1,0 +1,82 @@
+#include "core/shared_bottom_up.h"
+
+#include <utility>
+
+#include "skyline/dominance.h"
+#include "storage/memory_mu_store.h"
+
+namespace sitfact {
+
+class SharedBottomUpDiscoverer::SubspacePruneObserver
+    : public BottomUpDiscoverer::CompareObserver {
+ public:
+  SubspacePruneObserver(const Relation* r, TupleId t,
+                        const SubspaceUniverse* universe,
+                        std::vector<PrunerSet>* subspace_pruned)
+      : r_(r), t_(t), universe_(universe), subspace_pruned_(subspace_pruned) {}
+
+  void OnComparison(TupleId other,
+                    const Relation::MeasurePartition& p) override {
+    // Prop. 4: other ≻_M t iff M meets `worse` and avoids `better`. The
+    // agreement mask then prunes C^{t,other} in every such subspace.
+    if (p.worse == 0) return;  // `other` dominates t nowhere.
+    DimMask agree = kNoAgree;
+    MeasureMask full = universe_->full_mask();
+    const auto& masks = universe_->masks();
+    for (size_t i = 0; i < masks.size(); ++i) {
+      MeasureMask m = masks[i];
+      if (m == full) continue;  // The root pass handles the full space.
+      if ((m & p.worse) != 0 && (m & p.better) == 0) {
+        if (agree == kNoAgree) agree = r_->AgreeMask(t_, other);
+        (*subspace_pruned_)[i].Add(agree);
+      }
+    }
+  }
+
+ private:
+  static constexpr DimMask kNoAgree = 0xFFFFFFFFu;
+  const Relation* r_;
+  TupleId t_;
+  const SubspaceUniverse* universe_;
+  std::vector<PrunerSet>* subspace_pruned_;
+};
+
+SharedBottomUpDiscoverer::SharedBottomUpDiscoverer(
+    const Relation* relation, const DiscoveryOptions& options,
+    std::unique_ptr<MuStore> store)
+    : BottomUpDiscoverer(relation, options, std::move(store)) {
+  subspace_pruned_.resize(universe_.size());
+}
+
+SharedBottomUpDiscoverer::SharedBottomUpDiscoverer(
+    const Relation* relation, const DiscoveryOptions& options)
+    : SharedBottomUpDiscoverer(relation, options,
+                               std::make_unique<MemoryMuStore>()) {}
+
+void SharedBottomUpDiscoverer::Discover(TupleId t,
+                                        std::vector<SkylineFact>* facts) {
+  ++stats_.arrivals;
+  BeginArrival(t);
+  const auto& masks = universe_.masks();
+  for (auto& p : subspace_pruned_) p.Clear();
+
+  // Root pass over the full measure space. The universe's mask list is
+  // sorted descending by size, but the *full* space may be inadmissible when
+  // m̂ < |M|; it is traversed regardless (its buckets drive future pruning)
+  // and reported only when admissible.
+  MeasureMask full = universe_.full_mask();
+  bool full_admissible = universe_.FullSpaceAdmissible();
+  SubspacePruneObserver observer(relation_, t, &universe_, &subspace_pruned_);
+  PrunerSet empty;
+  RunPass(t, full, empty, /*report=*/full_admissible, facts, &observer);
+
+  // Subspace passes, pre-seeded with the prunings the root pass derived.
+  size_t start = full_admissible ? 1 : 0;
+  for (size_t i = start; i < masks.size(); ++i) {
+    if (masks[i] == full) continue;
+    RunPass(t, masks[i], subspace_pruned_[i], /*report=*/true, facts,
+            /*observer=*/nullptr);
+  }
+}
+
+}  // namespace sitfact

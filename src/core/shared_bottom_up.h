@@ -1,0 +1,46 @@
+#ifndef SITFACT_CORE_SHARED_BOTTOM_UP_H_
+#define SITFACT_CORE_SHARED_BOTTOM_UP_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/bottom_up.h"
+
+namespace sitfact {
+
+/// SBottomUp (Sec. V-C): BottomUp plus computation sharing across measure
+/// subspaces. The full-space pass doubles as a scout: every tuple comparison
+/// it performs is projected onto all admissible subspaces with Prop. 4, and
+/// each subspace where the compared tuple dominates the new one records the
+/// agreement mask as a pruner. The per-subspace passes then start with those
+/// prunings — the traversal "stops at the topmost skyline constraints" — but
+/// must still compare against buckets they do visit: BottomUp's full-space
+/// pass skips pruned regions, so its comparison record is incomplete and a
+/// subspace-only dominator can lurk in a bucket the root pass never read.
+class SharedBottomUpDiscoverer : public BottomUpDiscoverer {
+ public:
+  SharedBottomUpDiscoverer(const Relation* relation,
+                           const DiscoveryOptions& options,
+                           std::unique_ptr<MuStore> store);
+  SharedBottomUpDiscoverer(const Relation* relation,
+                           const DiscoveryOptions& options);
+
+  std::string_view name() const override { return name_; }
+
+  void Discover(TupleId t, std::vector<SkylineFact>* facts) override;
+
+ protected:
+  void set_name(std::string name) { name_ = std::move(name); }
+
+ private:
+  /// Projects one full-space comparison onto every admissible subspace.
+  class SubspacePruneObserver;
+
+  std::string name_ = "SBottomUp";
+  std::vector<PrunerSet> subspace_pruned_;  // indexed by universe index
+};
+
+}  // namespace sitfact
+
+#endif  // SITFACT_CORE_SHARED_BOTTOM_UP_H_

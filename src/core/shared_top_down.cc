@@ -1,0 +1,128 @@
+#include "core/shared_top_down.h"
+
+#include <utility>
+
+#include "common/bits.h"
+#include "skyline/dominance.h"
+#include "storage/memory_mu_store.h"
+
+namespace sitfact {
+
+class SharedTopDownDiscoverer::SubspacePruneObserver
+    : public TopDownDiscoverer::CompareObserver {
+ public:
+  SubspacePruneObserver(const Relation* r, TupleId t,
+                        const SubspaceUniverse* universe,
+                        std::vector<PrunerSet>* subspace_pruned)
+      : r_(r), t_(t), universe_(universe), subspace_pruned_(subspace_pruned) {}
+
+  void OnComparison(TupleId other,
+                    const Relation::MeasurePartition& p) override {
+    if (p.worse == 0) return;
+    DimMask agree = kNoAgree;
+    MeasureMask full = universe_->full_mask();
+    const auto& masks = universe_->masks();
+    for (size_t i = 0; i < masks.size(); ++i) {
+      MeasureMask m = masks[i];
+      if (m == full) continue;
+      if ((m & p.worse) != 0 && (m & p.better) == 0) {
+        if (agree == kNoAgree) agree = r_->AgreeMask(t_, other);
+        (*subspace_pruned_)[i].Add(agree);
+      }
+    }
+  }
+
+ private:
+  static constexpr DimMask kNoAgree = 0xFFFFFFFFu;
+  const Relation* r_;
+  TupleId t_;
+  const SubspaceUniverse* universe_;
+  std::vector<PrunerSet>* subspace_pruned_;
+};
+
+SharedTopDownDiscoverer::SharedTopDownDiscoverer(
+    const Relation* relation, const DiscoveryOptions& options,
+    std::unique_ptr<MuStore> store)
+    : TopDownDiscoverer(relation, options, std::move(store)) {
+  subspace_pruned_.resize(universe_.size());
+}
+
+SharedTopDownDiscoverer::SharedTopDownDiscoverer(
+    const Relation* relation, const DiscoveryOptions& options)
+    : SharedTopDownDiscoverer(relation, options,
+                              std::make_unique<MemoryMuStore>()) {}
+
+void SharedTopDownDiscoverer::Discover(TupleId t,
+                                       std::vector<SkylineFact>* facts) {
+  ++stats_.arrivals;
+  BeginArrival(t);
+  for (auto& p : subspace_pruned_) p.Clear();
+
+  MeasureMask full = universe_.full_mask();
+  bool full_admissible = universe_.FullSpaceAdmissible();
+  SubspacePruneObserver observer(relation_, t, &universe_, &subspace_pruned_);
+  RunPass(t, full, /*report=*/full_admissible, facts, &observer);
+
+  const auto& masks = universe_.masks();
+  for (size_t i = 0; i < masks.size(); ++i) {
+    if (masks[i] == full) continue;
+    RunNodePass(t, masks[i], subspace_pruned_[i], facts);
+  }
+}
+
+void SharedTopDownDiscoverer::RunNodePass(TupleId t, MeasureMask m,
+                                          const PrunerSet& pruned,
+                                          std::vector<SkylineFact>* facts) {
+  const Relation& r = *relation_;
+  // The unpruned region is closed under adding bound attributes (a pruner
+  // covering a mask covers all its subsets), so iterating admissible masks
+  // in ascending-bound order visits exactly the region below the frontier;
+  // nothing outside it is touched — the saving Fig. 11b measures.
+  for (DimMask c : masks_ascending()) {
+    if (pruned.IsPruned(c)) continue;
+    ++stats_.constraints_traversed;
+    facts->push_back(SkylineFact{CachedConstraint(c), m});
+
+    MuStore::Context* ctx = CachedContext(c, /*create=*/false);
+    bool modified = false;
+    BucketCursor cursor;
+    cursor.Open(ctx, m, &node_bucket_);
+    std::vector<TupleId>& bucket = cursor.contents();
+    {
+      size_t keep = 0;
+      for (size_t i = 0; i < bucket.size(); ++i) {
+        TupleId other = bucket[i];
+        ++stats_.comparisons;
+        Relation::MeasurePartition p = r.Partition(t, other);
+        // The root pass established that nothing here dominates t; only the
+        // Dominates branch can fire.
+        if (DominatesInSubspace(p, m)) {
+          modified = true;
+          ReassignDethroned(t, other, c, m);
+        } else {
+          bucket[keep++] = other;
+        }
+      }
+      bucket.resize(keep);
+    }
+
+    // Frontier test: c is a maximal skyline constraint iff every parent is
+    // pruned (the unpruned region is superset-closed, so checking immediate
+    // parents suffices).
+    bool frontier = true;
+    ForEachBit(c, [&](int bit) {
+      if (!pruned.IsPruned(c & ~(1u << bit))) frontier = false;
+    });
+    if (frontier) {
+      bucket.push_back(t);
+      modified = true;
+    }
+
+    if (modified) {
+      if (ctx == nullptr) ctx = CachedContext(c, /*create=*/true);
+      cursor.Commit(ctx);
+    }
+  }
+}
+
+}  // namespace sitfact

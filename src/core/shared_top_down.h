@@ -1,0 +1,56 @@
+#ifndef SITFACT_CORE_SHARED_TOP_DOWN_H_
+#define SITFACT_CORE_SHARED_TOP_DOWN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/top_down.h"
+
+namespace sitfact {
+
+/// STopDown (Algorithm 6). The root pass (STopDownRoot) is a TopDown pass
+/// over the full measure space whose comparisons are projected onto every
+/// admissible subspace with Prop. 4, recording per-subspace pruners. After
+/// the root pass, a subspace's unpruned constraints are exactly the new
+/// tuple's skyline constraints there — under Invariant 2 every potential
+/// dominator has a representative stored at a constraint the root pass
+/// visits, so no further dominance checks on t are needed (this is where
+/// STopDown saves the traversals that Fig. 11 shows; SBottomUp cannot make
+/// the same claim because its root pass skips pruned regions).
+///
+/// The per-subspace pass (STopDownNode) visits only unpruned constraints —
+/// the down-closed region below the "frontier" of topmost skyline
+/// constraints — to (a) report facts, (b) delete tuples the new one
+/// dethrones and re-register them at their new maximal constraints, and
+/// (c) store t at the frontier, which is precisely MSC^t_M.
+class SharedTopDownDiscoverer : public TopDownDiscoverer {
+ public:
+  SharedTopDownDiscoverer(const Relation* relation,
+                          const DiscoveryOptions& options,
+                          std::unique_ptr<MuStore> store);
+  SharedTopDownDiscoverer(const Relation* relation,
+                          const DiscoveryOptions& options);
+
+  std::string_view name() const override { return name_; }
+
+  void Discover(TupleId t, std::vector<SkylineFact>* facts) override;
+
+ protected:
+  void set_name(std::string name) { name_ = std::move(name); }
+
+ private:
+  class SubspacePruneObserver;
+
+  /// STopDownNode(M): sweep the unpruned region for subspace `m`.
+  void RunNodePass(TupleId t, MeasureMask m, const PrunerSet& pruned,
+                   std::vector<SkylineFact>* facts);
+
+  std::string name_ = "STopDown";
+  std::vector<PrunerSet> subspace_pruned_;
+  std::vector<TupleId> node_bucket_;
+};
+
+}  // namespace sitfact
+
+#endif  // SITFACT_CORE_SHARED_TOP_DOWN_H_

@@ -1,0 +1,157 @@
+#include "core/top_down.h"
+
+#include <utility>
+
+#include "common/bits.h"
+#include "skyline/dominance.h"
+#include "storage/memory_mu_store.h"
+
+namespace sitfact {
+
+TopDownDiscoverer::TopDownDiscoverer(const Relation* relation,
+                                     const DiscoveryOptions& options,
+                                     std::unique_ptr<MuStore> store)
+    : LatticeDiscovererBase(relation, options, std::move(store)) {
+  size_t dense = static_cast<size_t>(
+                     FullMask(relation->schema().num_dimensions())) +
+                 1;
+  in_queue_.assign(dense, 0);
+  in_ances_.assign(dense, 0);
+}
+
+TopDownDiscoverer::TopDownDiscoverer(const Relation* relation,
+                                     const DiscoveryOptions& options)
+    : TopDownDiscoverer(relation, options,
+                        std::make_unique<MemoryMuStore>()) {}
+
+void TopDownDiscoverer::Discover(TupleId t, std::vector<SkylineFact>* facts) {
+  ++stats_.arrivals;
+  BeginArrival(t);
+  for (MeasureMask m : universe_.masks()) {
+    RunPass(t, m, /*report=*/true, facts, /*observer=*/nullptr);
+  }
+}
+
+void TopDownDiscoverer::RunPass(TupleId t, MeasureMask m, bool report,
+                                std::vector<SkylineFact>* facts,
+                                CompareObserver* observer) {
+  const Relation& r = *relation_;
+  int nd = r.schema().num_dimensions();
+
+  PrunerSet pruned;
+  std::fill(in_ances_.begin(), in_ances_.end(), 0);
+
+  // Alg. 5 line 6: start the BFS at ⊤. Because children are enqueued for
+  // every visited node, the queue sweeps the whole truncated lattice level
+  // by level — ancestors always strictly before descendants.
+  queue_.clear();
+  queue_.push_back(0);
+  in_queue_[0] = 1;
+
+  for (size_t head = 0; head < queue_.size(); ++head) {
+    DimMask c = queue_[head];
+    in_queue_[c] = 0;
+    ++stats_.constraints_traversed;
+
+    MuStore::Context* ctx = CachedContext(c, /*create=*/false);
+    bool modified = false;
+    BucketCursor cursor;
+    cursor.Open(ctx, m, &bucket_);
+    std::vector<TupleId>& bucket = cursor.contents();
+    {
+      size_t keep = 0;
+      for (size_t i = 0; i < bucket.size(); ++i) {
+        TupleId other = bucket[i];
+        ++stats_.comparisons;
+        Relation::MeasurePartition p = r.Partition(t, other);
+        if (observer != nullptr) observer->OnComparison(other, p);
+        if (DominatedInSubspace(p, m)) {
+          // Dominated procedure: every constraint satisfied by both tuples
+          // is disqualified. Unlike BottomUp we must keep scanning — other
+          // bucket members may prune different agreement regions.
+          pruned.Add(r.AgreeMask(t, other));
+          bucket[keep++] = other;
+        } else if (DominatesInSubspace(p, m)) {
+          // Dominates procedure: drop `other` here, re-register it at the
+          // children that become its new maximal skyline constraints.
+          modified = true;
+          ReassignDethroned(t, other, c, m);
+        } else {
+          bucket[keep++] = other;
+        }
+      }
+      bucket.resize(keep);
+    }
+
+    bool is_pruned = pruned.IsPruned(c);
+    if (!is_pruned) {
+      if (report) {
+        facts->push_back(SkylineFact{CachedConstraint(c), m});
+      }
+      if (!in_ances_[c]) {
+        // C is a maximal skyline constraint of t: no ancestor stored t.
+        bucket.push_back(t);
+        modified = true;
+      }
+    }
+
+    if (modified) {
+      if (ctx == nullptr) ctx = CachedContext(c, /*create=*/true);
+      cursor.Commit(ctx);
+    }
+
+    // EnqueueChildren — unconditionally (see header); a child inherits
+    // inAnces only from an unpruned parent (t is stored at that parent or
+    // one of its ancestors).
+    int next_bound = PopCount(c) + 1;
+    if (next_bound <= max_bound_) {
+      for (int bit = 0; bit < nd; ++bit) {
+        if ((c >> bit) & 1u) continue;
+        DimMask child = c | (1u << bit);
+        if (!is_pruned) in_ances_[child] = 1;
+        if (!in_queue_[child]) {
+          in_queue_[child] = 1;
+          queue_.push_back(child);
+        }
+      }
+    }
+  }
+}
+
+void TopDownDiscoverer::ReassignDethroned(TupleId t, TupleId other, DimMask c,
+                                          MeasureMask m) {
+  const Relation& r = *relation_;
+  int nd = r.schema().num_dimensions();
+  // `other` satisfied C (it was stored there) and t satisfies C, so both
+  // agree on all of c. Children of C inside C^{other} − C^t are exactly
+  // c ∪ {i} for dimensions i where the tuples disagree, bound to other's
+  // value. Each such child is still a skyline constraint of `other` (its
+  // context excludes t); it becomes maximal unless `other` is already
+  // stored at one of the child's strict ancestors that contain bit i —
+  // ancestors without bit i are subsets of c, where `other` cannot be
+  // stored (C was maximal for `other`).
+  if (PopCount(c) + 1 > max_bound_) return;
+  for (int bit = 0; bit < nd; ++bit) {
+    if ((c >> bit) & 1u) continue;
+    if (r.dim(other, bit) == r.dim(t, bit)) continue;  // child also holds t
+    DimMask child = c | (1u << bit);
+    bool stored = false;
+    // Ancestors of `child` containing `bit`: {i} ∪ s for s ⊊ c.
+    ForEachProperSubset(c, [&](DimMask s) {
+      if (stored) return;
+      DimMask anc = s | (1u << bit);
+      Constraint anc_c = Constraint::ForTuple(r, other, anc);
+      MuStore::Context* anc_ctx = store_->Find(anc_c);
+      if (anc_ctx != nullptr && anc_ctx->Size(m) > 0 &&
+          anc_ctx->Contains(m, other)) {
+        stored = true;
+      }
+    });
+    if (!stored) {
+      Constraint child_c = Constraint::ForTuple(r, other, child);
+      store_->GetOrCreate(child_c)->Insert(m, other);
+    }
+  }
+}
+
+}  // namespace sitfact

@@ -1,0 +1,72 @@
+#ifndef SITFACT_CORE_TOP_DOWN_H_
+#define SITFACT_CORE_TOP_DOWN_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/lattice_base.h"
+#include "lattice/pruner_set.h"
+
+namespace sitfact {
+
+/// Algorithm 5 (TopDown). Maintains Invariant 2 — µ_{C,M} stores a tuple iff
+/// C is one of its *maximal* skyline constraints MSC^t_M — and walks C^t
+/// breadth-first from ⊤ downwards. Storing each tuple once per antichain
+/// (instead of once per skyline constraint) is the space-saving side of the
+/// paper's space-time tradeoff; the price is the maximal-constraint
+/// bookkeeping in the Dominates procedure.
+///
+/// Pseudocode deviation (see DESIGN.md): children are enqueued even when the
+/// visited constraint is pruned. A constraint all of whose parents are
+/// pruned can still hold the new tuple in its skyline (each parent's
+/// dominator may live outside the child's context), so stopping the
+/// traversal at pruned nodes would silently drop facts.
+class TopDownDiscoverer : public LatticeDiscovererBase {
+ public:
+  /// Observer of bucket comparisons, used by STopDown's root pass.
+  class CompareObserver {
+   public:
+    virtual ~CompareObserver() = default;
+    virtual void OnComparison(TupleId other,
+                              const Relation::MeasurePartition& partition) = 0;
+  };
+
+  TopDownDiscoverer(const Relation* relation, const DiscoveryOptions& options,
+                    std::unique_ptr<MuStore> store);
+
+  /// Convenience: in-memory store.
+  TopDownDiscoverer(const Relation* relation, const DiscoveryOptions& options);
+
+  std::string_view name() const override { return "TopDown"; }
+  StoragePolicy storage_policy() const override {
+    return StoragePolicy::kMaximalSkylineConstraints;
+  }
+
+  void Discover(TupleId t, std::vector<SkylineFact>* facts) override;
+
+ protected:
+  /// Full top-down pass over C^t in subspace `m` (the plain algorithm, and
+  /// STopDown's root pass when `observer` is set). Appends facts only when
+  /// `report` is true.
+  void RunPass(TupleId t, MeasureMask m, bool report,
+               std::vector<SkylineFact>* facts, CompareObserver* observer);
+
+  /// The paper's Dominates(t', C, M) procedure: removes the dethroned tuple
+  /// `other` from µ_{C,M} (the caller does the physical removal from its
+  /// bucket copy) and re-registers `other` at every child of C that became a
+  /// new maximal skyline constraint — the children bound to `other`'s value
+  /// on a dimension where it disagrees with `t`, unless `other` is already
+  /// stored at an ancestor of that child.
+  void ReassignDethroned(TupleId t, TupleId other, DimMask c, MeasureMask m);
+
+ private:
+  // Per-pass scratch.
+  std::vector<DimMask> queue_;
+  std::vector<uint8_t> in_queue_;
+  std::vector<uint8_t> in_ances_;
+  std::vector<TupleId> bucket_;
+};
+
+}  // namespace sitfact
+
+#endif  // SITFACT_CORE_TOP_DOWN_H_

@@ -1,0 +1,63 @@
+#include "csc/ccsc_discoverer.h"
+
+#include <algorithm>
+
+#include "lattice/constraint_enumerator.h"
+
+namespace sitfact {
+
+CcscDiscoverer::CcscDiscoverer(const Relation* relation,
+                               const DiscoveryOptions& options)
+    : Discoverer(relation, options),
+      masks_(MasksByAscendingBound(relation->schema().num_dimensions(),
+                                   max_bound_)) {}
+
+void CcscDiscoverer::Discover(TupleId t, std::vector<SkylineFact>* facts) {
+  ++stats_.arrivals;
+  const Relation& r = *relation_;
+  for (DimMask mask : masks_) {
+    Constraint c = Constraint::ForTuple(r, t, mask);
+    auto [it, inserted] =
+        cubes_.try_emplace(c, &universe_, /*share_partitions=*/false);
+    CompressedSkycube& cube = it->second;
+    uint64_t before = cube.stored_count();
+    sky_masks_scratch_.clear();
+    cube.Insert(r, t, &sky_masks_scratch_, &stats_.comparisons);
+    stored_total_ += cube.stored_count() - before;
+    // The CSC update just computed t's memberships as a side effect, but the
+    // adaptation the paper describes (Sec. II) does not get them that way:
+    // "the adaptation needs to run their query algorithm to find the skyline
+    // tuples for all measure subspaces, in order to determine if t is one of
+    // the skyline tuples. This is clearly an overkill." We reproduce that
+    // overkill faithfully — one full CSC skyline query per measure subspace
+    // per context, with membership read off the result — because C-CSC is
+    // measured as a competitor and this per-subspace query cost IS its
+    // handicap: unlike STopDown it cannot share any of this work across
+    // subspaces, let alone across contexts.
+    for (MeasureMask m : universe_.masks()) {
+      ++stats_.constraints_traversed;
+      std::vector<TupleId> skyline =
+          cube.QuerySkyline(r, m, &stats_.comparisons);
+      if (std::find(skyline.begin(), skyline.end(), t) != skyline.end()) {
+        facts->push_back(SkylineFact{c, m});
+      }
+    }
+  }
+}
+
+size_t CcscDiscoverer::ApproxMemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& [key, cube] : cubes_) {
+    bytes += sizeof(Constraint) + 3 * sizeof(void*);
+    bytes += sizeof(CompressedSkycube);
+    bytes += cube.ApproxMemoryBytes();
+  }
+  return bytes;
+}
+
+const CompressedSkycube* CcscDiscoverer::cube(const Constraint& c) const {
+  auto it = cubes_.find(c);
+  return it == cubes_.end() ? nullptr : &it->second;
+}
+
+}  // namespace sitfact

@@ -1,0 +1,219 @@
+#include "csc/compressed_skycube.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+#include "skyline/dominance.h"
+
+namespace sitfact {
+
+CompressedSkycube::CompressedSkycube(const SubspaceUniverse* universe,
+                                     bool share_partitions)
+    : universe_(universe), share_partitions_(share_partitions) {}
+
+int CompressedSkycube::FindEntry(MeasureMask m) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), m,
+      [](const Entry& e, MeasureMask mask) { return e.mask < mask; });
+  if (it == entries_.end() || it->mask != m) return -1;
+  return static_cast<int>(it - entries_.begin());
+}
+
+std::vector<TupleId>* CompressedSkycube::GetBucket(MeasureMask m,
+                                                   bool create) {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), m,
+      [](const Entry& e, MeasureMask mask) { return e.mask < mask; });
+  if (it != entries_.end() && it->mask == m) return &it->tuples;
+  if (!create) return nullptr;
+  it = entries_.insert(it, Entry{m, {}});
+  return &it->tuples;
+}
+
+const std::vector<TupleId>* CompressedSkycube::bucket(MeasureMask m) const {
+  int i = FindEntry(m);
+  return i < 0 ? nullptr : &entries_[i].tuples;
+}
+
+void CompressedSkycube::EraseEverywhere(TupleId t) {
+  for (auto& e : entries_) {
+    auto it = std::find(e.tuples.begin(), e.tuples.end(), t);
+    if (it != e.tuples.end()) {
+      *it = e.tuples.back();
+      e.tuples.pop_back();
+      --stored_count_;
+    }
+  }
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [](const Entry& e) {
+                                  return e.tuples.empty();
+                                }),
+                 entries_.end());
+}
+
+void CompressedSkycube::CollectStored(std::vector<TupleId>* out) const {
+  out->clear();
+  for (const auto& e : entries_) {
+    out->insert(out->end(), e.tuples.begin(), e.tuples.end());
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
+
+void CompressedSkycube::ComputeSkylineSet(
+    const Relation& r, TupleId t, const std::vector<TupleId>& candidates,
+    std::vector<uint8_t>* out, uint64_t* comparisons) {
+  const auto& masks = universe_->masks();
+  out->assign(masks.size(), 1);
+  if (!share_partitions_) {
+    // 2006-era behaviour: an independent scan per subspace.
+    for (size_t i = 0; i < masks.size(); ++i) {
+      for (TupleId cand : candidates) {
+        if (cand == t) continue;
+        ++*comparisons;
+        if (Dominates(r, cand, t, masks[i])) {
+          (*out)[i] = 0;
+          break;
+        }
+      }
+    }
+    return;
+  }
+  part_scratch_.clear();
+  for (TupleId cand : candidates) {
+    if (cand == t) continue;
+    ++*comparisons;
+    part_scratch_.push_back(r.Partition(t, cand));
+  }
+  for (size_t i = 0; i < masks.size(); ++i) {
+    MeasureMask m = masks[i];
+    for (const auto& p : part_scratch_) {
+      if (DominatedInSubspace(p, m)) {
+        (*out)[i] = 0;
+        break;
+      }
+    }
+  }
+}
+
+void CompressedSkycube::StoreAtMinimalSubspaces(
+    TupleId t, const std::vector<uint8_t>& skyline_set) {
+  const auto& masks = universe_->masks();
+  for (size_t i = 0; i < masks.size(); ++i) {
+    if (!skyline_set[i]) continue;
+    MeasureMask m = masks[i];
+    // Minimum subspace: no proper (non-empty) subspace also holds t in its
+    // skyline. Subsets of an admissible mask are always admissible.
+    bool minimal = true;
+    ForEachProperSubset(m, [&](MeasureMask sub) {
+      if (!minimal || sub == 0) return;
+      int idx = universe_->IndexOf(sub);
+      if (idx >= 0 && skyline_set[idx]) minimal = false;
+    });
+    if (minimal) {
+      GetBucket(m, /*create=*/true)->push_back(t);
+      ++stored_count_;
+    }
+  }
+}
+
+void CompressedSkycube::Insert(const Relation& r, TupleId t,
+                               std::vector<MeasureMask>* skyline_subspaces,
+                               uint64_t* comparisons) {
+  const auto& masks = universe_->masks();
+
+  // Snapshot of stored tuples: by the CSC containment property they are a
+  // superset of every subspace skyline, hence a sufficient candidate set for
+  // all membership decisions below.
+  CollectStored(&stored_scratch_);
+
+  // 1. t's own skyline memberships.
+  ComputeSkylineSet(r, t, stored_scratch_, &sky_scratch_, comparisons);
+  for (size_t i = 0; i < masks.size(); ++i) {
+    if (sky_scratch_[i]) skyline_subspaces->push_back(masks[i]);
+  }
+
+  // 2. Store t at its minimum subspaces.
+  StoreAtMinimalSubspaces(t, sky_scratch_);
+
+  // 3. Demote stored tuples that t dethrones. A stored tuple's minimum-
+  // subspace set changes only when t dominates it in a subspace where it is
+  // STORED: removing non-minimal members from a tuple's skyline-subspace set
+  // leaves its minimal elements (and hence its storage) untouched. This is
+  // the incremental trigger of Xia & Zhang's update — without it every
+  // insertion would rebuild most of the cube.
+  demote_scratch_.clear();
+  for (const Entry& e : entries_) {
+    for (TupleId other : e.tuples) {
+      if (other == t) continue;
+      ++*comparisons;
+      Relation::MeasurePartition p = r.Partition(t, other);
+      if (DominatesInSubspace(p, e.mask)) demote_scratch_.push_back(other);
+    }
+  }
+  if (demote_scratch_.empty()) return;
+  std::sort(demote_scratch_.begin(), demote_scratch_.end());
+  demote_scratch_.erase(
+      std::unique(demote_scratch_.begin(), demote_scratch_.end()),
+      demote_scratch_.end());
+
+  std::vector<TupleId> snapshot = stored_scratch_;  // candidates incl. t
+  snapshot.push_back(t);
+  for (TupleId other : demote_scratch_) {
+    EraseEverywhere(other);
+    ComputeSkylineSet(r, other, snapshot, &sky_scratch_, comparisons);
+    StoreAtMinimalSubspaces(other, sky_scratch_);
+  }
+}
+
+std::vector<TupleId> CompressedSkycube::QuerySkyline(
+    const Relation& r, MeasureMask m, uint64_t* comparisons) const {
+  // Candidates: every tuple stored at a subspace of m.
+  std::vector<TupleId> candidates;
+  for (const auto& e : entries_) {
+    if (IsSubsetOf(e.mask, m)) {
+      candidates.insert(candidates.end(), e.tuples.begin(), e.tuples.end());
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  std::vector<TupleId> skyline;
+  for (TupleId t : candidates) {
+    bool dominated = false;
+    for (TupleId other : candidates) {
+      if (other == t) continue;
+      ++*comparisons;
+      if (Dominates(r, other, t, m)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) skyline.push_back(t);
+  }
+  return skyline;
+}
+
+bool CompressedSkycube::QueryMembership(const Relation& r, TupleId t,
+                                        MeasureMask m,
+                                        uint64_t* comparisons) const {
+  for (const Entry& e : entries_) {
+    if (!IsSubsetOf(e.mask, m)) continue;
+    for (TupleId cand : e.tuples) {
+      if (cand == t) continue;
+      ++*comparisons;
+      if (Dominates(r, cand, t, m)) return false;
+    }
+  }
+  return true;
+}
+
+size_t CompressedSkycube::ApproxMemoryBytes() const {
+  size_t bytes = entries_.capacity() * sizeof(Entry);
+  for (const auto& e : entries_) {
+    bytes += e.tuples.capacity() * sizeof(TupleId);
+  }
+  return bytes;
+}
+
+}  // namespace sitfact

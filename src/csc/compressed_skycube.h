@@ -1,0 +1,103 @@
+#ifndef SITFACT_CSC_COMPRESSED_SKYCUBE_H_
+#define SITFACT_CSC_COMPRESSED_SKYCUBE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "lattice/subspace_universe.h"
+#include "relation/relation.h"
+
+namespace sitfact {
+
+/// Compressed SkyCube of Xia & Zhang (SIGMOD'06), built from scratch: for
+/// one fixed set of tuples (here: one context σ_C(R)) it stores every tuple
+/// in its *minimum subspaces* — the measure subspaces where the tuple is a
+/// skyline tuple but is not in the skyline of any proper subspace.
+///
+/// Key property (their Theorem 1, reproved in DESIGN.md): the skyline of any
+/// subspace M is contained in ∪_{N ⊆ M} CSC[N], so both membership queries
+/// and incremental maintenance can restrict attention to stored tuples.
+///
+/// The subspace lattice is truncated to the experiment's SubspaceUniverse
+/// (all |M| <= m̂); truncation preserves the property because it is closed
+/// under subsets.
+class CompressedSkycube {
+ public:
+  /// `universe` must outlive the cube. With `share_partitions` (default) the
+  /// update evaluates each candidate pair once and projects the comparison
+  /// onto all subspaces via Prop. 4; that sharing is *this* paper's idea 3,
+  /// so the C-CSC competitor passes false to get the 2006-era behaviour —
+  /// an independent dominance scan per subspace, exactly what makes it an
+  /// order of magnitude slower than the proposed algorithms.
+  explicit CompressedSkycube(const SubspaceUniverse* universe,
+                             bool share_partitions = true);
+
+  /// Folds tuple `t` (a member of this cube's context) into the structure:
+  ///   1. decides, for every admissible subspace, whether t enters the
+  ///      skyline (appending those subspace masks to *skyline_subspaces);
+  ///   2. stores t at its minimum subspaces;
+  ///   3. demotes stored tuples that t now dominates, re-deriving their
+  ///      minimum subspaces.
+  /// Adds the number of tuple-pair comparisons performed to *comparisons.
+  void Insert(const Relation& r, TupleId t,
+              std::vector<MeasureMask>* skyline_subspaces,
+              uint64_t* comparisons);
+
+  /// The CSC query algorithm: skyline of subspace `m` from stored tuples.
+  std::vector<TupleId> QuerySkyline(const Relation& r, MeasureMask m,
+                                    uint64_t* comparisons) const;
+
+  /// The query algorithm's membership short-cut: is `t` (stored or not) in
+  /// the skyline of `m`? Scans the same candidate set the full query visits
+  /// — every bucket of a subspace of m — but stops at the first dominator.
+  bool QueryMembership(const Relation& r, TupleId t, MeasureMask m,
+                       uint64_t* comparisons) const;
+
+  /// Stored tuple occurrences (a tuple stored in k minimum subspaces counts
+  /// k times), mirroring the paper's Fig. 10b accounting.
+  uint64_t stored_count() const { return stored_count_; }
+
+  size_t ApproxMemoryBytes() const;
+
+  /// Bucket of subspace `m` (tests/inspection).
+  const std::vector<TupleId>* bucket(MeasureMask m) const;
+
+ private:
+  struct Entry {
+    MeasureMask mask;
+    std::vector<TupleId> tuples;
+  };
+
+  int FindEntry(MeasureMask m) const;
+  std::vector<TupleId>* GetBucket(MeasureMask m, bool create);
+  void EraseEverywhere(TupleId t);
+
+  /// All distinct stored tuples, via sort+unique of bucket contents.
+  void CollectStored(std::vector<TupleId>* out) const;
+
+  /// Recomputes the subspace-skyline memberships of `t` against
+  /// `candidates` (self-comparisons skipped): out[i] = true iff no candidate
+  /// dominates t in universe mask i.
+  void ComputeSkylineSet(const Relation& r, TupleId t,
+                         const std::vector<TupleId>& candidates,
+                         std::vector<uint8_t>* out, uint64_t* comparisons);
+
+  /// Stores `t` at the minimal masks of its skyline set.
+  void StoreAtMinimalSubspaces(TupleId t,
+                               const std::vector<uint8_t>& skyline_set);
+
+  const SubspaceUniverse* universe_;
+  bool share_partitions_;
+  std::vector<Entry> entries_;  // sorted by mask
+  uint64_t stored_count_ = 0;
+  // Scratch reused across Insert calls.
+  std::vector<TupleId> stored_scratch_;
+  std::vector<TupleId> demote_scratch_;
+  std::vector<uint8_t> sky_scratch_;
+  std::vector<Relation::MeasurePartition> part_scratch_;
+};
+
+}  // namespace sitfact
+
+#endif  // SITFACT_CSC_COMPRESSED_SKYCUBE_H_

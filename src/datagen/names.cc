@@ -1,0 +1,136 @@
+#include "datagen/names.h"
+
+#include <cstdio>
+
+namespace sitfact {
+
+const std::vector<std::string>& NbaTeamNames() {
+  static const auto* kTeams = new std::vector<std::string>{
+      "Hawks",   "Celtics",      "Nets",     "Hornets",  "Bulls",
+      "Cavs",    "Mavericks",    "Nuggets",  "Pistons",  "Warriors",
+      "Rockets", "Pacers",       "Clippers", "Lakers",   "Heat",
+      "Bucks",   "Timberwolves", "Knicks",   "Magic",    "Sixers",
+      "Suns",    "Blazers",      "Kings",    "Spurs",    "Sonics",
+      "Raptors", "Jazz",         "Grizzlies", "Wizards"};
+  return *kTeams;
+}
+
+const std::vector<std::string>& PositionNames() {
+  static const auto* kPositions =
+      new std::vector<std::string>{"PG", "SG", "SF", "PF", "C"};
+  return *kPositions;
+}
+
+const std::vector<std::string>& SeasonMonthNames() {
+  static const auto* kMonths = new std::vector<std::string>{
+      "Nov", "Dec", "Jan", "Feb", "Mar", "Apr"};
+  return *kMonths;
+}
+
+const std::vector<std::string>& StateNames() {
+  static const auto* kStates = new std::vector<std::string>{
+      "Alabama",      "Alaska",        "Arizona",       "Arkansas",
+      "California",   "Colorado",      "Connecticut",   "Delaware",
+      "Florida",      "Georgia",       "Hawaii",        "Idaho",
+      "Illinois",     "Indiana",       "Iowa",          "Kansas",
+      "Kentucky",     "Louisiana",     "Maine",         "Maryland",
+      "Massachusetts", "Michigan",     "Minnesota",     "Mississippi",
+      "Missouri",     "Montana",       "Nebraska",      "Nevada",
+      "NewHampshire", "NewJersey",     "NewMexico",     "NewYork",
+      "NorthCarolina", "NorthDakota",  "Ohio",          "Oklahoma",
+      "Oregon",       "Pennsylvania",  "RhodeIsland",   "SouthCarolina",
+      "SouthDakota",  "Tennessee",     "Texas",         "Utah",
+      "Vermont",      "Virginia",      "Washington",    "WestVirginia",
+      "Wisconsin",    "Wyoming"};
+  return *kStates;
+}
+
+const std::vector<std::string>& CompassDirections() {
+  static const auto* kDirs = new std::vector<std::string>{
+      "N",  "NNE", "NE", "ENE", "E",  "ESE", "SE", "SSE",
+      "S",  "SSW", "SW", "WSW", "W",  "WNW", "NW", "NNW"};
+  return *kDirs;
+}
+
+const std::vector<std::string>& VisibilityRanges() {
+  static const auto* kVis = new std::vector<std::string>{
+      "VeryPoor", "Poor", "Moderate", "Good", "VeryGood", "Excellent"};
+  return *kVis;
+}
+
+const std::vector<std::string>& TimeSteps() {
+  static const auto* kSteps = new std::vector<std::string>{
+      "0-6h", "6-12h", "12-18h", "18-24h"};
+  return *kSteps;
+}
+
+const std::vector<std::string>& UkCountries() {
+  static const auto* kCountries = new std::vector<std::string>{
+      "England", "Scotland", "Wales", "NorthernIreland", "IsleOfMan",
+      "ChannelIslands"};
+  return *kCountries;
+}
+
+namespace {
+
+const char* const kFirstSyllables[] = {
+    "Ja", "Mar", "De", "An", "Ke", "Ty", "Da", "Chris", "Mi", "Ra",
+    "Sha", "Vin", "Lu", "Bran", "Cor", "Dar", "Ed", "Fred", "Gar", "Hor"};
+const char* const kSecondSyllables[] = {
+    "mal", "cus", "von", "dre", "vin", "rell", "ron", "ton", "chael", "shawn",
+    "quille", "cent", "ther", "don", "ey", "nell", "gar", "die", "land", "ace"};
+const char* const kSurnames[] = {
+    "Abbott",  "Barnes",   "Carter", "Dawson",  "Ellis",    "Foster",
+    "Grant",   "Hayes",    "Irving", "Jennings", "Knight",  "Lawson",
+    "Mercer",  "Norwood",  "Owens",  "Porter",  "Quinn",    "Reeves",
+    "Sawyer",  "Thorpe",   "Upshaw", "Vaughn",  "Watkins",  "Xavier",
+    "Young",   "Zeller",   "Monroe", "Bishop",  "Chandler", "Douglas"};
+const char* const kCollegeRoots[] = {
+    "Ridgemont", "Lakewood",  "Fairview", "Brookdale", "Hillcrest",
+    "Stonewall", "Riverside", "Oakmont",  "Maplewood", "Clearwater",
+    "Summit",    "Granite",   "Harbor",   "Prairie",   "Sterling"};
+
+}  // namespace
+
+std::string SynthesizePlayerName(uint64_t index) {
+  uint64_t h = Mix64(index * 2654435761u + 17);
+  const char* first = kFirstSyllables[h % 20];
+  const char* second = kSecondSyllables[(h >> 8) % 20];
+  const char* last = kSurnames[(h >> 16) % 30];
+  std::string name = std::string(first) + second + " " + last;
+  // Distinct suffix guarantees uniqueness across the whole pool.
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), " #%04llu",
+                static_cast<unsigned long long>(index % 10000));
+  if (index >= 10000) name += "*";
+  name += buf;
+  return name;
+}
+
+std::string SynthesizeCollegeName(uint64_t index) {
+  uint64_t h = Mix64(index + 101);
+  std::string root = kCollegeRoots[h % 15];
+  switch ((index / 15) % 3) {
+    case 0:
+      root += " University";
+      break;
+    case 1:
+      root += " State";
+      break;
+    default:
+      root = "College of " + root;
+      break;
+  }
+  root += " ";
+  root += std::to_string(index);
+  return root;
+}
+
+std::string SynthesizeLocationName(uint64_t index) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "Stn-%04llu",
+                static_cast<unsigned long long>(index));
+  return buf;
+}
+
+}  // namespace sitfact

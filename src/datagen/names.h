@@ -1,0 +1,53 @@
+#ifndef SITFACT_DATAGEN_NAMES_H_
+#define SITFACT_DATAGEN_NAMES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace sitfact {
+
+/// Value pools for the synthetic datasets. Cardinalities mirror the real
+/// datasets the paper used (29 NBA franchises of the era, 50 states, a few
+/// hundred colleges, 16 compass directions, ...) because context populations
+/// — how many tuples share a dimension value — are what drive the
+/// algorithms' work, not the spellings.
+
+/// NBA franchises of the 1991-2004 era (29 teams).
+const std::vector<std::string>& NbaTeamNames();
+
+/// The five basketball positions.
+const std::vector<std::string>& PositionNames();
+
+/// Regular-season months, Nov through Apr.
+const std::vector<std::string>& SeasonMonthNames();
+
+/// US state names (player birth states).
+const std::vector<std::string>& StateNames();
+
+/// The 16 compass directions (weather wind directions).
+const std::vector<std::string>& CompassDirections();
+
+/// UK Met Office visibility bands.
+const std::vector<std::string>& VisibilityRanges();
+
+/// Forecast time steps.
+const std::vector<std::string>& TimeSteps();
+
+/// UK countries/regions in the weather dataset (6).
+const std::vector<std::string>& UkCountries();
+
+/// Synthesizes a plausible player name from seeded syllables; distinct
+/// `index` values give distinct names.
+std::string SynthesizePlayerName(uint64_t index);
+
+/// "Xxxxx University" / "College of Xxxxx" style college name.
+std::string SynthesizeCollegeName(uint64_t index);
+
+/// Weather station identifier like "Stn-0421".
+std::string SynthesizeLocationName(uint64_t index);
+
+}  // namespace sitfact
+
+#endif  // SITFACT_DATAGEN_NAMES_H_

@@ -1,0 +1,176 @@
+#include "datagen/nba_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "datagen/names.h"
+
+namespace sitfact {
+
+namespace {
+
+/// Clamps and rounds a continuous stat draw to a plausible integer range.
+double Stat(double v, double lo, double hi) {
+  v = std::round(v);
+  if (v < lo) return lo;
+  if (v > hi) return hi;
+  return v;
+}
+
+}  // namespace
+
+NbaGenerator::NbaGenerator(const Config& config)
+    : config_(config), rng_(config.seed) {
+  SITFACT_CHECK(config_.tuples_per_season > 0);
+  rosters_.resize(NbaTeamNames().size());
+  for (auto& roster : rosters_) {
+    roster.reserve(config_.roster_size);
+    for (int i = 0; i < config_.roster_size; ++i) {
+      roster.push_back(MakePlayer());
+    }
+  }
+}
+
+Schema NbaGenerator::FullSchema() {
+  return Schema(
+      {{"player"},
+       {"position"},
+       {"college"},
+       {"state"},
+       {"season"},
+       {"month"},
+       {"team"},
+       {"opp_team"}},
+      {{"points", Direction::kLargerIsBetter},
+       {"rebounds", Direction::kLargerIsBetter},
+       {"assists", Direction::kLargerIsBetter},
+       {"blocks", Direction::kLargerIsBetter},
+       {"steals", Direction::kLargerIsBetter},
+       {"fouls", Direction::kSmallerIsBetter},
+       {"turnovers", Direction::kSmallerIsBetter}});
+}
+
+std::vector<std::string> NbaGenerator::DimensionsForD(int d) {
+  // Table V verbatim.
+  switch (d) {
+    case 4:
+      return {"player", "season", "team", "opp_team"};
+    case 5:
+      return {"player", "season", "month", "team", "opp_team"};
+    case 6:
+      return {"position", "college", "state", "season", "team", "opp_team"};
+    case 7:
+      return {"position", "college", "state",    "season",
+              "month",    "team",    "opp_team"};
+    default:
+      SITFACT_CHECK_MSG(false, "d must be in [4, 7]");
+      return {};
+  }
+}
+
+std::vector<std::string> NbaGenerator::MeasuresForM(int m) {
+  // Table VI verbatim.
+  static const char* const kOrder[] = {"points", "rebounds", "assists",
+                                       "blocks", "steals",   "fouls",
+                                       "turnovers"};
+  SITFACT_CHECK_MSG(m >= 4 && m <= 7, "m must be in [4, 7]");
+  return std::vector<std::string>(kOrder, kOrder + m);
+}
+
+NbaGenerator::Player NbaGenerator::MakePlayer() {
+  Player p;
+  p.name = SynthesizePlayerName(player_counter_++);
+  p.position = static_cast<int>(rng_.NextBounded(PositionNames().size()));
+  p.college =
+      SynthesizeCollegeName(rng_.NextBounded(config_.num_colleges));
+  p.state = static_cast<int>(rng_.NextBounded(StateNames().size()));
+  // Latent quality: Zipf rank mapped to (0, 1]; a handful of stars, a long
+  // tail of role players.
+  uint64_t rank = rng_.NextZipf(1000, 1.1);
+  p.skill = 1.0 / (1.0 + 0.02 * static_cast<double>(rank));
+  return p;
+}
+
+void NbaGenerator::StartSeason() {
+  ++season_index_;
+  for (auto& roster : rosters_) {
+    for (auto& slot : roster) {
+      if (rng_.NextBool(config_.turnover_rate)) {
+        slot = MakePlayer();
+      }
+    }
+  }
+}
+
+Row NbaGenerator::Next() {
+  if (tuple_index_ > 0 && tuple_index_ % config_.tuples_per_season == 0) {
+    StartSeason();
+  }
+  const auto& teams = NbaTeamNames();
+  const auto& months = SeasonMonthNames();
+
+  int team = static_cast<int>(rng_.NextBounded(teams.size()));
+  int opp = static_cast<int>(rng_.NextBounded(teams.size() - 1));
+  if (opp >= team) ++opp;
+
+  // Star players play (and appear in box scores) more often.
+  const auto& roster = rosters_[team];
+  size_t slot = rng_.NextZipf(roster.size(), 0.8);
+  const Player& player = roster[slot];
+
+  // Month advances with the position inside the season.
+  int64_t pos_in_season = tuple_index_ % config_.tuples_per_season;
+  int month = static_cast<int>(pos_in_season * months.size() /
+                               config_.tuples_per_season);
+
+  int year = config_.start_year + season_index_;
+  std::string season =
+      std::to_string(year) + "-" + std::to_string((year + 1) % 100 + 100)
+          .substr(1);
+
+  // A per-game "form" factor correlates the counting stats, as real box
+  // scores do (big games are big across the board).
+  double form = std::exp(0.35 * rng_.NextGaussian());
+  double base = player.skill * form;
+  const auto& positions = PositionNames();
+  // Position profile: guards assist more, bigs rebound/block more.
+  double guardness = 1.0 - player.position / 4.0;   // PG=1 .. C=0
+  double bigness = player.position / 4.0;           // PG=0 .. C=1
+
+  double points = Stat(base * 34.0 + rng_.NextGaussian() * 4.0, 0, 70);
+  double rebounds =
+      Stat(base * (4.0 + 12.0 * bigness) + rng_.NextGaussian() * 2.0, 0, 28);
+  double assists =
+      Stat(base * (2.0 + 11.0 * guardness) + rng_.NextGaussian() * 1.6, 0, 22);
+  double blocks =
+      Stat(base * 3.4 * bigness + rng_.NextGaussian() * 0.7, 0, 10);
+  double steals =
+      Stat(base * 2.6 * guardness + rng_.NextGaussian() * 0.7, 0, 9);
+  // Fouls / turnovers: weakly anti-correlated with skill, bounded.
+  double fouls = Stat(2.8 - player.skill + rng_.NextGaussian() * 1.2, 0, 6);
+  double turnovers =
+      Stat(1.2 + base * 2.2 + rng_.NextGaussian() * 1.1, 0, 11);
+
+  Row row;
+  row.dimensions = {player.name,
+                    positions[player.position],
+                    player.college,
+                    StateNames()[player.state],
+                    season,
+                    months[month],
+                    teams[team],
+                    teams[opp]};
+  row.measures = {points, rebounds, assists, blocks, steals, fouls,
+                  turnovers};
+  ++tuple_index_;
+  return row;
+}
+
+Dataset NbaGenerator::Generate(int n) {
+  Dataset out(FullSchema());
+  for (int i = 0; i < n; ++i) out.Add(Next());
+  return out;
+}
+
+}  // namespace sitfact

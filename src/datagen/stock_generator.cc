@@ -1,0 +1,130 @@
+#include "datagen/stock_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace sitfact {
+
+namespace {
+
+const char* const kSectors[] = {
+    "energy",      "materials", "industrials", "cons_disc", "cons_staples",
+    "health_care", "financials", "info_tech",  "comm_svcs", "utilities",
+    "real_estate"};
+
+const char* const kExchanges[] = {"NYSE", "NASDAQ", "AMEX"};
+
+const char* const kMonths[] = {"Jan", "Feb", "Mar", "Apr", "May", "Jun",
+                               "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+
+std::string MakeSymbol(int index) {
+  // AAAA-style symbols: base-26 in up to 4 letters, stable and unique.
+  std::string s;
+  int x = index;
+  do {
+    s.insert(s.begin(), static_cast<char>('A' + x % 26));
+    x = x / 26 - 1;
+  } while (x >= 0);
+  return s;
+}
+
+const char* CapClass(double market_cap_b) {
+  if (market_cap_b >= 10.0) return "large";
+  if (market_cap_b >= 2.0) return "mid";
+  return "small";
+}
+
+}  // namespace
+
+StockGenerator::StockGenerator(const Config& config)
+    : config_(config), rng_(config.seed) {
+  tickers_.reserve(static_cast<size_t>(config_.num_tickers));
+  sector_shock_.assign(static_cast<size_t>(config_.num_sectors), 0.0);
+  const int num_sectors =
+      std::min<int>(config_.num_sectors,
+                    static_cast<int>(std::size(kSectors)));
+  for (int i = 0; i < config_.num_tickers; ++i) {
+    Ticker t;
+    t.symbol = MakeSymbol(i);
+    t.sector = static_cast<int>(rng_.NextBounded(
+        static_cast<uint64_t>(num_sectors)));
+    t.exchange = static_cast<int>(rng_.NextBounded(std::size(kExchanges)));
+    // Log-uniform initial price in [$2, $500); a Zipf-ish share count gives
+    // a heavy-tailed market-cap distribution like real exchanges.
+    t.price = 2.0 * std::exp(rng_.NextDouble() * std::log(250.0));
+    t.shares_b = 0.05 + 10.0 / (1.0 + static_cast<double>(rng_.NextZipf(
+                                          200, 1.2)));
+    t.drift = 0.0001 + 0.0004 * rng_.NextDouble();
+    t.vol = 0.008 + 0.025 * rng_.NextDouble();
+    tickers_.push_back(std::move(t));
+  }
+}
+
+Schema StockGenerator::FullSchema() {
+  auto schema_or = Schema::Create(
+      {{"ticker"},
+       {"sector"},
+       {"exchange"},
+       {"year"},
+       {"month"},
+       {"cap_class"}},
+      {{"close_price", Direction::kLargerIsBetter},
+       {"market_cap_b", Direction::kLargerIsBetter},
+       {"volume_m", Direction::kLargerIsBetter},
+       {"pct_change", Direction::kLargerIsBetter},
+       {"volatility", Direction::kSmallerIsBetter}});
+  return std::move(schema_or).value();
+}
+
+Row StockGenerator::Next() {
+  const int64_t day = tuple_index_ / tickers_.size();
+  const auto ticker_idx =
+      static_cast<size_t>(tuple_index_ % tickers_.size());
+  ++tuple_index_;
+
+  // Refresh the slow sector drift once per simulated day (when the
+  // round-robin wraps to ticker 0).
+  if (ticker_idx == 0) {
+    for (double& shock : sector_shock_) {
+      shock = 0.95 * shock + 0.002 * rng_.NextGaussian();
+    }
+  }
+
+  Ticker& t = tickers_[ticker_idx];
+  const double ret =
+      t.drift + sector_shock_[static_cast<size_t>(t.sector)] +
+      t.vol * rng_.NextGaussian();
+  const double prev_price = t.price;
+  t.price = std::max(0.25, t.price * std::exp(ret));
+
+  const double market_cap = t.price * t.shares_b;
+  // Volume spikes with absolute return (turnover follows news).
+  const double volume =
+      (1.0 + 40.0 * std::abs(ret)) * (5.0 + 120.0 * rng_.NextDouble());
+  const double pct_change = 100.0 * (t.price - prev_price) / prev_price;
+
+  const int year = config_.start_year +
+                   static_cast<int>(day / config_.days_per_year);
+  const int month = static_cast<int>((day % config_.days_per_year) * 12 /
+                                     config_.days_per_year);
+
+  Row row;
+  row.dimensions = {t.symbol,
+                    kSectors[t.sector],
+                    kExchanges[t.exchange],
+                    std::to_string(year),
+                    kMonths[month],
+                    CapClass(market_cap)};
+  row.measures = {t.price, market_cap, volume, pct_change,
+                  t.vol * 100.0 * (0.8 + 0.4 * rng_.NextDouble())};
+  return row;
+}
+
+Dataset StockGenerator::Generate(int n) {
+  Dataset data(FullSchema());
+  for (int i = 0; i < n; ++i) data.Add(Next());
+  return data;
+}
+
+}  // namespace sitfact

@@ -1,0 +1,73 @@
+#ifndef SITFACT_DATAGEN_STOCK_GENERATOR_H_
+#define SITFACT_DATAGEN_STOCK_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "relation/dataset.h"
+#include "relation/schema.h"
+
+namespace sitfact {
+
+/// Synthetic end-of-day stock stream for the introduction's finance example
+/// ("Stock A becomes the first stock in history with price over $300 and
+/// market cap over $400 billion"). One row is one ticker's trading day.
+///
+/// Dimensions: ticker, sector, exchange, year, month, cap_class (small/
+/// mid/large, a coarse label that forms mid-cardinality contexts).
+/// Measures: close_price, market_cap_b, volume_m, pct_change, volatility —
+/// all larger-is-better except volatility (a risk measure, smaller is
+/// preferred).
+///
+/// The process is a per-ticker geometric random walk with sector-level
+/// drift shocks, so prices and market caps are positively correlated within
+/// a ticker (dominance geometry similar to the NBA skew) while cross-ticker
+/// diversity keeps contextual skylines small.
+class StockGenerator {
+ public:
+  struct Config {
+    uint64_t seed = 19290924;  // Black Thursday, for flavour
+    int num_tickers = 400;
+    int num_sectors = 11;      // GICS-like sector count
+    int start_year = 2004;
+    /// Trading days per simulated year (drives the `year` dimension).
+    int days_per_year = 252;
+  };
+
+  explicit StockGenerator(const Config& config);
+  StockGenerator() : StockGenerator(Config()) {}
+
+  /// ticker, sector, exchange, year, month, cap_class ;
+  /// close_price, market_cap_b, volume_m, pct_change, volatility.
+  static Schema FullSchema();
+
+  /// Generates the next trading-day row (tickers cycle round-robin within a
+  /// day so every ticker trades once per day).
+  Row Next();
+
+  /// Convenience: a dataset of `n` rows.
+  Dataset Generate(int n);
+
+ private:
+  struct Ticker {
+    std::string symbol;
+    int sector;
+    int exchange;
+    double price;        // current close
+    double shares_b;     // shares outstanding, billions
+    double drift;        // per-day log-return drift
+    double vol;          // per-day log-return stddev
+  };
+
+  Config config_;
+  Rng rng_;
+  std::vector<Ticker> tickers_;
+  std::vector<double> sector_shock_;  // slow-moving sector drift component
+  int64_t tuple_index_ = 0;
+};
+
+}  // namespace sitfact
+
+#endif  // SITFACT_DATAGEN_STOCK_GENERATOR_H_

@@ -1,0 +1,149 @@
+#include "datagen/weather_generator.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "datagen/names.h"
+
+namespace sitfact {
+
+namespace {
+
+const char* const kMonths[] = {"Dec", "Jan", "Feb", "Mar", "Apr", "May",
+                               "Jun", "Jul", "Aug", "Sep", "Oct", "Nov"};
+
+double Clamp(double v, double lo, double hi) {
+  if (v < lo) return lo;
+  if (v > hi) return hi;
+  return v;
+}
+
+}  // namespace
+
+WeatherGenerator::WeatherGenerator(const Config& config)
+    : config_(config), rng_(config.seed) {
+  SITFACT_CHECK(config_.num_locations > 0);
+  locations_.reserve(config_.num_locations);
+  const auto& countries = UkCountries();
+  for (int i = 0; i < config_.num_locations; ++i) {
+    Location loc;
+    loc.name = SynthesizeLocationName(static_cast<uint64_t>(i));
+    // England hosts most stations; the small regions few, as in the archive.
+    double c = rng_.NextDouble();
+    if (c < 0.62) {
+      loc.country = 0;
+    } else if (c < 0.80) {
+      loc.country = 1;
+    } else if (c < 0.92) {
+      loc.country = 2;
+    } else if (c < 0.975) {
+      loc.country = 3;
+    } else if (c < 0.99) {
+      loc.country = 4;
+    } else {
+      loc.country = 5;
+    }
+    (void)countries;
+    loc.maritime = rng_.NextDouble();
+    loc.latitude = rng_.NextDouble();
+    locations_.push_back(std::move(loc));
+  }
+}
+
+Schema WeatherGenerator::FullSchema() {
+  return Schema(
+      {{"location"},
+       {"country"},
+       {"month"},
+       {"time_step"},
+       {"wind_dir_day"},
+       {"wind_dir_night"},
+       {"visibility_range"}},
+      {{"wind_speed_day", Direction::kLargerIsBetter},
+       {"wind_speed_night", Direction::kLargerIsBetter},
+       {"temperature_day", Direction::kLargerIsBetter},
+       {"temperature_night", Direction::kLargerIsBetter},
+       {"humidity_day", Direction::kLargerIsBetter},
+       {"humidity_night", Direction::kLargerIsBetter},
+       {"wind_gust", Direction::kLargerIsBetter}});
+}
+
+std::vector<std::string> WeatherGenerator::DimensionsForD(int d) {
+  static const char* const kOrder[] = {
+      "location",      "country",        "month",           "time_step",
+      "wind_dir_day",  "wind_dir_night", "visibility_range"};
+  SITFACT_CHECK_MSG(d >= 1 && d <= 7, "d must be in [1, 7]");
+  return std::vector<std::string>(kOrder, kOrder + d);
+}
+
+std::vector<std::string> WeatherGenerator::MeasuresForM(int m) {
+  static const char* const kOrder[] = {
+      "wind_speed_day",   "wind_speed_night", "temperature_day",
+      "temperature_night", "humidity_day",    "humidity_night",
+      "wind_gust"};
+  SITFACT_CHECK_MSG(m >= 1 && m <= 7, "m must be in [1, 7]");
+  return std::vector<std::string>(kOrder, kOrder + m);
+}
+
+Row WeatherGenerator::Next() {
+  const auto& dirs = CompassDirections();
+  const auto& steps = TimeSteps();
+  const auto& vis = VisibilityRanges();
+
+  int64_t day = record_index_ / config_.records_per_day;
+  int month = static_cast<int>((day / 30) % 12);
+  // Season phase: 0 at mid-winter (Dec), pi at mid-summer.
+  double phase = 2.0 * 3.141592653589793 * (month / 12.0);
+
+  const Location& loc =
+      locations_[rng_.NextBounded(locations_.size())];
+
+  // Prevailing south-westerlies with noise.
+  int dir_day = static_cast<int>((10 + rng_.NextInt(-3, 3) + 16) % 16);
+  int dir_night = (dir_day + static_cast<int>(rng_.NextInt(-2, 2)) + 16) % 16;
+  int step = static_cast<int>(rng_.NextBounded(steps.size()));
+
+  double storminess = 0.5 - 0.35 * std::cos(phase);  // windier in winter
+  double wind_day = Clamp(6.0 + 30.0 * storminess * (0.4 + loc.maritime) +
+                              rng_.NextGaussian() * 6.0,
+                          0, 90);
+  double wind_night = Clamp(wind_day * (0.8 + 0.3 * rng_.NextDouble()) +
+                                rng_.NextGaussian() * 4.0,
+                            0, 90);
+  double temp_day = Clamp(10.0 - 8.0 * std::cos(phase) - 6.0 * loc.latitude +
+                              4.0 * loc.maritime + rng_.NextGaussian() * 3.0,
+                          -12, 35);
+  double temp_night = Clamp(temp_day - 4.0 - 3.0 * rng_.NextDouble() +
+                                rng_.NextGaussian() * 2.0,
+                            -18, 30);
+  double hum_day = Clamp(70.0 + 12.0 * std::cos(phase) +
+                             8.0 * loc.maritime + rng_.NextGaussian() * 8.0,
+                         25, 100);
+  double hum_night = Clamp(hum_day + 6.0 + rng_.NextGaussian() * 6.0, 25, 100);
+  double gust = Clamp(wind_day * 1.6 + rng_.NextGaussian() * 8.0, 0, 130);
+
+  // Visibility correlates with humidity.
+  int vis_idx = static_cast<int>(
+      Clamp(5.5 - (hum_day - 40.0) / 12.0 + rng_.NextGaussian(), 0, 5));
+
+  Row row;
+  row.dimensions = {loc.name,
+                    UkCountries()[loc.country],
+                    kMonths[month],
+                    steps[step],
+                    dirs[dir_day],
+                    dirs[dir_night],
+                    vis[vis_idx]};
+  row.measures = {wind_day, wind_night, temp_day, temp_night,
+                  hum_day,  hum_night,  gust};
+  ++record_index_;
+  return row;
+}
+
+Dataset WeatherGenerator::Generate(int n) {
+  Dataset out(FullSchema());
+  for (int i = 0; i < n; ++i) out.Add(Next());
+  return out;
+}
+
+}  // namespace sitfact

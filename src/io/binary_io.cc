@@ -1,0 +1,171 @@
+#include "io/binary_io.h"
+
+#include <cstring>
+
+namespace sitfact {
+
+namespace {
+
+// Maximum sane length for a length-prefixed string in a snapshot; attribute
+// names and algorithm names are all short.
+constexpr uint32_t kMaxStringLen = 1u << 20;
+
+}  // namespace
+
+BinaryWriter::BinaryWriter(const std::string& path) : path_(path) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    status_ = Status::IoError("cannot open for write: " + path);
+  }
+}
+
+BinaryWriter::~BinaryWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void BinaryWriter::WriteRaw(const void* data, size_t len) {
+  if (!status_.ok() || len == 0) return;
+  if (std::fwrite(data, 1, len, file_) != len) {
+    status_ = Status::IoError("write failed: " + path_);
+    return;
+  }
+  crc_.Update(data, len);
+}
+
+void BinaryWriter::WriteU32(uint32_t v) {
+  unsigned char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<unsigned char>(v >> (8 * i));
+  WriteRaw(buf, sizeof(buf));
+}
+
+void BinaryWriter::WriteU64(uint64_t v) {
+  unsigned char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<unsigned char>(v >> (8 * i));
+  WriteRaw(buf, sizeof(buf));
+}
+
+void BinaryWriter::WriteF64(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  WriteU64(bits);
+}
+
+void BinaryWriter::WriteString(const std::string& s) {
+  WriteU32(static_cast<uint32_t>(s.size()));
+  WriteRaw(s.data(), s.size());
+}
+
+void BinaryWriter::WriteChecksum() {
+  if (!status_.ok()) return;
+  uint32_t value = crc_.value();
+  unsigned char buf[4];
+  for (int i = 0; i < 4; ++i) {
+    buf[i] = static_cast<unsigned char>(value >> (8 * i));
+  }
+  // Bypass WriteRaw so the checksum does not checksum itself.
+  if (std::fwrite(buf, 1, sizeof(buf), file_) != sizeof(buf)) {
+    status_ = Status::IoError("write failed: " + path_);
+  }
+}
+
+Status BinaryWriter::Close() {
+  if (file_ != nullptr) {
+    if (std::fflush(file_) != 0 && status_.ok()) {
+      status_ = Status::IoError("flush failed: " + path_);
+    }
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  return status_;
+}
+
+BinaryReader::BinaryReader(const std::string& path) : path_(path) {
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    status_ = Status::IoError("cannot open for read: " + path);
+  }
+}
+
+BinaryReader::~BinaryReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void BinaryReader::ReadRaw(void* data, size_t len) {
+  if (!status_.ok()) {
+    std::memset(data, 0, len);
+    return;
+  }
+  if (len == 0) return;
+  if (std::fread(data, 1, len, file_) != len) {
+    std::memset(data, 0, len);
+    status_ = Status::Corruption("truncated file: " + path_);
+    return;
+  }
+  crc_.Update(data, len);
+}
+
+uint8_t BinaryReader::ReadU8() {
+  uint8_t v = 0;
+  ReadRaw(&v, 1);
+  return v;
+}
+
+uint32_t BinaryReader::ReadU32() {
+  unsigned char buf[4];
+  ReadRaw(buf, sizeof(buf));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(buf[i]) << (8 * i);
+  return v;
+}
+
+uint64_t BinaryReader::ReadU64() {
+  unsigned char buf[8];
+  ReadRaw(buf, sizeof(buf));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(buf[i]) << (8 * i);
+  return v;
+}
+
+double BinaryReader::ReadF64() {
+  uint64_t bits = ReadU64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string BinaryReader::ReadString() {
+  uint32_t len = ReadU32();
+  if (!CheckCount(len, kMaxStringLen, "string length")) return "";
+  std::string s(len, '\0');
+  ReadRaw(s.data(), len);
+  return s;
+}
+
+void BinaryReader::VerifyChecksum() {
+  if (!status_.ok()) return;
+  uint32_t expected = crc_.value();
+  unsigned char buf[4];
+  if (std::fread(buf, 1, sizeof(buf), file_) != sizeof(buf)) {
+    status_ = Status::Corruption("missing checksum: " + path_);
+    return;
+  }
+  uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i) stored |= static_cast<uint32_t>(buf[i]) << (8 * i);
+  if (stored != expected) {
+    status_ = Status::Corruption("checksum mismatch: " + path_);
+  }
+}
+
+bool BinaryReader::CheckCount(uint64_t count, uint64_t limit,
+                              const char* what) {
+  if (!status_.ok()) return false;
+  if (count > limit) {
+    status_ = Status::Corruption(std::string("implausible ") + what + " (" +
+                                 std::to_string(count) + ") in " + path_);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace sitfact

@@ -1,0 +1,95 @@
+#ifndef SITFACT_IO_BINARY_IO_H_
+#define SITFACT_IO_BINARY_IO_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/crc32.h"
+#include "common/status.h"
+
+namespace sitfact {
+
+/// Little-endian binary stream writer with a running CRC-32 over every byte
+/// written (the caller decides when to emit the checksum itself, which is
+/// excluded from the running value). IO errors latch into status(); writes
+/// after an error are no-ops so call sites can write a whole record and
+/// check once.
+class BinaryWriter {
+ public:
+  /// Opens `path` for binary write (truncating).
+  explicit BinaryWriter(const std::string& path);
+  ~BinaryWriter();
+
+  BinaryWriter(const BinaryWriter&) = delete;
+  BinaryWriter& operator=(const BinaryWriter&) = delete;
+
+  void WriteU8(uint8_t v) { WriteRaw(&v, 1); }
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteF64(double v);
+  /// Length-prefixed (u32) string.
+  void WriteString(const std::string& s);
+  /// Raw bytes, no length prefix.
+  void WriteRaw(const void* data, size_t len);
+
+  /// Appends the running CRC (little-endian u32) without folding it into the
+  /// CRC itself, then keeps accumulating for any further writes.
+  void WriteChecksum();
+
+  /// Flushes and closes; returns the first error if any occurred.
+  Status Close();
+
+  const Status& status() const { return status_; }
+  uint32_t crc() const { return crc_.value(); }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  Crc32 crc_;
+  Status status_;
+};
+
+/// Little-endian binary stream reader mirroring BinaryWriter. Short reads
+/// and IO errors latch Corruption/IoError into status(); reads after an
+/// error return zero values, so records can be decoded optimistically and
+/// validated once at the end.
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path);
+  ~BinaryReader();
+
+  BinaryReader(const BinaryReader&) = delete;
+  BinaryReader& operator=(const BinaryReader&) = delete;
+
+  uint8_t ReadU8();
+  uint32_t ReadU32();
+  uint64_t ReadU64();
+  double ReadF64();
+  std::string ReadString();
+  void ReadRaw(void* data, size_t len);
+
+  /// Reads a u32 checksum and compares against the CRC accumulated so far
+  /// (the checksum bytes themselves are excluded). Mismatch latches
+  /// Corruption.
+  void VerifyChecksum();
+
+  const Status& status() const { return status_; }
+  bool ok() const { return status_.ok(); }
+
+  /// Guards length-prefixed allocations: latches Corruption and returns
+  /// false when a decoded count exceeds `limit` (defends against garbage
+  /// prefixes allocating gigabytes).
+  bool CheckCount(uint64_t count, uint64_t limit, const char* what);
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  Crc32 crc_;
+  Status status_;
+};
+
+}  // namespace sitfact
+
+#endif  // SITFACT_IO_BINARY_IO_H_

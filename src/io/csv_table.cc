@@ -1,0 +1,95 @@
+#include "io/csv_table.h"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "common/csv.h"
+
+namespace sitfact {
+
+StatusOr<CsvTable> CsvTable::Read(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  CsvTable table;
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::Corruption("empty CSV file: " + path);
+  }
+  // Tolerate a UTF-8 BOM on the first line (spreadsheet exports).
+  if (line.size() >= 3 && line[0] == '\xEF' && line[1] == '\xBB' &&
+      line[2] == '\xBF') {
+    line.erase(0, 3);
+  }
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  Status st = SplitCsvLine(line, &table.header_);
+  if (!st.ok()) return st;
+
+  size_t line_no = 1;
+  std::vector<std::string> fields;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    st = SplitCsvLine(line, &fields);
+    if (!st.ok()) {
+      return Status::Corruption(st.message() + " at line " +
+                                std::to_string(line_no));
+    }
+    if (fields.size() != table.header_.size()) {
+      return Status::Corruption(
+          "row has " + std::to_string(fields.size()) + " fields, header has " +
+          std::to_string(table.header_.size()) + " at line " +
+          std::to_string(line_no));
+    }
+    table.rows_.push_back(fields);
+  }
+  return table;
+}
+
+int CsvTable::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < header_.size(); ++i) {
+    if (header_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+StatusOr<Dataset> DatasetFromCsvTable(const CsvTable& table,
+                                      const Schema& schema) {
+  std::vector<int> dim_cols;
+  for (const auto& d : schema.dimensions()) {
+    int idx = table.ColumnIndex(d.name);
+    if (idx < 0) return Status::NotFound("no CSV column named " + d.name);
+    dim_cols.push_back(idx);
+  }
+  std::vector<int> mea_cols;
+  for (const auto& m : schema.measures()) {
+    int idx = table.ColumnIndex(m.name);
+    if (idx < 0) return Status::NotFound("no CSV column named " + m.name);
+    mea_cols.push_back(idx);
+  }
+
+  Dataset out(schema);
+  for (size_t i = 0; i < table.rows().size(); ++i) {
+    const auto& fields = table.rows()[i];
+    Row row;
+    row.dimensions.reserve(dim_cols.size());
+    row.measures.reserve(mea_cols.size());
+    for (int c : dim_cols) {
+      row.dimensions.push_back(fields[static_cast<size_t>(c)]);
+    }
+    for (int c : mea_cols) {
+      const std::string& f = fields[static_cast<size_t>(c)];
+      char* end = nullptr;
+      double v = std::strtod(f.c_str(), &end);
+      if (end == f.c_str()) {
+        return Status::Corruption("non-numeric measure '" + f +
+                                  "' in data row " + std::to_string(i + 1));
+      }
+      row.measures.push_back(v);
+    }
+    out.Add(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace sitfact

@@ -1,0 +1,44 @@
+#ifndef SITFACT_IO_CSV_TABLE_H_
+#define SITFACT_IO_CSV_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relation/dataset.h"
+#include "relation/schema.h"
+
+namespace sitfact {
+
+/// A CSV file read whole: header plus string rows, with by-name column
+/// lookup. This is the schema-agnostic half of CSV ingestion — callers (the
+/// CLI, examples, notebooks-to-be) decide which columns are dimensions and
+/// which are measures after reading, so file column order never matters.
+class CsvTable {
+ public:
+  /// Reads `path` entirely. Fails on missing file, empty file, ragged rows
+  /// or broken quoting.
+  static StatusOr<CsvTable> Read(const std::string& path);
+
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Index of the named column, or -1.
+  int ColumnIndex(const std::string& name) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Projects a CsvTable onto `schema` by attribute name: each schema
+/// dimension/measure must name a column of the table; measures must parse
+/// as doubles. Row order is preserved (the table's order is the arrival
+/// order for discovery).
+StatusOr<Dataset> DatasetFromCsvTable(const CsvTable& table,
+                                      const Schema& schema);
+
+}  // namespace sitfact
+
+#endif  // SITFACT_IO_CSV_TABLE_H_

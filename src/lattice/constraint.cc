@@ -1,0 +1,96 @@
+#include "lattice/constraint.h"
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace sitfact {
+
+Constraint Constraint::ForTuple(const Relation& r, TupleId t, DimMask bound) {
+  Constraint c;
+  c.bound_ = bound;
+  c.num_dims_ = static_cast<uint8_t>(r.schema().num_dimensions());
+  SITFACT_DCHECK(IsSubsetOf(bound, FullMask(c.num_dims_)));
+  ForEachBit(bound, [&](int d) { c.values_[d] = r.dim(t, d); });
+  return c;
+}
+
+Constraint Constraint::Top(int num_dims) {
+  Constraint c;
+  c.num_dims_ = static_cast<uint8_t>(num_dims);
+  return c;
+}
+
+Constraint Constraint::FromBoundValues(int num_dims, DimMask bound,
+                                       const std::vector<ValueId>& values) {
+  Constraint c;
+  c.num_dims_ = static_cast<uint8_t>(num_dims);
+  c.bound_ = bound;
+  SITFACT_CHECK(IsSubsetOf(bound, FullMask(num_dims)));
+  SITFACT_CHECK(static_cast<int>(values.size()) == PopCount(bound));
+  size_t i = 0;
+  ForEachBit(bound, [&](int d) { c.values_[d] = values[i++]; });
+  return c;
+}
+
+int Constraint::BoundCount() const { return PopCount(bound_); }
+
+bool Constraint::SatisfiedBy(const Relation& r, TupleId t) const {
+  bool ok = true;
+  ForEachBit(bound_, [&](int d) {
+    if (r.dim(t, d) != values_[d]) ok = false;
+  });
+  return ok;
+}
+
+Constraint Constraint::Restrict(DimMask keep) const {
+  Constraint out;
+  out.num_dims_ = num_dims_;
+  out.bound_ = bound_ & keep;
+  ForEachBit(out.bound_, [&](int d) { out.values_[d] = values_[d]; });
+  return out;
+}
+
+bool Constraint::SubsumedByOrEqual(const Constraint& other) const {
+  if (!IsSubsetOf(other.bound_, bound_)) return false;
+  bool ok = true;
+  ForEachBit(other.bound_, [&](int d) {
+    if (values_[d] != other.values_[d]) ok = false;
+  });
+  return ok;
+}
+
+std::string Constraint::ToString(const Relation& r) const {
+  std::string out = "<";
+  for (int d = 0; d < num_dims_; ++d) {
+    if (d > 0) out += ", ";
+    if (IsBound(d)) {
+      out += r.dictionary(d).Decode(values_[d]);
+    } else {
+      out += "*";
+    }
+  }
+  out += ">";
+  return out;
+}
+
+std::string Constraint::ToPredicateString(const Relation& r) const {
+  if (bound_ == 0) return "(no constraint)";
+  std::string out;
+  ForEachBit(bound_, [&](int d) {
+    if (!out.empty()) out += " ∧ ";
+    out += r.schema().dimension(d).name;
+    out += "=";
+    out += r.dictionary(d).Decode(values_[d]);
+  });
+  return out;
+}
+
+uint64_t Constraint::Hash() const {
+  uint64_t h = Mix64(bound_ | (static_cast<uint64_t>(num_dims_) << 32));
+  ForEachBit(bound_, [&](int d) {
+    h = HashCombine(h, (static_cast<uint64_t>(d) << 32) | values_[d]);
+  });
+  return h;
+}
+
+}  // namespace sitfact

@@ -1,0 +1,109 @@
+#ifndef SITFACT_LATTICE_CONSTRAINT_H_
+#define SITFACT_LATTICE_CONSTRAINT_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/hash.h"
+#include "common/types.h"
+#include "relation/relation.h"
+
+namespace sitfact {
+
+/// A conjunctive constraint over the dimension space (Def. 1):
+/// `d1=v1 ∧ d2=v2 ∧ ...` with unbound attributes written `*`. Internally a
+/// bound-attribute bit mask plus the bound ValueIds (slots for unbound
+/// attributes are zeroed so equality/hashing can treat the array uniformly).
+///
+/// Within the tuple-satisfied lattice C^t (Def. 4/7) a constraint is fully
+/// identified by its DimMask alone — every bound attribute carries t's value.
+/// The algorithms therefore traverse DimMasks and materialize a Constraint
+/// only when touching the global µ store; `ForTuple` performs that lift.
+class Constraint {
+ public:
+  Constraint() : bound_(0), num_dims_(0) { values_.fill(0); }
+
+  /// The constraint over `bound` attributes with the values of tuple `t`.
+  static Constraint ForTuple(const Relation& r, TupleId t, DimMask bound);
+
+  /// The most general constraint ⊤ = <*,*,...,*>.
+  static Constraint Top(int num_dims);
+
+  /// Rebuilds a constraint from its serialized parts: `values[i]` is the
+  /// ValueId for the i-th set bit of `bound` (ascending). Snapshot decoding.
+  static Constraint FromBoundValues(int num_dims, DimMask bound,
+                                    const std::vector<ValueId>& values);
+
+  DimMask bound_mask() const { return bound_; }
+  int num_dims() const { return num_dims_; }
+
+  /// Number of bound attributes, the paper's bound(C).
+  int BoundCount() const;
+
+  bool IsBound(int d) const { return (bound_ >> d) & 1u; }
+
+  /// Value of dimension `d`; kUnboundValue when unbound.
+  ValueId value(int d) const {
+    return IsBound(d) ? values_[d] : kUnboundValue;
+  }
+
+  /// True iff tuple `t` satisfies this constraint (t.d_i = v_i on all bound
+  /// attributes, Def. 4).
+  bool SatisfiedBy(const Relation& r, TupleId t) const;
+
+  /// The ancestor constraint binding only `keep ∩ bound_mask()` attributes,
+  /// with this constraint's values. Restrict(sub) for sub ⊆ bound_mask()
+  /// enumerates the ancestors A_C of Def. 6.
+  Constraint Restrict(DimMask keep) const;
+
+  /// Def. 5: this E other (this is subsumed by or equal to other) iff every
+  /// attribute bound in `other` is bound here with the same value. `other`
+  /// is the more general constraint.
+  bool SubsumedByOrEqual(const Constraint& other) const;
+
+  /// Strict subsumption (this ⊲ other).
+  bool SubsumedBy(const Constraint& other) const {
+    return *this != other && SubsumedByOrEqual(other);
+  }
+
+  /// Rendering like `<a1, *, c1>` using dictionary lookups; `<*>`-only
+  /// constraints render as `<*, *, ...>` (the paper's ⊤).
+  std::string ToString(const Relation& r) const;
+
+  /// Compact conjunctive rendering like `team=Celtics ∧ opp_team=Nets`, or
+  /// "(no constraint)" for ⊤.
+  std::string ToPredicateString(const Relation& r) const;
+
+  uint64_t Hash() const;
+
+  friend bool operator==(const Constraint& a, const Constraint& b) {
+    return a.bound_ == b.bound_ && a.num_dims_ == b.num_dims_ &&
+           a.values_ == b.values_;
+  }
+  friend bool operator!=(const Constraint& a, const Constraint& b) {
+    return !(a == b);
+  }
+
+  /// Total order for canonical sorting of fact lists (mask first, then
+  /// values); not semantically meaningful.
+  friend bool operator<(const Constraint& a, const Constraint& b) {
+    if (a.bound_ != b.bound_) return a.bound_ < b.bound_;
+    return a.values_ < b.values_;
+  }
+
+ private:
+  DimMask bound_;
+  uint8_t num_dims_;
+  std::array<ValueId, kMaxDimensions> values_;
+};
+
+struct ConstraintHash {
+  size_t operator()(const Constraint& c) const {
+    return static_cast<size_t>(c.Hash());
+  }
+};
+
+}  // namespace sitfact
+
+#endif  // SITFACT_LATTICE_CONSTRAINT_H_

@@ -1,0 +1,64 @@
+#include "lattice/constraint_enumerator.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace sitfact {
+
+std::vector<DimMask> EnumerateTupleConstraints(int num_dims, int max_bound) {
+  SITFACT_CHECK(num_dims >= 1 && num_dims <= kMaxDimensions);
+  std::vector<DimMask> result;
+  // Faithful transcription of Alg. 1. The queue starts at ⊤; a dequeued
+  // constraint C spawns C' = C with d_i bound, for i from the highest
+  // attribute down, stopping at the first already-bound attribute. This
+  // generates each mask exactly once (each mask is produced only by its
+  // lowest-extension parent).
+  std::deque<DimMask> queue;
+  queue.push_back(0);
+  while (!queue.empty()) {
+    DimMask c = queue.front();
+    queue.pop_front();
+    result.push_back(c);
+    for (int i = num_dims - 1; i >= 0; --i) {
+      if ((c >> i) & 1u) break;  // Alg. 1 line 7: stop at first bound attr.
+      DimMask child = c | (1u << i);
+      if (PopCount(child) <= max_bound) queue.push_back(child);
+    }
+  }
+  return result;
+}
+
+namespace {
+
+std::vector<DimMask> MasksSortedByBound(int num_dims, int max_bound,
+                                        bool ascending) {
+  SITFACT_CHECK(num_dims >= 1 && num_dims <= kMaxDimensions);
+  std::vector<DimMask> masks;
+  DimMask full = FullMask(num_dims);
+  for (DimMask m = 0; m <= full; ++m) {
+    if (PopCount(m) <= max_bound) masks.push_back(m);
+  }
+  std::stable_sort(masks.begin(), masks.end(),
+                   [ascending](DimMask a, DimMask b) {
+                     int pa = PopCount(a);
+                     int pb = PopCount(b);
+                     if (pa != pb) return ascending ? pa < pb : pa > pb;
+                     return a < b;
+                   });
+  return masks;
+}
+
+}  // namespace
+
+std::vector<DimMask> MasksByAscendingBound(int num_dims, int max_bound) {
+  return MasksSortedByBound(num_dims, max_bound, /*ascending=*/true);
+}
+
+std::vector<DimMask> MasksByDescendingBound(int num_dims, int max_bound) {
+  return MasksSortedByBound(num_dims, max_bound, /*ascending=*/false);
+}
+
+}  // namespace sitfact

@@ -1,0 +1,30 @@
+#ifndef SITFACT_LATTICE_CONSTRAINT_ENUMERATOR_H_
+#define SITFACT_LATTICE_CONSTRAINT_ENUMERATOR_H_
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace sitfact {
+
+/// The paper's Algorithm 1 ("Find C^t"), expressed over DimMasks: enumerates
+/// every constraint satisfied by a tuple, from ⊤ (mask 0) downward, each
+/// exactly once, in a breadth-first order. Returned masks are the bound sets;
+/// the caller lifts them to Constraints with Constraint::ForTuple.
+///
+/// `max_bound` is the paper's d̂: masks with more than `max_bound` bound
+/// attributes are skipped (pass `num_dims` for the untruncated lattice).
+std::vector<DimMask> EnumerateTupleConstraints(int num_dims, int max_bound);
+
+/// All masks over `num_dims` attributes with popcount <= max_bound, in
+/// ascending popcount order (ties by numeric value). This is the visit order
+/// used by the top-down algorithms (ancestors strictly before descendants).
+std::vector<DimMask> MasksByAscendingBound(int num_dims, int max_bound);
+
+/// Same masks in descending popcount order (bottom-up visit order: the
+/// minimal elements of the truncated lattice first).
+std::vector<DimMask> MasksByDescendingBound(int num_dims, int max_bound);
+
+}  // namespace sitfact
+
+#endif  // SITFACT_LATTICE_CONSTRAINT_ENUMERATOR_H_

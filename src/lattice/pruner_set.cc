@@ -1,0 +1,30 @@
+#include "lattice/pruner_set.h"
+
+#include <cstddef>
+
+#include "common/bits.h"
+
+namespace sitfact {
+
+void PrunerSet::Add(DimMask agree_mask) {
+  size_t keep = 0;
+  for (size_t i = 0; i < pruners_.size(); ++i) {
+    if (IsSubsetOf(agree_mask, pruners_[i])) {
+      return;  // Already covered by an equal-or-larger pruner.
+    }
+    if (!IsSubsetOf(pruners_[i], agree_mask)) {
+      pruners_[keep++] = pruners_[i];  // Keep incomparable pruners.
+    }
+  }
+  pruners_.resize(keep);
+  pruners_.push_back(agree_mask);
+}
+
+bool PrunerSet::IsPruned(DimMask mask) const {
+  for (DimMask p : pruners_) {
+    if (IsSubsetOf(mask, p)) return true;
+  }
+  return false;
+}
+
+}  // namespace sitfact

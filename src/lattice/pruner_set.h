@@ -1,0 +1,44 @@
+#ifndef SITFACT_LATTICE_PRUNER_SET_H_
+#define SITFACT_LATTICE_PRUNER_SET_H_
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace sitfact {
+
+/// Records constraint pruning (Prop. 3) as an antichain of "pruner" masks.
+///
+/// When a dominating tuple t' is found, every constraint in C^{t,t'} — i.e.
+/// every mask that is a subset of agree(t, t') — is disqualified. Instead of
+/// flagging up to 2^d lattice nodes eagerly, the agree mask is recorded and
+/// `IsPruned(c)` tests `∃ pruner p : c ⊆ p` lazily. Only maximal pruners are
+/// kept (a subset pruner adds nothing), so the set stays tiny in practice.
+///
+/// The pruned region is down-closed in subset order (= up-closed towards
+/// lattice ancestors): if c is pruned, every subset of c is pruned too.
+class PrunerSet {
+ public:
+  PrunerSet() = default;
+
+  /// Registers that all subsets of `agree_mask` are pruned.
+  void Add(DimMask agree_mask);
+
+  /// True iff `mask` is a subset of some registered pruner.
+  bool IsPruned(DimMask mask) const;
+
+  /// True iff no pruner has been registered.
+  bool empty() const { return pruners_.empty(); }
+
+  void Clear() { pruners_.clear(); }
+
+  /// The maximal pruner antichain (for tests / diagnostics).
+  const std::vector<DimMask>& pruners() const { return pruners_; }
+
+ private:
+  std::vector<DimMask> pruners_;
+};
+
+}  // namespace sitfact
+
+#endif  // SITFACT_LATTICE_PRUNER_SET_H_

@@ -1,0 +1,29 @@
+#include "lattice/subspace_universe.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace sitfact {
+
+SubspaceUniverse::SubspaceUniverse(int num_measures, int max_size)
+    : num_measures_(num_measures), max_size_(max_size) {
+  SITFACT_CHECK(num_measures >= 1 && num_measures <= kMaxMeasures);
+  SITFACT_CHECK(max_size >= 1);
+  full_mask_ = FullMask(num_measures);
+  for (MeasureMask m = 1; m <= full_mask_; ++m) {
+    if (PopCount(m) <= max_size) masks_.push_back(m);
+  }
+  std::stable_sort(masks_.begin(), masks_.end(),
+                   [](MeasureMask a, MeasureMask b) {
+                     int pa = PopCount(a);
+                     int pb = PopCount(b);
+                     if (pa != pb) return pa > pb;
+                     return a < b;
+                   });
+  index_.assign(static_cast<size_t>(full_mask_) + 1, -1);
+  for (int i = 0; i < size(); ++i) index_[masks_[i]] = i;
+}
+
+}  // namespace sitfact

@@ -1,0 +1,50 @@
+#ifndef SITFACT_LATTICE_SUBSPACE_UNIVERSE_H_
+#define SITFACT_LATTICE_SUBSPACE_UNIVERSE_H_
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace sitfact {
+
+/// The measure subspaces an experiment considers: every non-empty
+/// M ⊆ {m1..ms} with |M| <= max_size (the paper's m̂). Provides a dense
+/// index so per-subspace state (e.g. the pruned[C][M] matrix of Alg. 6) can
+/// live in flat arrays.
+class SubspaceUniverse {
+ public:
+  SubspaceUniverse(int num_measures, int max_size);
+
+  int num_measures() const { return num_measures_; }
+  int max_size() const { return max_size_; }
+
+  /// All admissible subspace masks, descending by size (full/largest spaces
+  /// first; the sharing algorithms handle the full space before subspaces).
+  const std::vector<MeasureMask>& masks() const { return masks_; }
+
+  /// Number of admissible subspaces.
+  int size() const { return static_cast<int>(masks_.size()); }
+
+  /// Dense index of `mask` in [0, size()), or -1 if not admissible.
+  int IndexOf(MeasureMask mask) const {
+    return mask < index_.size() ? index_[mask] : -1;
+  }
+
+  /// The full measure space mask (which may exceed max_size; the sharing
+  /// algorithms always traverse it even when it is not reported).
+  MeasureMask full_mask() const { return full_mask_; }
+
+  /// True iff the full space is itself an admissible (reported) subspace.
+  bool FullSpaceAdmissible() const { return IndexOf(full_mask_) >= 0; }
+
+ private:
+  int num_measures_;
+  int max_size_;
+  MeasureMask full_mask_;
+  std::vector<MeasureMask> masks_;
+  std::vector<int> index_;  // mask -> dense index or -1
+};
+
+}  // namespace sitfact
+
+#endif  // SITFACT_LATTICE_SUBSPACE_UNIVERSE_H_

@@ -1,0 +1,117 @@
+#include "relation/dataset.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/csv.h"
+
+namespace sitfact {
+
+StatusOr<Dataset> Dataset::Project(
+    const std::vector<std::string>& dimension_names,
+    const std::vector<std::string>& measure_names) const {
+  std::vector<int> dim_idx;
+  std::vector<int> mea_idx;
+  std::vector<DimensionAttribute> dims;
+  std::vector<MeasureAttribute> meas;
+  for (const auto& name : dimension_names) {
+    int i = schema_.DimensionIndex(name);
+    if (i < 0) return Status::NotFound("dimension attribute: " + name);
+    dim_idx.push_back(i);
+    dims.push_back(schema_.dimension(i));
+  }
+  for (const auto& name : measure_names) {
+    int j = schema_.MeasureIndex(name);
+    if (j < 0) return Status::NotFound("measure attribute: " + name);
+    mea_idx.push_back(j);
+    meas.push_back(schema_.measure(j));
+  }
+  auto schema_or = Schema::Create(std::move(dims), std::move(meas));
+  if (!schema_or.ok()) return schema_or.status();
+  Dataset out(std::move(schema_or).value());
+  for (const Row& r : rows_) {
+    Row pr;
+    pr.dimensions.reserve(dim_idx.size());
+    pr.measures.reserve(mea_idx.size());
+    for (int i : dim_idx) pr.dimensions.push_back(r.dimensions[i]);
+    for (int j : mea_idx) pr.measures.push_back(r.measures[j]);
+    out.Add(std::move(pr));
+  }
+  return out;
+}
+
+Status Dataset::WriteCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  bool first = true;
+  for (const auto& d : schema_.dimensions()) {
+    if (!first) out << ',';
+    out << CsvQuote(d.name);
+    first = false;
+  }
+  for (const auto& m : schema_.measures()) {
+    out << ',' << CsvQuote(m.name);
+  }
+  out << '\n';
+  for (const Row& r : rows_) {
+    first = true;
+    for (const auto& v : r.dimensions) {
+      if (!first) out << ',';
+      out << CsvQuote(v);
+      first = false;
+    }
+    for (double v : r.measures) {
+      out << ',' << v;
+    }
+    out << '\n';
+  }
+  if (!out.good()) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+StatusOr<Dataset> Dataset::ReadCsv(const std::string& path, Schema schema) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::string line;
+  if (!std::getline(in, line)) return Status::Corruption("missing header");
+  Dataset out(std::move(schema));
+  const Schema& s = out.schema();
+  size_t expected =
+      static_cast<size_t>(s.num_dimensions()) + s.num_measures();
+  std::vector<std::string> fields;
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    Status st = SplitCsvLine(line, &fields);
+    if (!st.ok()) return st;
+    if (fields.size() != expected) {
+      return Status::Corruption("arity mismatch at line " +
+                                std::to_string(line_no));
+    }
+    Row r;
+    for (int i = 0; i < s.num_dimensions(); ++i) {
+      r.dimensions.push_back(fields[i]);
+    }
+    for (int j = 0; j < s.num_measures(); ++j) {
+      const std::string& f = fields[s.num_dimensions() + j];
+      char* end = nullptr;
+      double v = std::strtod(f.c_str(), &end);
+      if (end == f.c_str()) {
+        return Status::Corruption("bad measure value '" + f + "' at line " +
+                                  std::to_string(line_no));
+      }
+      r.measures.push_back(v);
+    }
+    out.Add(std::move(r));
+  }
+  return out;
+}
+
+Relation MakeRelation(const Dataset& dataset) {
+  return Relation(dataset.schema());
+}
+
+}  // namespace sitfact

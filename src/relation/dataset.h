@@ -1,0 +1,53 @@
+#ifndef SITFACT_RELATION_DATASET_H_
+#define SITFACT_RELATION_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relation/relation.h"
+#include "relation/schema.h"
+
+namespace sitfact {
+
+/// A raw dataset: a wide schema (all dimension and measure attributes the
+/// generator produced) plus rows. Experiments project a Dataset onto a named
+/// subset of attributes (Tables V and VI pick different subsets per d / m, so
+/// this is a named projection rather than a prefix).
+class Dataset {
+ public:
+  explicit Dataset(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  std::vector<Row>& mutable_rows() { return rows_; }
+
+  void Add(Row row) { rows_.push_back(std::move(row)); }
+  size_t size() const { return rows_.size(); }
+
+  /// Projects onto the named attributes (order defines the projected schema)
+  /// and returns the projected rows; feed them to a Relation one at a time to
+  /// drive incremental discovery.
+  StatusOr<Dataset> Project(const std::vector<std::string>& dimension_names,
+                            const std::vector<std::string>& measure_names)
+      const;
+
+  /// Writes the dataset as CSV (header + rows). Dimension values are quoted
+  /// only when needed.
+  Status WriteCsv(const std::string& path) const;
+
+  /// Reads a CSV produced by WriteCsv given the schema (column order must
+  /// match: dimensions then measures).
+  static StatusOr<Dataset> ReadCsv(const std::string& path, Schema schema);
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+/// Builds an empty Relation with `dataset`'s schema; convenience for tests.
+Relation MakeRelation(const Dataset& dataset);
+
+}  // namespace sitfact
+
+#endif  // SITFACT_RELATION_DATASET_H_

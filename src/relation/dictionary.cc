@@ -1,0 +1,35 @@
+#include "relation/dictionary.h"
+
+#include "common/logging.h"
+
+namespace sitfact {
+
+ValueId Dictionary::Encode(std::string_view value) {
+  auto it = index_.find(std::string(value));
+  if (it != index_.end()) return it->second;
+  auto id = static_cast<ValueId>(values_.size());
+  SITFACT_CHECK_MSG(id != kUnboundValue, "dictionary overflow");
+  values_.emplace_back(value);
+  index_.emplace(values_.back(), id);
+  return id;
+}
+
+ValueId Dictionary::Lookup(std::string_view value) const {
+  auto it = index_.find(std::string(value));
+  return it == index_.end() ? kUnboundValue : it->second;
+}
+
+const std::string& Dictionary::Decode(ValueId id) const {
+  SITFACT_CHECK_MSG(id < values_.size(), "ValueId out of range");
+  return values_[id];
+}
+
+size_t Dictionary::ApproxMemoryBytes() const {
+  size_t bytes = values_.capacity() * sizeof(std::string);
+  for (const auto& v : values_) bytes += v.capacity();
+  bytes += index_.size() *
+           (sizeof(std::string) + sizeof(ValueId) + 2 * sizeof(void*));
+  return bytes;
+}
+
+}  // namespace sitfact

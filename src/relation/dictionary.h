@@ -1,0 +1,48 @@
+#ifndef SITFACT_RELATION_DICTIONARY_H_
+#define SITFACT_RELATION_DICTIONARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace sitfact {
+
+/// Bidirectional string <-> ValueId dictionary used to encode one dimension
+/// attribute. Ids are dense, assigned in first-seen order, and never reach
+/// kUnboundValue (the wildcard sentinel).
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  // Movable but not copyable: a dictionary anchors ValueIds stored elsewhere,
+  // so accidental copies are almost always bugs.
+  Dictionary(Dictionary&&) = default;
+  Dictionary& operator=(Dictionary&&) = default;
+  Dictionary(const Dictionary&) = delete;
+  Dictionary& operator=(const Dictionary&) = delete;
+
+  /// Returns the id for `value`, inserting it if new.
+  ValueId Encode(std::string_view value);
+
+  /// Returns the id for `value`, or kUnboundValue if absent.
+  ValueId Lookup(std::string_view value) const;
+
+  /// String for `id`; id must be < size().
+  const std::string& Decode(ValueId id) const;
+
+  size_t size() const { return values_.size(); }
+
+  /// Approximate heap footprint, for memory accounting benches.
+  size_t ApproxMemoryBytes() const;
+
+ private:
+  std::vector<std::string> values_;
+  std::unordered_map<std::string, ValueId> index_;
+};
+
+}  // namespace sitfact
+
+#endif  // SITFACT_RELATION_DICTIONARY_H_

@@ -1,0 +1,68 @@
+#include "relation/schema.h"
+
+#include <unordered_set>
+#include <utility>
+
+#include "common/bits.h"
+
+namespace sitfact {
+
+Schema::Schema(std::vector<DimensionAttribute> dimensions,
+               std::vector<MeasureAttribute> measures)
+    : dimensions_(std::move(dimensions)), measures_(std::move(measures)) {}
+
+StatusOr<Schema> Schema::Create(std::vector<DimensionAttribute> dimensions,
+                                std::vector<MeasureAttribute> measures) {
+  if (dimensions.empty()) {
+    return Status::InvalidArgument("schema needs at least one dimension");
+  }
+  if (measures.empty()) {
+    return Status::InvalidArgument("schema needs at least one measure");
+  }
+  if (static_cast<int>(dimensions.size()) > kMaxDimensions) {
+    return Status::InvalidArgument("too many dimension attributes");
+  }
+  if (static_cast<int>(measures.size()) > kMaxMeasures) {
+    return Status::InvalidArgument("too many measure attributes");
+  }
+  std::unordered_set<std::string> seen;
+  for (const auto& d : dimensions) {
+    if (d.name.empty()) {
+      return Status::InvalidArgument("empty dimension name");
+    }
+    if (!seen.insert(d.name).second) {
+      return Status::InvalidArgument("duplicate attribute name: " + d.name);
+    }
+  }
+  for (const auto& m : measures) {
+    if (m.name.empty()) {
+      return Status::InvalidArgument("empty measure name");
+    }
+    if (!seen.insert(m.name).second) {
+      return Status::InvalidArgument("duplicate attribute name: " + m.name);
+    }
+  }
+  return Schema(std::move(dimensions), std::move(measures));
+}
+
+int Schema::DimensionIndex(const std::string& name) const {
+  for (int i = 0; i < num_dimensions(); ++i) {
+    if (dimensions_[i].name == name) return i;
+  }
+  return -1;
+}
+
+int Schema::MeasureIndex(const std::string& name) const {
+  for (int j = 0; j < num_measures(); ++j) {
+    if (measures_[j].name == name) return j;
+  }
+  return -1;
+}
+
+DimMask Schema::AllDimensionsMask() const {
+  return FullMask(num_dimensions());
+}
+
+MeasureMask Schema::FullMeasureMask() const { return FullMask(num_measures()); }
+
+}  // namespace sitfact

@@ -1,0 +1,69 @@
+#ifndef SITFACT_RELATION_SCHEMA_H_
+#define SITFACT_RELATION_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace sitfact {
+
+/// Preference direction of a measure attribute (Def. 2 allows either; e.g.
+/// NBA `points` is larger-is-better while `fouls` is smaller-is-better).
+enum class Direction {
+  kLargerIsBetter,
+  kSmallerIsBetter,
+};
+
+struct DimensionAttribute {
+  std::string name;
+};
+
+struct MeasureAttribute {
+  std::string name;
+  Direction direction = Direction::kLargerIsBetter;
+};
+
+/// Schema R(D; M): ordered dimension attributes (on which constraints are
+/// specified) and ordered measure attributes (on which dominance is defined).
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::vector<DimensionAttribute> dimensions,
+         std::vector<MeasureAttribute> measures);
+
+  /// Validating factory: rejects empty/duplicate names and attribute counts
+  /// beyond kMaxDimensions / kMaxMeasures.
+  static StatusOr<Schema> Create(std::vector<DimensionAttribute> dimensions,
+                                 std::vector<MeasureAttribute> measures);
+
+  int num_dimensions() const { return static_cast<int>(dimensions_.size()); }
+  int num_measures() const { return static_cast<int>(measures_.size()); }
+
+  const DimensionAttribute& dimension(int i) const { return dimensions_[i]; }
+  const MeasureAttribute& measure(int j) const { return measures_[j]; }
+
+  const std::vector<DimensionAttribute>& dimensions() const {
+    return dimensions_;
+  }
+  const std::vector<MeasureAttribute>& measures() const { return measures_; }
+
+  /// Index of the named dimension attribute, or -1.
+  int DimensionIndex(const std::string& name) const;
+  /// Index of the named measure attribute, or -1.
+  int MeasureIndex(const std::string& name) const;
+
+  /// Mask covering every dimension attribute.
+  DimMask AllDimensionsMask() const;
+  /// Mask covering every measure attribute (the full space M).
+  MeasureMask FullMeasureMask() const;
+
+ private:
+  std::vector<DimensionAttribute> dimensions_;
+  std::vector<MeasureAttribute> measures_;
+};
+
+}  // namespace sitfact
+
+#endif  // SITFACT_RELATION_SCHEMA_H_

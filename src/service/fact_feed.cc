@@ -1,0 +1,91 @@
+#include "service/fact_feed.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace sitfact {
+
+FactFeed::FactFeed(DiscoveryEngine* engine, Subscriber subscriber,
+                   Options options)
+    : engine_(engine),
+      subscriber_(std::move(subscriber)),
+      options_(options) {
+  SITFACT_CHECK(engine != nullptr);
+  SITFACT_CHECK(options_.queue_capacity > 0);
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+FactFeed::~FactFeed() { Stop(); }
+
+bool FactFeed::Publish(Row row) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock, [this] {
+    return stopping_ || queue_.size() < options_.queue_capacity;
+  });
+  if (stopping_) return false;
+  queue_.push(std::move(row));
+  not_empty_.notify_one();
+  return true;
+}
+
+void FactFeed::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_.wait(lock, [this] { return queue_.empty() && idle_; });
+}
+
+void FactFeed::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      // Already stopping; fall through to join if another thread raced us.
+    }
+    stopping_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+  if (worker_.joinable()) worker_.join();
+}
+
+uint64_t FactFeed::processed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return processed_;
+}
+
+uint64_t FactFeed::prominent_arrivals() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return prominent_arrivals_;
+}
+
+void FactFeed::WorkerLoop() {
+  while (true) {
+    Row row;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      idle_ = true;
+      drained_.notify_all();
+      not_empty_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping with an empty backlog
+      row = std::move(queue_.front());
+      queue_.pop();
+      idle_ = false;
+      not_full_.notify_one();
+    }
+
+    // The engine runs outside the lock: discovery dominates the cost and
+    // producers only need the queue.
+    ArrivalReport report = engine_->Append(row);
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++processed_;
+      if (!report.prominent.empty()) ++prominent_arrivals_;
+    }
+    if (subscriber_ &&
+        (options_.notify_all_arrivals || !report.prominent.empty())) {
+      subscriber_(report);
+    }
+  }
+}
+
+}  // namespace sitfact

@@ -1,0 +1,94 @@
+#ifndef SITFACT_SERVICE_FACT_FEED_H_
+#define SITFACT_SERVICE_FACT_FEED_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+
+#include "core/engine.h"
+#include "relation/relation.h"
+
+namespace sitfact {
+
+/// Asynchronous front end for a DiscoveryEngine: producers Publish() rows
+/// from any thread; one worker thread owns the engine (every discovery
+/// algorithm is single-writer by design) and invokes a subscriber callback
+/// for each arrival that produced prominent facts. This is the shape a
+/// newsroom deployment takes — scrapers push box scores as games end, the
+/// feed emits narratable facts within one arrival of ingestion.
+///
+/// Backpressure: the queue is bounded; Publish() blocks when full (the
+/// stream must not silently drop events — a missed arrival would corrupt
+/// every later prominence denominator).
+///
+/// Lifecycle: construct -> Publish xN -> Drain()/Stop(). Stop() is
+/// idempotent and runs in the destructor; Drain() blocks until the queue
+/// empties without stopping the worker.
+class FactFeed {
+ public:
+  /// Called on the worker thread for every arrival whose report contains at
+  /// least one prominent fact. The report reference is valid only during
+  /// the call.
+  using Subscriber = std::function<void(const ArrivalReport&)>;
+
+  struct Options {
+    /// Maximum rows buffered between producers and the worker.
+    size_t queue_capacity = 1024;
+    /// Invoke the subscriber for every arrival, not just prominent ones.
+    bool notify_all_arrivals = false;
+  };
+
+  /// `engine` must outlive the feed and must not be touched by other
+  /// threads while the feed runs.
+  FactFeed(DiscoveryEngine* engine, Subscriber subscriber, Options options);
+  FactFeed(DiscoveryEngine* engine, Subscriber subscriber)
+      : FactFeed(engine, std::move(subscriber), Options()) {}
+
+  ~FactFeed();
+
+  FactFeed(const FactFeed&) = delete;
+  FactFeed& operator=(const FactFeed&) = delete;
+
+  /// Enqueues one row; blocks while the queue is at capacity. Returns false
+  /// (and does not enqueue) after Stop().
+  bool Publish(Row row);
+
+  /// Blocks until every row published so far has been processed.
+  void Drain();
+
+  /// Stops accepting rows, processes the backlog, joins the worker.
+  void Stop();
+
+  /// Rows processed by the worker so far.
+  uint64_t processed() const;
+
+  /// Arrivals that carried at least one prominent fact.
+  uint64_t prominent_arrivals() const;
+
+ private:
+  void WorkerLoop();
+
+  DiscoveryEngine* engine_;
+  Subscriber subscriber_;
+  Options options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::condition_variable drained_;
+  std::queue<Row> queue_;
+  bool stopping_ = false;
+  uint64_t processed_ = 0;
+  uint64_t prominent_arrivals_ = 0;
+  bool idle_ = true;
+
+  std::thread worker_;
+};
+
+}  // namespace sitfact
+
+#endif  // SITFACT_SERVICE_FACT_FEED_H_

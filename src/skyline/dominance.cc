@@ -1,0 +1,20 @@
+#include "skyline/dominance.h"
+
+#include "common/bits.h"
+
+namespace sitfact {
+
+bool Dominates(const Relation& r, TupleId a, TupleId b, MeasureMask m) {
+  bool strictly_better = false;
+  while (m != 0) {
+    int j = LowestBit(m);
+    m &= m - 1;
+    double av = r.measure_key(a, j);
+    double bv = r.measure_key(b, j);
+    if (av < bv) return false;
+    if (av > bv) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+}  // namespace sitfact

@@ -1,0 +1,40 @@
+#ifndef SITFACT_SKYLINE_DOMINANCE_H_
+#define SITFACT_SKYLINE_DOMINANCE_H_
+
+#include "common/types.h"
+#include "relation/relation.h"
+
+namespace sitfact {
+
+/// Dominance kernel (Def. 2) over direction-adjusted measure keys.
+///
+/// All functions treat `M` as a MeasureMask; bit j selects measure j.
+/// Dominance requires better-or-equal on all of M and strictly better on at
+/// least one attribute of M, so equal tuples never dominate each other.
+
+/// True iff a ≻_M b (a dominates b in subspace M).
+bool Dominates(const Relation& r, TupleId a, TupleId b, MeasureMask m);
+
+/// True iff b ≻_M a; convenience mirror for call-site readability.
+inline bool DominatedBy(const Relation& r, TupleId a, TupleId b,
+                        MeasureMask m) {
+  return Dominates(r, b, a, m);
+}
+
+/// Prop. 4 evaluated from a precomputed partition: with
+/// `p = r.Partition(t, other)`, t is dominated by `other` in M iff M meets
+/// t's worse set and avoids t's better set.
+inline bool DominatedInSubspace(const Relation::MeasurePartition& p,
+                                MeasureMask m) {
+  return (m & p.worse) != 0 && (m & p.better) == 0;
+}
+
+/// Prop. 4 mirror: t dominates `other` in M.
+inline bool DominatesInSubspace(const Relation::MeasurePartition& p,
+                                MeasureMask m) {
+  return (m & p.better) != 0 && (m & p.worse) == 0;
+}
+
+}  // namespace sitfact
+
+#endif  // SITFACT_SKYLINE_DOMINANCE_H_

@@ -1,0 +1,46 @@
+#include "skyline/kdtree.h"
+
+#include "common/logging.h"
+
+namespace sitfact {
+
+KdTree::KdTree(const Relation* relation)
+    : relation_(relation), num_axes_(relation->schema().num_measures()) {
+  SITFACT_CHECK(num_axes_ >= 1);
+}
+
+void KdTree::Insert(TupleId t) {
+  auto idx = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(Node{t, kNull, kNull});
+  if (root_ == kNull) {
+    root_ = idx;
+    axes_.push_back(0);
+    return;
+  }
+  int32_t cur = root_;
+  int depth = 0;
+  while (true) {
+    int axis = axes_[cur];
+    bool go_right = Key(t, axis) >= Key(nodes_[cur].tuple, axis);
+    int32_t& child = go_right ? nodes_[cur].right : nodes_[cur].left;
+    ++depth;
+    if (child == kNull) {
+      child = idx;
+      axes_.push_back(static_cast<uint8_t>(depth % num_axes_));
+      return;
+    }
+    cur = child;
+  }
+}
+
+std::vector<TupleId> KdTree::FindDominatorCandidates(TupleId t,
+                                                     MeasureMask m) const {
+  std::vector<TupleId> out;
+  VisitDominators(t, m, [&](TupleId cand) {
+    out.push_back(cand);
+    return true;
+  });
+  return out;
+}
+
+}  // namespace sitfact

@@ -1,0 +1,109 @@
+#ifndef SITFACT_SKYLINE_KDTREE_H_
+#define SITFACT_SKYLINE_KDTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "relation/relation.h"
+
+namespace sitfact {
+
+/// k-d tree over the full measure space (Bentley 1979), as used by
+/// BaselineIdx: supports insertion of tuples as they arrive and the one-sided
+/// range query `∧_{j∈M} key_j >= q_j` (all other measures unbounded) that
+/// retrieves the candidates which weakly dominate a query point in subspace M.
+///
+/// Points are direction-adjusted measure keys, so "better" is always ">=".
+/// The tree stores TupleIds and reads coordinates from the Relation.
+class KdTree {
+ public:
+  /// `relation` must outlive the tree; coordinates come from
+  /// relation.measure_key().
+  explicit KdTree(const Relation* relation);
+
+  /// Inserts tuple `t` (standard unbalanced insert; discovery streams arrive
+  /// in near-random measure order, which keeps the expected depth
+  /// logarithmic).
+  void Insert(TupleId t);
+
+  /// Visits every stored tuple whose key is >= `t`'s key on all measures of
+  /// `m` (one-sided range query of Sec. IV). Visited tuples may merely tie
+  /// `t` on all of `m`; the caller filters for strict dominance. `t` itself
+  /// is skipped. If `visitor` returns false, the search stops early.
+  template <typename Visitor>
+  void VisitDominators(TupleId t, MeasureMask m, Visitor&& visitor) const {
+    if (root_ == kNull) return;
+    bool keep_going = true;
+    VisitRec(root_, t, m, visitor, keep_going);
+  }
+
+  /// Convenience wrapper returning all candidates.
+  std::vector<TupleId> FindDominatorCandidates(TupleId t, MeasureMask m) const;
+
+  size_t size() const { return nodes_.size(); }
+
+  /// Tree nodes touched by queries since construction (work-done benches).
+  uint64_t nodes_visited() const { return nodes_visited_; }
+
+  size_t ApproxMemoryBytes() const {
+    return nodes_.capacity() * sizeof(Node) + axes_.capacity();
+  }
+
+ private:
+  static constexpr int32_t kNull = -1;
+
+  struct Node {
+    TupleId tuple;
+    int32_t left = kNull;   // key[axis] <  this node's key[axis]
+    int32_t right = kNull;  // key[axis] >= this node's key[axis]
+  };
+
+  double Key(TupleId t, int axis) const {
+    return relation_->measure_key(t, axis);
+  }
+
+  template <typename Visitor>
+  void VisitRec(int32_t node_idx, TupleId t, MeasureMask m, Visitor& visitor,
+                bool& keep_going) const {
+    if (!keep_going) return;
+    ++nodes_visited_;
+    const Node& node = nodes_[node_idx];
+    int axis = axes_[node_idx];
+    // Report this node's point if it meets every lower bound.
+    bool qualifies = true;
+    for (MeasureMask rest = m; rest != 0; rest &= rest - 1) {
+      int j = __builtin_ctz(rest);
+      if (Key(node.tuple, j) < Key(t, j)) {
+        qualifies = false;
+        break;
+      }
+    }
+    if (qualifies && node.tuple != t) {
+      keep_going = visitor(node.tuple);
+      if (!keep_going) return;
+    }
+    // The right subtree (values >= split on `axis`) can always hold
+    // qualifying points. The left subtree (values < split) is dead only when
+    // `axis` carries a bound and the split value is already <= that bound:
+    // then every left value is < bound.
+    if (node.right != kNull) VisitRec(node.right, t, m, visitor, keep_going);
+    if (node.left != kNull) {
+      bool axis_bounded = (m >> axis) & 1u;
+      if (!axis_bounded || Key(node.tuple, axis) > Key(t, axis)) {
+        VisitRec(node.left, t, m, visitor, keep_going);
+      }
+    }
+  }
+
+  const Relation* relation_;
+  int num_axes_;
+  int32_t root_ = kNull;
+  std::vector<Node> nodes_;
+  std::vector<uint8_t> axes_;  // split axis per node (depth mod num_axes_)
+  mutable uint64_t nodes_visited_ = 0;
+};
+
+}  // namespace sitfact
+
+#endif  // SITFACT_SKYLINE_KDTREE_H_

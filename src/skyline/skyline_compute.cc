@@ -1,0 +1,85 @@
+#include "skyline/skyline_compute.h"
+
+#include "common/bits.h"
+#include "skyline/dominance.h"
+
+namespace sitfact {
+
+std::vector<TupleId> ComputeSkyline(const Relation& r,
+                                    const std::vector<TupleId>& candidates,
+                                    MeasureMask m) {
+  std::vector<TupleId> skyline;
+  for (TupleId t : candidates) {
+    bool dominated = false;
+    for (TupleId other : candidates) {
+      if (other != t && Dominates(r, other, t, m)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) skyline.push_back(t);
+  }
+  return skyline;
+}
+
+std::vector<TupleId> SelectContext(const Relation& r, const Constraint& c,
+                                   TupleId limit) {
+  std::vector<TupleId> out;
+  for (TupleId t = 0; t < limit; ++t) {
+    if (!r.IsDeleted(t) && c.SatisfiedBy(r, t)) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<TupleId> ComputeContextualSkyline(const Relation& r,
+                                              const Constraint& c,
+                                              MeasureMask m, TupleId limit) {
+  return ComputeSkyline(r, SelectContext(r, c, limit), m);
+}
+
+bool InContextualSkyline(const Relation& r, TupleId t, const Constraint& c,
+                         MeasureMask m, TupleId limit) {
+  if (r.IsDeleted(t) || !c.SatisfiedBy(r, t)) return false;
+  for (TupleId other = 0; other < limit; ++other) {
+    if (other == t || r.IsDeleted(other)) continue;
+    if (c.SatisfiedBy(r, other) && Dominates(r, other, t, m)) return false;
+  }
+  return true;
+}
+
+std::vector<DimMask> ComputeSkylineConstraintMasks(const Relation& r,
+                                                   TupleId t, MeasureMask m,
+                                                   int max_bound,
+                                                   TupleId limit) {
+  std::vector<DimMask> out;
+  DimMask full = FullMask(r.schema().num_dimensions());
+  for (DimMask mask = 0; mask <= full; ++mask) {
+    if (PopCount(mask) > max_bound) continue;
+    Constraint c = Constraint::ForTuple(r, t, mask);
+    if (InContextualSkyline(r, t, c, m, limit)) out.push_back(mask);
+  }
+  return out;
+}
+
+std::vector<DimMask> ComputeMaximalSkylineConstraintMasks(
+    const Relation& r, TupleId t, MeasureMask m, int max_bound,
+    TupleId limit) {
+  std::vector<DimMask> sky = ComputeSkylineConstraintMasks(r, t, m, max_bound,
+                                                           limit);
+  std::vector<DimMask> maximal;
+  for (DimMask c : sky) {
+    bool has_more_general = false;
+    for (DimMask other : sky) {
+      if (other != c && IsSubsetOf(other, c)) {
+        // `other` binds a subset of c's attributes with t's values: it is a
+        // strict ancestor of c that is also a skyline constraint.
+        has_more_general = true;
+        break;
+      }
+    }
+    if (!has_more_general) maximal.push_back(c);
+  }
+  return maximal;
+}
+
+}  // namespace sitfact

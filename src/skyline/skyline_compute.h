@@ -1,0 +1,50 @@
+#ifndef SITFACT_SKYLINE_SKYLINE_COMPUTE_H_
+#define SITFACT_SKYLINE_SKYLINE_COMPUTE_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "lattice/constraint.h"
+#include "relation/relation.h"
+
+namespace sitfact {
+
+/// From-scratch skyline utilities. These are the reference ("oracle")
+/// implementations: quadratic, obviously correct, used by BruteForce, the
+/// test suite and invariant checkers — never on the incremental hot path.
+
+/// λ_M(candidates): ids of tuples in `candidates` not dominated by any other
+/// candidate in subspace `m`. Preserves input order.
+std::vector<TupleId> ComputeSkyline(const Relation& r,
+                                    const std::vector<TupleId>& candidates,
+                                    MeasureMask m);
+
+/// σ_C(R) over the first `limit` tuples (pass r.size() for all).
+std::vector<TupleId> SelectContext(const Relation& r, const Constraint& c,
+                                   TupleId limit);
+
+/// λ_M(σ_C(R)) over the first `limit` tuples.
+std::vector<TupleId> ComputeContextualSkyline(const Relation& r,
+                                              const Constraint& c,
+                                              MeasureMask m, TupleId limit);
+
+/// True iff `t` is in λ_M(σ_C(R)) over the first `limit` tuples; `t` itself
+/// must be < limit.
+bool InContextualSkyline(const Relation& r, TupleId t, const Constraint& c,
+                         MeasureMask m, TupleId limit);
+
+/// The skyline constraints SC^t_M of Def. 9 restricted to masks with at most
+/// `max_bound` bound attributes, returned as DimMasks.
+std::vector<DimMask> ComputeSkylineConstraintMasks(const Relation& r,
+                                                   TupleId t, MeasureMask m,
+                                                   int max_bound,
+                                                   TupleId limit);
+
+/// The maximal skyline constraints MSC^t_M of Def. 10 (masks minimal in
+/// subset order among the skyline constraint masks).
+std::vector<DimMask> ComputeMaximalSkylineConstraintMasks(
+    const Relation& r, TupleId t, MeasureMask m, int max_bound, TupleId limit);
+
+}  // namespace sitfact
+
+#endif  // SITFACT_SKYLINE_SKYLINE_COMPUTE_H_

@@ -1,0 +1,31 @@
+#include "storage/context_counter.h"
+
+#include "common/bits.h"
+
+namespace sitfact {
+
+void ContextCounter::OnArrival(const Relation& r, TupleId t) {
+  int nd = r.schema().num_dimensions();
+  DimMask full = FullMask(nd);
+  for (DimMask mask = 0; mask <= full; ++mask) {
+    if (PopCount(mask) > max_bound_) continue;
+    ++counts_[Constraint::ForTuple(r, t, mask)];
+  }
+}
+
+void ContextCounter::OnRemoval(const Relation& r, TupleId t) {
+  int nd = r.schema().num_dimensions();
+  DimMask full = FullMask(nd);
+  for (DimMask mask = 0; mask <= full; ++mask) {
+    if (PopCount(mask) > max_bound_) continue;
+    auto it = counts_.find(Constraint::ForTuple(r, t, mask));
+    if (it != counts_.end() && it->second > 0) --it->second;
+  }
+}
+
+uint64_t ContextCounter::Count(const Constraint& c) const {
+  auto it = counts_.find(c);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+}  // namespace sitfact

@@ -1,0 +1,213 @@
+#include "storage/file_mu_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "common/logging.h"
+
+namespace sitfact {
+
+namespace fs = std::filesystem;
+
+FileMuStore::FileMuStore(std::string root_dir) : root_(std::move(root_dir)) {
+  std::error_code ec;
+  fs::create_directories(root_, ec);
+  if (ec) {
+    RecordError(Status::IoError("cannot create " + root_ + ": " +
+                                ec.message()));
+  }
+  // 256 shard subdirectories keep per-directory file counts manageable.
+  for (int shard = 0; shard < 256; ++shard) {
+    char name[8];
+    std::snprintf(name, sizeof(name), "%02x", shard);
+    fs::create_directories(fs::path(root_) / name, ec);
+    if (ec) {
+      RecordError(Status::IoError("cannot create shard dir: " + ec.message()));
+      break;
+    }
+  }
+}
+
+FileMuStore::~FileMuStore() { Cleanup(); }
+
+void FileMuStore::Cleanup() {
+  std::error_code ec;
+  fs::remove_all(root_, ec);  // Best effort; ignore errors on teardown.
+}
+
+void FileMuStore::RecordError(Status status) {
+  if (status_.ok()) status_ = std::move(status);
+}
+
+MuStore::Context* FileMuStore::GetOrCreate(const Constraint& c) {
+  auto it = contexts_.find(c);
+  if (it != contexts_.end()) return &it->second;
+  auto [new_it, inserted] =
+      contexts_.emplace(c, FileContext(this, next_context_id_++));
+  return &new_it->second;
+}
+
+MuStore::Context* FileMuStore::Find(const Constraint& c) {
+  auto it = contexts_.find(c);
+  return it == contexts_.end() ? nullptr : &it->second;
+}
+
+void FileMuStore::ForEachBucket(
+    const std::function<void(const Constraint&, MeasureMask,
+                             const std::vector<TupleId>&)>& fn) {
+  std::vector<TupleId> bucket;
+  for (auto& [constraint, ctx] : contexts_) {
+    for (const auto& entry : ctx.entries_) {
+      if (entry.size == 0) continue;
+      ctx.Read(entry.mask, &bucket);
+      fn(constraint, entry.mask, bucket);
+    }
+  }
+}
+
+std::string FileMuStore::BucketPath(uint64_t context_id,
+                                    MeasureMask m) const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%02x/%llx_%x.bin",
+                static_cast<unsigned>(context_id & 0xFF),
+                static_cast<unsigned long long>(context_id),
+                static_cast<unsigned>(m));
+  return (fs::path(root_) / buf).string();
+}
+
+void FileMuStore::LoadBucket(const std::string& path, uint32_t expected_size,
+                             std::vector<TupleId>* out) {
+  out->clear();
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    RecordError(Status::IoError("missing bucket file: " + path));
+    return;
+  }
+  ++stats_.file_reads;
+  out->resize(expected_size);
+  size_t read = std::fread(out->data(), sizeof(TupleId), expected_size, f);
+  std::fclose(f);
+  if (read != expected_size) {
+    out->resize(read);
+    RecordError(Status::Corruption("short bucket read: " + path));
+  }
+}
+
+void FileMuStore::StoreBucket(const std::string& path, uint32_t old_size,
+                              const std::vector<TupleId>& contents) {
+  if (contents.empty()) {
+    if (old_size > 0) {
+      std::error_code ec;
+      fs::remove(path, ec);
+      ++stats_.file_writes;
+      disk_bytes_ -= old_size * sizeof(TupleId);
+    }
+    return;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    RecordError(Status::IoError("cannot write bucket file: " + path));
+    return;
+  }
+  ++stats_.file_writes;
+  size_t written =
+      std::fwrite(contents.data(), sizeof(TupleId), contents.size(), f);
+  std::fclose(f);
+  if (written != contents.size()) {
+    RecordError(Status::IoError("short bucket write: " + path));
+  }
+  disk_bytes_ += contents.size() * sizeof(TupleId);
+  disk_bytes_ -= old_size * sizeof(TupleId);
+}
+
+int FileMuStore::FileContext::FindEntry(MeasureMask m) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), m,
+      [](const Entry& e, MeasureMask mask) { return e.mask < mask; });
+  if (it == entries_.end() || it->mask != m) return -1;
+  return static_cast<int>(it - entries_.begin());
+}
+
+void FileMuStore::FileContext::SetSize(MeasureMask m, uint32_t size) {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), m,
+      [](const Entry& e, MeasureMask mask) { return e.mask < mask; });
+  if (it != entries_.end() && it->mask == m) {
+    if (size == 0) {
+      entries_.erase(it);
+    } else {
+      it->size = size;
+    }
+    return;
+  }
+  if (size != 0) entries_.insert(it, Entry{m, size});
+}
+
+void FileMuStore::FileContext::Read(MeasureMask m,
+                                    std::vector<TupleId>* out) {
+  ++store_->stats_.bucket_reads;
+  int i = FindEntry(m);
+  if (i < 0) {
+    out->clear();
+    return;
+  }
+  store_->LoadBucket(store_->BucketPath(context_id_, m), entries_[i].size,
+                     out);
+}
+
+void FileMuStore::FileContext::Write(MeasureMask m,
+                                     const std::vector<TupleId>& contents) {
+  ++store_->stats_.bucket_writes;
+  int i = FindEntry(m);
+  uint32_t old_size = i < 0 ? 0 : entries_[i].size;
+  if (old_size == 0 && contents.empty()) return;
+  store_->StoreBucket(store_->BucketPath(context_id_, m), old_size, contents);
+  store_->stats_.stored_tuples += contents.size();
+  store_->stats_.stored_tuples -= old_size;
+  SetSize(m, static_cast<uint32_t>(contents.size()));
+}
+
+uint32_t FileMuStore::FileContext::Size(MeasureMask m) const {
+  int i = FindEntry(m);
+  return i < 0 ? 0 : entries_[i].size;
+}
+
+bool FileMuStore::FileContext::Contains(MeasureMask m, TupleId t) {
+  if (Size(m) == 0) return false;
+  Read(m, &store_->scratch_);
+  return std::find(store_->scratch_.begin(), store_->scratch_.end(), t) !=
+         store_->scratch_.end();
+}
+
+void FileMuStore::FileContext::Insert(MeasureMask m, TupleId t) {
+  Read(m, &store_->scratch_);
+  store_->scratch_.push_back(t);
+  Write(m, store_->scratch_);
+}
+
+bool FileMuStore::FileContext::Erase(MeasureMask m, TupleId t) {
+  if (Size(m) == 0) return false;
+  Read(m, &store_->scratch_);
+  auto it = std::find(store_->scratch_.begin(), store_->scratch_.end(), t);
+  if (it == store_->scratch_.end()) return false;
+  *it = store_->scratch_.back();
+  store_->scratch_.pop_back();
+  Write(m, store_->scratch_);
+  return true;
+}
+
+size_t FileMuStore::FileContext::ApproxMemoryBytes() const {
+  return entries_.capacity() * sizeof(Entry);
+}
+
+size_t FileMuStore::ApproxMemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& [key, ctx] : contexts_) {
+    bytes += sizeof(Constraint) + 3 * sizeof(void*) + sizeof(FileContext);
+    bytes += ctx.ApproxMemoryBytes();
+  }
+  return bytes;
+}
+
+}  // namespace sitfact

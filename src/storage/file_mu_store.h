@@ -1,0 +1,96 @@
+#ifndef SITFACT_STORAGE_FILE_MU_STORE_H_
+#define SITFACT_STORAGE_FILE_MU_STORE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/mu_store.h"
+
+namespace sitfact {
+
+/// File-backed µ store (Sec. VI-C): every non-empty µ_{C,M} bucket is one
+/// small binary file of little-endian TupleIds. A bucket visit slurps the
+/// whole file into a buffer; updates overwrite the file (empty buckets delete
+/// it). An in-memory index keeps constraint -> {subspace -> size}, so
+/// emptiness checks cost no IO — which is precisely why FSTopDown beats
+/// FSBottomUp: it stores far fewer tuples, leaves most buckets empty, and
+/// thus triggers far fewer file reads and writes.
+class FileMuStore : public MuStore {
+ public:
+  /// Creates/uses `root_dir` (made on demand). Existing files from a prior
+  /// run with the same directory are NOT reloaded; use a fresh directory per
+  /// stream.
+  explicit FileMuStore(std::string root_dir);
+  ~FileMuStore() override;
+
+  Context* GetOrCreate(const Constraint& c) override;
+  Context* Find(const Constraint& c) override;
+
+  void ForEachBucket(
+      const std::function<void(const Constraint&, MeasureMask,
+                               const std::vector<TupleId>&)>& fn) override;
+
+  size_t ApproxMemoryBytes() const override;
+
+  /// Total bytes currently stored in bucket files.
+  uint64_t DiskBytes() const { return disk_bytes_; }
+
+  /// First IO/corruption error encountered, if any. The store keeps serving
+  /// (degraded) after an error; callers that care should check this.
+  const Status& status() const { return status_; }
+
+  /// Removes the store's directory tree. Called by the destructor.
+  void Cleanup();
+
+  size_t context_count() const { return contexts_.size(); }
+
+ private:
+  class FileContext : public Context {
+   public:
+    FileContext(FileMuStore* store, uint64_t context_id)
+        : store_(store), context_id_(context_id) {}
+
+    void Read(MeasureMask m, std::vector<TupleId>* out) override;
+    void Write(MeasureMask m, const std::vector<TupleId>& contents) override;
+    uint32_t Size(MeasureMask m) const override;
+    bool Contains(MeasureMask m, TupleId t) override;
+    void Insert(MeasureMask m, TupleId t) override;
+    bool Erase(MeasureMask m, TupleId t) override;
+
+    size_t ApproxMemoryBytes() const;
+
+   private:
+    friend class FileMuStore;
+    struct Entry {
+      MeasureMask mask;
+      uint32_t size;  // cached bucket cardinality
+    };
+
+    int FindEntry(MeasureMask m) const;
+    void SetSize(MeasureMask m, uint32_t size);
+
+    FileMuStore* store_;
+    uint64_t context_id_;
+    std::vector<Entry> entries_;
+  };
+
+  std::string BucketPath(uint64_t context_id, MeasureMask m) const;
+  void LoadBucket(const std::string& path, uint32_t expected_size,
+                  std::vector<TupleId>* out);
+  void StoreBucket(const std::string& path, uint32_t old_size,
+                   const std::vector<TupleId>& contents);
+  void RecordError(Status status);
+
+  std::string root_;
+  Status status_;
+  uint64_t next_context_id_ = 0;
+  uint64_t disk_bytes_ = 0;
+  std::unordered_map<Constraint, FileContext, ConstraintHash> contexts_;
+  std::vector<TupleId> scratch_;  // reused buffer for read-modify-write ops
+};
+
+}  // namespace sitfact
+
+#endif  // SITFACT_STORAGE_FILE_MU_STORE_H_

@@ -1,0 +1,140 @@
+#include "storage/memory_mu_store.h"
+
+#include <algorithm>
+
+namespace sitfact {
+
+MuStore::Context* MemoryMuStore::GetOrCreate(const Constraint& c) {
+  auto [it, inserted] = contexts_.try_emplace(c, &stats_);
+  return &it->second;
+}
+
+MuStore::Context* MemoryMuStore::Find(const Constraint& c) {
+  auto it = contexts_.find(c);
+  return it == contexts_.end() ? nullptr : &it->second;
+}
+
+void MemoryMuStore::ForEachBucket(
+    const std::function<void(const Constraint&, MeasureMask,
+                             const std::vector<TupleId>&)>& fn) {
+  for (const auto& [constraint, ctx] : contexts_) {
+    for (const auto& entry : ctx.entries_) {
+      if (!entry.bucket.empty()) fn(constraint, entry.mask, entry.bucket);
+    }
+  }
+}
+
+size_t MemoryMuStore::ApproxMemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& [key, ctx] : contexts_) {
+    // Key + hash-map node overhead (bucket pointer + node next pointer).
+    bytes += sizeof(Constraint) + 3 * sizeof(void*);
+    bytes += ctx.ApproxMemoryBytes();
+  }
+  return bytes;
+}
+
+int MemoryMuStore::MemContext::FindEntry(MeasureMask m) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), m,
+      [](const Entry& e, MeasureMask mask) { return e.mask < mask; });
+  if (it == entries_.end() || it->mask != m) return -1;
+  return static_cast<int>(it - entries_.begin());
+}
+
+std::vector<TupleId>* MemoryMuStore::MemContext::GetBucket(MeasureMask m,
+                                                           bool create) {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), m,
+      [](const Entry& e, MeasureMask mask) { return e.mask < mask; });
+  if (it != entries_.end() && it->mask == m) return &it->bucket;
+  if (!create) return nullptr;
+  it = entries_.insert(it, Entry{m, {}});
+  return &it->bucket;
+}
+
+void MemoryMuStore::MemContext::Read(MeasureMask m,
+                                     std::vector<TupleId>* out) {
+  ++stats_->bucket_reads;
+  out->clear();
+  int i = FindEntry(m);
+  if (i >= 0) *out = entries_[i].bucket;
+}
+
+void MemoryMuStore::MemContext::Write(MeasureMask m,
+                                      const std::vector<TupleId>& contents) {
+  ++stats_->bucket_writes;
+  int i = FindEntry(m);
+  if (i < 0 && contents.empty()) return;
+  if (i >= 0) {
+    stats_->stored_tuples -= entries_[i].bucket.size();
+    if (contents.empty()) {
+      entries_.erase(entries_.begin() + i);
+    } else {
+      entries_[i].bucket = contents;
+      stats_->stored_tuples += contents.size();
+    }
+    return;
+  }
+  *GetBucket(m, /*create=*/true) = contents;
+  stats_->stored_tuples += contents.size();
+}
+
+uint32_t MemoryMuStore::MemContext::Size(MeasureMask m) const {
+  int i = FindEntry(m);
+  return i < 0 ? 0 : static_cast<uint32_t>(entries_[i].bucket.size());
+}
+
+bool MemoryMuStore::MemContext::Contains(MeasureMask m, TupleId t) {
+  ++stats_->bucket_reads;
+  int i = FindEntry(m);
+  if (i < 0) return false;
+  const auto& b = entries_[i].bucket;
+  return std::find(b.begin(), b.end(), t) != b.end();
+}
+
+void MemoryMuStore::MemContext::Insert(MeasureMask m, TupleId t) {
+  ++stats_->bucket_writes;
+  GetBucket(m, /*create=*/true)->push_back(t);
+  ++stats_->stored_tuples;
+}
+
+bool MemoryMuStore::MemContext::Erase(MeasureMask m, TupleId t) {
+  int i = FindEntry(m);
+  if (i < 0) return false;
+  auto& b = entries_[i].bucket;
+  auto it = std::find(b.begin(), b.end(), t);
+  if (it == b.end()) return false;
+  ++stats_->bucket_writes;
+  *it = b.back();
+  b.pop_back();
+  --stats_->stored_tuples;
+  if (b.empty()) entries_.erase(entries_.begin() + i);
+  return true;
+}
+
+std::vector<TupleId>* MemoryMuStore::MemContext::Direct(MeasureMask m,
+                                                        bool create) {
+  std::vector<TupleId>* bucket = GetBucket(m, create);
+  if (bucket != nullptr) ++stats_->bucket_reads;
+  return bucket;
+}
+
+void MemoryMuStore::MemContext::CommitDirect(MeasureMask m, size_t old_size) {
+  ++stats_->bucket_writes;
+  int i = FindEntry(m);
+  if (i < 0) return;  // bucket vanished; nothing to reconcile
+  stats_->stored_tuples += entries_[i].bucket.size();
+  stats_->stored_tuples -= old_size;
+  if (entries_[i].bucket.empty()) entries_.erase(entries_.begin() + i);
+}
+
+size_t MemoryMuStore::MemContext::ApproxMemoryBytes() const {
+  size_t bytes = entries_.capacity() * sizeof(Entry);
+  for (const auto& e : entries_) {
+    bytes += e.bucket.capacity() * sizeof(TupleId);
+  }
+  return bytes;
+}
+
+}  // namespace sitfact

@@ -1,0 +1,66 @@
+#ifndef SITFACT_STORAGE_MEMORY_MU_STORE_H_
+#define SITFACT_STORAGE_MEMORY_MU_STORE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "storage/mu_store.h"
+
+namespace sitfact {
+
+/// In-memory µ store: constraint -> sorted-by-mask list of (subspace, bucket)
+/// entries. A flat sorted vector beats a per-context hash map because most
+/// contexts hold buckets for only a handful of subspaces.
+class MemoryMuStore : public MuStore {
+ public:
+  MemoryMuStore() = default;
+
+  Context* GetOrCreate(const Constraint& c) override;
+  Context* Find(const Constraint& c) override;
+
+  void ForEachBucket(
+      const std::function<void(const Constraint&, MeasureMask,
+                               const std::vector<TupleId>&)>& fn) override;
+
+  size_t ApproxMemoryBytes() const override;
+
+  /// Number of distinct constraints with an entry.
+  size_t context_count() const { return contexts_.size(); }
+
+ private:
+  class MemContext : public Context {
+   public:
+    explicit MemContext(MuStoreStats* stats) : stats_(stats) {}
+
+    void Read(MeasureMask m, std::vector<TupleId>* out) override;
+    void Write(MeasureMask m, const std::vector<TupleId>& contents) override;
+    uint32_t Size(MeasureMask m) const override;
+    bool Contains(MeasureMask m, TupleId t) override;
+    void Insert(MeasureMask m, TupleId t) override;
+    bool Erase(MeasureMask m, TupleId t) override;
+    std::vector<TupleId>* Direct(MeasureMask m, bool create) override;
+    void CommitDirect(MeasureMask m, size_t old_size) override;
+
+    size_t ApproxMemoryBytes() const;
+
+   private:
+    friend class MemoryMuStore;
+    struct Entry {
+      MeasureMask mask;
+      std::vector<TupleId> bucket;
+    };
+
+    /// Index into entries_ for `m`, or -1. Entries stay sorted by mask.
+    int FindEntry(MeasureMask m) const;
+    std::vector<TupleId>* GetBucket(MeasureMask m, bool create);
+
+    std::vector<Entry> entries_;
+    MuStoreStats* stats_;
+  };
+
+  std::unordered_map<Constraint, MemContext, ConstraintHash> contexts_;
+};
+
+}  // namespace sitfact
+
+#endif  // SITFACT_STORAGE_MEMORY_MU_STORE_H_

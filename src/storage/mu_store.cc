@@ -1,0 +1,6 @@
+#include "storage/mu_store.h"
+
+// MuStore is an interface; this TU only anchors its vtable/key functions so
+// the library has a home for future shared helpers.
+
+namespace sitfact {}  // namespace sitfact

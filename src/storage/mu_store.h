@@ -1,0 +1,115 @@
+#ifndef SITFACT_STORAGE_MU_STORE_H_
+#define SITFACT_STORAGE_MU_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+#include "lattice/constraint.h"
+
+namespace sitfact {
+
+/// How an algorithm populates µ buckets; prominence evaluation needs to know
+/// which convention a store follows (Invariant 1 vs Invariant 2).
+enum class StoragePolicy {
+  /// Invariant 1 (BottomUp family): µ_{C,M} holds the full contextual
+  /// skyline λ_M(σ_C(R)).
+  kAllSkylineConstraints,
+  /// Invariant 2 (TopDown family): µ_{C,M} holds a tuple iff C is one of its
+  /// maximal skyline constraints MSC^t_M.
+  kMaximalSkylineConstraints,
+};
+
+/// Aggregate store counters, the raw material of Figs. 10 and 12/13.
+struct MuStoreStats {
+  uint64_t stored_tuples = 0;   // current Σ bucket sizes (Fig. 10b)
+  uint64_t bucket_reads = 0;    // bucket fetches
+  uint64_t bucket_writes = 0;   // bucket overwrites
+  uint64_t file_reads = 0;      // file loads (file store only)
+  uint64_t file_writes = 0;     // file stores (file store only)
+};
+
+/// Storage of contextual skylines: one bucket of TupleIds per
+/// (constraint, measure-subspace) pair, addressed through a per-constraint
+/// Context handle so a discovery pass resolves each constraint's hash once
+/// and then touches many subspaces cheaply.
+///
+/// Buckets are read and written as whole vectors. That matches the paper's
+/// file-based implementation (each non-empty µ_{C,M} is one small binary
+/// file, slurped on visit and overwritten afterwards) and keeps the
+/// in-memory and on-disk stores behaviourally identical.
+class MuStore {
+ public:
+  class Context {
+   public:
+    virtual ~Context() = default;
+
+    /// Copies the bucket for subspace `m` into *out (cleared first). For the
+    /// file store this loads the bucket's file if non-empty.
+    virtual void Read(MeasureMask m, std::vector<TupleId>* out) = 0;
+
+    /// Replaces the bucket for subspace `m`. Writing an empty vector removes
+    /// the bucket (and deletes its file in the file store).
+    virtual void Write(MeasureMask m, const std::vector<TupleId>& contents) = 0;
+
+    /// O(1) size of the bucket from the in-memory index; no IO.
+    virtual uint32_t Size(MeasureMask m) const = 0;
+
+    bool Empty(MeasureMask m) const { return Size(m) == 0; }
+
+    /// Membership test; may cost a bucket read in the file store.
+    virtual bool Contains(MeasureMask m, TupleId t) = 0;
+
+    /// Appends `t` to the bucket (read-modify-write).
+    virtual void Insert(MeasureMask m, TupleId t) = 0;
+
+    /// Removes `t` from the bucket if present; returns whether removed.
+    virtual bool Erase(MeasureMask m, TupleId t) = 0;
+
+    /// In-place access for memory-resident stores: a stable pointer to the
+    /// live bucket, or nullptr when unsupported (file store) or when the
+    /// bucket is absent and !create. A caller that mutates the returned
+    /// vector must call CommitDirect exactly once with the size the bucket
+    /// had when Direct returned, so stats stay accurate and emptied buckets
+    /// are reclaimed. The pointer is valid until the next operation on this
+    /// context.
+    virtual std::vector<TupleId>* Direct(MeasureMask m, bool create) {
+      (void)m;
+      (void)create;
+      return nullptr;
+    }
+    virtual void CommitDirect(MeasureMask m, size_t old_size) {
+      (void)m;
+      (void)old_size;
+    }
+  };
+
+  virtual ~MuStore() = default;
+
+  /// Stable handle for constraint `c`, creating an (empty) entry if absent.
+  virtual Context* GetOrCreate(const Constraint& c) = 0;
+
+  /// Stable handle or nullptr when the constraint has no entry.
+  virtual Context* Find(const Constraint& c) = 0;
+
+  /// Visits every non-empty (constraint, subspace, bucket) triple, in
+  /// unspecified order. Bucket contents are materialized, so the file store
+  /// pays one file read per bucket; intended for snapshotting and debugging,
+  /// not the discovery hot path.
+  virtual void ForEachBucket(
+      const std::function<void(const Constraint&, MeasureMask,
+                               const std::vector<TupleId>&)>& fn) = 0;
+
+  const MuStoreStats& stats() const { return stats_; }
+
+  /// Approximate bytes held by the store's in-memory structures (Fig. 10a).
+  virtual size_t ApproxMemoryBytes() const = 0;
+
+ protected:
+  MuStoreStats stats_;
+};
+
+}  // namespace sitfact
+
+#endif  // SITFACT_STORAGE_MU_STORE_H_

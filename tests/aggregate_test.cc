@@ -1,0 +1,210 @@
+// Tests for core/aggregate_facts.h: rollup correctness (count/sum/min/max/
+// mean), period semantics, discovery on the derived relation, and config
+// validation.
+
+#include "core/aggregate_facts.h"
+
+#include <string>
+#include <vector>
+
+#include "test_util.h"
+
+#include <gtest/gtest.h>
+
+namespace sitfact {
+namespace {
+
+using Spec = AggregateFactStream::AggregateSpec;
+
+/// Base schema for a city incident log: city, kind; measures severity.
+Schema IncidentSchema() {
+  return Schema({{"city"}, {"kind"}},
+                {{"severity", Direction::kLargerIsBetter}});
+}
+
+AggregateFactStream::Config DuiConfig() {
+  AggregateFactStream::Config config;
+  config.group_dims = {0};  // group by city
+  config.period_name = "day";
+  Spec count;
+  count.kind = Spec::Kind::kCount;
+  count.name = "incidents";
+  Spec max_sev;
+  max_sev.kind = Spec::Kind::kMax;
+  max_sev.measure_index = 0;
+  max_sev.name = "worst_severity";
+  config.aggregates = {count, max_sev};
+  config.tau = 0.0;
+  return config;
+}
+
+Row Incident(const std::string& city, const std::string& kind,
+             double severity) {
+  return Row{{city, kind}, {severity}};
+}
+
+TEST(AggregateFactStream, RollupSchemaShape) {
+  auto stream_or = AggregateFactStream::Create(IncidentSchema(), DuiConfig());
+  ASSERT_TRUE(stream_or.ok()) << stream_or.status().ToString();
+  const Schema& s = stream_or.value()->rollup_schema();
+  ASSERT_EQ(s.num_dimensions(), 2);
+  EXPECT_EQ(s.dimension(0).name, "city");
+  EXPECT_EQ(s.dimension(1).name, "day");
+  ASSERT_EQ(s.num_measures(), 2);
+  EXPECT_EQ(s.measure(0).name, "incidents");
+  EXPECT_EQ(s.measure(1).name, "worst_severity");
+}
+
+TEST(AggregateFactStream, AggregatesAreExact) {
+  auto stream_or = AggregateFactStream::Create(IncidentSchema(), DuiConfig());
+  ASSERT_TRUE(stream_or.ok());
+  AggregateFactStream& stream = *stream_or.value();
+
+  stream.Add(Incident("C", "dui", 3));
+  stream.Add(Incident("C", "collision", 7));
+  stream.Add(Incident("C", "dui", 5));
+  stream.Add(Incident("B", "dui", 2));
+  auto day1 = stream.ClosePeriod("2013-06-01");
+
+  ASSERT_EQ(day1.size(), 2u);  // first-touch order: C then B
+  EXPECT_EQ(day1[0].row.dimensions,
+            (std::vector<std::string>{"C", "2013-06-01"}));
+  EXPECT_EQ(day1[0].row.measures, (std::vector<double>{3, 7}));
+  EXPECT_EQ(day1[1].row.dimensions,
+            (std::vector<std::string>{"B", "2013-06-01"}));
+  EXPECT_EQ(day1[1].row.measures, (std::vector<double>{1, 2}));
+  EXPECT_EQ(stream.rollup_relation().size(), 2u);
+}
+
+TEST(AggregateFactStream, AllAggregateKinds) {
+  AggregateFactStream::Config config;
+  config.group_dims = {0};
+  Spec count{Spec::Kind::kCount, 0, "n", Direction::kLargerIsBetter};
+  Spec sum{Spec::Kind::kSum, 0, "total", Direction::kLargerIsBetter};
+  Spec mx{Spec::Kind::kMax, 0, "peak", Direction::kLargerIsBetter};
+  Spec mn{Spec::Kind::kMin, 0, "floor", Direction::kSmallerIsBetter};
+  Spec mean{Spec::Kind::kMean, 0, "avg", Direction::kLargerIsBetter};
+  config.aggregates = {count, sum, mx, mn, mean};
+  auto stream_or = AggregateFactStream::Create(IncidentSchema(), config);
+  ASSERT_TRUE(stream_or.ok());
+  AggregateFactStream& stream = *stream_or.value();
+
+  stream.Add(Incident("X", "a", 4));
+  stream.Add(Incident("X", "b", 10));
+  stream.Add(Incident("X", "c", 1));
+  auto out = stream.ClosePeriod("p1");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].row.measures, (std::vector<double>{3, 15, 10, 1, 5}));
+}
+
+TEST(AggregateFactStream, PeriodsResetAccumulators) {
+  auto stream_or = AggregateFactStream::Create(IncidentSchema(), DuiConfig());
+  ASSERT_TRUE(stream_or.ok());
+  AggregateFactStream& stream = *stream_or.value();
+
+  stream.Add(Incident("C", "dui", 3));
+  stream.ClosePeriod("day1");
+  stream.Add(Incident("C", "dui", 9));
+  auto day2 = stream.ClosePeriod("day2");
+  ASSERT_EQ(day2.size(), 1u);
+  EXPECT_EQ(day2[0].row.measures, (std::vector<double>{1, 9}));  // not 2
+  // The rollup relation accumulates across periods.
+  EXPECT_EQ(stream.rollup_relation().size(), 2u);
+}
+
+TEST(AggregateFactStream, EmptyPeriodEmitsNothing) {
+  auto stream_or = AggregateFactStream::Create(IncidentSchema(), DuiConfig());
+  ASSERT_TRUE(stream_or.ok());
+  EXPECT_TRUE(stream_or.value()->ClosePeriod("quiet day").empty());
+}
+
+TEST(AggregateFactStream, DiscoversTheIntroExampleFact) {
+  // "There were 35 DUI arrests and 20 collisions in city C yesterday, the
+  // first time in 2013": the rollup row (city=C, day=d35) must be in the
+  // contextual skyline of city=C on {incidents}.
+  auto stream_or = AggregateFactStream::Create(IncidentSchema(), DuiConfig());
+  ASSERT_TRUE(stream_or.ok());
+  AggregateFactStream& stream = *stream_or.value();
+
+  // 30 ordinary days with few incidents, then a record-setting day.
+  for (int day = 0; day < 30; ++day) {
+    for (int i = 0; i < 3 + day % 4; ++i) {
+      stream.Add(Incident("C", "dui", 2));
+    }
+    stream.Add(Incident("B", "dui", 1));
+    stream.ClosePeriod("2013-day" + std::to_string(day));
+  }
+  for (int i = 0; i < 55; ++i) stream.Add(Incident("C", "dui", 2));
+  auto record_day = stream.ClosePeriod("2013-day30");
+
+  ASSERT_FALSE(record_day.empty());
+  const auto& arrival = record_day[0];
+  ASSERT_EQ(arrival.row.dimensions[0], "C");
+  const Relation& rollup = stream.rollup_relation();
+  bool found_city_fact = false;
+  for (const SkylineFact& f : arrival.report.facts) {
+    if (f.constraint.ToPredicateString(rollup) == "city=C" &&
+        f.subspace == 0b01) {
+      found_city_fact = true;
+    }
+  }
+  EXPECT_TRUE(found_city_fact);
+  // And it should rank with high prominence: 31 days in city C, one skyline
+  // day on {incidents}.
+  ASSERT_FALSE(arrival.report.ranked.empty());
+  EXPECT_GE(arrival.report.ranked.front().prominence, 30.0);
+}
+
+TEST(AggregateFactStream, MultiDimensionalGroups) {
+  AggregateFactStream::Config config = DuiConfig();
+  config.group_dims = {0, 1};  // (city, kind)
+  auto stream_or = AggregateFactStream::Create(IncidentSchema(), config);
+  ASSERT_TRUE(stream_or.ok());
+  AggregateFactStream& stream = *stream_or.value();
+
+  stream.Add(Incident("C", "dui", 3));
+  stream.Add(Incident("C", "collision", 7));
+  stream.Add(Incident("C", "dui", 5));
+  auto out = stream.ClosePeriod("d");
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].row.dimensions,
+            (std::vector<std::string>{"C", "dui", "d"}));
+  EXPECT_EQ(out[0].row.measures[0], 2);
+  EXPECT_EQ(out[1].row.dimensions,
+            (std::vector<std::string>{"C", "collision", "d"}));
+}
+
+TEST(AggregateFactStream, ValidationErrors) {
+  AggregateFactStream::Config config = DuiConfig();
+  config.group_dims = {5};
+  EXPECT_EQ(
+      AggregateFactStream::Create(IncidentSchema(), config).status().code(),
+      StatusCode::kInvalidArgument);
+
+  config = DuiConfig();
+  config.aggregates.clear();
+  EXPECT_EQ(
+      AggregateFactStream::Create(IncidentSchema(), config).status().code(),
+      StatusCode::kInvalidArgument);
+
+  config = DuiConfig();
+  config.aggregates[1].measure_index = 9;
+  EXPECT_EQ(
+      AggregateFactStream::Create(IncidentSchema(), config).status().code(),
+      StatusCode::kInvalidArgument);
+
+  config = DuiConfig();
+  config.algorithm = "NoSuchAlgorithm";
+  EXPECT_EQ(
+      AggregateFactStream::Create(IncidentSchema(), config).status().code(),
+      StatusCode::kNotFound);
+
+  config = DuiConfig();
+  config.group_dims.clear();
+  EXPECT_EQ(
+      AggregateFactStream::Create(IncidentSchema(), config).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace sitfact

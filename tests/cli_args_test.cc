@@ -1,0 +1,98 @@
+// Unit tests for the CLI argument parser (tools/cli_commands.h). The
+// subcommands themselves are covered by ctest smoke tests; this covers the
+// parsing edge cases those tests cannot reach.
+
+#include "cli_commands.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sitfact {
+namespace cli {
+namespace {
+
+/// argv builder: keeps the strings alive and hands out char* the way main
+/// receives them.
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : strings_(std::move(args)) {
+    for (auto& s : strings_) pointers_.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(pointers_.size()); }
+  char** argv() { return pointers_.data(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::vector<char*> pointers_;
+};
+
+TEST(ParseArgs, CommandAndFlagValuePairs) {
+  Argv a({"sitfact_cli", "discover", "--csv", "data.csv", "--tau", "100"});
+  Args args;
+  ASSERT_TRUE(ParseArgs(a.argc(), a.argv(), &args));
+  EXPECT_EQ(args.command, "discover");
+  EXPECT_EQ(args.Get("csv"), "data.csv");
+  EXPECT_EQ(args.GetInt("tau", -1), 100);
+  EXPECT_EQ(args.GetDouble("tau", -1), 100.0);
+}
+
+TEST(ParseArgs, EqualsSyntaxAndBareBooleans) {
+  Argv a({"cli", "resume", "--snapshot=x.snap", "--quiet", "--replay"});
+  Args args;
+  ASSERT_TRUE(ParseArgs(a.argc(), a.argv(), &args));
+  EXPECT_EQ(args.Get("snapshot"), "x.snap");
+  EXPECT_TRUE(args.Has("quiet"));
+  EXPECT_EQ(args.Get("quiet"), "true");
+  EXPECT_TRUE(args.Has("replay"));
+}
+
+TEST(ParseArgs, BareFlagFollowedByFlagStaysBoolean) {
+  Argv a({"cli", "discover", "--quiet", "--csv", "f.csv"});
+  Args args;
+  ASSERT_TRUE(ParseArgs(a.argc(), a.argv(), &args));
+  EXPECT_EQ(args.Get("quiet"), "true");
+  EXPECT_EQ(args.Get("csv"), "f.csv");
+}
+
+TEST(ParseArgs, RepeatedFlagKeepsLastValue) {
+  Argv a({"cli", "query", "--algo", "bnl", "--algo", "dnc"});
+  Args args;
+  ASSERT_TRUE(ParseArgs(a.argc(), a.argv(), &args));
+  EXPECT_EQ(args.Get("algo"), "dnc");
+}
+
+TEST(ParseArgs, PositionalArgumentRejected) {
+  Argv a({"cli", "discover", "stray.csv"});
+  Args args;
+  EXPECT_FALSE(ParseArgs(a.argc(), a.argv(), &args));
+}
+
+TEST(ParseArgs, NoCommandRejected) {
+  Argv a({"cli"});
+  Args args;
+  EXPECT_FALSE(ParseArgs(a.argc(), a.argv(), &args));
+}
+
+TEST(ParseArgs, DefaultsWhenFlagAbsent) {
+  Argv a({"cli", "generate"});
+  Args args;
+  ASSERT_TRUE(ParseArgs(a.argc(), a.argv(), &args));
+  EXPECT_FALSE(args.Has("rows"));
+  EXPECT_EQ(args.Get("dataset", "nba"), "nba");
+  EXPECT_EQ(args.GetInt("rows", 1000), 1000);
+  EXPECT_EQ(args.GetDouble("tau", 2.5), 2.5);
+}
+
+TEST(ParseArgs, NegativeAndFloatValuesParse) {
+  Argv a({"cli", "discover", "--dhat", "-1", "--tau", "2.75"});
+  Args args;
+  ASSERT_TRUE(ParseArgs(a.argc(), a.argv(), &args));
+  // "-1" starts with '-' but not "--": it is consumed as the value.
+  EXPECT_EQ(args.GetInt("dhat", 0), -1);
+  EXPECT_DOUBLE_EQ(args.GetDouble("tau", 0), 2.75);
+}
+
+}  // namespace
+}  // namespace cli
+}  // namespace sitfact

@@ -1,0 +1,152 @@
+// Unit tests for the common substrate: bit utilities, hashing, the seeded
+// PRNG, and Status/StatusOr.
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/bits.h"
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace sitfact {
+namespace {
+
+TEST(Bits, PopCountAndSubsets) {
+  EXPECT_EQ(PopCount(0u), 0);
+  EXPECT_EQ(PopCount(0b1011u), 3);
+  EXPECT_TRUE(IsSubsetOf(0b001, 0b011));
+  EXPECT_TRUE(IsSubsetOf(0b011, 0b011));
+  EXPECT_FALSE(IsSubsetOf(0b100, 0b011));
+  EXPECT_TRUE(IsProperSubsetOf(0b001, 0b011));
+  EXPECT_FALSE(IsProperSubsetOf(0b011, 0b011));
+  EXPECT_EQ(FullMask(0), 0u);
+  EXPECT_EQ(FullMask(3), 0b111u);
+  EXPECT_EQ(FullMask(32), 0xFFFFFFFFu);
+}
+
+TEST(Bits, ForEachBitVisitsEverySetBitOnce) {
+  std::vector<int> bits;
+  ForEachBit(0b101001u, [&](int b) { bits.push_back(b); });
+  EXPECT_EQ(bits, (std::vector<int>{0, 3, 5}));
+  ForEachBit(0u, [&](int) { FAIL() << "no bits expected"; });
+}
+
+TEST(Bits, ForEachSubsetEnumeratesPowerSet) {
+  std::set<uint32_t> subs;
+  ForEachSubset(0b1010u, [&](uint32_t s) { subs.insert(s); });
+  EXPECT_EQ(subs, (std::set<uint32_t>{0b0000, 0b0010, 0b1000, 0b1010}));
+
+  std::set<uint32_t> proper;
+  ForEachProperSubset(0b1010u, [&](uint32_t s) { proper.insert(s); });
+  EXPECT_EQ(proper, (std::set<uint32_t>{0b0000, 0b0010, 0b1000}));
+}
+
+TEST(Bits, ForEachSubsetOfZero) {
+  int count = 0;
+  ForEachSubset(0u, [&](uint32_t s) {
+    EXPECT_EQ(s, 0u);
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Hash, MixAvalanchesAndCombineOrders) {
+  EXPECT_NE(Mix64(1), Mix64(2));
+  EXPECT_NE(HashCombine(Mix64(1), 2), HashCombine(Mix64(2), 1));
+  // Deterministic.
+  EXPECT_EQ(Mix64(42), Mix64(42));
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(7), b(7), c(8);
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.NextU64();
+    EXPECT_EQ(va, b.NextU64());
+    (void)c.NextU64();
+  }
+  Rng a2(7), c2(8);
+  EXPECT_NE(a2.NextU64(), c2.NextU64());
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+    int64_t v = rng.NextInt(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ZipfIsSkewedTowardLowRanks) {
+  Rng rng(5);
+  int low = 0;
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    uint64_t v = rng.NextZipf(1000, 1.1);
+    EXPECT_LT(v, 1000u);
+    if (v < 10) ++low;
+  }
+  // The first 1% of ranks should absorb far more than 1% of the mass.
+  EXPECT_GT(low, kDraws / 20);
+}
+
+TEST(Rng, GaussianMomentsRoughlyStandard) {
+  Rng rng(99);
+  double sum = 0, sumsq = 0;
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sumsq += g * g;
+  }
+  double mean = sum / kDraws;
+  double var = sumsq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.08);
+}
+
+TEST(Status, CodesAndMessages) {
+  Status ok;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ToString(), "OK");
+
+  Status bad = Status::InvalidArgument("nope");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(bad.ToString(), "INVALID_ARGUMENT: nope");
+  EXPECT_EQ(bad, Status::InvalidArgument("nope"));
+  EXPECT_FALSE(bad == Status::NotFound("nope"));
+}
+
+TEST(Status, StatusOrHoldsValueOrError) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+
+  StatusOr<int> e(Status::NotFound("missing"));
+  ASSERT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Status, StatusOrWorksWithMoveOnlyAndNonDefaultConstructible) {
+  struct NoDefault {
+    explicit NoDefault(int x) : x(x) {}
+    int x;
+  };
+  StatusOr<NoDefault> v(NoDefault(5));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().x, 5);
+  StatusOr<std::unique_ptr<int>> p(std::make_unique<int>(9));
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(*std::move(p).value(), 9);
+}
+
+}  // namespace
+}  // namespace sitfact

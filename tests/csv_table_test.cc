@@ -1,0 +1,174 @@
+// Tests for io/csv_table.h: schema-agnostic CSV reading with quoting, BOM
+// and CRLF tolerance, plus the by-name Dataset projection.
+
+#include "io/csv_table.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/csv.h"
+#include "test_util.h"
+
+#include <gtest/gtest.h>
+
+namespace sitfact {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CsvFile {
+ public:
+  explicit CsvFile(const std::string& contents)
+      : path_((fs::temp_directory_path() /
+               ("sitfact_csv_test_" + std::to_string(::getpid()) + "_" +
+                std::to_string(counter_++) + ".csv"))
+                  .string()) {
+    std::ofstream f(path_, std::ios::binary);
+    f << contents;
+  }
+  ~CsvFile() {
+    std::error_code ec;
+    fs::remove(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  static int counter_;
+  std::string path_;
+};
+
+int CsvFile::counter_ = 0;
+
+TEST(CsvHelpers, QuoteRoundTrip) {
+  EXPECT_EQ(CsvQuote("plain"), "plain");
+  EXPECT_EQ(CsvQuote("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(CsvQuote("with\"quote"), "\"with\"\"quote\"");
+
+  std::vector<std::string> fields;
+  ASSERT_TRUE(SplitCsvLine("a,\"b,c\",\"d\"\"e\"", &fields).ok());
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b,c");
+  EXPECT_EQ(fields[2], "d\"e");
+}
+
+TEST(CsvHelpers, UnterminatedQuoteFails) {
+  std::vector<std::string> fields;
+  EXPECT_EQ(SplitCsvLine("a,\"unterminated", &fields).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(CsvTable, BasicRead) {
+  CsvFile file("name,team,points\nAlice,Red,10\nBob,Blue,20\n");
+  auto table_or = CsvTable::Read(file.path());
+  ASSERT_TRUE(table_or.ok()) << table_or.status().ToString();
+  const CsvTable& t = table_or.value();
+  EXPECT_EQ(t.header(), (std::vector<std::string>{"name", "team", "points"}));
+  ASSERT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.rows()[1][0], "Bob");
+  EXPECT_EQ(t.ColumnIndex("team"), 1);
+  EXPECT_EQ(t.ColumnIndex("nope"), -1);
+}
+
+TEST(CsvTable, ToleratesBomCrlfAndBlankLines) {
+  CsvFile file("\xEF\xBB\xBFname,points\r\nAlice,10\r\n\r\nBob,20\r\n");
+  auto table_or = CsvTable::Read(file.path());
+  ASSERT_TRUE(table_or.ok()) << table_or.status().ToString();
+  const CsvTable& t = table_or.value();
+  EXPECT_EQ(t.header()[0], "name");  // BOM stripped
+  ASSERT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.rows()[0][1], "10");  // no trailing \r
+}
+
+TEST(CsvTable, QuotedFieldsWithCommas) {
+  CsvFile file("player,college\nJones,\"Texas A&M, College Station\"\n");
+  auto table_or = CsvTable::Read(file.path());
+  ASSERT_TRUE(table_or.ok());
+  EXPECT_EQ(table_or.value().rows()[0][1], "Texas A&M, College Station");
+}
+
+TEST(CsvTable, RaggedRowFails) {
+  CsvFile file("a,b,c\n1,2\n");
+  auto table_or = CsvTable::Read(file.path());
+  EXPECT_EQ(table_or.status().code(), StatusCode::kCorruption);
+}
+
+TEST(CsvTable, EmptyFileFails) {
+  CsvFile file("");
+  EXPECT_EQ(CsvTable::Read(file.path()).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(CsvTable, MissingFileFails) {
+  EXPECT_EQ(CsvTable::Read("/nonexistent/sitfact.csv").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(DatasetFromCsvTable, MapsColumnsByNameInAnyOrder) {
+  // File column order deliberately differs from schema order.
+  CsvFile file("points,team,player,fouls\n10,Red,Alice,2\n20,Blue,Bob,3\n");
+  auto table_or = CsvTable::Read(file.path());
+  ASSERT_TRUE(table_or.ok());
+
+  Schema schema({{"player"}, {"team"}},
+                {{"points", Direction::kLargerIsBetter},
+                 {"fouls", Direction::kSmallerIsBetter}});
+  auto data_or = DatasetFromCsvTable(table_or.value(), schema);
+  ASSERT_TRUE(data_or.ok()) << data_or.status().ToString();
+  const Dataset& d = data_or.value();
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.rows()[0].dimensions,
+            (std::vector<std::string>{"Alice", "Red"}));
+  EXPECT_EQ(d.rows()[0].measures, (std::vector<double>{10, 2}));
+  EXPECT_EQ(d.rows()[1].dimensions,
+            (std::vector<std::string>{"Bob", "Blue"}));
+}
+
+TEST(DatasetFromCsvTable, MissingColumnFails) {
+  CsvFile file("a,b\nx,1\n");
+  auto table_or = CsvTable::Read(file.path());
+  ASSERT_TRUE(table_or.ok());
+  Schema schema({{"a"}}, {{"missing", Direction::kLargerIsBetter}});
+  EXPECT_EQ(DatasetFromCsvTable(table_or.value(), schema).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(DatasetFromCsvTable, NonNumericMeasureFails) {
+  CsvFile file("a,m\nx,notanumber\n");
+  auto table_or = CsvTable::Read(file.path());
+  ASSERT_TRUE(table_or.ok());
+  Schema schema({{"a"}}, {{"m", Direction::kLargerIsBetter}});
+  EXPECT_EQ(DatasetFromCsvTable(table_or.value(), schema).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(DatasetFromCsvTable, RoundTripWithDatasetWriteCsv) {
+  // Dataset::WriteCsv output must be readable through CsvTable +
+  // DatasetFromCsvTable with identical content.
+  Dataset original = testing_util::PaperTableI();
+  std::string path =
+      (fs::temp_directory_path() /
+       ("sitfact_csv_roundtrip_" + std::to_string(::getpid()) + ".csv"))
+          .string();
+  ASSERT_TRUE(original.WriteCsv(path).ok());
+
+  auto table_or = CsvTable::Read(path);
+  ASSERT_TRUE(table_or.ok());
+  auto data_or = DatasetFromCsvTable(table_or.value(), original.schema());
+  std::error_code ec;
+  fs::remove(path, ec);
+  ASSERT_TRUE(data_or.ok());
+  const Dataset& loaded = data_or.value();
+  ASSERT_EQ(loaded.size(), original.size());
+  for (size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded.rows()[i].dimensions, original.rows()[i].dimensions);
+    EXPECT_EQ(loaded.rows()[i].measures, original.rows()[i].measures);
+  }
+}
+
+}  // namespace
+}  // namespace sitfact

@@ -1,0 +1,172 @@
+// Tests for the synthetic dataset generators: determinism, schema fidelity
+// to Tables V/VI, cardinality and distribution shape (the properties the
+// discovery algorithms are actually sensitive to).
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "datagen/names.h"
+#include "datagen/nba_generator.h"
+#include "datagen/weather_generator.h"
+
+namespace sitfact {
+namespace {
+
+TEST(Names, PoolCardinalitiesMatchTheRealDatasets) {
+  EXPECT_EQ(NbaTeamNames().size(), 29u);
+  EXPECT_EQ(PositionNames().size(), 5u);
+  EXPECT_EQ(SeasonMonthNames().size(), 6u);
+  EXPECT_EQ(StateNames().size(), 50u);
+  EXPECT_EQ(CompassDirections().size(), 16u);
+  EXPECT_EQ(UkCountries().size(), 6u);
+}
+
+TEST(Names, SynthesizedNamesAreDistinctPerIndex) {
+  std::set<std::string> names;
+  for (uint64_t i = 0; i < 500; ++i) names.insert(SynthesizePlayerName(i));
+  EXPECT_EQ(names.size(), 500u);
+  EXPECT_NE(SynthesizeCollegeName(3), SynthesizeCollegeName(4));
+  EXPECT_EQ(SynthesizeLocationName(42), "Stn-0042");
+}
+
+TEST(NbaGenerator, DeterministicPerSeed) {
+  NbaGenerator a, b;
+  for (int i = 0; i < 200; ++i) {
+    Row ra = a.Next();
+    Row rb = b.Next();
+    ASSERT_EQ(ra.dimensions, rb.dimensions) << "row " << i;
+    ASSERT_EQ(ra.measures, rb.measures) << "row " << i;
+  }
+  NbaGenerator::Config other;
+  other.seed = 99;
+  NbaGenerator c(other);
+  bool differs = false;
+  NbaGenerator a2;
+  for (int i = 0; i < 50 && !differs; ++i) {
+    if (a2.Next().dimensions != c.Next().dimensions) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(NbaGenerator, SchemaAndTableVandVISubsets) {
+  Schema s = NbaGenerator::FullSchema();
+  EXPECT_EQ(s.num_dimensions(), 8);
+  EXPECT_EQ(s.num_measures(), 7);
+  EXPECT_EQ(s.measure(s.MeasureIndex("fouls")).direction,
+            Direction::kSmallerIsBetter);
+  EXPECT_EQ(s.measure(s.MeasureIndex("turnovers")).direction,
+            Direction::kSmallerIsBetter);
+  EXPECT_EQ(s.measure(s.MeasureIndex("points")).direction,
+            Direction::kLargerIsBetter);
+
+  EXPECT_EQ(NbaGenerator::DimensionsForD(4),
+            (std::vector<std::string>{"player", "season", "team",
+                                      "opp_team"}));
+  EXPECT_EQ(NbaGenerator::DimensionsForD(7).size(), 7u);
+  // Table V: d=6 and d=7 drop `player` in favor of biography attributes.
+  auto d6 = NbaGenerator::DimensionsForD(6);
+  EXPECT_EQ(std::count(d6.begin(), d6.end(), "player"), 0);
+  EXPECT_EQ(NbaGenerator::MeasuresForM(4),
+            (std::vector<std::string>{"points", "rebounds", "assists",
+                                      "blocks"}));
+  EXPECT_EQ(NbaGenerator::MeasuresForM(7).size(), 7u);
+}
+
+TEST(NbaGenerator, RowsProjectOntoEveryTableVConfig) {
+  NbaGenerator gen;
+  Dataset data = gen.Generate(300);
+  for (int d = 4; d <= 7; ++d) {
+    for (int m = 4; m <= 7; ++m) {
+      auto proj = data.Project(NbaGenerator::DimensionsForD(d),
+                               NbaGenerator::MeasuresForM(m));
+      ASSERT_TRUE(proj.ok()) << "d=" << d << " m=" << m;
+      EXPECT_EQ(proj.value().schema().num_dimensions(), d);
+      EXPECT_EQ(proj.value().schema().num_measures(), m);
+    }
+  }
+}
+
+TEST(NbaGenerator, MeasuresStayInPlausibleRanges) {
+  NbaGenerator gen;
+  Dataset data = gen.Generate(2000);
+  const Schema& s = data.schema();
+  int pts = s.MeasureIndex("points");
+  int fouls = s.MeasureIndex("fouls");
+  double max_pts = 0;
+  for (const Row& r : data.rows()) {
+    ASSERT_GE(r.measures[pts], 0);
+    ASSERT_LE(r.measures[pts], 70);
+    ASSERT_GE(r.measures[fouls], 0);
+    ASSERT_LE(r.measures[fouls], 6);
+    max_pts = std::max(max_pts, r.measures[pts]);
+    ASSERT_NE(r.dimensions[6], r.dimensions[7]) << "team == opp_team";
+  }
+  // Star skew: someone has a big game in 2000 draws.
+  EXPECT_GE(max_pts, 30);
+}
+
+TEST(NbaGenerator, SeasonsAdvanceAndPlayersTurnOver) {
+  NbaGenerator::Config cfg;
+  cfg.tuples_per_season = 500;
+  NbaGenerator gen(cfg);
+  Dataset data = gen.Generate(2500);
+  std::set<std::string> seasons;
+  std::set<std::string> players;
+  for (const Row& r : data.rows()) {
+    seasons.insert(r.dimensions[4]);
+    players.insert(r.dimensions[0]);
+  }
+  EXPECT_EQ(seasons.size(), 5u);  // 2500 / 500
+  EXPECT_TRUE(seasons.count("1991-92"));
+  EXPECT_TRUE(seasons.count("1995-96"));
+  // Turnover creates more distinct players than one season's rosters hold.
+  EXPECT_GT(players.size(), 29u * 13u);
+}
+
+TEST(WeatherGenerator, DeterministicAndInRange) {
+  WeatherGenerator::Config cfg;
+  cfg.num_locations = 50;
+  cfg.records_per_day = 200;
+  WeatherGenerator a(cfg), b(cfg);
+  for (int i = 0; i < 300; ++i) {
+    Row ra = a.Next();
+    Row rb = b.Next();
+    ASSERT_EQ(ra.dimensions, rb.dimensions);
+    ASSERT_EQ(ra.measures, rb.measures);
+    ASSERT_GE(ra.measures[0], 0);   // wind speed day
+    ASSERT_LE(ra.measures[0], 90);
+    ASSERT_GE(ra.measures[2], -12);  // temperature day
+    ASSERT_LE(ra.measures[2], 35);
+    ASSERT_GE(ra.measures[4], 25);  // humidity day
+    ASSERT_LE(ra.measures[4], 100);
+  }
+}
+
+TEST(WeatherGenerator, SchemaMatchesPaper) {
+  Schema s = WeatherGenerator::FullSchema();
+  EXPECT_EQ(s.num_dimensions(), 7);
+  EXPECT_EQ(s.num_measures(), 7);
+  // The paper assumes larger dominates smaller on ALL weather measures.
+  for (const auto& m : s.measures()) {
+    EXPECT_EQ(m.direction, Direction::kLargerIsBetter);
+  }
+  EXPECT_EQ(WeatherGenerator::DimensionsForD(5).size(), 5u);
+  EXPECT_EQ(WeatherGenerator::MeasuresForM(7).size(), 7u);
+}
+
+TEST(WeatherGenerator, MonthsAdvanceWithTheStream) {
+  WeatherGenerator::Config cfg;
+  cfg.num_locations = 20;
+  cfg.records_per_day = 10;  // 300 records per month
+  WeatherGenerator gen(cfg);
+  Dataset data = gen.Generate(1000);
+  std::set<std::string> months;
+  for (const Row& r : data.rows()) months.insert(r.dimensions[2]);
+  EXPECT_GE(months.size(), 3u);
+  EXPECT_TRUE(months.count("Dec"));
+}
+
+}  // namespace
+}  // namespace sitfact

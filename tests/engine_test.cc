@@ -1,0 +1,129 @@
+// Tests for the DiscoveryEngine facade, the by-name algorithm factory, and
+// the fact narrator.
+
+#include <filesystem>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/narrator.h"
+#include "test_util.h"
+
+namespace sitfact {
+namespace {
+
+using testing_util::PaperTableI;
+
+TEST(Factory, CreatesEveryPaperAlgorithm) {
+  Dataset data = PaperTableI();
+  Relation r(data.schema());
+  for (const char* name :
+       {"BruteForce", "BaselineSeq", "BaselineIdx", "C-CSC", "BottomUp",
+        "TopDown", "SBottomUp", "STopDown"}) {
+    auto d = DiscoveryEngine::CreateDiscoverer(name, &r, {});
+    ASSERT_TRUE(d.ok()) << name;
+    EXPECT_EQ(d.value()->name(), name);
+  }
+}
+
+TEST(Factory, FileVariantsNeedDirectory) {
+  Dataset data = PaperTableI();
+  Relation r(data.schema());
+  EXPECT_FALSE(DiscoveryEngine::CreateDiscoverer("FSTopDown", &r, {}).ok());
+  auto dir =
+      (std::filesystem::temp_directory_path() / "sitfact_factory").string();
+  auto d = DiscoveryEngine::CreateDiscoverer("FSTopDown", &r, {}, dir);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value()->name(), "FSTopDown");
+  auto b = DiscoveryEngine::CreateDiscoverer("FSBottomUp", &r, {}, dir + "2");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b.value()->name(), "FSBottomUp");
+}
+
+TEST(Factory, RejectsUnknownNames) {
+  Dataset data = PaperTableI();
+  Relation r(data.schema());
+  auto d = DiscoveryEngine::CreateDiscoverer("QuantumSkyline", &r, {});
+  ASSERT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Engine, AppendDiscoversRanksAndSelectsProminent) {
+  Dataset data = PaperTableI();
+  Relation r(data.schema());
+  auto disc = DiscoveryEngine::CreateDiscoverer("STopDown", &r, {});
+  ASSERT_TRUE(disc.ok());
+  DiscoveryEngine::Config config;
+  config.tau = 3.0;
+  DiscoveryEngine engine(&r, std::move(disc).value(), config);
+
+  ArrivalReport last;
+  for (const Row& row : data.rows()) last = engine.Append(row);
+
+  EXPECT_EQ(last.tuple, 6u);
+  EXPECT_EQ(last.facts.size(), 195u);
+  EXPECT_EQ(last.ranked.size(), 195u);
+  ASSERT_FALSE(last.prominent.empty());
+  // All prominent facts tie at the maximum (5; see paper_examples_test).
+  for (const auto& f : last.prominent) {
+    EXPECT_DOUBLE_EQ(f.prominence, 5.0);
+    EXPECT_GE(f.prominence, config.tau);
+  }
+}
+
+TEST(Engine, RankingOffSkipsProminence) {
+  Dataset data = PaperTableI();
+  Relation r(data.schema());
+  auto disc = DiscoveryEngine::CreateDiscoverer("BaselineSeq", &r, {});
+  ASSERT_TRUE(disc.ok());
+  DiscoveryEngine::Config config;
+  config.rank_facts = false;
+  DiscoveryEngine engine(&r, std::move(disc).value(), config);
+  ArrivalReport report = engine.Append(data.rows()[0]);
+  EXPECT_FALSE(report.facts.empty());
+  EXPECT_TRUE(report.ranked.empty());
+  EXPECT_TRUE(report.prominent.empty());
+}
+
+TEST(Narrator, ProducesReadableSentences) {
+  Dataset data = PaperTableI();
+  Relation r(data.schema());
+  auto disc = DiscoveryEngine::CreateDiscoverer("BottomUp", &r, {});
+  ASSERT_TRUE(disc.ok());
+  DiscoveryEngine engine(&r, std::move(disc).value(), {});
+  ArrivalReport last;
+  for (const Row& row : data.rows()) last = engine.Append(row);
+
+  FactNarrator narrator(&r, r.schema().DimensionIndex("player"));
+  ASSERT_FALSE(last.ranked.empty());
+  std::string text = narrator.Narrate(last.tuple, last.ranked.front());
+  EXPECT_NE(text.find("Wesley"), std::string::npos);
+  EXPECT_NE(text.find("undominated"), std::string::npos);
+  EXPECT_NE(text.find("prominence"), std::string::npos);
+
+  std::string summary = narrator.Summarize(last.ranked.front());
+  EXPECT_NE(summary.find("prominence="), std::string::npos);
+
+  // Without an entity dimension the sentence still renders.
+  FactNarrator anon(&r);
+  std::string anon_text = anon.Narrate(last.tuple, last.ranked.front());
+  EXPECT_NE(anon_text.find("undominated"), std::string::npos);
+}
+
+TEST(Engine, StatsAccumulateAcrossArrivals) {
+  Dataset data = PaperTableI();
+  Relation r(data.schema());
+  auto disc_or = DiscoveryEngine::CreateDiscoverer("BottomUp", &r, {});
+  ASSERT_TRUE(disc_or.ok());
+  Discoverer* raw = disc_or.value().get();
+  DiscoveryEngine engine(&r, std::move(disc_or).value(), {});
+  for (const Row& row : data.rows()) engine.Append(row);
+  EXPECT_EQ(raw->stats().arrivals, data.size());
+  EXPECT_GT(raw->stats().constraints_traversed, 0u);
+  EXPECT_GT(raw->StoredTupleCount(), 0u);
+  EXPECT_GT(raw->ApproxMemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace sitfact

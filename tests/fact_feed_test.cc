@@ -1,0 +1,162 @@
+// Tests for service/fact_feed.h: the asynchronous ingestion front end.
+// Determinism versus the synchronous engine, backpressure, drain/stop
+// semantics, and multi-producer accounting.
+
+#include "service/fact_feed.h"
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "test_util.h"
+
+#include <gtest/gtest.h>
+
+namespace sitfact {
+namespace {
+
+using testing_util::RandomDataConfig;
+using testing_util::RandomDataset;
+
+std::unique_ptr<DiscoveryEngine> MakeEngine(Relation* relation,
+                                            double tau = 2.0) {
+  auto disc_or = DiscoveryEngine::CreateDiscoverer("STopDown", relation, {});
+  EXPECT_TRUE(disc_or.ok());
+  DiscoveryEngine::Config config;
+  config.tau = tau;
+  return std::make_unique<DiscoveryEngine>(relation,
+                                           std::move(disc_or).value(),
+                                           config);
+}
+
+Dataset TestData(int n = 120, uint64_t seed = 21) {
+  RandomDataConfig cfg;
+  cfg.num_tuples = n;
+  cfg.seed = seed;
+  cfg.num_dims = 3;
+  cfg.num_measures = 2;
+  return RandomDataset(cfg);
+}
+
+TEST(FactFeed, SingleProducerMatchesSynchronousRun) {
+  Dataset data = TestData();
+
+  // Synchronous reference.
+  Relation sync_rel(data.schema());
+  auto sync_engine = MakeEngine(&sync_rel);
+  std::vector<std::vector<SkylineFact>> expected;
+  uint64_t expected_prominent = 0;
+  for (const Row& row : data.rows()) {
+    ArrivalReport r = sync_engine->Append(row);
+    expected.push_back(r.facts);
+    if (!r.prominent.empty()) ++expected_prominent;
+  }
+
+  // Through the feed. The subscriber runs on the worker thread; collect
+  // into plain vectors (no locking needed: one worker, and we only read
+  // after Stop()).
+  Relation feed_rel(data.schema());
+  auto feed_engine = MakeEngine(&feed_rel);
+  std::vector<std::vector<SkylineFact>> actual;
+  FactFeed::Options options;
+  options.notify_all_arrivals = true;
+  FactFeed feed(
+      feed_engine.get(),
+      [&](const ArrivalReport& r) { actual.push_back(r.facts); }, options);
+  for (const Row& row : data.rows()) {
+    ASSERT_TRUE(feed.Publish(row));
+  }
+  feed.Stop();
+
+  EXPECT_EQ(feed.processed(), data.rows().size());
+  EXPECT_EQ(feed.prominent_arrivals(), expected_prominent);
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(actual[i], expected[i]) << "arrival " << i;
+  }
+}
+
+TEST(FactFeed, BackpressureBlocksButLosesNothing) {
+  Dataset data = TestData(200, 5);
+  Relation rel(data.schema());
+  auto engine = MakeEngine(&rel);
+  FactFeed::Options options;
+  options.queue_capacity = 2;  // force producers to wait on the worker
+  FactFeed feed(engine.get(), nullptr, options);
+  for (const Row& row : data.rows()) {
+    ASSERT_TRUE(feed.Publish(row));
+  }
+  feed.Stop();
+  EXPECT_EQ(feed.processed(), data.rows().size());
+  EXPECT_EQ(rel.size(), data.rows().size());
+}
+
+TEST(FactFeed, DrainWaitsForBacklogWithoutStopping) {
+  Dataset data = TestData(80, 6);
+  Relation rel(data.schema());
+  auto engine = MakeEngine(&rel);
+  FactFeed feed(engine.get(), nullptr);
+  for (size_t i = 0; i < 40; ++i) ASSERT_TRUE(feed.Publish(data.rows()[i]));
+  feed.Drain();
+  EXPECT_EQ(feed.processed(), 40u);
+  // Still accepting afterwards.
+  for (size_t i = 40; i < 80; ++i) ASSERT_TRUE(feed.Publish(data.rows()[i]));
+  feed.Drain();
+  EXPECT_EQ(feed.processed(), 80u);
+  feed.Stop();
+}
+
+TEST(FactFeed, PublishAfterStopIsRefused) {
+  Dataset data = TestData(5, 7);
+  Relation rel(data.schema());
+  auto engine = MakeEngine(&rel);
+  FactFeed feed(engine.get(), nullptr);
+  ASSERT_TRUE(feed.Publish(data.rows()[0]));
+  feed.Stop();
+  EXPECT_FALSE(feed.Publish(data.rows()[1]));
+  EXPECT_EQ(feed.processed(), 1u);
+}
+
+TEST(FactFeed, StopProcessesTheBacklogFirst) {
+  Dataset data = TestData(60, 8);
+  Relation rel(data.schema());
+  auto engine = MakeEngine(&rel);
+  FactFeed feed(engine.get(), nullptr);
+  for (const Row& row : data.rows()) ASSERT_TRUE(feed.Publish(row));
+  feed.Stop();  // everything already queued must still be discovered
+  EXPECT_EQ(feed.processed(), data.rows().size());
+}
+
+TEST(FactFeed, MultipleProducersAllRowsAccountedFor) {
+  // Arrival order across producers is nondeterministic, so only totals are
+  // asserted; the engine still sees a single serialized stream.
+  Dataset data = TestData(300, 9);
+  Relation rel(data.schema());
+  auto engine = MakeEngine(&rel);
+  std::atomic<uint64_t> notified{0};
+  FactFeed::Options options;
+  options.notify_all_arrivals = true;
+  options.queue_capacity = 8;
+  FactFeed feed(
+      engine.get(), [&](const ArrivalReport&) { ++notified; }, options);
+
+  constexpr int kProducers = 4;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (size_t i = p; i < data.rows().size(); i += kProducers) {
+        ASSERT_TRUE(feed.Publish(data.rows()[i]));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  feed.Stop();
+
+  EXPECT_EQ(feed.processed(), data.rows().size());
+  EXPECT_EQ(notified.load(), data.rows().size());
+  EXPECT_EQ(rel.size(), data.rows().size());
+}
+
+}  // namespace
+}  // namespace sitfact

@@ -1,0 +1,123 @@
+// Tests for core/narrator.h: sentence structure, entity handling, number
+// formatting, and stability against the engine's real output.
+
+#include "core/narrator.h"
+
+#include <string>
+
+#include "core/engine.h"
+#include "test_util.h"
+
+#include <gtest/gtest.h>
+
+namespace sitfact {
+namespace {
+
+using testing_util::PaperTableI;
+
+class NarratorTest : public ::testing::Test {
+ protected:
+  NarratorTest() : data_(PaperTableI()), relation_(data_.schema()) {
+    for (const Row& row : data_.rows()) relation_.Append(row);
+  }
+
+  RankedFact MakeFact(TupleId t, DimMask bound, MeasureMask m,
+                      uint64_t ctx, uint64_t sky) {
+    RankedFact f;
+    f.fact.constraint = Constraint::ForTuple(relation_, t, bound);
+    f.fact.subspace = m;
+    f.context_size = ctx;
+    f.skyline_size = sky;
+    f.prominence = static_cast<double>(ctx) / static_cast<double>(sky);
+    return f;
+  }
+
+  Dataset data_;
+  Relation relation_;
+};
+
+TEST_F(NarratorTest, EntitySubjectLeadsTheSentence) {
+  FactNarrator narrator(&relation_, /*entity_dim=*/0);  // player
+  // t7 (id 6) in (month=Feb, {points, assists}): the Example 1 context.
+  RankedFact f = MakeFact(6, /*bound=*/0b00010, /*m=*/0b011, 5, 2);
+  std::string s = narrator.Narrate(6, f);
+  EXPECT_EQ(s.rfind("Wesley ", 0), 0u) << s;
+  EXPECT_NE(s.find("points=12"), std::string::npos) << s;
+  EXPECT_NE(s.find("assists=13"), std::string::npos) << s;
+  EXPECT_NE(s.find("month=Feb"), std::string::npos) << s;
+  EXPECT_NE(s.find("among the 5 tuples"), std::string::npos) << s;
+  EXPECT_NE(s.find("one of only 2"), std::string::npos) << s;
+  EXPECT_NE(s.find("prominence 2.5"), std::string::npos) << s;
+}
+
+TEST_F(NarratorTest, NoEntityFallsBackToGenericSubject) {
+  FactNarrator narrator(&relation_, /*entity_dim=*/-1);
+  RankedFact f = MakeFact(6, 0, 0b001, 7, 3);
+  std::string s = narrator.Narrate(6, f);
+  EXPECT_EQ(s.rfind("A new tuple ", 0), 0u) << s;
+  EXPECT_NE(s.find("(no constraint)"), std::string::npos) << s;
+}
+
+TEST_F(NarratorTest, IntegersRenderWithoutDecimals) {
+  FactNarrator narrator(&relation_, 0);
+  RankedFact f = MakeFact(6, 0, 0b001, 10, 4);
+  std::string s = narrator.Narrate(6, f);
+  EXPECT_NE(s.find("points=12"), std::string::npos) << s;
+  EXPECT_EQ(s.find("points=12.0"), std::string::npos) << s;
+}
+
+TEST_F(NarratorTest, FractionalMeasuresKeepTwoDecimals) {
+  Schema schema({{"city"}}, {{"rainfall", Direction::kLargerIsBetter}});
+  Relation r(std::move(schema));
+  r.Append(Row{{"X"}, {3.25}});
+  FactNarrator narrator(&r, 0);
+  RankedFact f;
+  f.fact.constraint = Constraint::Top(1);
+  f.fact.subspace = 0b1;
+  f.context_size = 3;
+  f.skyline_size = 2;
+  f.prominence = 1.5;
+  EXPECT_NE(narrator.Narrate(0, f).find("rainfall=3.25"),
+            std::string::npos);
+}
+
+TEST_F(NarratorTest, SummarizeCarriesTheNumbers) {
+  FactNarrator narrator(&relation_, 0);
+  RankedFact f = MakeFact(6, 0b00010, 0b011, 5, 2);
+  std::string s = narrator.Summarize(f);
+  EXPECT_NE(s.find("prominence=2.50"), std::string::npos) << s;
+  EXPECT_NE(s.find("|ctx|=5"), std::string::npos) << s;
+  EXPECT_NE(s.find("|sky|=2"), std::string::npos) << s;
+}
+
+TEST_F(NarratorTest, NarratesEngineOutputEndToEnd) {
+  // The engine's ranked facts must be narratable without surprises. Uses
+  // Example 1's prominence numbers: (month=Feb, {points, assists,
+  // rebounds}) has context 5 and skyline {t2, t7}, prominence 5/2.
+  Relation rel(data_.schema());
+  auto disc_or = DiscoveryEngine::CreateDiscoverer("STopDown", &rel, {});
+  ASSERT_TRUE(disc_or.ok());
+  DiscoveryEngine::Config config;
+  config.tau = 0.0;
+  DiscoveryEngine engine(&rel, std::move(disc_or).value(), config);
+  ArrivalReport report;
+  for (const Row& row : data_.rows()) report = engine.Append(row);
+
+  FactNarrator narrator(&rel, 0);
+  bool found_feb_fact = false;
+  for (const RankedFact& rf : report.ranked) {
+    std::string s = narrator.Narrate(report.tuple, rf);
+    EXPECT_EQ(s.rfind("Wesley ", 0), 0u);
+    if (rf.fact.constraint.ToPredicateString(rel) == "month=Feb" &&
+        rf.fact.subspace == 0b111) {
+      found_feb_fact = true;
+      EXPECT_EQ(rf.context_size, 5u);
+      EXPECT_EQ(rf.skyline_size, 2u);
+      EXPECT_DOUBLE_EQ(rf.prominence, 2.5);
+    }
+  }
+  EXPECT_TRUE(found_feb_fact);
+}
+
+}  // namespace
+}  // namespace sitfact

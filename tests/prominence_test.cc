@@ -1,0 +1,122 @@
+// Prominence evaluation must produce identical numbers whichever storage
+// policy backs it: bucket sizes under Invariant 1, ancestor-union counting
+// under Invariant 2 — both validated against from-scratch skylines.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/bottom_up.h"
+#include "core/prominence.h"
+#include "core/top_down.h"
+#include "skyline/skyline_compute.h"
+#include "storage/context_counter.h"
+#include "test_util.h"
+
+namespace sitfact {
+namespace {
+
+using testing_util::RandomDataConfig;
+using testing_util::RandomDataset;
+
+class ProminenceTest : public ::testing::Test {
+ protected:
+  void Stream(const RandomDataConfig& cfg) {
+    data_ = RandomDataset(cfg);
+    rel_bu_ = std::make_unique<Relation>(data_.schema());
+    rel_td_ = std::make_unique<Relation>(data_.schema());
+    bu_ = std::make_unique<BottomUpDiscoverer>(rel_bu_.get(),
+                                               DiscoveryOptions{});
+    td_ = std::make_unique<TopDownDiscoverer>(rel_td_.get(),
+                                              DiscoveryOptions{});
+    counter_ = std::make_unique<ContextCounter>(data_.schema()
+                                                    .num_dimensions());
+    for (const Row& row : data_.rows()) {
+      TupleId a = rel_bu_->Append(row);
+      counter_->OnArrival(*rel_bu_, a);
+      last_facts_.clear();
+      bu_->Discover(a, &last_facts_);
+      TupleId b = rel_td_->Append(row);
+      std::vector<SkylineFact> td_facts;
+      td_->Discover(b, &td_facts);
+    }
+    CanonicalizeFacts(&last_facts_);
+  }
+
+  Dataset data_{Schema({{"d"}}, {{"m"}})};
+  std::unique_ptr<Relation> rel_bu_;
+  std::unique_ptr<Relation> rel_td_;
+  std::unique_ptr<BottomUpDiscoverer> bu_;
+  std::unique_ptr<TopDownDiscoverer> td_;
+  std::unique_ptr<ContextCounter> counter_;
+  std::vector<SkylineFact> last_facts_;
+};
+
+TEST_F(ProminenceTest, BothPoliciesAgreeWithFromScratchCounts) {
+  RandomDataConfig cfg;
+  cfg.num_tuples = 70;
+  cfg.num_dims = 3;
+  cfg.num_measures = 2;
+  cfg.seed = 4242;
+  Stream(cfg);
+
+  ProminenceEvaluator eval_bu(rel_bu_.get(), counter_.get(),
+                              bu_->mutable_store(),
+                              StoragePolicy::kAllSkylineConstraints);
+  ProminenceEvaluator eval_td(rel_td_.get(), counter_.get(),
+                              td_->mutable_store(),
+                              StoragePolicy::kMaximalSkylineConstraints);
+
+  ASSERT_FALSE(last_facts_.empty());
+  for (const SkylineFact& f : last_facts_) {
+    RankedFact a = eval_bu.Evaluate(f);
+    RankedFact b = eval_td.Evaluate(f);
+    uint64_t expected_sky =
+        ComputeContextualSkyline(*rel_bu_, f.constraint, f.subspace,
+                                 rel_bu_->size())
+            .size();
+    uint64_t expected_ctx =
+        SelectContext(*rel_bu_, f.constraint, rel_bu_->size()).size();
+    ASSERT_EQ(a.skyline_size, expected_sky);
+    ASSERT_EQ(b.skyline_size, expected_sky);
+    ASSERT_EQ(a.context_size, expected_ctx);
+    ASSERT_EQ(b.context_size, expected_ctx);
+    ASSERT_DOUBLE_EQ(a.prominence, b.prominence);
+  }
+}
+
+TEST_F(ProminenceTest, RankAllSortsDescending) {
+  RandomDataConfig cfg;
+  cfg.num_tuples = 60;
+  cfg.seed = 99;
+  Stream(cfg);
+  ProminenceEvaluator eval(rel_bu_.get(), counter_.get(),
+                           bu_->mutable_store(),
+                           StoragePolicy::kAllSkylineConstraints);
+  auto ranked = eval.RankAll(last_facts_);
+  ASSERT_EQ(ranked.size(), last_facts_.size());
+  for (size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_GE(ranked[i - 1].prominence, ranked[i].prominence);
+  }
+}
+
+TEST(SelectProminentTest, TiesAndThreshold) {
+  auto mk = [](double p) {
+    RankedFact f;
+    f.prominence = p;
+    return f;
+  };
+  std::vector<RankedFact> ranked{mk(8), mk(8), mk(5), mk(2)};
+  auto top = SelectProminent(ranked, 3.0);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_DOUBLE_EQ(top[0].prominence, 8.0);
+  EXPECT_DOUBLE_EQ(top[1].prominence, 8.0);
+  EXPECT_TRUE(SelectProminent(ranked, 8.5).empty());
+  EXPECT_TRUE(SelectProminent({}, 1.0).empty());
+  // τ exactly at the max keeps the ties.
+  EXPECT_EQ(SelectProminent(ranked, 8.0).size(), 2u);
+}
+
+}  // namespace
+}  // namespace sitfact

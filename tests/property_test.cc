@@ -1,0 +1,262 @@
+// Cross-cutting property tests: laws that must hold for any data, checked
+// over randomized streams — the d̂/m̂ monotonicity of the fact sets,
+// prominence bounds, storage-policy equalities between plain and sharing
+// variants, and the in-place µ-store access contract.
+
+#include <filesystem>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/bottom_up.h"
+#include "core/brute_force.h"
+#include "core/engine.h"
+#include "core/shared_bottom_up.h"
+#include "core/shared_top_down.h"
+#include "core/top_down.h"
+#include "storage/file_mu_store.h"
+#include "storage/memory_mu_store.h"
+#include "test_util.h"
+
+namespace sitfact {
+namespace {
+
+using testing_util::PaperTableIV;
+using testing_util::RandomDataConfig;
+using testing_util::RandomDataset;
+using testing_util::RunStream;
+
+// ---------------------------------------------------------------------------
+// Truncation monotonicity: growing d̂ or m̂ can only add facts, and the
+// facts of a truncated run are exactly the full run's facts filtered to the
+// truncated space. (This is what makes d̂/m̂ sound "anti-triviality" knobs
+// rather than approximations.)
+
+class TruncationTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TruncationTest, TruncatedFactsAreFilteredFullFacts) {
+  RandomDataConfig cfg;
+  cfg.num_tuples = 60;
+  cfg.num_dims = 4;
+  cfg.num_measures = 3;
+  cfg.seed = GetParam();
+  Dataset data = RandomDataset(cfg);
+
+  Relation full_rel(data.schema());
+  BruteForceDiscoverer full(&full_rel, {});
+  auto full_stream = RunStream(&full_rel, &full, data);
+
+  for (int dhat = 1; dhat <= 3; ++dhat) {
+    for (int mhat = 1; mhat <= 2; ++mhat) {
+      Relation rel(data.schema());
+      BruteForceDiscoverer trunc(
+          &rel, {.max_bound_dims = dhat, .max_measure_dims = mhat});
+      auto trunc_stream = RunStream(&rel, &trunc, data);
+      for (size_t i = 0; i < full_stream.size(); ++i) {
+        std::vector<SkylineFact> filtered;
+        for (const SkylineFact& f : full_stream[i]) {
+          if (f.constraint.BoundCount() <= dhat &&
+              PopCount(f.subspace) <= mhat) {
+            filtered.push_back(f);
+          }
+        }
+        ASSERT_EQ(filtered, trunc_stream[i])
+            << "dhat=" << dhat << " mhat=" << mhat << " arrival " << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TruncationTest,
+                         ::testing::Values(11u, 22u, 33u));
+
+// ---------------------------------------------------------------------------
+// Prominence bounds: every fact's prominence is >= 1 (the new tuple itself
+// is in both the context and its skyline) and <= |σ_C| (skylines are
+// non-empty).
+
+TEST(ProminenceProperties, BoundsHoldOnRandomStreams) {
+  RandomDataConfig cfg;
+  cfg.num_tuples = 80;
+  cfg.seed = 99123;
+  Dataset data = RandomDataset(cfg);
+  Relation rel(data.schema());
+  auto disc = DiscoveryEngine::CreateDiscoverer("SBottomUp", &rel, {});
+  ASSERT_TRUE(disc.ok());
+  DiscoveryEngine engine(&rel, std::move(disc).value(), {});
+  for (const Row& row : data.rows()) {
+    ArrivalReport report = engine.Append(row);
+    ASSERT_EQ(report.ranked.size(), report.facts.size());
+    for (const RankedFact& f : report.ranked) {
+      ASSERT_GE(f.prominence, 1.0) << FactToString(rel, f.fact);
+      ASSERT_GE(f.skyline_size, 1u);
+      ASSERT_LE(f.skyline_size, f.context_size);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 10's storage-equality claims as hard invariants: the sharing variants
+// use the same materialization scheme as their plain versions, so their
+// stores must be byte-for-byte equivalent after any stream.
+
+TEST(StorageEquality, SharingVariantsStoreIdentically) {
+  RandomDataConfig cfg;
+  cfg.num_tuples = 70;
+  cfg.num_dims = 3;
+  cfg.num_measures = 3;
+  cfg.seed = 7777;
+  Dataset data = RandomDataset(cfg);
+
+  auto run = [&](const std::string& name, Relation* rel) {
+    auto disc = DiscoveryEngine::CreateDiscoverer(name, rel, {});
+    EXPECT_TRUE(disc.ok());
+    auto d = std::move(disc).value();
+    RunStream(rel, d.get(), data);
+    return d;
+  };
+
+  Relation r1(data.schema()), r2(data.schema()), r3(data.schema()),
+      r4(data.schema());
+  auto bu = run("BottomUp", &r1);
+  auto sbu = run("SBottomUp", &r2);
+  auto td = run("TopDown", &r3);
+  auto std_ = run("STopDown", &r4);
+
+  EXPECT_EQ(bu->StoredTupleCount(), sbu->StoredTupleCount());
+  EXPECT_EQ(td->StoredTupleCount(), std_->StoredTupleCount());
+  EXPECT_LT(td->StoredTupleCount(), bu->StoredTupleCount());
+
+  // Bucket-level equality across every constraint derivable from the data.
+  DimMask full = FullMask(data.schema().num_dimensions());
+  SubspaceUniverse universe(data.schema().num_measures(), 3);
+  for (TupleId t = 0; t < r1.size(); ++t) {
+    for (DimMask mask = 0; mask <= full; ++mask) {
+      Constraint c = Constraint::ForTuple(r1, t, mask);
+      for (MeasureMask m : universe.masks()) {
+        auto bucket_of = [&](Discoverer& d) {
+          std::vector<TupleId> out;
+          MuStore::Context* ctx = d.mutable_store()->Find(c);
+          if (ctx != nullptr) ctx->Read(m, &out);
+          std::sort(out.begin(), out.end());
+          return out;
+        };
+        ASSERT_EQ(bucket_of(*bu), bucket_of(*sbu));
+        ASSERT_EQ(bucket_of(*td), bucket_of(*std_));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The in-place store contract (Direct / CommitDirect), which the hot loops
+// rely on through BucketCursor.
+
+TEST(MuStoreDirect, InPlaceMutationKeepsStatsAndContents) {
+  Dataset data = PaperTableIV();
+  Relation r(data.schema());
+  for (const Row& row : data.rows()) r.Append(row);
+  MemoryMuStore store;
+  Constraint c = Constraint::ForTuple(r, 4, 0b001);
+  MuStore::Context* ctx = store.GetOrCreate(c);
+
+  // Absent bucket without create: no pointer.
+  EXPECT_EQ(ctx->Direct(0b11, /*create=*/false), nullptr);
+
+  // Create-on-demand, mutate in place, commit.
+  std::vector<TupleId>* bucket = ctx->Direct(0b11, /*create=*/true);
+  ASSERT_NE(bucket, nullptr);
+  size_t old_size = bucket->size();
+  bucket->push_back(1);
+  bucket->push_back(4);
+  ctx->CommitDirect(0b11, old_size);
+  EXPECT_EQ(store.stats().stored_tuples, 2u);
+  EXPECT_EQ(ctx->Size(0b11), 2u);
+
+  // Shrink in place; stats must follow.
+  bucket = ctx->Direct(0b11, /*create=*/false);
+  ASSERT_NE(bucket, nullptr);
+  old_size = bucket->size();
+  bucket->pop_back();
+  ctx->CommitDirect(0b11, old_size);
+  EXPECT_EQ(store.stats().stored_tuples, 1u);
+
+  // Empty-on-commit reclaims the bucket entirely.
+  bucket = ctx->Direct(0b11, /*create=*/false);
+  ASSERT_NE(bucket, nullptr);
+  old_size = bucket->size();
+  bucket->clear();
+  ctx->CommitDirect(0b11, old_size);
+  EXPECT_EQ(store.stats().stored_tuples, 0u);
+  EXPECT_TRUE(ctx->Empty(0b11));
+  EXPECT_EQ(ctx->Direct(0b11, /*create=*/false), nullptr);
+}
+
+TEST(MuStoreDirect, FileStoreDeclinesDirectAccess) {
+  Dataset data = PaperTableIV();
+  Relation r(data.schema());
+  for (const Row& row : data.rows()) r.Append(row);
+  auto dir =
+      (std::filesystem::temp_directory_path() / "sitfact_direct").string();
+  FileMuStore store(dir);
+  MuStore::Context* ctx =
+      store.GetOrCreate(Constraint::ForTuple(r, 4, 0b001));
+  ctx->Write(0b11, {1, 2});
+  EXPECT_EQ(ctx->Direct(0b11, /*create=*/false), nullptr);
+  EXPECT_EQ(ctx->Direct(0b11, /*create=*/true), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Arrival-order insensitivity of the final state: streaming a permutation of
+// the same rows must end with identical buckets under Invariant 1 (the
+// contextual skylines of the final table do not depend on arrival order).
+
+TEST(OrderInsensitivity, FinalBucketsIndependentOfArrivalOrder) {
+  RandomDataConfig cfg;
+  cfg.num_tuples = 50;
+  cfg.seed = 321;
+  Dataset data = RandomDataset(cfg);
+  Dataset reversed(data.schema());
+  for (auto it = data.rows().rbegin(); it != data.rows().rend(); ++it) {
+    reversed.Add(*it);
+  }
+
+  Relation r1(data.schema());
+  BottomUpDiscoverer d1(&r1, {});
+  RunStream(&r1, &d1, data);
+  Relation r2(reversed.schema());
+  BottomUpDiscoverer d2(&r2, {});
+  RunStream(&r2, &d2, reversed);
+
+  // Compare buckets as sets of measure vectors (ids differ across orders).
+  SubspaceUniverse universe(data.schema().num_measures(), 2);
+  DimMask full = FullMask(data.schema().num_dimensions());
+  auto signature = [&](Relation& r, BottomUpDiscoverer& d, TupleId probe_rel,
+                       DimMask mask, MeasureMask m) {
+    std::multiset<std::pair<double, double>> sig;
+    Constraint c = Constraint::ForTuple(r, probe_rel, mask);
+    MuStore::Context* ctx = d.mutable_store()->Find(c);
+    std::vector<TupleId> bucket;
+    if (ctx != nullptr) ctx->Read(m, &bucket);
+    for (TupleId t : bucket) {
+      sig.emplace(r.measure(t, 0), r.measure(t, 1));
+    }
+    return sig;
+  };
+  // Probe via matching physical rows: tuple i in r1 == tuple n-1-i in r2.
+  TupleId n = r1.size();
+  for (TupleId i = 0; i < n; i += 7) {
+    for (DimMask mask = 0; mask <= full; ++mask) {
+      for (MeasureMask m : universe.masks()) {
+        ASSERT_EQ(signature(r1, d1, i, mask, m),
+                  signature(r2, d2, n - 1 - i, mask, m))
+            << "order sensitivity at mask " << mask << " m " << m;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sitfact

@@ -1,0 +1,166 @@
+// Unit tests for the relation substrate: schema validation, dictionary
+// encoding, the append-only relation with direction-adjusted keys, dataset
+// projection and CSV round-trips.
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "relation/dataset.h"
+#include "relation/dictionary.h"
+#include "relation/relation.h"
+#include "relation/schema.h"
+#include "test_util.h"
+
+namespace sitfact {
+namespace {
+
+TEST(Schema, CreateValidates) {
+  auto ok = Schema::Create({{"a"}, {"b"}}, {{"m"}});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value().num_dimensions(), 2);
+  EXPECT_EQ(ok.value().num_measures(), 1);
+
+  EXPECT_FALSE(Schema::Create({}, {{"m"}}).ok());
+  EXPECT_FALSE(Schema::Create({{"a"}}, {}).ok());
+  EXPECT_FALSE(Schema::Create({{"a"}, {"a"}}, {{"m"}}).ok());
+  EXPECT_FALSE(Schema::Create({{"a"}}, {{"a"}}).ok());  // cross-kind dup
+  EXPECT_FALSE(Schema::Create({{""}}, {{"m"}}).ok());
+
+  std::vector<DimensionAttribute> too_many(kMaxDimensions + 1);
+  for (int i = 0; i < kMaxDimensions + 1; ++i) {
+    too_many[i].name = "d" + std::to_string(i);
+  }
+  EXPECT_FALSE(Schema::Create(too_many, {{"m"}}).ok());
+}
+
+TEST(Schema, IndexAndMasks) {
+  Schema s({{"x"}, {"y"}, {"z"}}, {{"m0"}, {"m1"}});
+  EXPECT_EQ(s.DimensionIndex("y"), 1);
+  EXPECT_EQ(s.DimensionIndex("nope"), -1);
+  EXPECT_EQ(s.MeasureIndex("m1"), 1);
+  EXPECT_EQ(s.MeasureIndex("x"), -1);
+  EXPECT_EQ(s.AllDimensionsMask(), 0b111u);
+  EXPECT_EQ(s.FullMeasureMask(), 0b11u);
+}
+
+TEST(Dictionary, EncodeDecodeRoundTrip) {
+  Dictionary d;
+  ValueId a = d.Encode("alpha");
+  ValueId b = d.Encode("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(d.Encode("alpha"), a);  // idempotent
+  EXPECT_EQ(d.Decode(a), "alpha");
+  EXPECT_EQ(d.Decode(b), "beta");
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.Lookup("alpha"), a);
+  EXPECT_EQ(d.Lookup("gamma"), kUnboundValue);
+  EXPECT_GT(d.ApproxMemoryBytes(), 0u);
+}
+
+TEST(Relation, AppendAndAccessors) {
+  Schema s({{"team"}}, {{"pts", Direction::kLargerIsBetter},
+                        {"fouls", Direction::kSmallerIsBetter}});
+  Relation r(std::move(s));
+  TupleId t0 = r.Append(Row{{"Celtics"}, {20, 3}});
+  TupleId t1 = r.Append(Row{{"Nets"}, {15, 1}});
+  EXPECT_EQ(t0, 0u);
+  EXPECT_EQ(t1, 1u);
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.DimString(t0, 0), "Celtics");
+  EXPECT_EQ(r.measure(t0, 0), 20.0);
+  EXPECT_EQ(r.measure(t0, 1), 3.0);
+  // Direction adjustment: smaller-is-better keys are negated.
+  EXPECT_EQ(r.measure_key(t0, 0), 20.0);
+  EXPECT_EQ(r.measure_key(t0, 1), -3.0);
+  EXPECT_GT(r.measure_key(t1, 1), r.measure_key(t0, 1));  // 1 foul beats 3
+}
+
+TEST(Relation, AppendCheckedRejectsArityMismatch) {
+  Relation r(Schema({{"a"}}, {{"m"}}));
+  EXPECT_FALSE(r.AppendChecked(Row{{"x", "y"}, {1}}).ok());
+  EXPECT_FALSE(r.AppendChecked(Row{{"x"}, {1, 2}}).ok());
+  EXPECT_TRUE(r.AppendChecked(Row{{"x"}, {1}}).ok());
+}
+
+TEST(Relation, AgreeMaskAndPartition) {
+  Relation r(Schema({{"a"}, {"b"}}, {{"m0"}, {"m1"}, {"m2"}}));
+  TupleId x = r.Append(Row{{"u", "v"}, {1, 5, 7}});
+  TupleId y = r.Append(Row{{"u", "w"}, {2, 5, 3}});
+  EXPECT_EQ(r.AgreeMask(x, y), 0b01u);
+  auto p = r.Partition(x, y);
+  EXPECT_EQ(p.worse, 0b001u);   // x.m0 < y.m0
+  EXPECT_EQ(p.better, 0b100u);  // x.m2 > y.m2
+  auto q = r.Partition(y, x);
+  EXPECT_EQ(q.worse, 0b100u);
+  EXPECT_EQ(q.better, 0b001u);
+  // Self-comparison: all equal.
+  auto self = r.Partition(x, x);
+  EXPECT_EQ(self.worse, 0u);
+  EXPECT_EQ(self.better, 0u);
+}
+
+TEST(Relation, PartitionHonorsDirections) {
+  Relation r(Schema({{"a"}}, {{"good", Direction::kLargerIsBetter},
+                              {"bad", Direction::kSmallerIsBetter}}));
+  TupleId x = r.Append(Row{{"u"}, {10, 10}});
+  TupleId y = r.Append(Row{{"u"}, {5, 5}});
+  auto p = r.Partition(x, y);
+  EXPECT_EQ(p.better, 0b01u);  // more "good"
+  EXPECT_EQ(p.worse, 0b10u);   // more "bad" is worse
+}
+
+TEST(Dataset, ProjectSelectsNamedAttributes) {
+  Dataset d = testing_util::PaperTableI();
+  auto proj = d.Project({"team", "player"}, {"rebounds"});
+  ASSERT_TRUE(proj.ok());
+  const Dataset& p = proj.value();
+  EXPECT_EQ(p.schema().num_dimensions(), 2);
+  EXPECT_EQ(p.schema().dimension(0).name, "team");
+  EXPECT_EQ(p.schema().dimension(1).name, "player");
+  EXPECT_EQ(p.schema().measure(0).name, "rebounds");
+  EXPECT_EQ(p.size(), d.size());
+  EXPECT_EQ(p.rows()[0].dimensions[0], "Hornets");
+  EXPECT_EQ(p.rows()[0].dimensions[1], "Bogues");
+  EXPECT_EQ(p.rows()[0].measures[0], 5.0);
+
+  EXPECT_FALSE(d.Project({"nonexistent"}, {"rebounds"}).ok());
+  EXPECT_FALSE(d.Project({"team"}, {"nonexistent"}).ok());
+}
+
+TEST(Dataset, ProjectPreservesDirections) {
+  Schema s({{"a"}}, {{"up", Direction::kLargerIsBetter},
+                     {"down", Direction::kSmallerIsBetter}});
+  Dataset d(std::move(s));
+  d.Add(Row{{"x"}, {1, 2}});
+  auto p = d.Project({"a"}, {"down"});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().schema().measure(0).direction,
+            Direction::kSmallerIsBetter);
+}
+
+TEST(Dataset, CsvRoundTrip) {
+  Schema s({{"name"}, {"note"}}, {{"v"}});
+  Dataset d{Schema(s)};
+  d.Add(Row{{"plain", "with,comma"}, {1.5}});
+  d.Add(Row{{"with\"quote", "multi word"}, {-3}});
+
+  std::string path =
+      (std::filesystem::temp_directory_path() / "sitfact_csv_test.csv")
+          .string();
+  ASSERT_TRUE(d.WriteCsv(path).ok());
+  auto back = Dataset::ReadCsv(path, Schema(s));
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back.value().size(), 2u);
+  EXPECT_EQ(back.value().rows()[0].dimensions[1], "with,comma");
+  EXPECT_EQ(back.value().rows()[1].dimensions[0], "with\"quote");
+  EXPECT_EQ(back.value().rows()[0].measures[0], 1.5);
+  EXPECT_EQ(back.value().rows()[1].measures[0], -3.0);
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(Dataset::ReadCsv("/nonexistent/nope.csv", Schema(s)).ok());
+}
+
+}  // namespace
+}  // namespace sitfact

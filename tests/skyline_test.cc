@@ -1,0 +1,205 @@
+// Unit and property tests for the skyline substrate: the dominance kernel
+// (Def. 2, Prop. 4), the reference skyline computations, and the k-d tree
+// against linear scans.
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/bits.h"
+#include "common/rng.h"
+#include "skyline/dominance.h"
+#include "skyline/kdtree.h"
+#include "skyline/skyline_compute.h"
+#include "test_util.h"
+
+namespace sitfact {
+namespace {
+
+using testing_util::PaperTableIV;
+using testing_util::RandomDataConfig;
+using testing_util::RandomDataset;
+
+TEST(Dominance, RequiresStrictImprovementSomewhere) {
+  Relation r(Schema({{"a"}}, {{"m0"}, {"m1"}}));
+  TupleId x = r.Append(Row{{"u"}, {5, 5}});
+  TupleId y = r.Append(Row{{"u"}, {5, 5}});
+  TupleId z = r.Append(Row{{"u"}, {5, 6}});
+  EXPECT_FALSE(Dominates(r, x, y, 0b11));  // equal tuples never dominate
+  EXPECT_FALSE(Dominates(r, y, x, 0b11));
+  EXPECT_TRUE(Dominates(r, z, x, 0b11));
+  EXPECT_FALSE(Dominates(r, x, z, 0b11));
+  // Restricted to m0 alone they tie: no dominance either way.
+  EXPECT_FALSE(Dominates(r, z, x, 0b01));
+  EXPECT_TRUE(Dominates(r, z, x, 0b10));
+}
+
+TEST(Dominance, AntiMonotoneAcrossSubspaces) {
+  // The paper's Sec. IV observation: skyline membership is not monotone in
+  // the subspace. x beats y on m0, loses on m1.
+  Relation r(Schema({{"a"}}, {{"m0"}, {"m1"}}));
+  TupleId x = r.Append(Row{{"u"}, {9, 1}});
+  TupleId y = r.Append(Row{{"u"}, {1, 9}});
+  EXPECT_TRUE(Dominates(r, x, y, 0b01));
+  EXPECT_TRUE(Dominates(r, y, x, 0b10));
+  EXPECT_FALSE(Dominates(r, x, y, 0b11));
+  EXPECT_FALSE(Dominates(r, y, x, 0b11));
+}
+
+TEST(Dominance, Prop4PartitionMatchesDirectCheck) {
+  RandomDataConfig cfg;
+  cfg.num_tuples = 60;
+  cfg.num_measures = 4;
+  cfg.measure_levels = 4;
+  cfg.mixed_directions = true;
+  Dataset data = RandomDataset(cfg);
+  Relation r(data.schema());
+  for (const Row& row : data.rows()) r.Append(row);
+
+  for (TupleId a = 0; a < r.size(); a += 7) {
+    for (TupleId b = 0; b < r.size(); b += 5) {
+      if (a == b) continue;
+      auto p = r.Partition(a, b);
+      for (MeasureMask m = 1; m <= 0b1111u; ++m) {
+        ASSERT_EQ(DominatedInSubspace(p, m), Dominates(r, b, a, m))
+            << "a=" << a << " b=" << b << " m=" << m;
+        ASSERT_EQ(DominatesInSubspace(p, m), Dominates(r, a, b, m));
+      }
+    }
+  }
+}
+
+TEST(SkylineCompute, MatchesPaperExample3) {
+  Dataset data = PaperTableIV();
+  Relation r(data.schema());
+  for (const Row& row : data.rows()) r.Append(row);
+  std::vector<TupleId> all{0, 1, 2, 3, 4};
+  EXPECT_EQ(ComputeSkyline(r, all, 0b11), (std::vector<TupleId>{3}));
+  EXPECT_EQ(ComputeSkyline(r, {1, 4}, 0b11), (std::vector<TupleId>{1, 4}));
+  EXPECT_EQ(ComputeSkyline(r, {1, 4}, 0b01), (std::vector<TupleId>{1}));
+  EXPECT_EQ(ComputeSkyline(r, {}, 0b11), (std::vector<TupleId>{}));
+}
+
+TEST(SkylineCompute, SkylineConstraintsAreDownwardClosed) {
+  // Prop. 2 contrapositive: if C is a skyline constraint of t, every
+  // descendant of C in C^t is too.
+  RandomDataConfig cfg;
+  cfg.num_tuples = 40;
+  cfg.num_dims = 3;
+  Dataset data = RandomDataset(cfg);
+  Relation r(data.schema());
+  for (const Row& row : data.rows()) r.Append(row);
+
+  for (TupleId t = 0; t < r.size(); t += 3) {
+    for (MeasureMask m : {1u, 2u, 3u}) {
+      auto sky = ComputeSkylineConstraintMasks(r, t, m, 3, r.size());
+      std::sort(sky.begin(), sky.end());
+      for (DimMask c : sky) {
+        for (DimMask super = 0; super <= 0b111u; ++super) {
+          if (IsSubsetOf(c, super)) {
+            // super binds more attributes -> descendant of c.
+            ASSERT_TRUE(std::binary_search(sky.begin(), sky.end(), super))
+                << "downward closure violated";
+          }
+        }
+      }
+      // Maximal = minimal masks of the closed set.
+      auto msc = ComputeMaximalSkylineConstraintMasks(r, t, m, 3, r.size());
+      for (DimMask a : msc) {
+        for (DimMask b : msc) {
+          if (a != b) EXPECT_FALSE(IsSubsetOf(a, b)) << "not an antichain";
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// k-d tree.
+
+class KdTreeTest : public ::testing::Test {
+ protected:
+  KdTreeTest()
+      : relation_(Schema({{"a"}},
+                         {{"m0"}, {"m1"}, {"m2", Direction::kSmallerIsBetter}})),
+        tree_(&relation_) {}
+
+  TupleId Add(double m0, double m1, double m2) {
+    TupleId t = relation_.Append(Row{{"x"}, {m0, m1, m2}});
+    return t;
+  }
+
+  /// Linear-scan reference for the one-sided range query.
+  std::vector<TupleId> NaiveDominators(TupleId q, MeasureMask m,
+                                       TupleId limit) {
+    std::vector<TupleId> out;
+    for (TupleId t = 0; t < limit; ++t) {
+      if (t == q) continue;
+      bool ok = true;
+      ForEachBit(m, [&](int j) {
+        if (relation_.measure_key(t, j) < relation_.measure_key(q, j)) {
+          ok = false;
+        }
+      });
+      if (ok) out.push_back(t);
+    }
+    return out;
+  }
+
+  Relation relation_;
+  KdTree tree_;
+};
+
+TEST_F(KdTreeTest, FindsWeakDominatorsInEverySubspace) {
+  Rng rng(77);
+  const int kN = 300;
+  for (int i = 0; i < kN; ++i) {
+    TupleId t = Add(static_cast<double>(rng.NextBounded(20)),
+                    static_cast<double>(rng.NextBounded(20)),
+                    static_cast<double>(rng.NextBounded(20)));
+    // Query BEFORE inserting t (mirrors discovery: history only).
+    for (MeasureMask m = 1; m <= 0b111u; ++m) {
+      auto got = tree_.FindDominatorCandidates(t, m);
+      auto want = NaiveDominators(t, m, t);
+      std::sort(got.begin(), got.end());
+      std::sort(want.begin(), want.end());
+      ASSERT_EQ(got, want) << "tuple " << t << " subspace " << m;
+    }
+    tree_.Insert(t);
+  }
+  EXPECT_EQ(tree_.size(), static_cast<size_t>(kN));
+  EXPECT_GT(tree_.nodes_visited(), 0u);
+}
+
+TEST_F(KdTreeTest, EarlyTerminationStopsSearch) {
+  for (int i = 0; i < 50; ++i) {
+    tree_.Insert(Add(10, 10, 10));
+  }
+  TupleId q = Add(1, 1, 20);  // everything dominates q
+  int seen = 0;
+  tree_.VisitDominators(q, 0b111, [&](TupleId) {
+    ++seen;
+    return false;  // stop immediately
+  });
+  EXPECT_EQ(seen, 1);
+}
+
+TEST_F(KdTreeTest, EmptyTreeReturnsNothing) {
+  TupleId q = Add(1, 2, 3);
+  EXPECT_TRUE(tree_.FindDominatorCandidates(q, 0b111).empty());
+}
+
+TEST_F(KdTreeTest, DuplicatePointsAllRetrievable) {
+  TupleId a = Add(5, 5, 5);
+  tree_.Insert(a);
+  TupleId b = Add(5, 5, 5);
+  tree_.Insert(b);
+  TupleId q = Add(5, 5, 5);
+  auto got = tree_.FindDominatorCandidates(q, 0b111);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<TupleId>{a, b}));
+}
+
+}  // namespace
+}  // namespace sitfact

@@ -1,0 +1,128 @@
+// Tests for datagen/stock_generator.h: schema shape, determinism, label
+// consistency and the statistical properties discovery relies on.
+
+#include "datagen/stock_generator.h"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace sitfact {
+namespace {
+
+TEST(StockGenerator, SchemaShape) {
+  Schema s = StockGenerator::FullSchema();
+  ASSERT_EQ(s.num_dimensions(), 6);
+  EXPECT_EQ(s.dimension(0).name, "ticker");
+  EXPECT_EQ(s.dimension(5).name, "cap_class");
+  ASSERT_EQ(s.num_measures(), 5);
+  EXPECT_EQ(s.measure(4).name, "volatility");
+  EXPECT_EQ(s.measure(4).direction, Direction::kSmallerIsBetter);
+  EXPECT_EQ(s.measure(0).direction, Direction::kLargerIsBetter);
+}
+
+TEST(StockGenerator, DeterministicPerSeed) {
+  StockGenerator::Config cfg;
+  cfg.num_tickers = 20;
+  Dataset a = StockGenerator(cfg).Generate(200);
+  Dataset b = StockGenerator(cfg).Generate(200);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.rows()[i].dimensions, b.rows()[i].dimensions);
+    EXPECT_EQ(a.rows()[i].measures, b.rows()[i].measures);
+  }
+
+  cfg.seed = 999;
+  Dataset c = StockGenerator(cfg).Generate(200);
+  bool any_diff = false;
+  for (size_t i = 0; i < c.size() && !any_diff; ++i) {
+    any_diff = c.rows()[i].measures != a.rows()[i].measures;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(StockGenerator, TickersCycleRoundRobin) {
+  StockGenerator::Config cfg;
+  cfg.num_tickers = 7;
+  StockGenerator gen(cfg);
+  std::set<std::string> first_day;
+  for (int i = 0; i < 7; ++i) first_day.insert(gen.Next().dimensions[0]);
+  EXPECT_EQ(first_day.size(), 7u);  // every ticker trades once per day
+  // The 8th row wraps to the first ticker again.
+  StockGenerator gen2(cfg);
+  Row r0 = gen2.Next();
+  for (int i = 1; i < 7; ++i) gen2.Next();
+  EXPECT_EQ(gen2.Next().dimensions[0], r0.dimensions[0]);
+}
+
+TEST(StockGenerator, CapClassMatchesMarketCap) {
+  StockGenerator gen;
+  for (int i = 0; i < 2000; ++i) {
+    Row r = gen.Next();
+    const double cap = r.measures[1];
+    const std::string& label = r.dimensions[5];
+    if (cap >= 10.0) {
+      EXPECT_EQ(label, "large") << "cap=" << cap;
+    } else if (cap >= 2.0) {
+      EXPECT_EQ(label, "mid") << "cap=" << cap;
+    } else {
+      EXPECT_EQ(label, "small") << "cap=" << cap;
+    }
+  }
+}
+
+TEST(StockGenerator, MeasuresStayInSaneRanges) {
+  StockGenerator gen;
+  for (int i = 0; i < 5000; ++i) {
+    Row r = gen.Next();
+    EXPECT_GE(r.measures[0], 0.25);    // price floor
+    EXPECT_GT(r.measures[1], 0.0);     // market cap positive
+    EXPECT_GT(r.measures[2], 0.0);     // volume positive
+    EXPECT_GT(r.measures[4], 0.0);     // volatility positive
+    EXPECT_LT(std::abs(r.measures[3]), 100.0);  // daily move < 100%
+  }
+}
+
+TEST(StockGenerator, YearAdvancesWithTradingDays) {
+  StockGenerator::Config cfg;
+  cfg.num_tickers = 2;
+  cfg.days_per_year = 5;  // tiny year so the boundary shows quickly
+  cfg.start_year = 2010;
+  StockGenerator gen(cfg);
+  // 2 tickers x 5 days = 10 rows in 2010, then 2011 begins.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(gen.Next().dimensions[3], "2010");
+  }
+  EXPECT_EQ(gen.Next().dimensions[3], "2011");
+}
+
+TEST(StockGenerator, PriceAndMarketCapCorrelated) {
+  // Within a ticker, market cap = price x shares, so the two must move
+  // together; across the dataset the correlation should be clearly
+  // positive. This is the dominance-geometry property the intro example
+  // ("price over $300 and market cap over $400 billion") relies on.
+  StockGenerator::Config cfg;
+  cfg.num_tickers = 1;
+  StockGenerator gen(cfg);
+  double sum_p = 0, sum_c = 0, sum_pp = 0, sum_cc = 0, sum_pc = 0;
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    Row r = gen.Next();
+    double p = r.measures[0];
+    double c = r.measures[1];
+    sum_p += p;
+    sum_c += c;
+    sum_pp += p * p;
+    sum_cc += c * c;
+    sum_pc += p * c;
+  }
+  double cov = sum_pc / n - (sum_p / n) * (sum_c / n);
+  double var_p = sum_pp / n - (sum_p / n) * (sum_p / n);
+  double var_c = sum_cc / n - (sum_c / n) * (sum_c / n);
+  double corr = cov / std::sqrt(var_p * var_c);
+  EXPECT_GT(corr, 0.95);  // cap = price x constant within one ticker
+}
+
+}  // namespace
+}  // namespace sitfact

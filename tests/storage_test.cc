@@ -1,0 +1,268 @@
+// Unit tests for the µ-store implementations (in-memory and file-backed),
+// including stats accounting and IO failure behaviour, plus the context
+// counter feeding the prominence measure.
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "storage/context_counter.h"
+#include "storage/file_mu_store.h"
+#include "storage/memory_mu_store.h"
+#include "test_util.h"
+
+namespace sitfact {
+namespace {
+
+namespace fs = std::filesystem;
+using testing_util::PaperTableIV;
+
+class MuStoreContractTest : public ::testing::TestWithParam<bool> {
+ protected:
+  MuStoreContractTest() : data_(PaperTableIV()), relation_(data_.schema()) {
+    for (const Row& row : data_.rows()) relation_.Append(row);
+    if (IsFileStore()) {
+      // Unique per test AND process: ctest -j runs these concurrently, and
+      // FileMuStore's destructor removes its whole directory tree.
+      const auto* info =
+          ::testing::UnitTest::GetInstance()->current_test_info();
+      std::string name = info != nullptr ? info->name() : "unknown";
+      for (char& c : name) {
+        if (c == '/') c = '_';  // parameterized test names carry a slash
+      }
+      dir_ = (fs::temp_directory_path() /
+              ("sitfact_store_test_" + std::to_string(::getpid()) + "_" +
+               name))
+                 .string();
+      store_ = std::make_unique<FileMuStore>(dir_);
+    } else {
+      store_ = std::make_unique<MemoryMuStore>();
+    }
+  }
+
+  bool IsFileStore() const { return GetParam(); }
+
+  Dataset data_;
+
+  Constraint C(DimMask mask, TupleId t = 4) const {
+    return Constraint::ForTuple(relation_, t, mask);
+  }
+
+  Relation relation_;
+  std::string dir_;
+  std::unique_ptr<MuStore> store_;
+};
+
+TEST_P(MuStoreContractTest, FindOnEmptyStoreReturnsNull) {
+  EXPECT_EQ(store_->Find(C(0b001)), nullptr);
+}
+
+TEST_P(MuStoreContractTest, GetOrCreateIsStableAndIdempotent) {
+  MuStore::Context* a = store_->GetOrCreate(C(0b001));
+  MuStore::Context* b = store_->GetOrCreate(C(0b001));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(store_->Find(C(0b001)), a);
+  // A different constraint gets a different context.
+  EXPECT_NE(store_->GetOrCreate(C(0b011)), a);
+}
+
+TEST_P(MuStoreContractTest, InsertReadEraseRoundTrip) {
+  MuStore::Context* ctx = store_->GetOrCreate(C(0b001));
+  EXPECT_TRUE(ctx->Empty(0b11));
+  ctx->Insert(0b11, 1);
+  ctx->Insert(0b11, 4);
+  ctx->Insert(0b01, 3);
+  EXPECT_EQ(ctx->Size(0b11), 2u);
+  EXPECT_EQ(ctx->Size(0b01), 1u);
+  EXPECT_EQ(ctx->Size(0b10), 0u);
+  EXPECT_TRUE(ctx->Contains(0b11, 1));
+  EXPECT_TRUE(ctx->Contains(0b11, 4));
+  EXPECT_FALSE(ctx->Contains(0b11, 3));
+
+  std::vector<TupleId> bucket;
+  ctx->Read(0b11, &bucket);
+  std::sort(bucket.begin(), bucket.end());
+  EXPECT_EQ(bucket, (std::vector<TupleId>{1, 4}));
+
+  EXPECT_TRUE(ctx->Erase(0b11, 1));
+  EXPECT_FALSE(ctx->Erase(0b11, 1));  // already gone
+  EXPECT_FALSE(ctx->Erase(0b10, 7));  // empty bucket
+  EXPECT_EQ(ctx->Size(0b11), 1u);
+  EXPECT_EQ(store_->stats().stored_tuples, 2u);
+}
+
+TEST_P(MuStoreContractTest, WriteReplacesAndEmptyWriteRemoves) {
+  MuStore::Context* ctx = store_->GetOrCreate(C(0b011));
+  ctx->Write(0b11, {1, 2, 3});
+  EXPECT_EQ(ctx->Size(0b11), 3u);
+  EXPECT_EQ(store_->stats().stored_tuples, 3u);
+  ctx->Write(0b11, {4});
+  EXPECT_EQ(ctx->Size(0b11), 1u);
+  EXPECT_EQ(store_->stats().stored_tuples, 1u);
+  std::vector<TupleId> bucket;
+  ctx->Read(0b11, &bucket);
+  EXPECT_EQ(bucket, (std::vector<TupleId>{4}));
+  ctx->Write(0b11, {});
+  EXPECT_TRUE(ctx->Empty(0b11));
+  EXPECT_EQ(store_->stats().stored_tuples, 0u);
+  ctx->Read(0b11, &bucket);
+  EXPECT_TRUE(bucket.empty());
+}
+
+TEST_P(MuStoreContractTest, BucketsOfDifferentSubspacesAreIndependent) {
+  MuStore::Context* ctx = store_->GetOrCreate(C(0b111));
+  for (MeasureMask m = 1; m <= 3; ++m) ctx->Write(m, {m});
+  for (MeasureMask m = 1; m <= 3; ++m) {
+    std::vector<TupleId> bucket;
+    ctx->Read(m, &bucket);
+    ASSERT_EQ(bucket.size(), 1u);
+    EXPECT_EQ(bucket[0], m);
+  }
+}
+
+TEST_P(MuStoreContractTest, MemoryAccountingIsPositiveOncepopulated) {
+  MuStore::Context* ctx = store_->GetOrCreate(C(0b001));
+  ctx->Write(0b01, {1, 2, 3, 4});
+  EXPECT_GT(store_->ApproxMemoryBytes(), 0u);
+}
+
+TEST_P(MuStoreContractTest, ForEachBucketVisitsExactlyTheNonEmptyBuckets) {
+  // Populate three constraints x two subspaces, one of them emptied again.
+  store_->GetOrCreate(C(0b001))->Write(0b01, {0, 1});
+  store_->GetOrCreate(C(0b001))->Write(0b10, {2});
+  store_->GetOrCreate(C(0b011))->Write(0b01, {3, 4, 0});
+  store_->GetOrCreate(C(0b111))->Write(0b10, {1});
+  store_->GetOrCreate(C(0b111))->Write(0b10, {});  // removed again
+  store_->GetOrCreate(C(0b110));                   // entry with no buckets
+
+  std::map<std::pair<DimMask, MeasureMask>, std::vector<TupleId>> seen;
+  store_->ForEachBucket([&](const Constraint& c, MeasureMask m,
+                            const std::vector<TupleId>& bucket) {
+    auto key = std::make_pair(c.bound_mask(), m);
+    EXPECT_EQ(seen.count(key), 0u) << "bucket visited twice";
+    seen[key] = bucket;
+  });
+
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ((seen[{0b001, 0b01}]), (std::vector<TupleId>{0, 1}));
+  EXPECT_EQ((seen[{0b001, 0b10}]), (std::vector<TupleId>{2}));
+  EXPECT_EQ((seen[{0b011, 0b01}]), (std::vector<TupleId>{3, 4, 0}));
+}
+
+INSTANTIATE_TEST_SUITE_P(MemoryAndFile, MuStoreContractTest,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "FileMuStore" : "MemoryMuStore";
+                         });
+
+TEST(FileMuStore, CountsFileIoAndTracksDiskBytes) {
+  Dataset data = PaperTableIV();
+  Relation r(data.schema());
+  for (const Row& row : data.rows()) r.Append(row);
+  std::string dir = (fs::temp_directory_path() / "sitfact_fio_test").string();
+  FileMuStore store(dir);
+  MuStore::Context* ctx =
+      store.GetOrCreate(Constraint::ForTuple(r, 4, 0b001));
+
+  ctx->Write(0b11, {1, 2});
+  EXPECT_EQ(store.stats().file_writes, 1u);
+  EXPECT_EQ(store.DiskBytes(), 2 * sizeof(TupleId));
+
+  std::vector<TupleId> bucket;
+  ctx->Read(0b11, &bucket);
+  EXPECT_EQ(store.stats().file_reads, 1u);
+
+  // Empty buckets cost no IO at all.
+  ctx->Read(0b10, &bucket);
+  EXPECT_EQ(store.stats().file_reads, 1u);
+  EXPECT_TRUE(bucket.empty());
+
+  ctx->Write(0b11, {});
+  EXPECT_EQ(store.DiskBytes(), 0u);
+  EXPECT_TRUE(store.status().ok());
+}
+
+TEST(FileMuStore, SurvivesCorruptedBucketFileWithErrorStatus) {
+  Dataset data = PaperTableIV();
+  Relation r(data.schema());
+  for (const Row& row : data.rows()) r.Append(row);
+  std::string dir = (fs::temp_directory_path() / "sitfact_corrupt").string();
+  FileMuStore store(dir);
+  MuStore::Context* ctx =
+      store.GetOrCreate(Constraint::ForTuple(r, 4, 0b001));
+  ctx->Write(0b11, {1, 2, 3});
+
+  // Truncate the single bucket file behind the store's back.
+  bool truncated = false;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (entry.is_regular_file()) {
+      std::ofstream f(entry.path(), std::ios::trunc | std::ios::binary);
+      f << 'x';
+      truncated = true;
+    }
+  }
+  ASSERT_TRUE(truncated);
+
+  std::vector<TupleId> bucket;
+  ctx->Read(0b11, &bucket);  // degraded read
+  EXPECT_FALSE(store.status().ok());
+  EXPECT_EQ(store.status().code(), StatusCode::kCorruption);
+}
+
+TEST(FileMuStore, CleanupRemovesDirectory) {
+  std::string dir = (fs::temp_directory_path() / "sitfact_cleanup").string();
+  {
+    Dataset data = PaperTableIV();
+    Relation r(data.schema());
+    for (const Row& row : data.rows()) r.Append(row);
+    FileMuStore store(dir);
+    store.GetOrCreate(Constraint::ForTuple(r, 4, 0b001))->Write(0b1, {1});
+    EXPECT_TRUE(fs::exists(dir));
+  }
+  EXPECT_FALSE(fs::exists(dir));  // destructor cleans up
+}
+
+// ---------------------------------------------------------------------------
+// ContextCounter.
+
+TEST(ContextCounter, CountsEveryTupleSatisfiedConstraint) {
+  Dataset data = PaperTableIV();
+  Relation r(data.schema());
+  ContextCounter counter(3);
+  for (const Row& row : data.rows()) {
+    counter.OnArrival(r, r.Append(row));
+  }
+  // ⊤ counts everything.
+  EXPECT_EQ(counter.Count(Constraint::Top(3)), 5u);
+  // d1=a1: t1, t2, t5.
+  EXPECT_EQ(counter.Count(Constraint::ForTuple(r, 4, 0b001)), 3u);
+  // <a1,b1,c1>: t2, t5.
+  EXPECT_EQ(counter.Count(Constraint::ForTuple(r, 4, 0b111)), 2u);
+  // <a2,b1,c1>: t4 alone.
+  EXPECT_EQ(counter.Count(Constraint::ForTuple(r, 3, 0b111)), 1u);
+  // Unseen constraint.
+  Constraint unseen = Constraint::ForTuple(r, 0, 0b111);  // <a1,b2,c2> -> t1
+  EXPECT_EQ(counter.Count(unseen), 1u);
+}
+
+TEST(ContextCounter, HonorsMaxBound) {
+  Dataset data = PaperTableIV();
+  Relation r(data.schema());
+  ContextCounter counter(1);
+  for (const Row& row : data.rows()) {
+    counter.OnArrival(r, r.Append(row));
+  }
+  EXPECT_EQ(counter.Count(Constraint::ForTuple(r, 4, 0b001)), 3u);
+  // Two-attribute constraints are never counted under max_bound=1.
+  EXPECT_EQ(counter.Count(Constraint::ForTuple(r, 4, 0b011)), 0u);
+  EXPECT_GT(counter.ApproxMemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace sitfact

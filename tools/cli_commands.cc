@@ -1,0 +1,408 @@
+#include "cli_commands.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/engine.h"
+#include "core/narrator.h"
+#include "datagen/nba_generator.h"
+#include "datagen/stock_generator.h"
+#include "datagen/weather_generator.h"
+#include "io/csv_table.h"
+#include "io/snapshot.h"
+#include "query/skyline_query.h"
+#include "relation/dataset.h"
+
+namespace sitfact {
+namespace cli {
+
+namespace {
+
+/// Splits "a,b,c" into trimmed tokens (empty tokens dropped).
+std::vector<std::string> SplitList(const std::string& s) {
+  std::vector<std::string> out;
+  std::string token;
+  for (char c : s) {
+    if (c == ',') {
+      if (!token.empty()) out.push_back(token);
+      token.clear();
+    } else {
+      token += c;
+    }
+  }
+  if (!token.empty()) out.push_back(token);
+  return out;
+}
+
+/// Parses a measure list "points:+,fouls:-,assists" (default direction +).
+StatusOr<std::vector<MeasureAttribute>> ParseMeasureSpecs(
+    const std::string& spec) {
+  std::vector<MeasureAttribute> out;
+  for (const std::string& token : SplitList(spec)) {
+    MeasureAttribute m;
+    size_t colon = token.rfind(':');
+    if (colon == std::string::npos) {
+      m.name = token;
+      m.direction = Direction::kLargerIsBetter;
+    } else {
+      m.name = token.substr(0, colon);
+      std::string dir = token.substr(colon + 1);
+      if (dir == "+") {
+        m.direction = Direction::kLargerIsBetter;
+      } else if (dir == "-") {
+        m.direction = Direction::kSmallerIsBetter;
+      } else {
+        return Status::InvalidArgument("bad measure direction '" + dir +
+                                       "' (use + or -)");
+      }
+    }
+    if (m.name.empty()) {
+      return Status::InvalidArgument("empty measure name in --measures");
+    }
+    out.push_back(std::move(m));
+  }
+  if (out.empty()) {
+    return Status::InvalidArgument("--measures must name at least one column");
+  }
+  return out;
+}
+
+/// Builds the schema named by --dims / --measures.
+StatusOr<Schema> SchemaFromFlags(const Args& args) {
+  std::vector<DimensionAttribute> dims;
+  for (const std::string& name : SplitList(args.Get("dims"))) {
+    dims.push_back({name});
+  }
+  if (dims.empty()) {
+    return Status::InvalidArgument("--dims must name at least one column");
+  }
+  auto meas_or = ParseMeasureSpecs(args.Get("measures"));
+  if (!meas_or.ok()) return meas_or.status();
+  return Schema::Create(std::move(dims), std::move(meas_or).value());
+}
+
+/// Loads --csv into a Dataset shaped by --dims/--measures.
+StatusOr<Dataset> LoadCsvFlag(const Args& args) {
+  const std::string path = args.Get("csv");
+  if (path.empty()) return Status::InvalidArgument("--csv is required");
+  auto schema_or = SchemaFromFlags(args);
+  if (!schema_or.ok()) return schema_or.status();
+  auto table_or = CsvTable::Read(path);
+  if (!table_or.ok()) return table_or.status();
+  return DatasetFromCsvTable(table_or.value(), schema_or.value());
+}
+
+std::string TempStoreDir(const std::string& tag) {
+  return (std::filesystem::temp_directory_path() /
+          ("sitfact_cli_" + tag + "_" + std::to_string(::getpid())))
+      .string();
+}
+
+}  // namespace
+
+int Args::GetInt(const std::string& name, int fallback) const {
+  auto it = flags.find(name);
+  return it == flags.end() ? fallback : std::atoi(it->second.c_str());
+}
+
+double Args::GetDouble(const std::string& name, double fallback) const {
+  auto it = flags.find(name);
+  return it == flags.end() ? fallback : std::atof(it->second.c_str());
+}
+
+bool ParseArgs(int argc, char** argv, Args* out) {
+  if (argc < 2) return false;
+  out->command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n",
+                   arg.c_str());
+      return false;
+    }
+    std::string name = arg.substr(2);
+    std::string value = "true";  // bare flags act as booleans
+    size_t eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      value = argv[++i];
+    }
+    out->flags[name] = value;
+  }
+  return true;
+}
+
+int PrintUsage(const std::string& error) {
+  if (!error.empty()) std::fprintf(stderr, "error: %s\n\n", error.c_str());
+  std::fprintf(stderr, R"(sitfact_cli — incremental situational-fact discovery
+
+USAGE
+  sitfact_cli generate --dataset nba|weather|stock --rows N --out FILE
+                       [--seed S]
+  sitfact_cli discover --csv FILE --dims d1,d2,... --measures m1:+,m2:-,...
+                       [--algorithm STopDown] [--dhat K] [--mhat K]
+                       [--tau T] [--top K] [--entity DIM]
+                       [--save-snapshot FILE] [--quiet]
+  sitfact_cli query    --csv FILE --dims ... --measures ...
+                       [--where d1=v1,d2=v2] [--subspace m1,m2]
+                       [--algo auto|bnl|sfs|dnc]
+  sitfact_cli resume   --snapshot FILE [--csv FILE] [--top K] [--quiet]
+                       [--algorithm NAME] [--replay]
+
+NOTES
+  Measures take an optional direction suffix: "points:+" (larger is better,
+  the default) or "fouls:-" (smaller is better).
+  discover prints, per arrival, the most prominent constraint-measure pairs
+  that admit the new row into a contextual skyline (tau filters weak facts).
+)");
+  return 2;
+}
+
+int RunGenerate(const Args& args) {
+  const std::string kind = args.Get("dataset", "nba");
+  const int rows = args.GetInt("rows", 1000);
+  const std::string out = args.Get("out");
+  if (out.empty()) return PrintUsage("--out is required");
+  if (rows <= 0) return PrintUsage("--rows must be positive");
+  const auto seed = static_cast<uint64_t>(args.GetInt("seed", 0));
+
+  Dataset data{Schema()};
+  if (kind == "nba") {
+    NbaGenerator::Config cfg;
+    if (seed != 0) cfg.seed = seed;
+    cfg.tuples_per_season = rows > 8 ? rows / 8 : 1;
+    data = NbaGenerator(cfg).Generate(rows);
+  } else if (kind == "weather") {
+    WeatherGenerator::Config cfg;
+    if (seed != 0) cfg.seed = seed;
+    cfg.num_locations = 256;
+    cfg.records_per_day = rows > 24 ? rows / 24 : 1;
+    data = WeatherGenerator(cfg).Generate(rows);
+  } else if (kind == "stock") {
+    StockGenerator::Config cfg;
+    if (seed != 0) cfg.seed = seed;
+    data = StockGenerator(cfg).Generate(rows);
+  } else {
+    return PrintUsage("unknown --dataset (use nba, weather or stock)");
+  }
+
+  Status st = data.WriteCsv(out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %d %s rows to %s\n", rows, kind.c_str(), out.c_str());
+  return 0;
+}
+
+int RunDiscover(const Args& args) {
+  auto data_or = LoadCsvFlag(args);
+  if (!data_or.ok()) return PrintUsage(data_or.status().ToString());
+  const Dataset& data = data_or.value();
+
+  const std::string algorithm = args.Get("algorithm", "STopDown");
+  DiscoveryOptions options;
+  options.max_bound_dims = args.GetInt("dhat", -1);
+  options.max_measure_dims = args.GetInt("mhat", -1);
+
+  Relation relation(data.schema());
+  std::string store_dir;
+  if (algorithm.rfind("FS", 0) == 0) store_dir = TempStoreDir("discover");
+  auto disc_or = DiscoveryEngine::CreateDiscoverer(algorithm, &relation,
+                                                   options, store_dir);
+  if (!disc_or.ok()) return PrintUsage(disc_or.status().ToString());
+
+  DiscoveryEngine::Config config;
+  config.options = options;
+  config.tau = args.GetDouble("tau", 2.0);
+  config.rank_facts = disc_or.value()->store() != nullptr;
+  DiscoveryEngine engine(&relation, std::move(disc_or).value(), config);
+
+  const int top = args.GetInt("top", 3);
+  const bool quiet = args.Has("quiet");
+  int entity_dim = -1;
+  if (args.Has("entity")) {
+    entity_dim = data.schema().DimensionIndex(args.Get("entity"));
+    if (entity_dim < 0) return PrintUsage("--entity names no dimension");
+  }
+  FactNarrator narrator(&relation, entity_dim);
+
+  uint64_t total_facts = 0;
+  uint64_t arrivals_with_prominent = 0;
+  for (size_t i = 0; i < data.rows().size(); ++i) {
+    ArrivalReport report = engine.Append(data.rows()[i]);
+    total_facts += report.facts.size();
+    if (report.prominent.empty()) continue;
+    ++arrivals_with_prominent;
+    if (quiet) continue;
+    std::printf("tuple %llu:\n",
+                static_cast<unsigned long long>(report.tuple));
+    int shown = 0;
+    for (const RankedFact& rf : report.prominent) {
+      if (shown++ >= top) break;
+      std::printf("  %s\n", narrator.Narrate(report.tuple, rf).c_str());
+    }
+  }
+  std::printf(
+      "processed %zu rows: %llu facts total, %llu arrivals with prominent "
+      "facts (tau=%.1f, algorithm=%s)\n",
+      data.rows().size(), static_cast<unsigned long long>(total_facts),
+      static_cast<unsigned long long>(arrivals_with_prominent), config.tau,
+      algorithm.c_str());
+  if (!config.rank_facts) {
+    std::printf(
+        "note: %s keeps no µ-store, so prominence ranking is unavailable; "
+        "facts were discovered but not ranked\n",
+        algorithm.c_str());
+  }
+
+  if (args.Has("save-snapshot")) {
+    Status st = SaveEngineSnapshot(engine, args.Get("save-snapshot"));
+    if (!st.ok()) {
+      std::fprintf(stderr, "snapshot failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("snapshot saved to %s\n", args.Get("save-snapshot").c_str());
+  }
+  return 0;
+}
+
+int RunQuery(const Args& args) {
+  auto data_or = LoadCsvFlag(args);
+  if (!data_or.ok()) return PrintUsage(data_or.status().ToString());
+  const Dataset& data = data_or.value();
+  const Schema& schema = data.schema();
+
+  Relation relation(schema);
+  for (const Row& row : data.rows()) relation.Append(row);
+
+  // --where d=v,...: build the constraint.
+  DimMask bound = 0;
+  std::vector<ValueId> values(static_cast<size_t>(schema.num_dimensions()),
+                              0);
+  for (const std::string& clause : SplitList(args.Get("where"))) {
+    size_t eq = clause.find('=');
+    if (eq == std::string::npos) {
+      return PrintUsage("--where clauses look like dim=value");
+    }
+    const std::string dim_name = clause.substr(0, eq);
+    const std::string value = clause.substr(eq + 1);
+    int d = schema.DimensionIndex(dim_name);
+    if (d < 0) return PrintUsage("--where names no dimension: " + dim_name);
+    ValueId id = relation.dictionary(d).Lookup(value);
+    if (id == kUnboundValue) {
+      std::printf("empty context: value '%s' never occurs in %s\n",
+                  value.c_str(), dim_name.c_str());
+      return 0;
+    }
+    bound |= DimMask{1} << d;
+    values[static_cast<size_t>(d)] = id;
+  }
+  Constraint constraint = Constraint::Top(schema.num_dimensions());
+  if (bound != 0) {
+    std::vector<ValueId> bound_values;
+    for (int d = 0; d < schema.num_dimensions(); ++d) {
+      if ((bound >> d) & 1u) bound_values.push_back(values[d]);
+    }
+    constraint =
+        Constraint::FromBoundValues(schema.num_dimensions(), bound,
+                                    bound_values);
+  }
+
+  // --subspace m1,m2 (default: all measures).
+  MeasureMask subspace = schema.FullMeasureMask();
+  if (args.Has("subspace")) {
+    subspace = 0;
+    for (const std::string& name : SplitList(args.Get("subspace"))) {
+      int j = schema.MeasureIndex(name);
+      if (j < 0) return PrintUsage("--subspace names no measure: " + name);
+      subspace |= MeasureMask{1} << j;
+    }
+    if (subspace == 0) return PrintUsage("--subspace selected no measures");
+  }
+
+  SkylineQueryEngine query(&relation);
+  QueryAlgorithm algo = ParseQueryAlgorithm(args.Get("algo", "auto"));
+  SkylineQueryResult result = query.Evaluate(constraint, subspace, algo);
+
+  std::printf("context %s has %llu tuples, skyline %zu (%llu comparisons)\n",
+              constraint.ToPredicateString(relation).c_str(),
+              static_cast<unsigned long long>(result.stats.context_size),
+              result.skyline.size(),
+              static_cast<unsigned long long>(result.stats.comparisons));
+  for (TupleId t : result.skyline) {
+    std::string line = "  #" + std::to_string(t);
+    for (int d = 0; d < schema.num_dimensions(); ++d) {
+      line += " " + relation.DimString(t, d);
+    }
+    line += " |";
+    for (int j = 0; j < schema.num_measures(); ++j) {
+      if ((subspace >> j) & 1u) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), " %s=%g",
+                      schema.measure(j).name.c_str(), relation.measure(t, j));
+        line += buf;
+      }
+    }
+    std::printf("%s\n", line.c_str());
+  }
+  return 0;
+}
+
+int RunResume(const Args& args) {
+  const std::string path = args.Get("snapshot");
+  if (path.empty()) return PrintUsage("--snapshot is required");
+
+  SnapshotLoadOptions load_options;
+  load_options.file_store_dir = TempStoreDir("resume");
+  load_options.algorithm_override = args.Get("algorithm");
+  load_options.allow_replay_rebuild = args.Has("replay");
+  auto restored_or = LoadEngineSnapshot(path, load_options);
+  if (!restored_or.ok()) {
+    std::fprintf(stderr, "%s\n", restored_or.status().ToString().c_str());
+    return 1;
+  }
+  RestoredEngine restored = std::move(restored_or).value();
+  std::printf("restored %s engine with %u tuples (%u live)\n",
+              std::string(restored.engine->discoverer().name()).c_str(),
+              restored.relation->size(), restored.relation->live_size());
+
+  if (!args.Has("csv")) return 0;
+
+  // Continue the stream: the CSV must carry the snapshot's schema columns.
+  auto table_or = CsvTable::Read(args.Get("csv"));
+  if (!table_or.ok()) return PrintUsage(table_or.status().ToString());
+  auto data_or =
+      DatasetFromCsvTable(table_or.value(), restored.relation->schema());
+  if (!data_or.ok()) return PrintUsage(data_or.status().ToString());
+
+  const int top = args.GetInt("top", 3);
+  const bool quiet = args.Has("quiet");
+  FactNarrator narrator(restored.relation.get(), -1);
+  for (const Row& row : data_or.value().rows()) {
+    ArrivalReport report = restored.engine->Append(row);
+    if (quiet || report.prominent.empty()) continue;
+    std::printf("tuple %llu:\n",
+                static_cast<unsigned long long>(report.tuple));
+    int shown = 0;
+    for (const RankedFact& rf : report.prominent) {
+      if (shown++ >= top) break;
+      std::printf("  %s\n", narrator.Narrate(report.tuple, rf).c_str());
+    }
+  }
+  std::printf("resumed stream complete; relation now has %u tuples\n",
+              restored.relation->size());
+  return 0;
+}
+
+}  // namespace cli
+}  // namespace sitfact

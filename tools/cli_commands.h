@@ -1,0 +1,51 @@
+#ifndef SITFACT_TOOLS_CLI_COMMANDS_H_
+#define SITFACT_TOOLS_CLI_COMMANDS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sitfact {
+namespace cli {
+
+/// Parsed command line: subcommand + `--flag value` pairs. Flags are
+/// single-valued; repeated flags keep the last value.
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  bool Has(const std::string& name) const { return flags.count(name) > 0; }
+  std::string Get(const std::string& name,
+                  const std::string& fallback = "") const {
+    auto it = flags.find(name);
+    return it == flags.end() ? fallback : it->second;
+  }
+  int GetInt(const std::string& name, int fallback) const;
+  double GetDouble(const std::string& name, double fallback) const;
+};
+
+/// Parses argv[1..]; returns false (and prints to stderr) on malformed
+/// flags.
+bool ParseArgs(int argc, char** argv, Args* out);
+
+/// `sitfact_cli generate`: writes a synthetic dataset as CSV.
+int RunGenerate(const Args& args);
+
+/// `sitfact_cli discover`: streams a CSV through a discovery algorithm and
+/// prints prominent facts as they emerge.
+int RunDiscover(const Args& args);
+
+/// `sitfact_cli query`: one-shot contextual skyline query over a CSV.
+int RunQuery(const Args& args);
+
+/// `sitfact_cli resume`: restores an engine snapshot and optionally
+/// continues streaming another CSV into it.
+int RunResume(const Args& args);
+
+/// Prints per-command usage; returns exit code 2 for consistency.
+int PrintUsage(const std::string& error);
+
+}  // namespace cli
+}  // namespace sitfact
+
+#endif  // SITFACT_TOOLS_CLI_COMMANDS_H_

@@ -1,0 +1,21 @@
+// Entry point for sitfact_cli. Subcommand dispatch only; the work lives in
+// cli_commands.cc so the pieces stay unit-testable.
+
+#include <string>
+
+#include "cli_commands.h"
+
+int main(int argc, char** argv) {
+  sitfact::cli::Args args;
+  if (!sitfact::cli::ParseArgs(argc, argv, &args)) {
+    return sitfact::cli::PrintUsage("");
+  }
+  if (args.command == "generate") return sitfact::cli::RunGenerate(args);
+  if (args.command == "discover") return sitfact::cli::RunDiscover(args);
+  if (args.command == "query") return sitfact::cli::RunQuery(args);
+  if (args.command == "resume") return sitfact::cli::RunResume(args);
+  if (args.command == "help" || args.command == "--help") {
+    return sitfact::cli::PrintUsage("");
+  }
+  return sitfact::cli::PrintUsage("unknown command: " + args.command);
+}
