@@ -4,12 +4,12 @@
 // smaller-is-better (e.g. fouls, latency, price-paid).
 //
 // Usage:
-//   csv_stream FILE --dims d1,d2,... --measures m1,-m2,... \
-//              [--algo STopDown] [--tau 100] [--dhat 3] [--mhat 3] [--top 5]
+//   csv_stream FILE --dims d1,d2,... --measures m1,-m2,...
+//     and optionally [--algo STopDown] [--tau 100] [--dhat 3] [--mhat 3]
+//     [--top 5], all on one line.
 //
 // Example (after exporting a dataset):
-//   ./build/examples/csv_stream games.csv \
-//       --dims player,team,opp_team --measures points,rebounds,-turnovers
+//   ./build/examples/csv_stream games.csv --dims player,team,opp_team --measures points,rebounds,-turnovers
 //
 // Prints one line per arrival that produced prominent facts.
 

@@ -4,9 +4,12 @@
 
 #include "cli_commands.h"
 
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "common/status.h"
 
 namespace sitfact {
 namespace cli {
@@ -30,7 +33,7 @@ class Argv {
 TEST(ParseArgs, CommandAndFlagValuePairs) {
   Argv a({"sitfact_cli", "discover", "--csv", "data.csv", "--tau", "100"});
   Args args;
-  ASSERT_TRUE(ParseArgs(a.argc(), a.argv(), &args));
+  ASSERT_TRUE(ParseArgs(a.argc(), a.argv(), &args).ok());
   EXPECT_EQ(args.command, "discover");
   EXPECT_EQ(args.Get("csv"), "data.csv");
   EXPECT_EQ(args.GetInt("tau", -1), 100);
@@ -40,7 +43,7 @@ TEST(ParseArgs, CommandAndFlagValuePairs) {
 TEST(ParseArgs, EqualsSyntaxAndBareBooleans) {
   Argv a({"cli", "resume", "--snapshot=x.snap", "--quiet", "--replay"});
   Args args;
-  ASSERT_TRUE(ParseArgs(a.argc(), a.argv(), &args));
+  ASSERT_TRUE(ParseArgs(a.argc(), a.argv(), &args).ok());
   EXPECT_EQ(args.Get("snapshot"), "x.snap");
   EXPECT_TRUE(args.Has("quiet"));
   EXPECT_EQ(args.Get("quiet"), "true");
@@ -50,7 +53,7 @@ TEST(ParseArgs, EqualsSyntaxAndBareBooleans) {
 TEST(ParseArgs, BareFlagFollowedByFlagStaysBoolean) {
   Argv a({"cli", "discover", "--quiet", "--csv", "f.csv"});
   Args args;
-  ASSERT_TRUE(ParseArgs(a.argc(), a.argv(), &args));
+  ASSERT_TRUE(ParseArgs(a.argc(), a.argv(), &args).ok());
   EXPECT_EQ(args.Get("quiet"), "true");
   EXPECT_EQ(args.Get("csv"), "f.csv");
 }
@@ -58,26 +61,46 @@ TEST(ParseArgs, BareFlagFollowedByFlagStaysBoolean) {
 TEST(ParseArgs, RepeatedFlagKeepsLastValue) {
   Argv a({"cli", "query", "--algo", "bnl", "--algo", "dnc"});
   Args args;
-  ASSERT_TRUE(ParseArgs(a.argc(), a.argv(), &args));
+  ASSERT_TRUE(ParseArgs(a.argc(), a.argv(), &args).ok());
   EXPECT_EQ(args.Get("algo"), "dnc");
 }
 
-TEST(ParseArgs, PositionalArgumentRejected) {
+TEST(ParseArgs, PositionalArgumentRejectedSilently) {
   Argv a({"cli", "discover", "stray.csv"});
   Args args;
-  EXPECT_FALSE(ParseArgs(a.argc(), a.argv(), &args));
+  // The parser reports through the Status, not by printing: rendering the
+  // error is the caller's job, and unit-test output must stay clean.
+  testing::internal::CaptureStdout();
+  testing::internal::CaptureStderr();
+  Status st = ParseArgs(a.argc(), a.argv(), &args);
+  const std::string out = testing::internal::GetCapturedStdout();
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "unexpected positional argument: stray.csv");
+  EXPECT_EQ(out, "");
+  EXPECT_EQ(err, "");
 }
 
-TEST(ParseArgs, NoCommandRejected) {
+TEST(ParseArgs, NoCommandRejectedSilently) {
   Argv a({"cli"});
   Args args;
-  EXPECT_FALSE(ParseArgs(a.argc(), a.argv(), &args));
+  testing::internal::CaptureStdout();
+  testing::internal::CaptureStderr();
+  Status st = ParseArgs(a.argc(), a.argv(), &args);
+  const std::string out = testing::internal::GetCapturedStdout();
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "missing command");
+  EXPECT_EQ(out, "");
+  EXPECT_EQ(err, "");
 }
 
 TEST(ParseArgs, DefaultsWhenFlagAbsent) {
   Argv a({"cli", "generate"});
   Args args;
-  ASSERT_TRUE(ParseArgs(a.argc(), a.argv(), &args));
+  ASSERT_TRUE(ParseArgs(a.argc(), a.argv(), &args).ok());
   EXPECT_FALSE(args.Has("rows"));
   EXPECT_EQ(args.Get("dataset", "nba"), "nba");
   EXPECT_EQ(args.GetInt("rows", 1000), 1000);
@@ -87,7 +110,7 @@ TEST(ParseArgs, DefaultsWhenFlagAbsent) {
 TEST(ParseArgs, NegativeAndFloatValuesParse) {
   Argv a({"cli", "discover", "--dhat", "-1", "--tau", "2.75"});
   Args args;
-  ASSERT_TRUE(ParseArgs(a.argc(), a.argv(), &args));
+  ASSERT_TRUE(ParseArgs(a.argc(), a.argv(), &args).ok());
   // "-1" starts with '-' but not "--": it is consumed as the value.
   EXPECT_EQ(args.GetInt("dhat", 0), -1);
   EXPECT_DOUBLE_EQ(args.GetDouble("tau", 0), 2.75);

@@ -108,7 +108,9 @@ TEST(SkylineCompute, SkylineConstraintsAreDownwardClosed) {
       auto msc = ComputeMaximalSkylineConstraintMasks(r, t, m, 3, r.size());
       for (DimMask a : msc) {
         for (DimMask b : msc) {
-          if (a != b) EXPECT_FALSE(IsSubsetOf(a, b)) << "not an antichain";
+          if (a != b) {
+            EXPECT_FALSE(IsSubsetOf(a, b)) << "not an antichain";
+          }
         }
       }
     }

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for sitfact_cli and (optionally) the quickstart
+# example. Usage: cli_smoke.sh <path-to-sitfact_cli> [path-to-quickstart]
+#
+# Each step checks both the exit status and an expected output substring so
+# the executable targets cannot silently rot while the unit suite stays
+# green.
+set -u
+
+CLI=${1:?usage: cli_smoke.sh <sitfact_cli> [quickstart]}
+QUICKSTART=${2:-}
+
+WORKDIR=$(mktemp -d "${TMPDIR:-/tmp}/sitfact_smoke.XXXXXX")
+trap 'rm -rf "$WORKDIR"' EXIT
+
+FAILURES=0
+
+# expect <name> <expected-exit> <substring> <cmd...>
+# Runs cmd, captures stdout+stderr, verifies exit code and substring.
+expect() {
+  local name=$1 want_status=$2 want_substr=$3
+  shift 3
+  local out status
+  out=$("$@" 2>&1)
+  status=$?
+  if [ "$status" -ne "$want_status" ]; then
+    echo "FAIL $name: exit $status, wanted $want_status"
+    echo "$out" | sed 's/^/  | /'
+    FAILURES=$((FAILURES + 1))
+    return
+  fi
+  if ! printf '%s' "$out" | grep -qF "$want_substr"; then
+    echo "FAIL $name: output lacks \"$want_substr\""
+    echo "$out" | sed 's/^/  | /'
+    FAILURES=$((FAILURES + 1))
+    return
+  fi
+  echo "ok   $name"
+}
+
+CSV="$WORKDIR/nba.csv"
+SNAP="$WORKDIR/engine.snap"
+
+expect generate 0 "wrote 200 nba rows" \
+  "$CLI" generate --dataset nba --rows 200 --seed 7 --out "$CSV"
+
+[ -s "$CSV" ] || { echo "FAIL generate: $CSV missing or empty"; FAILURES=$((FAILURES + 1)); }
+
+expect discover 0 "processed 200 rows" \
+  "$CLI" discover --csv "$CSV" --dims player,season,team,opp_team \
+  --measures points:+,rebounds:+,assists:+ --quiet \
+  --save-snapshot "$SNAP"
+
+expect resume 0 "restored" \
+  "$CLI" resume --snapshot "$SNAP" --quiet
+
+expect query 0 "skyline" \
+  "$CLI" query --csv "$CSV" --dims player,season,team,opp_team \
+  --measures points:+,rebounds:+,assists:+
+
+expect usage 2 "USAGE" "$CLI" help
+
+# The parser must reject positionals through the error path (exit 2 from
+# PrintUsage) and name the offending argument.
+expect positional-rejected 2 "unexpected positional argument: stray.csv" \
+  "$CLI" discover stray.csv
+
+if [ -n "$QUICKSTART" ]; then
+  expect quickstart 0 "prominent" "$QUICKSTART"
+fi
+
+if [ "$FAILURES" -ne 0 ]; then
+  echo "$FAILURES smoke step(s) failed"
+  exit 1
+fi
+echo "smoke: all steps passed"

@@ -117,15 +117,15 @@ double Args::GetDouble(const std::string& name, double fallback) const {
   return it == flags.end() ? fallback : std::atof(it->second.c_str());
 }
 
-bool ParseArgs(int argc, char** argv, Args* out) {
-  if (argc < 2) return false;
+Status ParseArgs(int argc, char** argv, Args* out) {
+  if (argc < 2) {
+    return Status::InvalidArgument("missing command");
+  }
   out->command = argv[1];
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
-      std::fprintf(stderr, "unexpected positional argument: %s\n",
-                   arg.c_str());
-      return false;
+      return Status::InvalidArgument("unexpected positional argument: " + arg);
     }
     std::string name = arg.substr(2);
     std::string value = "true";  // bare flags act as booleans
@@ -138,7 +138,7 @@ bool ParseArgs(int argc, char** argv, Args* out) {
     }
     out->flags[name] = value;
   }
-  return true;
+  return Status::Ok();
 }
 
 int PrintUsage(const std::string& error) {

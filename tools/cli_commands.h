@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
+
 namespace sitfact {
 namespace cli {
 
@@ -24,9 +26,10 @@ struct Args {
   double GetDouble(const std::string& name, double fallback) const;
 };
 
-/// Parses argv[1..]; returns false (and prints to stderr) on malformed
-/// flags.
-bool ParseArgs(int argc, char** argv, Args* out);
+/// Parses argv[1..]. On malformed input returns InvalidArgument describing
+/// the problem; the parser itself never prints — callers decide how to
+/// render the error (cli_main.cc routes it through PrintUsage).
+Status ParseArgs(int argc, char** argv, Args* out);
 
 /// `sitfact_cli generate`: writes a synthetic dataset as CSV.
 int RunGenerate(const Args& args);

@@ -7,8 +7,9 @@
 
 int main(int argc, char** argv) {
   sitfact::cli::Args args;
-  if (!sitfact::cli::ParseArgs(argc, argv, &args)) {
-    return sitfact::cli::PrintUsage("");
+  sitfact::Status parsed = sitfact::cli::ParseArgs(argc, argv, &args);
+  if (!parsed.ok()) {
+    return sitfact::cli::PrintUsage(parsed.message());
   }
   if (args.command == "generate") return sitfact::cli::RunGenerate(args);
   if (args.command == "discover") return sitfact::cli::RunDiscover(args);
