@@ -84,6 +84,7 @@ void Run() {
 }  // namespace sitfact
 
 int main() {
+  sitfact::bench::ScopedBenchJson json("ablation_pruning");
   sitfact::bench::Run();
   return 0;
 }

@@ -77,6 +77,7 @@ void Run() {
 }  // namespace sitfact
 
 int main() {
+  sitfact::bench::ScopedBenchJson json("case_study_nba");
   sitfact::bench::Run();
   return 0;
 }

@@ -89,6 +89,7 @@ void PanelB() {
 }  // namespace sitfact
 
 int main() {
+  sitfact::bench::ScopedBenchJson json("ext_kskyband");
   sitfact::bench::PanelA();
   sitfact::bench::PanelB();
   return 0;

@@ -71,6 +71,7 @@ void PanelC() {
 }  // namespace sitfact
 
 int main() {
+  sitfact::bench::ScopedBenchJson json("fig07_time_baselines");
   sitfact::bench::PanelA();
   sitfact::bench::PanelB();
   sitfact::bench::PanelC();

@@ -57,6 +57,7 @@ void PanelBC(bool vary_d) {
 }  // namespace sitfact
 
 int main() {
+  sitfact::bench::ScopedBenchJson json("fig08_time_sharing");
   sitfact::bench::PanelA();
   sitfact::bench::PanelBC(/*vary_d=*/true);
   sitfact::bench::PanelBC(/*vary_d=*/false);

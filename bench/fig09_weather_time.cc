@@ -46,6 +46,7 @@ void Run() {
 }  // namespace sitfact
 
 int main() {
+  sitfact::bench::ScopedBenchJson json("fig09_weather_time");
   sitfact::bench::Run();
   return 0;
 }

@@ -39,6 +39,7 @@ void Run() {
 }  // namespace sitfact
 
 int main() {
+  sitfact::bench::ScopedBenchJson json("fig10_memory");
   sitfact::bench::Run();
   return 0;
 }

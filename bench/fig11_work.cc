@@ -41,6 +41,7 @@ void Run() {
 }  // namespace sitfact
 
 int main() {
+  sitfact::bench::ScopedBenchJson json("fig11_work");
   sitfact::bench::Run();
   return 0;
 }

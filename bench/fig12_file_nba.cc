@@ -65,6 +65,7 @@ void PanelBC(bool vary_d) {
 }  // namespace sitfact
 
 int main() {
+  sitfact::bench::ScopedBenchJson json("fig12_file_nba");
   sitfact::bench::PanelA();
   sitfact::bench::PanelBC(/*vary_d=*/true);
   sitfact::bench::PanelBC(/*vary_d=*/false);

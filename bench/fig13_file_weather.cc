@@ -32,6 +32,7 @@ void Run() {
 }  // namespace sitfact
 
 int main() {
+  sitfact::bench::ScopedBenchJson json("fig13_file_weather");
   sitfact::bench::Run();
   return 0;
 }

@@ -50,6 +50,7 @@ void Run() {
 }  // namespace sitfact
 
 int main() {
+  sitfact::bench::ScopedBenchJson json("fig14_prominence_rate");
   sitfact::bench::Run();
   return 0;
 }

@@ -66,6 +66,7 @@ void Run() {
 }  // namespace sitfact
 
 int main() {
+  sitfact::bench::ScopedBenchJson json("fig15_prominence_dist");
   sitfact::bench::Run();
   return 0;
 }

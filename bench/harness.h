@@ -13,11 +13,13 @@
 // shrink every stream length (e.g. 4 for a longer run closer to the paper's
 // operating points).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
@@ -30,6 +32,91 @@
 
 namespace sitfact {
 namespace bench {
+
+// ---------------------------------------------------------------------------
+// Machine-readable results. Every bench binary writes BENCH_<name>.json
+// (into $SITFACT_BENCH_JSON_DIR, default the working directory) so the perf
+// trajectory of the repo can be tracked run-over-run. ReplayStream records
+// one entry per replay automatically; benches with bespoke drivers add
+// entries by hand, and ScopedBenchJson at the top of main() guarantees at
+// least a whole-process wall-time entry.
+
+struct BenchRecord {
+  std::string name;        // series label, e.g. the algorithm
+  uint64_t n = 0;          // stream length
+  int d = 0;               // dimension attributes
+  int m = 0;               // measure attributes
+  double wall_ms = 0;      // wall time of the measured region
+  uint64_t comparisons = 0;  // dominance comparisons, when known
+  size_t peak_bytes = 0;     // peak observed memory, when known
+};
+
+inline std::vector<BenchRecord>& BenchRecords() {
+  static std::vector<BenchRecord> records;
+  return records;
+}
+
+inline void RecordBench(BenchRecord record) {
+  BenchRecords().push_back(std::move(record));
+}
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) continue;  // labels are ASCII
+    out += c;
+  }
+  return out;
+}
+
+inline void WriteBenchJson(const std::string& bench_name) {
+  const char* dir = std::getenv("SITFACT_BENCH_JSON_DIR");
+  std::string path = dir != nullptr && dir[0] != '\0'
+                         ? std::string(dir) + "/BENCH_" + bench_name + ".json"
+                         : "BENCH_" + bench_name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\"bench\": \"%s\", \"records\": [",
+               JsonEscape(bench_name).c_str());
+  const std::vector<BenchRecord>& records = BenchRecords();
+  for (size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    std::fprintf(f,
+                 "%s\n  {\"name\": \"%s\", \"n\": %llu, \"d\": %d, \"m\": %d, "
+                 "\"wall_ms\": %.3f, \"comparisons\": %llu, "
+                 "\"peak_bytes\": %llu}",
+                 i == 0 ? "" : ",", JsonEscape(r.name).c_str(),
+                 static_cast<unsigned long long>(r.n), r.d, r.m, r.wall_ms,
+                 static_cast<unsigned long long>(r.comparisons),
+                 static_cast<unsigned long long>(r.peak_bytes));
+  }
+  std::fprintf(f, "\n]}\n");
+  std::fclose(f);
+  std::printf("\n# wrote %s (%zu records)\n", path.c_str(), records.size());
+}
+
+/// Put one of these at the top of main(): it times the whole run, appends a
+/// "total" record, and writes BENCH_<name>.json on scope exit.
+class ScopedBenchJson {
+ public:
+  explicit ScopedBenchJson(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+  ~ScopedBenchJson() {
+    RecordBench(BenchRecord{"total", 0, 0, 0, timer_.ElapsedMillis(), 0, 0});
+    WriteBenchJson(bench_name_);
+  }
+
+  ScopedBenchJson(const ScopedBenchJson&) = delete;
+  ScopedBenchJson& operator=(const ScopedBenchJson&) = delete;
+
+ private:
+  std::string bench_name_;
+  WallTimer timer_;
+};
 
 inline double BenchScale() {
   const char* env = std::getenv("SITFACT_BENCH_SCALE");
@@ -139,6 +226,18 @@ inline StreamResult ReplayStream(const std::string& algorithm,
   result.total_seconds = total.ElapsedSeconds();
   result.mean_per_tuple_ms =
       result.total_seconds * 1000.0 / static_cast<double>(data.size());
+
+  BenchRecord record;
+  record.name = algorithm;
+  record.n = data.size();
+  record.d = data.schema().num_dimensions();
+  record.m = data.schema().num_measures();
+  record.wall_ms = result.total_seconds * 1000.0;
+  record.comparisons = disc->stats().comparisons;
+  for (const Sample& s : result.samples) {
+    record.peak_bytes = std::max(record.peak_bytes, s.memory_bytes);
+  }
+  RecordBench(std::move(record));
   return result;
 }
 

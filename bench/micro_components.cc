@@ -12,6 +12,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "harness.h"
+
 #include "common/crc32.h"
 #include "common/csv.h"
 #include "core/bottom_up.h"
@@ -252,4 +254,14 @@ BENCHMARK(BM_RelationSnapshotRoundTrip)->Iterations(20);
 }  // namespace bench
 }  // namespace sitfact
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so the run also emits BENCH_micro_components.json
+// (Google Benchmark owns the per-benchmark numbers; the JSON records the
+// whole-process wall time like every other bench binary).
+int main(int argc, char** argv) {
+  sitfact::bench::ScopedBenchJson json("micro_components");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

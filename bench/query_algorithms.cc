@@ -64,6 +64,7 @@ void RunPanel(const char* title, int m) {
 }  // namespace sitfact
 
 int main() {
+  sitfact::bench::ScopedBenchJson json("query_algorithms");
   sitfact::bench::RunPanel(
       "# Query ablation (a): NBA full 7-measure space, one-shot skyline",
       7);

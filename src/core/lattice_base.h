@@ -46,46 +46,8 @@ class LatticeDiscovererBase : public Discoverer {
   /// µ-store context for `mask`; nullptr when absent and !create.
   MuStore::Context* CachedContext(DimMask mask, bool create);
 
-  /// One bucket visit: prefers the store's in-place path (memory store) and
-  /// falls back to a Read-into-scratch / Write-back cycle (file store).
-  /// Usage: Open, mutate contents(), then Commit(ctx) iff modified.
-  class BucketCursor {
-   public:
-    /// `ctx` may be null (unknown constraint); `scratch` must outlive the
-    /// cursor and is only used on the fallback path.
-    void Open(MuStore::Context* ctx, MeasureMask m,
-              std::vector<TupleId>* scratch) {
-      m_ = m;
-      scratch_ = scratch;
-      direct_ = ctx != nullptr ? ctx->Direct(m, /*create=*/false) : nullptr;
-      if (direct_ != nullptr) {
-        old_size_ = direct_->size();
-      } else {
-        scratch_->clear();
-        if (ctx != nullptr && !ctx->Empty(m)) ctx->Read(m, scratch_);
-      }
-    }
-
-    std::vector<TupleId>& contents() {
-      return direct_ != nullptr ? *direct_ : *scratch_;
-    }
-
-    /// Persists mutations. `ctx` must be non-null by now (create it before
-    /// committing an insertion into a previously unknown constraint).
-    void Commit(MuStore::Context* ctx) {
-      if (direct_ != nullptr) {
-        ctx->CommitDirect(m_, old_size_);
-      } else {
-        ctx->Write(m_, *scratch_);
-      }
-    }
-
-   private:
-    MeasureMask m_ = 0;
-    std::vector<TupleId>* direct_ = nullptr;
-    std::vector<TupleId>* scratch_ = nullptr;
-    size_t old_size_ = 0;
-  };
+  // Bucket visits go through BucketCursor (storage/mu_store.h), shared with
+  // the sharded engine.
 
   /// Admissible masks (popcount <= d̂), ascending popcount: the top-down
   /// breadth-first visit order (every ancestor strictly before any of its

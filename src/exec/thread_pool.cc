@@ -1,0 +1,107 @@
+#include "exec/thread_pool.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace sitfact {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SITFACT_CHECK_MSG(!active_, "ThreadPool destroyed with a launch pending");
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Launch(int n, std::function<void(int)> fn) {
+  SITFACT_CHECK(n >= 0);
+  if (n == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SITFACT_CHECK_MSG(!active_, "ThreadPool::Launch while a launch is pending");
+    task_ = std::move(fn);
+    task_n_ = n;
+    next_index_ = 0;
+    completed_ = 0;
+    active_ = true;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+}
+
+bool ThreadPool::ClaimIndex(uint64_t gen, int* index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!active_ || generation_ != gen || next_index_ >= task_n_) return false;
+  *index = next_index_++;
+  return true;
+}
+
+int ThreadPool::RunIndices(uint64_t gen, const std::function<void(int)>& fn) {
+  int ran = 0;
+  int index;
+  while (ClaimIndex(gen, &index)) {
+    fn(index);
+    ++ran;
+  }
+  return ran;
+}
+
+void ThreadPool::ReportFinished(int ran) {
+  if (ran == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  // A generation cannot finish while `ran` of its indices are unreported, so
+  // active_/completed_ still belong to the generation that ran them.
+  completed_ += ran;
+  if (completed_ == task_n_) {
+    active_ = false;
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::Wait() {
+  uint64_t gen;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!active_) return;
+    gen = generation_;
+  }
+  // Steal unclaimed indices instead of idling. task_ stays valid: the launch
+  // cannot complete while indices we claimed are unreported.
+  ReportFinished(RunIndices(gen, task_));
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return !active_; });
+}
+
+void ThreadPool::ParallelFor(int n, std::function<void(int)> fn) {
+  Launch(n, std::move(fn));
+  Wait();
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  while (true) {
+    uint64_t gen;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this, seen_generation] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      gen = seen_generation = generation_;
+    }
+    ReportFinished(RunIndices(gen, task_));
+  }
+}
+
+}  // namespace sitfact

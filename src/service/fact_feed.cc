@@ -1,5 +1,6 @@
 #include "service/fact_feed.h"
 
+#include <span>
 #include <utility>
 
 #include "common/logging.h"
@@ -13,6 +14,17 @@ FactFeed::FactFeed(DiscoveryEngine* engine, Subscriber subscriber,
       options_(options) {
   SITFACT_CHECK(engine != nullptr);
   SITFACT_CHECK(options_.queue_capacity > 0);
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+FactFeed::FactFeed(ShardedEngine* engine, Subscriber subscriber,
+                   Options options)
+    : sharded_engine_(engine),
+      subscriber_(std::move(subscriber)),
+      options_(options) {
+  SITFACT_CHECK(engine != nullptr);
+  SITFACT_CHECK(options_.queue_capacity > 0);
+  SITFACT_CHECK(options_.max_batch > 0);
   worker_ = std::thread([this] { WorkerLoop(); });
 }
 
@@ -57,33 +69,46 @@ uint64_t FactFeed::prominent_arrivals() const {
   return prominent_arrivals_;
 }
 
-void FactFeed::WorkerLoop() {
-  while (true) {
-    Row row;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      idle_ = true;
-      drained_.notify_all();
-      not_empty_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping with an empty backlog
-      row = std::move(queue_.front());
-      queue_.pop();
-      idle_ = false;
-      not_full_.notify_one();
-    }
+bool FactFeed::PopBatch(std::vector<Row>* batch) {
+  batch->clear();
+  size_t limit = sharded_engine_ != nullptr ? options_.max_batch : 1;
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_ = true;
+  drained_.notify_all();
+  not_empty_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+  if (queue_.empty()) return false;  // stopping with an empty backlog
+  while (!queue_.empty() && batch->size() < limit) {
+    batch->push_back(std::move(queue_.front()));
+    queue_.pop();
+  }
+  idle_ = false;
+  not_full_.notify_all();
+  return true;
+}
 
+void FactFeed::DeliverReport(const ArrivalReport& report) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++processed_;
+    if (!report.prominent.empty()) ++prominent_arrivals_;
+  }
+  if (subscriber_ &&
+      (options_.notify_all_arrivals || !report.prominent.empty())) {
+    subscriber_(report);
+  }
+}
+
+void FactFeed::WorkerLoop() {
+  std::vector<Row> batch;
+  while (PopBatch(&batch)) {
     // The engine runs outside the lock: discovery dominates the cost and
     // producers only need the queue.
-    ArrivalReport report = engine_->Append(row);
-
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++processed_;
-      if (!report.prominent.empty()) ++prominent_arrivals_;
-    }
-    if (subscriber_ &&
-        (options_.notify_all_arrivals || !report.prominent.empty())) {
-      subscriber_(report);
+    if (sharded_engine_ != nullptr) {
+      std::vector<ArrivalReport> reports =
+          sharded_engine_->AppendBatch(std::span<const Row>(batch));
+      for (const ArrivalReport& report : reports) DeliverReport(report);
+    } else {
+      for (const Row& row : batch) DeliverReport(engine_->Append(row));
     }
   }
 }

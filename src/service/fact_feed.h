@@ -8,18 +8,24 @@
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <vector>
 
 #include "core/engine.h"
+#include "exec/sharded_engine.h"
 #include "relation/relation.h"
 
 namespace sitfact {
 
-/// Asynchronous front end for a DiscoveryEngine: producers Publish() rows
-/// from any thread; one worker thread owns the engine (every discovery
-/// algorithm is single-writer by design) and invokes a subscriber callback
-/// for each arrival that produced prominent facts. This is the shape a
-/// newsroom deployment takes — scrapers push box scores as games end, the
-/// feed emits narratable facts within one arrival of ingestion.
+/// Asynchronous front end for a DiscoveryEngine or ShardedEngine: producers
+/// Publish() rows from any thread; one worker thread owns the engine (every
+/// discovery engine is single-writer by design) and invokes a subscriber
+/// callback for each arrival that produced prominent facts. This is the
+/// shape a newsroom deployment takes — scrapers push box scores as games
+/// end, the feed emits narratable facts within one arrival of ingestion.
+///
+/// When backed by a ShardedEngine the worker drains the queue in batches of
+/// up to Options::max_batch rows per engine call (AppendBatch), keeping its
+/// shard pipeline full under bursty producers.
 ///
 /// Backpressure: the queue is bounded; Publish() blocks when full (the
 /// stream must not silently drop events — a missed arrival would corrupt
@@ -40,12 +46,21 @@ class FactFeed {
     size_t queue_capacity = 1024;
     /// Invoke the subscriber for every arrival, not just prominent ones.
     bool notify_all_arrivals = false;
+    /// Rows handed to the engine per call when backed by a ShardedEngine
+    /// (its AppendBatch pipeline; sequential engines always take one row at
+    /// a time). Subscribers still see one report per arrival, in order.
+    size_t max_batch = 32;
   };
 
   /// `engine` must outlive the feed and must not be touched by other
   /// threads while the feed runs.
   FactFeed(DiscoveryEngine* engine, Subscriber subscriber, Options options);
   FactFeed(DiscoveryEngine* engine, Subscriber subscriber)
+      : FactFeed(engine, std::move(subscriber), Options()) {}
+
+  /// Sharded back end: same contract, batched drain.
+  FactFeed(ShardedEngine* engine, Subscriber subscriber, Options options);
+  FactFeed(ShardedEngine* engine, Subscriber subscriber)
       : FactFeed(engine, std::move(subscriber), Options()) {}
 
   ~FactFeed();
@@ -72,7 +87,15 @@ class FactFeed {
  private:
   void WorkerLoop();
 
-  DiscoveryEngine* engine_;
+  /// Pops up to max_batch rows (at least one) while holding no lock longer
+  /// than needed; returns false when stopping with an empty backlog.
+  bool PopBatch(std::vector<Row>* batch);
+
+  /// Books one processed report and notifies the subscriber if warranted.
+  void DeliverReport(const ArrivalReport& report);
+
+  DiscoveryEngine* engine_ = nullptr;        // exactly one back end is set
+  ShardedEngine* sharded_engine_ = nullptr;
   Subscriber subscriber_;
   Options options_;
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "common/types.h"
 #include "lattice/constraint.h"
@@ -25,6 +26,16 @@ class ContextCounter {
 
   /// Deletion extension: decrements the counts OnArrival(t) incremented.
   void OnRemoval(const Relation& r, TupleId t);
+
+  /// Shard-partitioned variants: bump only the constraints lifted from
+  /// `masks`. The ShardedEngine keeps one counter per shard, each fed the
+  /// shard's owned masks, so that across shards the union of updates equals
+  /// one OnArrival/OnRemoval call (masks must partition the truncated
+  /// lattice).
+  void OnArrivalMasks(const Relation& r, TupleId t,
+                      const std::vector<DimMask>& masks);
+  void OnRemovalMasks(const Relation& r, TupleId t,
+                      const std::vector<DimMask>& masks);
 
   /// |σ_C(R)| for a constraint (0 if never seen).
   uint64_t Count(const Constraint& c) const;

@@ -1,6 +1,7 @@
 #ifndef SITFACT_STORAGE_MU_STORE_H_
 #define SITFACT_STORAGE_MU_STORE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -101,13 +102,59 @@ class MuStore {
       const std::function<void(const Constraint&, MeasureMask,
                                const std::vector<TupleId>&)>& fn) = 0;
 
-  const MuStoreStats& stats() const { return stats_; }
+  /// Aggregate counters. Virtual so composite stores (SegmentedMuStore) can
+  /// fold per-segment counters into one view; Discoverer::StoredTupleCount()
+  /// and the bench harness read through this.
+  virtual const MuStoreStats& stats() const { return stats_; }
 
   /// Approximate bytes held by the store's in-memory structures (Fig. 10a).
   virtual size_t ApproxMemoryBytes() const = 0;
 
  protected:
   MuStoreStats stats_;
+};
+
+/// One bucket visit: prefers the store's in-place path (memory store) and
+/// falls back to a Read-into-scratch / Write-back cycle (file store).
+/// Usage: Open, mutate contents(), then Commit(ctx) iff modified. Shared by
+/// every discoverer that follows the bucket update protocol (the lattice
+/// family and the sharded engine).
+class BucketCursor {
+ public:
+  /// `ctx` may be null (unknown constraint); `scratch` must outlive the
+  /// cursor and is only used on the fallback path.
+  void Open(MuStore::Context* ctx, MeasureMask m,
+            std::vector<TupleId>* scratch) {
+    m_ = m;
+    scratch_ = scratch;
+    direct_ = ctx != nullptr ? ctx->Direct(m, /*create=*/false) : nullptr;
+    if (direct_ != nullptr) {
+      old_size_ = direct_->size();
+    } else {
+      scratch_->clear();
+      if (ctx != nullptr && !ctx->Empty(m)) ctx->Read(m, scratch_);
+    }
+  }
+
+  std::vector<TupleId>& contents() {
+    return direct_ != nullptr ? *direct_ : *scratch_;
+  }
+
+  /// Persists mutations. `ctx` must be non-null by now (create it before
+  /// committing an insertion into a previously unknown constraint).
+  void Commit(MuStore::Context* ctx) {
+    if (direct_ != nullptr) {
+      ctx->CommitDirect(m_, old_size_);
+    } else {
+      ctx->Write(m_, *scratch_);
+    }
+  }
+
+ private:
+  MeasureMask m_ = 0;
+  std::vector<TupleId>* direct_ = nullptr;
+  std::vector<TupleId>* scratch_ = nullptr;
+  size_t old_size_ = 0;
 };
 
 }  // namespace sitfact

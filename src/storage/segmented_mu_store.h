@@ -1,0 +1,57 @@
+#ifndef SITFACT_STORAGE_SEGMENTED_MU_STORE_H_
+#define SITFACT_STORAGE_SEGMENTED_MU_STORE_H_
+
+#include <memory>
+#include <vector>
+
+#include "storage/memory_mu_store.h"
+#include "storage/mu_store.h"
+
+namespace sitfact {
+
+/// A µ store split into independent in-memory segments, routed by the
+/// constraint's bound-attribute mask. The ShardedDiscoverer assigns each
+/// lattice mask to exactly one shard and hands shard s exclusive write
+/// ownership of segment s, so shard-parallel discovery touches disjoint
+/// segments without locks.
+///
+/// Thread-safety contract: concurrent calls are safe iff no two threads
+/// touch constraints routed to the same segment, and the whole-store views
+/// (stats(), ForEachBucket, ApproxMemoryBytes) run only while no segment is
+/// being mutated (i.e. between merge barriers).
+class SegmentedMuStore : public MuStore {
+ public:
+  /// `segment_of_mask` maps every DimMask (dense, size 2^d) to a segment in
+  /// [0, num_segments). Masks never used by the owner may map anywhere.
+  SegmentedMuStore(int num_segments, std::vector<uint8_t> segment_of_mask);
+
+  Context* GetOrCreate(const Constraint& c) override;
+  Context* Find(const Constraint& c) override;
+
+  void ForEachBucket(
+      const std::function<void(const Constraint&, MeasureMask,
+                               const std::vector<TupleId>&)>& fn) override;
+
+  /// Sums the per-segment counters into one MuStoreStats. Without this
+  /// override the base stats_ would stay zero forever and
+  /// Discoverer::StoredTupleCount() / the bench harness would under-report.
+  const MuStoreStats& stats() const override;
+
+  size_t ApproxMemoryBytes() const override;
+
+  int num_segments() const { return static_cast<int>(segments_.size()); }
+  int SegmentOf(DimMask mask) const { return segment_of_mask_[mask]; }
+
+  /// Direct segment access for the owning shard's hot path.
+  MemoryMuStore* segment(int i) { return segments_[i].get(); }
+  const MemoryMuStore* segment(int i) const { return segments_[i].get(); }
+
+ private:
+  std::vector<std::unique_ptr<MemoryMuStore>> segments_;
+  std::vector<uint8_t> segment_of_mask_;
+  mutable MuStoreStats aggregated_;
+};
+
+}  // namespace sitfact
+
+#endif  // SITFACT_STORAGE_SEGMENTED_MU_STORE_H_

@@ -12,9 +12,12 @@
 
 #include <gtest/gtest.h>
 
+#include "core/bottom_up.h"
+#include "exec/sharded_discoverer.h"
 #include "storage/context_counter.h"
 #include "storage/file_mu_store.h"
 #include "storage/memory_mu_store.h"
+#include "storage/segmented_mu_store.h"
 #include "test_util.h"
 
 namespace sitfact {
@@ -229,6 +232,105 @@ TEST(FileMuStore, CleanupRemovesDirectory) {
 }
 
 // ---------------------------------------------------------------------------
+// SegmentedMuStore.
+
+class SegmentedMuStoreTest : public ::testing::Test {
+ protected:
+  SegmentedMuStoreTest()
+      : data_(PaperTableIV()),
+        relation_(data_.schema()),
+        // d = 3 -> 8 masks, spread over 3 segments.
+        store_(3, {0, 1, 2, 0, 1, 2, 0, 1}) {
+    for (const Row& row : data_.rows()) relation_.Append(row);
+  }
+
+  Constraint C(DimMask mask, TupleId t = 4) const {
+    return Constraint::ForTuple(relation_, t, mask);
+  }
+
+  Dataset data_;
+  Relation relation_;
+  SegmentedMuStore store_;
+};
+
+TEST_F(SegmentedMuStoreTest, RoutesConstraintsByMaskDeterministically) {
+  MuStore::Context* a = store_.GetOrCreate(C(0b001));
+  EXPECT_EQ(store_.Find(C(0b001)), a);
+  EXPECT_EQ(store_.GetOrCreate(C(0b001)), a);
+  // The handle lives in the owning segment and nowhere else.
+  EXPECT_EQ(store_.SegmentOf(0b001), 1);
+  EXPECT_EQ(store_.segment(1)->Find(C(0b001)), a);
+  EXPECT_EQ(store_.segment(0)->Find(C(0b001)), nullptr);
+  EXPECT_EQ(store_.segment(2)->Find(C(0b001)), nullptr);
+  // Same mask, different bound values: same segment, distinct context.
+  MuStore::Context* b = store_.GetOrCreate(C(0b001, /*t=*/2));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(store_.segment(1)->Find(C(0b001, /*t=*/2)), b);
+}
+
+TEST_F(SegmentedMuStoreTest, StatsAggregateAcrossSegments) {
+  // Regression for the segmented-store satellite: MuStore::stats() must be
+  // the fold of the per-segment counters, not the (never-written) base
+  // counters, or StoredTupleCount()/the bench harness read zeros.
+  store_.GetOrCreate(C(0b001))->Write(0b01, {0, 1, 2});  // segment 1
+  store_.GetOrCreate(C(0b010))->Write(0b01, {3});        // segment 2
+  store_.GetOrCreate(C(0b011))->Write(0b11, {0, 4});     // segment 0
+  EXPECT_EQ(store_.stats().stored_tuples, 6u);
+  EXPECT_EQ(store_.stats().bucket_writes, 3u);
+
+  std::vector<TupleId> bucket;
+  store_.Find(C(0b010))->Read(0b01, &bucket);
+  EXPECT_EQ(store_.stats().bucket_reads, 1u);
+
+  store_.Find(C(0b001))->Write(0b01, {});  // emptied again
+  EXPECT_EQ(store_.stats().stored_tuples, 3u);
+  EXPECT_GT(store_.ApproxMemoryBytes(), 0u);
+}
+
+TEST_F(SegmentedMuStoreTest, ForEachBucketVisitsEverySegmentOnce) {
+  store_.GetOrCreate(C(0b001))->Write(0b01, {0, 1});
+  store_.GetOrCreate(C(0b010))->Write(0b10, {2});
+  store_.GetOrCreate(C(0b100))->Write(0b01, {3});
+  std::map<std::pair<DimMask, MeasureMask>, std::vector<TupleId>> seen;
+  store_.ForEachBucket([&](const Constraint& c, MeasureMask m,
+                           const std::vector<TupleId>& bucket) {
+    auto key = std::make_pair(c.bound_mask(), m);
+    EXPECT_EQ(seen.count(key), 0u) << "bucket visited twice";
+    seen[key] = bucket;
+  });
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ((seen[{0b001, 0b01}]), (std::vector<TupleId>{0, 1}));
+  EXPECT_EQ((seen[{0b010, 0b10}]), (std::vector<TupleId>{2}));
+  EXPECT_EQ((seen[{0b100, 0b01}]), (std::vector<TupleId>{3}));
+}
+
+TEST(SegmentedMuStore, DiscovererAggregationMatchesSequentialStore) {
+  // Discoverer::StoredTupleCount()/ApproxMemoryBytes() must aggregate over
+  // segmented µ stores exactly as they do over a monolithic one.
+  Dataset data = PaperTableIV();
+
+  Relation seq_rel(data.schema());
+  BottomUpDiscoverer seq(&seq_rel, {});
+  Relation par_rel(data.schema());
+  ShardedDiscoverer par(&par_rel, {}, /*num_shards=*/3, /*num_threads=*/2);
+
+  std::vector<SkylineFact> facts;
+  for (const Row& row : data.rows()) {
+    TupleId t = seq_rel.Append(row);
+    facts.clear();
+    seq.Discover(t, &facts);
+    t = par_rel.Append(row);
+    facts.clear();
+    par.Discover(t, &facts);
+
+    ASSERT_EQ(par.StoredTupleCount(), seq.StoredTupleCount());
+    EXPECT_EQ(par.store()->stats().stored_tuples, par.StoredTupleCount());
+    EXPECT_GT(par.ApproxMemoryBytes(), 0u);
+  }
+  EXPECT_GT(par.StoredTupleCount(), 0u);
+}
+
+// ---------------------------------------------------------------------------
 // ContextCounter.
 
 TEST(ContextCounter, CountsEveryTupleSatisfiedConstraint) {
@@ -249,6 +351,44 @@ TEST(ContextCounter, CountsEveryTupleSatisfiedConstraint) {
   // Unseen constraint.
   Constraint unseen = Constraint::ForTuple(r, 0, 0b111);  // <a1,b2,c2> -> t1
   EXPECT_EQ(counter.Count(unseen), 1u);
+}
+
+TEST(ContextCounter, MaskPartitionedCountsSumToTheSequentialCounts) {
+  Dataset data = PaperTableIV();
+  Relation r(data.schema());
+  ContextCounter whole(3);
+  // Shard the 8 masks of the d=3 lattice two ways (round-robin by parity).
+  std::vector<DimMask> even = {0b000, 0b010, 0b100, 0b110};
+  std::vector<DimMask> odd = {0b001, 0b011, 0b101, 0b111};
+  ContextCounter shard_even(3);
+  ContextCounter shard_odd(3);
+  for (const Row& row : data.rows()) {
+    TupleId t = r.Append(row);
+    whole.OnArrival(r, t);
+    shard_even.OnArrivalMasks(r, t, even);
+    shard_odd.OnArrivalMasks(r, t, odd);
+  }
+  auto check_all = [&] {
+    DimMask full = 0b111;
+    for (TupleId t = 0; t < r.size(); ++t) {
+      for (DimMask mask = 0; mask <= full; ++mask) {
+        Constraint c = Constraint::ForTuple(r, t, mask);
+        const ContextCounter& owner =
+            (mask % 2 == 0) ? shard_even : shard_odd;
+        const ContextCounter& other =
+            (mask % 2 == 0) ? shard_odd : shard_even;
+        EXPECT_EQ(owner.Count(c), whole.Count(c));
+        EXPECT_EQ(other.Count(c), 0u);
+      }
+    }
+  };
+  check_all();
+  // Removal stays partitioned the same way.
+  r.MarkDeleted(2);
+  whole.OnRemoval(r, 2);
+  shard_even.OnRemovalMasks(r, 2, even);
+  shard_odd.OnRemovalMasks(r, 2, odd);
+  check_all();
 }
 
 TEST(ContextCounter, HonorsMaxBound) {

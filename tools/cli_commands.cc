@@ -2,16 +2,19 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "core/engine.h"
 #include "core/narrator.h"
+#include "exec/sharded_engine.h"
 #include "datagen/nba_generator.h"
 #include "datagen/stock_generator.h"
 #include "datagen/weather_generator.h"
@@ -151,6 +154,7 @@ USAGE
   sitfact_cli discover --csv FILE --dims d1,d2,... --measures m1:+,m2:-,...
                        [--algorithm STopDown] [--dhat K] [--mhat K]
                        [--tau T] [--top K] [--entity DIM]
+                       [--threads N] [--shards K]
                        [--save-snapshot FILE] [--quiet]
   sitfact_cli query    --csv FILE --dims ... --measures ...
                        [--where d1=v1,d2=v2] [--subspace m1,m2]
@@ -163,6 +167,10 @@ NOTES
   the default) or "fouls:-" (smaller is better).
   discover prints, per arrival, the most prominent constraint-measure pairs
   that admit the new row into a contextual skyline (tau filters weak facts).
+  --threads/--shards route discover through the sharded parallel engine
+  (identical output, see docs/parallelism.md); --shards defaults to
+  2*threads. The sharded engine has its own algorithm, so --algorithm and
+  --save-snapshot do not combine with it.
 )");
   return 2;
 }
@@ -204,15 +212,136 @@ int RunGenerate(const Args& args) {
   return 0;
 }
 
+namespace {
+
+/// Shared per-arrival narration + end-of-stream summary for both discover
+/// paths — the sharded engine's whole contract is output identical to the
+/// sequential engine's, so there must be exactly one printer.
+class DiscoverPrinter {
+ public:
+  DiscoverPrinter(const FactNarrator* narrator, int top, bool quiet)
+      : narrator_(narrator), top_(top), quiet_(quiet) {}
+
+  void OnReport(const ArrivalReport& report) {
+    total_facts_ += report.facts.size();
+    if (report.prominent.empty()) return;
+    ++arrivals_with_prominent_;
+    if (quiet_) return;
+    std::printf("tuple %llu:\n",
+                static_cast<unsigned long long>(report.tuple));
+    int shown = 0;
+    for (const RankedFact& rf : report.prominent) {
+      if (shown++ >= top_) break;
+      std::printf("  %s\n", narrator_->Narrate(report.tuple, rf).c_str());
+    }
+  }
+
+  /// `engine_label` goes after "algorithm=" in the summary line.
+  void PrintSummary(size_t rows, double tau,
+                    const std::string& engine_label) const {
+    std::printf(
+        "processed %zu rows: %llu facts total, %llu arrivals with prominent "
+        "facts (tau=%.1f, algorithm=%s)\n",
+        rows, static_cast<unsigned long long>(total_facts_),
+        static_cast<unsigned long long>(arrivals_with_prominent_), tau,
+        engine_label.c_str());
+  }
+
+ private:
+  const FactNarrator* narrator_;
+  int top_;
+  bool quiet_;
+  uint64_t total_facts_ = 0;
+  uint64_t arrivals_with_prominent_ = 0;
+};
+
+/// Builds the narrator shared by both discover paths; returns false (after
+/// printing usage) when --entity names no dimension.
+bool MakeNarrator(const Args& args, const Dataset& data, Relation* relation,
+                  std::unique_ptr<FactNarrator>* narrator) {
+  int entity_dim = -1;
+  if (args.Has("entity")) {
+    entity_dim = data.schema().DimensionIndex(args.Get("entity"));
+    if (entity_dim < 0) return false;
+  }
+  *narrator = std::make_unique<FactNarrator>(relation, entity_dim);
+  return true;
+}
+
+/// `discover --threads N`: the sharded parallel engine. Same per-arrival
+/// output as the sequential path (the engines are differentially tested for
+/// equality); rows are fed in batches so discovery of arrival i+1 overlaps
+/// the merge of arrival i.
+int RunDiscoverSharded(const Args& args, const Dataset& data,
+                       const DiscoveryOptions& options) {
+  if (args.Has("save-snapshot")) {
+    return PrintUsage(
+        "--save-snapshot does not combine with --threads/--shards yet");
+  }
+  if (args.Has("algorithm")) {
+    return PrintUsage(
+        "--algorithm does not combine with --threads/--shards (the sharded "
+        "engine is its own algorithm)");
+  }
+  const int threads = args.GetInt("threads", 1);
+  if (threads < 1) return PrintUsage("--threads must be >= 1");
+  const int shards = args.GetInt("shards", threads > 1 ? 2 * threads : 4);
+  if (shards < 1 || shards > ShardedDiscoverer::kMaxShards) {
+    return PrintUsage("--shards must be in [1, " +
+                      std::to_string(ShardedDiscoverer::kMaxShards) + "]");
+  }
+
+  Relation relation(data.schema());
+  ShardedEngine::Config config;
+  config.num_shards = shards;
+  config.num_threads = threads;
+  config.options = options;
+  config.tau = args.GetDouble("tau", 2.0);
+  ShardedEngine engine(&relation, config);
+
+  std::unique_ptr<FactNarrator> narrator;
+  if (!MakeNarrator(args, data, &relation, &narrator)) {
+    return PrintUsage("--entity names no dimension");
+  }
+  DiscoverPrinter printer(narrator.get(), args.GetInt("top", 3),
+                          args.Has("quiet"));
+
+  constexpr size_t kBatch = 256;
+  const std::vector<Row>& rows = data.rows();
+  for (size_t begin = 0; begin < rows.size(); begin += kBatch) {
+    size_t count = std::min(kBatch, rows.size() - begin);
+    for (const ArrivalReport& report : engine.AppendBatch(
+             std::span<const Row>(rows.data() + begin, count))) {
+      printer.OnReport(report);
+    }
+  }
+  printer.PrintSummary(
+      rows.size(), config.tau,
+      "Sharded, shards=" +
+          std::to_string(engine.discoverer().num_shards()) +
+          ", threads=" + std::to_string(engine.discoverer().num_threads()));
+  return 0;
+}
+
+}  // namespace
+
 int RunDiscover(const Args& args) {
   auto data_or = LoadCsvFlag(args);
   if (!data_or.ok()) return PrintUsage(data_or.status().ToString());
   const Dataset& data = data_or.value();
 
-  const std::string algorithm = args.Get("algorithm", "STopDown");
   DiscoveryOptions options;
   options.max_bound_dims = args.GetInt("dhat", -1);
   options.max_measure_dims = args.GetInt("mhat", -1);
+
+  // Any explicit --threads/--shards goes to the sharded path, which owns
+  // their validation (so `--threads 0` errors instead of silently running
+  // the sequential engine).
+  if (args.Has("threads") || args.Has("shards")) {
+    return RunDiscoverSharded(args, data, options);
+  }
+
+  const std::string algorithm = args.Get("algorithm", "STopDown");
 
   Relation relation(data.schema());
   std::string store_dir;
@@ -227,37 +356,16 @@ int RunDiscover(const Args& args) {
   config.rank_facts = disc_or.value()->store() != nullptr;
   DiscoveryEngine engine(&relation, std::move(disc_or).value(), config);
 
-  const int top = args.GetInt("top", 3);
-  const bool quiet = args.Has("quiet");
-  int entity_dim = -1;
-  if (args.Has("entity")) {
-    entity_dim = data.schema().DimensionIndex(args.Get("entity"));
-    if (entity_dim < 0) return PrintUsage("--entity names no dimension");
+  std::unique_ptr<FactNarrator> narrator;
+  if (!MakeNarrator(args, data, &relation, &narrator)) {
+    return PrintUsage("--entity names no dimension");
   }
-  FactNarrator narrator(&relation, entity_dim);
-
-  uint64_t total_facts = 0;
-  uint64_t arrivals_with_prominent = 0;
-  for (size_t i = 0; i < data.rows().size(); ++i) {
-    ArrivalReport report = engine.Append(data.rows()[i]);
-    total_facts += report.facts.size();
-    if (report.prominent.empty()) continue;
-    ++arrivals_with_prominent;
-    if (quiet) continue;
-    std::printf("tuple %llu:\n",
-                static_cast<unsigned long long>(report.tuple));
-    int shown = 0;
-    for (const RankedFact& rf : report.prominent) {
-      if (shown++ >= top) break;
-      std::printf("  %s\n", narrator.Narrate(report.tuple, rf).c_str());
-    }
+  DiscoverPrinter printer(narrator.get(), args.GetInt("top", 3),
+                          args.Has("quiet"));
+  for (const Row& row : data.rows()) {
+    printer.OnReport(engine.Append(row));
   }
-  std::printf(
-      "processed %zu rows: %llu facts total, %llu arrivals with prominent "
-      "facts (tau=%.1f, algorithm=%s)\n",
-      data.rows().size(), static_cast<unsigned long long>(total_facts),
-      static_cast<unsigned long long>(arrivals_with_prominent), config.tau,
-      algorithm.c_str());
+  printer.PrintSummary(data.rows().size(), config.tau, algorithm);
   if (!config.rank_facts) {
     std::printf(
         "note: %s keeps no µ-store, so prominence ranking is unavailable; "
