@@ -83,7 +83,8 @@ void Run() {
 }  // namespace bench
 }  // namespace sitfact
 
-int main() {
+int main(int argc, char** argv) {
+  sitfact::bench::InitBenchOutput(&argc, argv);
   sitfact::bench::ScopedBenchJson json("ablation_pruning");
   sitfact::bench::Run();
   return 0;

@@ -76,7 +76,8 @@ void Run() {
 }  // namespace bench
 }  // namespace sitfact
 
-int main() {
+int main(int argc, char** argv) {
+  sitfact::bench::InitBenchOutput(&argc, argv);
   sitfact::bench::ScopedBenchJson json("case_study_nba");
   sitfact::bench::Run();
   return 0;

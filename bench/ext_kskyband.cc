@@ -88,7 +88,8 @@ void PanelB() {
 }  // namespace bench
 }  // namespace sitfact
 
-int main() {
+int main(int argc, char** argv) {
+  sitfact::bench::InitBenchOutput(&argc, argv);
   sitfact::bench::ScopedBenchJson json("ext_kskyband");
   sitfact::bench::PanelA();
   sitfact::bench::PanelB();

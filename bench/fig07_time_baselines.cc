@@ -70,7 +70,8 @@ void PanelC() {
 }  // namespace bench
 }  // namespace sitfact
 
-int main() {
+int main(int argc, char** argv) {
+  sitfact::bench::InitBenchOutput(&argc, argv);
   sitfact::bench::ScopedBenchJson json("fig07_time_baselines");
   sitfact::bench::PanelA();
   sitfact::bench::PanelB();

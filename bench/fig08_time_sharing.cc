@@ -56,7 +56,8 @@ void PanelBC(bool vary_d) {
 }  // namespace bench
 }  // namespace sitfact
 
-int main() {
+int main(int argc, char** argv) {
+  sitfact::bench::InitBenchOutput(&argc, argv);
   sitfact::bench::ScopedBenchJson json("fig08_time_sharing");
   sitfact::bench::PanelA();
   sitfact::bench::PanelBC(/*vary_d=*/true);

@@ -64,7 +64,8 @@ void PanelBC(bool vary_d) {
 }  // namespace bench
 }  // namespace sitfact
 
-int main() {
+int main(int argc, char** argv) {
+  sitfact::bench::InitBenchOutput(&argc, argv);
   sitfact::bench::ScopedBenchJson json("fig12_file_nba");
   sitfact::bench::PanelA();
   sitfact::bench::PanelBC(/*vary_d=*/true);

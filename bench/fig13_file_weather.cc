@@ -31,7 +31,8 @@ void Run() {
 }  // namespace bench
 }  // namespace sitfact
 
-int main() {
+int main(int argc, char** argv) {
+  sitfact::bench::InitBenchOutput(&argc, argv);
   sitfact::bench::ScopedBenchJson json("fig13_file_weather");
   sitfact::bench::Run();
   return 0;

@@ -49,7 +49,8 @@ void Run() {
 }  // namespace bench
 }  // namespace sitfact
 
-int main() {
+int main(int argc, char** argv) {
+  sitfact::bench::InitBenchOutput(&argc, argv);
   sitfact::bench::ScopedBenchJson json("fig14_prominence_rate");
   sitfact::bench::Run();
   return 0;

@@ -121,7 +121,8 @@ void Run() {
 }  // namespace bench
 }  // namespace sitfact
 
-int main() {
+int main(int argc, char** argv) {
+  sitfact::bench::InitBenchOutput(&argc, argv);
   sitfact::bench::ScopedBenchJson json("fig16_parallel_scaling");
   sitfact::bench::Run();
   return 0;

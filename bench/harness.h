@@ -34,12 +34,15 @@ namespace sitfact {
 namespace bench {
 
 // ---------------------------------------------------------------------------
-// Machine-readable results. Every bench binary writes BENCH_<name>.json
-// (into $SITFACT_BENCH_JSON_DIR, default the working directory) so the perf
-// trajectory of the repo can be tracked run-over-run. ReplayStream records
-// one entry per replay automatically; benches with bespoke drivers add
-// entries by hand, and ScopedBenchJson at the top of main() guarantees at
-// least a whole-process wall-time entry.
+// Machine-readable results. Every bench binary writes BENCH_<name>.json so
+// the perf trajectory of the repo can be tracked run-over-run (CI's bench
+// job uploads them and tools/bench_compare.py gates regressions against
+// bench/baselines/). The output directory resolves as: the --out flag, then
+// $SITFACT_BENCH_OUT, then $SITFACT_BENCH_JSON_DIR (legacy), then the
+// working directory — so CI and local runs stop scattering JSON into
+// build/. ReplayStream records one entry per replay automatically; benches
+// with bespoke drivers add entries by hand, and ScopedBenchJson at the top
+// of main() guarantees at least a whole-process wall-time entry.
 
 struct BenchRecord {
   std::string name;        // series label, e.g. the algorithm
@@ -70,11 +73,51 @@ inline std::string JsonEscape(const std::string& s) {
   return out;
 }
 
+/// Output directory override set by InitBenchOutput's --out flag; empty
+/// falls through to the environment.
+inline std::string& BenchOutDir() {
+  static std::string dir;
+  return dir;
+}
+
+/// Parses harness-level bench flags — currently `--out DIR` / `--out=DIR` —
+/// and strips them from argv so binaries with their own argument parsing
+/// (Google Benchmark) never see them. Call first thing in main().
+inline void InitBenchOutput(int* argc, char** argv) {
+  int out_i = 1;
+  for (int i = 1; i < *argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < *argc) {
+      BenchOutDir() = argv[++i];
+      continue;
+    }
+    if (arg.rfind("--out=", 0) == 0) {
+      BenchOutDir() = arg.substr(6);
+      continue;
+    }
+    argv[out_i++] = argv[i];
+  }
+  *argc = out_i;
+}
+
 inline void WriteBenchJson(const std::string& bench_name) {
-  const char* dir = std::getenv("SITFACT_BENCH_JSON_DIR");
-  std::string path = dir != nullptr && dir[0] != '\0'
-                         ? std::string(dir) + "/BENCH_" + bench_name + ".json"
+  std::string dir = BenchOutDir();
+  if (dir.empty()) {
+    for (const char* env : {"SITFACT_BENCH_OUT", "SITFACT_BENCH_JSON_DIR"}) {
+      const char* v = std::getenv(env);
+      if (v != nullptr && v[0] != '\0') {
+        dir = v;
+        break;
+      }
+    }
+  }
+  std::string path = !dir.empty()
+                         ? dir + "/BENCH_" + bench_name + ".json"
                          : "BENCH_" + bench_name + ".json";
+  if (!dir.empty()) {
+    std::error_code ignored;
+    std::filesystem::create_directories(dir, ignored);
+  }
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());

@@ -258,6 +258,7 @@ BENCHMARK(BM_RelationSnapshotRoundTrip)->Iterations(20);
 // (Google Benchmark owns the per-benchmark numbers; the JSON records the
 // whole-process wall time like every other bench binary).
 int main(int argc, char** argv) {
+  sitfact::bench::InitBenchOutput(&argc, argv);
   sitfact::bench::ScopedBenchJson json("micro_components");
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

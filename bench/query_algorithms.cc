@@ -63,7 +63,8 @@ void RunPanel(const char* title, int m) {
 }  // namespace bench
 }  // namespace sitfact
 
-int main() {
+int main(int argc, char** argv) {
+  sitfact::bench::InitBenchOutput(&argc, argv);
   sitfact::bench::ScopedBenchJson json("query_algorithms");
   sitfact::bench::RunPanel(
       "# Query ablation (a): NBA full 7-measure space, one-shot skyline",

@@ -1,4 +1,4 @@
-#include "io/binary_io.h"
+#include "common/binary_io.h"
 
 #include <cstring>
 

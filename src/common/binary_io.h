@@ -1,5 +1,5 @@
-#ifndef SITFACT_IO_BINARY_IO_H_
-#define SITFACT_IO_BINARY_IO_H_
+#ifndef SITFACT_COMMON_BINARY_IO_H_
+#define SITFACT_COMMON_BINARY_IO_H_
 
 #include <cstdint>
 #include <cstdio>
@@ -92,4 +92,4 @@ class BinaryReader {
 
 }  // namespace sitfact
 
-#endif  // SITFACT_IO_BINARY_IO_H_
+#endif  // SITFACT_COMMON_BINARY_IO_H_

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/binary_io.h"
 #include "common/logging.h"
 #include "core/baseline_idx.h"
 #include "core/baseline_seq.h"
@@ -134,6 +135,29 @@ StatusOr<ArrivalReport> DiscoveryEngine::Update(TupleId t, const Row& row) {
   Status removed = Remove(t);
   if (!removed.ok()) return removed;
   return Append(row);
+}
+
+void DiscoveryEngine::WriteStateHeader(BinaryWriter* w, std::string_view name,
+                                       int max_bound_dims,
+                                       int max_measure_dims, double tau,
+                                       bool rank_facts, StoragePolicy policy) {
+  w->WriteString(std::string(name));
+  w->WriteU32(static_cast<uint32_t>(max_bound_dims));
+  w->WriteU32(static_cast<uint32_t>(max_measure_dims));
+  w->WriteF64(tau);
+  w->WriteU8(rank_facts ? 1 : 0);
+  w->WriteU8(static_cast<uint8_t>(policy));
+}
+
+void DiscoveryEngine::SerializeState(BinaryWriter* w) {
+  Discoverer& disc = *discoverer_;
+  WriteStateHeader(w, disc.name(), disc.max_bound_dims(),
+                   static_cast<int>(disc.subspaces().max_size()), config_.tau,
+                   config_.rank_facts, disc.storage_policy());
+  counter_.Serialize(w);
+  MuStore* store = disc.mutable_store();
+  w->WriteU8(store != nullptr ? 1 : 0);
+  if (store != nullptr) store->SerializeBuckets(w);
 }
 
 ArrivalReport DiscoveryEngine::DiscoverLast() {

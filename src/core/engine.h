@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -78,6 +79,23 @@ class DiscoveryEngine {
   /// Snapshot restore needs to repopulate the counter in place.
   ContextCounter& mutable_counter() { return counter_; }
   const Config& config() const { return config_; }
+
+  /// Checkpoint hook: writes the engine-state section of a snapshot —
+  /// algorithm name, resolved truncation knobs, prominence config, the
+  /// context counter, and the µ-store bucket dump. io/snapshot.cc frames it
+  /// into a full snapshot file; persist/ reuses the same section for
+  /// checkpoints (see docs/persistence.md for the byte layout).
+  void SerializeState(BinaryWriter* w);
+
+  /// Shared framing of the section's fixed-field prefix. Both engine kinds
+  /// (here and ShardedEngine::SerializeState) MUST write it through this
+  /// one function — the loaders parse it positionally and snapshots restore
+  /// across engine kinds, so two independent writer copies would be a
+  /// format fork waiting to happen.
+  static void WriteStateHeader(BinaryWriter* w, std::string_view name,
+                               int max_bound_dims, int max_measure_dims,
+                               double tau, bool rank_facts,
+                               StoragePolicy policy);
 
  private:
   Relation* relation_;

@@ -257,6 +257,26 @@ uint64_t ShardedDiscoverer::ContextCount(const Constraint& c) const {
       c);
 }
 
+void ShardedDiscoverer::ForEachContextCount(
+    const std::function<void(const Constraint&, uint64_t)>& fn) const {
+  for (const auto& shard : shards_) {
+    shard->counter.ForEach(fn);
+  }
+}
+
+uint64_t ShardedDiscoverer::DistinctContexts() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->counter.distinct_contexts();
+  return total;
+}
+
+void ShardedDiscoverer::RestoreContextCount(const Constraint& c,
+                                            uint64_t count) {
+  DimMask mask = c.bound_mask();
+  shards_[static_cast<size_t>(store_->SegmentOf(mask))]->counter.Restore(
+      c, count);
+}
+
 size_t ShardedDiscoverer::ApproxMemoryBytes() const {
   size_t total = store_->ApproxMemoryBytes();
   for (const auto& shard : shards_) {

@@ -93,6 +93,17 @@ class ShardedDiscoverer : public Discoverer {
   /// lives wholly in the shard owning C's mask).
   uint64_t ContextCount(const Constraint& c) const;
 
+  /// Persistence hooks (docs/persistence.md): the per-shard counter slices
+  /// viewed and restored as one logical counter. Because each constraint's
+  /// count lives wholly in the shard owning its mask, iterating every shard
+  /// visits each constraint exactly once, and a restore routes the entry to
+  /// the owning shard — so a snapshot taken at one shard count restores
+  /// cleanly at any other.
+  void ForEachContextCount(
+      const std::function<void(const Constraint&, uint64_t)>& fn) const;
+  uint64_t DistinctContexts() const;
+  void RestoreContextCount(const Constraint& c, uint64_t count);
+
  private:
   /// Lock-free, append-only prune publications for the current arrival, one
   /// slot array per measure subspace. Overflow drops publications (less

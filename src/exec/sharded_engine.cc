@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/binary_io.h"
 #include "common/logging.h"
 #include "core/prominence.h"
 
@@ -53,6 +54,21 @@ std::vector<ArrivalReport> ShardedEngine::AppendBatch(
     reports.push_back(MergeReport(merged_tuple, merged_slot));
   }
   return reports;
+}
+
+void ShardedEngine::SerializeState(BinaryWriter* w) {
+  ShardedDiscoverer& disc = *discoverer_;
+  DiscoveryEngine::WriteStateHeader(
+      w, disc.name(), disc.max_bound_dims(),
+      static_cast<int>(disc.subspaces().max_size()), config_.tau,
+      config_.rank_facts, disc.storage_policy());
+  w->WriteU64(disc.DistinctContexts());
+  disc.ForEachContextCount([&](const Constraint& c, uint64_t count) {
+    SerializeConstraint(w, c);
+    w->WriteU64(count);
+  });
+  w->WriteU8(1);  // the sharded engine always keeps a µ store
+  disc.mutable_store()->SerializeBuckets(w);
 }
 
 Status ShardedEngine::Remove(TupleId t) {

@@ -69,6 +69,16 @@ class ShardedEngine {
     return discoverer_->ApproxMemoryBytes();
   }
 
+  /// Checkpoint hook mirroring DiscoveryEngine::SerializeState: the same
+  /// engine-state section, with the aggregated counter view and the union of
+  /// µ segments, under the algorithm name "Sharded". Because the segments
+  /// follow Invariant 1, the dump is bucket-for-bucket the one a sequential
+  /// Invariant-1 algorithm would write, so snapshots restore across engine
+  /// kinds and shard counts (io/snapshot.h: LoadEngineSnapshot maps
+  /// "Sharded" to SBottomUp; LoadShardedEngineSnapshot re-routes buckets and
+  /// counts to any shard geometry).
+  void SerializeState(BinaryWriter* w);
+
  private:
   /// Builds the canonical ArrivalReport for tuple `t` from the shard
   /// outputs parked in `slot`.

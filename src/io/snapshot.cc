@@ -6,7 +6,7 @@
 
 #include "common/bits.h"
 #include "common/logging.h"
-#include "io/binary_io.h"
+#include "common/binary_io.h"
 #include "storage/mu_store.h"
 
 namespace sitfact {
@@ -22,26 +22,6 @@ constexpr uint8_t kFlagHasEngine = 1u << 0;
 // corrupted or far outside this library's design envelope).
 constexpr uint64_t kMaxTuples = 1ull << 33;
 constexpr uint64_t kMaxDictEntries = 1ull << 30;
-constexpr uint64_t kMaxCounterEntries = 1ull << 32;
-constexpr uint64_t kMaxBuckets = 1ull << 33;
-
-void WriteConstraint(BinaryWriter* w, const Constraint& c) {
-  w->WriteU32(c.bound_mask());
-  ForEachBit(c.bound_mask(), [&](int d) { w->WriteU32(c.value(d)); });
-}
-
-Constraint ReadConstraint(BinaryReader* r, int num_dims) {
-  DimMask bound = r->ReadU32();
-  if (!r->CheckCount(PopCount(bound), static_cast<uint64_t>(num_dims),
-                     "constraint bound count")) {
-    return Constraint::Top(num_dims);
-  }
-  std::vector<ValueId> values;
-  values.reserve(static_cast<size_t>(PopCount(bound)));
-  ForEachBit(bound, [&](int) { values.push_back(r->ReadU32()); });
-  if (!r->ok()) return Constraint::Top(num_dims);
-  return Constraint::FromBoundValues(num_dims, bound, values);
-}
 
 void WriteSchema(BinaryWriter* w, const Schema& schema) {
   w->WriteU32(static_cast<uint32_t>(schema.num_dimensions()));
@@ -172,41 +152,6 @@ StatusOr<std::unique_ptr<Relation>> ReadRelation(BinaryReader* r,
   return rel;
 }
 
-void WriteEngineState(BinaryWriter* w, DiscoveryEngine& engine) {
-  Discoverer& disc = engine.discoverer();
-  w->WriteString(std::string(disc.name()));
-  w->WriteU32(static_cast<uint32_t>(disc.max_bound_dims()));
-  w->WriteU32(static_cast<uint32_t>(disc.subspaces().max_size()));
-  w->WriteF64(engine.config().tau);
-  w->WriteU8(engine.config().rank_facts ? 1 : 0);
-  w->WriteU8(static_cast<uint8_t>(disc.storage_policy()));
-
-  // Context-cardinality counter.
-  const ContextCounter& counter = engine.counter();
-  w->WriteU64(counter.distinct_contexts());
-  counter.ForEach([&](const Constraint& c, uint64_t count) {
-    WriteConstraint(w, c);
-    w->WriteU64(count);
-  });
-
-  // µ-store dump (absent for baselines).
-  MuStore* store = disc.mutable_store();
-  w->WriteU8(store != nullptr ? 1 : 0);
-  if (store != nullptr) {
-    uint64_t buckets = 0;
-    store->ForEachBucket([&](const Constraint&, MeasureMask,
-                             const std::vector<TupleId>&) { ++buckets; });
-    w->WriteU64(buckets);
-    store->ForEachBucket([&](const Constraint& c, MeasureMask m,
-                             const std::vector<TupleId>& bucket) {
-      WriteConstraint(w, c);
-      w->WriteU32(m);
-      w->WriteU32(static_cast<uint32_t>(bucket.size()));
-      for (TupleId t : bucket) w->WriteU32(t);
-    });
-  }
-}
-
 }  // namespace
 
 Status SaveRelationSnapshot(const Relation& relation,
@@ -228,7 +173,19 @@ Status SaveEngineSnapshot(DiscoveryEngine& engine, const std::string& path) {
   w.WriteU8(kFlagHasEngine);
   WriteSchema(&w, engine.relation().schema());
   WriteRelation(&w, engine.relation());
-  WriteEngineState(&w, engine);
+  engine.SerializeState(&w);
+  w.WriteChecksum();
+  return w.Close();
+}
+
+Status SaveEngineSnapshot(ShardedEngine& engine, const std::string& path) {
+  BinaryWriter w(path);
+  w.WriteRaw(kMagic, sizeof(kMagic));
+  w.WriteU32(kVersion);
+  w.WriteU8(kFlagHasEngine);
+  WriteSchema(&w, engine.relation().schema());
+  WriteRelation(&w, engine.relation());
+  engine.SerializeState(&w);
   w.WriteChecksum();
   return w.Close();
 }
@@ -299,6 +256,11 @@ StatusOr<RestoredEngine> LoadEngineSnapshot(
   auto saved_policy = static_cast<StoragePolicy>(r.ReadU8());
   if (!r.ok()) return r.status();
 
+  if (saved_algorithm == "Sharded") {
+    // Sharded snapshots follow Invariant 1 exactly as the sequential
+    // BottomUp family does, so SBottomUp is the natural sequential twin.
+    saved_algorithm = "SBottomUp";
+  }
   const std::string algorithm = options.algorithm_override.empty()
                                     ? saved_algorithm
                                     : options.algorithm_override;
@@ -317,19 +279,11 @@ StatusOr<RestoredEngine> LoadEngineSnapshot(
     replay = true;
   }
 
-  // Counter entries.
-  uint64_t counter_entries = r.ReadU64();
-  if (!r.CheckCount(counter_entries, kMaxCounterEntries, "counter entries")) {
-    return r.status();
-  }
-  std::vector<std::pair<Constraint, uint64_t>> counts;
-  counts.reserve(counter_entries);
-  for (uint64_t i = 0; i < counter_entries; ++i) {
-    Constraint c = ReadConstraint(&r, num_dims);
-    uint64_t count = r.ReadU64();
-    if (!r.ok()) return r.status();
-    counts.emplace_back(std::move(c), count);
-  }
+  // Counter entries, staged into a scratch counter and moved into the
+  // engine once the checksum has cleared.
+  ContextCounter counts(disc->max_bound_dims());
+  Status counter_read = counts.Deserialize(&r, num_dims);
+  if (!counter_read.ok()) return counter_read;
 
   // µ-store dump.
   const bool saved_store = r.ReadU8() != 0;
@@ -357,30 +311,12 @@ StatusOr<RestoredEngine> LoadEngineSnapshot(
     replay = true;
   }
   if (saved_store) {
-    uint64_t buckets = r.ReadU64();
-    if (!r.CheckCount(buckets, kMaxBuckets, "bucket count")) {
-      return r.status();
-    }
-    std::vector<TupleId> bucket;
-    for (uint64_t i = 0; i < buckets; ++i) {
-      Constraint c = ReadConstraint(&r, num_dims);
-      MeasureMask m = r.ReadU32();
-      uint32_t len = r.ReadU32();
-      if (!r.CheckCount(len, relation->size(), "bucket size")) {
-        return r.status();
-      }
-      bucket.resize(len);
-      for (uint32_t k = 0; k < len; ++k) {
-        bucket[k] = r.ReadU32();
-        if (bucket[k] >= relation->size()) {
-          return Status::Corruption("bucket tuple id out of range");
-        }
-      }
-      if (!r.ok()) return r.status();
-      // Under replay the dump is decoded (the checksum covers it) but the
-      // store is rebuilt from scratch by the replay pass instead.
-      if (store != nullptr && !replay) store->GetOrCreate(c)->Write(m, bucket);
-    }
+    // Under replay the dump is decoded (the checksum covers it) but the
+    // store is rebuilt from scratch by the replay pass instead.
+    MuStore* target = (store != nullptr && !replay) ? store : nullptr;
+    Status dump_read =
+        ReadMuBucketDump(&r, num_dims, relation->size(), target);
+    if (!dump_read.ok()) return dump_read;
   }
 
   r.VerifyChecksum();
@@ -410,9 +346,85 @@ StatusOr<RestoredEngine> LoadEngineSnapshot(
   out.relation = std::move(relation);
   out.engine = std::make_unique<DiscoveryEngine>(out.relation.get(),
                                                  std::move(disc), config);
-  for (const auto& [c, count] : counts) {
-    out.engine->mutable_counter().Restore(c, count);
+  out.engine->mutable_counter() = std::move(counts);
+  return out;
+}
+
+StatusOr<RestoredShardedEngine> LoadShardedEngineSnapshot(
+    const std::string& path, const ShardedSnapshotLoadOptions& options) {
+  BinaryReader r(path);
+  uint8_t flags = 0;
+  auto rel_or = ReadHeaderAndRelation(&r, &flags);
+  if (!rel_or.ok()) return rel_or.status();
+  if ((flags & kFlagHasEngine) == 0) {
+    return Status::InvalidArgument(
+        "snapshot has no engine section; use LoadRelationSnapshot");
   }
+  std::unique_ptr<Relation> relation = std::move(rel_or).value();
+  const int num_dims = relation->schema().num_dimensions();
+
+  std::string saved_algorithm = r.ReadString();
+  ShardedEngine::Config config;
+  config.num_shards = options.num_shards;
+  config.num_threads = options.num_threads;
+  config.options.max_bound_dims = static_cast<int>(r.ReadU32());
+  config.options.max_measure_dims = static_cast<int>(r.ReadU32());
+  config.tau = r.ReadF64();
+  r.ReadU8();  // saved rank_facts; the sharded engine always ranks
+  auto saved_policy = static_cast<StoragePolicy>(r.ReadU8());
+  if (!r.ok()) return r.status();
+
+  auto engine = std::make_unique<ShardedEngine>(relation.get(), config);
+  ShardedDiscoverer& disc = engine->discoverer();
+
+  // The sharded segments follow Invariant 1, so only an Invariant-1 bucket
+  // dump restores directly; anything else (TopDown family, store-less
+  // baselines, C-CSC) needs the replay escape hatch.
+  bool replay = saved_policy != StoragePolicy::kAllSkylineConstraints;
+
+  // Counter entries; staged so the replay path can discard them (a sharded
+  // replay rebuilds per-shard counts inside Discover()).
+  ContextCounter counts(disc.max_bound_dims());
+  Status counter_read = counts.Deserialize(&r, num_dims);
+  if (!counter_read.ok()) return counter_read;
+
+  const bool saved_store = r.ReadU8() != 0;
+  if (!saved_store) replay = true;
+  if (replay && !options.allow_replay_rebuild) {
+    return Status::InvalidArgument(
+        saved_algorithm +
+        " snapshot cannot seed the sharded engine's Invariant-1 segments "
+        "directly (set allow_replay_rebuild to rebuild by re-running "
+        "discovery)");
+  }
+  if (saved_store) {
+    MuStore* target = replay ? nullptr : disc.mutable_store();
+    Status dump_read =
+        ReadMuBucketDump(&r, num_dims, relation->size(), target);
+    if (!dump_read.ok()) return dump_read;
+  }
+
+  r.VerifyChecksum();
+  if (!r.ok()) return r.status();
+
+  if (replay) {
+    // Re-run discovery over live history in arrival order; per-shard
+    // counters are rebuilt by the arrivals themselves.
+    std::vector<SkylineFact> scratch;
+    for (TupleId t = 0; t < relation->size(); ++t) {
+      if (relation->IsDeleted(t)) continue;
+      scratch.clear();
+      disc.Discover(t, &scratch);
+    }
+  } else {
+    counts.ForEach([&](const Constraint& c, uint64_t count) {
+      disc.RestoreContextCount(c, count);
+    });
+  }
+
+  RestoredShardedEngine out;
+  out.relation = std::move(relation);
+  out.engine = std::move(engine);
   return out;
 }
 

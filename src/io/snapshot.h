@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "core/engine.h"
+#include "exec/sharded_engine.h"
 #include "relation/relation.h"
 
 namespace sitfact {
@@ -28,7 +29,10 @@ namespace sitfact {
 /// Restorability: BottomUp/TopDown/SBottomUp/STopDown/FSBottomUp/FSTopDown
 /// restore from their bucket dump; BaselineSeq/BruteForce are stateless;
 /// BaselineIdx rebuilds its k-d tree from the relation. C-CSC keeps private
-/// skycubes and reports Unimplemented on load (re-run the stream instead).
+/// skycubes and reports Unimplemented on load (re-run the stream instead,
+/// via SnapshotLoadOptions::allow_replay_rebuild). Sharded-engine snapshots
+/// ("Sharded") follow Invariant 1 and restore into either engine kind at
+/// any shard count; see docs/persistence.md.
 
 /// Options for LoadEngineSnapshot.
 struct SnapshotLoadOptions {
@@ -70,11 +74,41 @@ StatusOr<std::unique_ptr<Relation>> LoadRelationSnapshot(
 /// file once.
 Status SaveEngineSnapshot(DiscoveryEngine& engine, const std::string& path);
 
+/// Sharded counterpart: same file format, algorithm name "Sharded", the
+/// aggregated counter view and the union of µ segments. Because the sharded
+/// store follows Invariant 1, the resulting snapshot also restores into the
+/// sequential BottomUp family (LoadEngineSnapshot maps "Sharded" to
+/// SBottomUp when no override is given).
+Status SaveEngineSnapshot(ShardedEngine& engine, const std::string& path);
+
 /// Restores a full engine. Fails with Unimplemented when the (possibly
 /// overridden) algorithm cannot be rebuilt from a snapshot, InvalidArgument
 /// on option/policy mismatches, Corruption on damaged files.
 StatusOr<RestoredEngine> LoadEngineSnapshot(
     const std::string& path, const SnapshotLoadOptions& options = {});
+
+/// A restored sharded engine plus the relation it reads.
+struct RestoredShardedEngine {
+  std::unique_ptr<Relation> relation;
+  std::unique_ptr<ShardedEngine> engine;
+};
+
+/// Options for LoadShardedEngineSnapshot. A snapshot has no inherent shard
+/// geometry — bucket and counter routing is recomputed — so any K works,
+/// including restoring a sequential snapshot into a sharded engine.
+struct ShardedSnapshotLoadOptions {
+  int num_shards = 4;
+  int num_threads = 0;  // 0 means num_shards
+  /// Same escape hatch as SnapshotLoadOptions: snapshots whose bucket dump
+  /// does not follow Invariant 1 (TopDown family) or that carry no store
+  /// dump (baselines, C-CSC) rebuild by replaying discovery over the
+  /// restored relation.
+  bool allow_replay_rebuild = false;
+};
+
+/// Restores a snapshot (saved from either engine kind) into a ShardedEngine.
+StatusOr<RestoredShardedEngine> LoadShardedEngineSnapshot(
+    const std::string& path, const ShardedSnapshotLoadOptions& options = {});
 
 }  // namespace sitfact
 

@@ -1,5 +1,8 @@
 #include "lattice/constraint.h"
 
+#include <vector>
+
+#include "common/binary_io.h"
 #include "common/bits.h"
 #include "common/logging.h"
 
@@ -91,6 +94,24 @@ uint64_t Constraint::Hash() const {
     h = HashCombine(h, (static_cast<uint64_t>(d) << 32) | values_[d]);
   });
   return h;
+}
+
+void SerializeConstraint(BinaryWriter* w, const Constraint& c) {
+  w->WriteU32(c.bound_mask());
+  ForEachBit(c.bound_mask(), [&](int d) { w->WriteU32(c.value(d)); });
+}
+
+Constraint DeserializeConstraint(BinaryReader* r, int num_dims) {
+  DimMask bound = r->ReadU32();
+  if (!r->CheckCount(PopCount(bound), static_cast<uint64_t>(num_dims),
+                     "constraint bound count")) {
+    return Constraint::Top(num_dims);
+  }
+  std::vector<ValueId> values;
+  values.reserve(static_cast<size_t>(PopCount(bound)));
+  ForEachBit(bound, [&](int) { values.push_back(r->ReadU32()); });
+  if (!r->ok()) return Constraint::Top(num_dims);
+  return Constraint::FromBoundValues(num_dims, bound, values);
 }
 
 }  // namespace sitfact

@@ -104,6 +104,17 @@ struct ConstraintHash {
   }
 };
 
+class BinaryWriter;
+class BinaryReader;
+
+/// Wire form shared by snapshots and the WAL: bound mask (u32) followed by
+/// one ValueId (u32) per set bit, ascending.
+void SerializeConstraint(BinaryWriter* w, const Constraint& c);
+
+/// Decodes what SerializeConstraint wrote. A bound count exceeding
+/// `num_dims` latches Corruption into the reader and returns ⊤.
+Constraint DeserializeConstraint(BinaryReader* r, int num_dims);
+
 }  // namespace sitfact
 
 #endif  // SITFACT_LATTICE_CONSTRAINT_H_

@@ -1,0 +1,529 @@
+#include "persist/durable_engine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "io/snapshot.h"
+
+namespace sitfact {
+namespace persist {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kSnapshotPrefix[] = "snapshot-";
+constexpr char kSnapshotSuffix[] = ".sfsnap";
+constexpr char kWalPrefix[] = "wal-";
+constexpr char kWalSuffix[] = ".sfwal";
+
+std::string SeqName(const char* prefix, uint64_t seq, const char* suffix) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s%020llu%s", prefix,
+                static_cast<unsigned long long>(seq), suffix);
+  return buf;
+}
+
+std::string SnapshotPath(const std::string& dir, uint64_t seq) {
+  return (fs::path(dir) / SeqName(kSnapshotPrefix, seq, kSnapshotSuffix))
+      .string();
+}
+
+std::string WalPath(const std::string& dir, uint64_t seq) {
+  return (fs::path(dir) / SeqName(kWalPrefix, seq, kWalSuffix)).string();
+}
+
+/// Files named <prefix><decimal seq><suffix> under `dir`, ascending by seq.
+/// Anything else (tmp files, strangers) is ignored.
+std::vector<StoreFile> ListSeqFiles(const std::string& dir, const char* prefix,
+                                    const char* suffix) {
+  std::vector<StoreFile> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    const size_t plen = std::strlen(prefix);
+    const size_t slen = std::strlen(suffix);
+    if (name.size() <= plen + slen || name.rfind(prefix, 0) != 0 ||
+        name.compare(name.size() - slen, slen, suffix) != 0) {
+      continue;
+    }
+    const std::string digits = name.substr(plen, name.size() - plen - slen);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    out.push_back({std::strtoull(digits.c_str(), nullptr, 10),
+                   entry.path().string()});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const StoreFile& a, const StoreFile& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+/// Structural schema equality: attribute names and measure directions.
+bool SchemaMatches(const Schema& a, const Schema& b) {
+  if (a.num_dimensions() != b.num_dimensions() ||
+      a.num_measures() != b.num_measures()) {
+    return false;
+  }
+  for (int d = 0; d < a.num_dimensions(); ++d) {
+    if (a.dimensions()[d].name != b.dimensions()[d].name) return false;
+  }
+  for (int j = 0; j < a.num_measures(); ++j) {
+    if (a.measures()[j].name != b.measures()[j].name ||
+        a.measures()[j].direction != b.measures()[j].direction) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<StoreFile> ListWalSegments(const std::string& dir) {
+  return ListSeqFiles(dir, kWalPrefix, kWalSuffix);
+}
+
+std::vector<StoreFile> ListSnapshots(const std::string& dir) {
+  return ListSeqFiles(dir, kSnapshotPrefix, kSnapshotSuffix);
+}
+
+StatusOr<std::unique_ptr<DurableEngine>> DurableEngine::Open(
+    const DurableOptions& options, const Schema& schema) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("DurableOptions::dir is required");
+  }
+  if (options.keep_snapshots < 1) {
+    return Status::InvalidArgument("keep_snapshots must be >= 1");
+  }
+  std::error_code ec;
+  fs::create_directories(options.dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create durable dir " + options.dir + ": " +
+                           ec.message());
+  }
+
+  std::unique_ptr<DurableEngine> d(new DurableEngine());
+  d->options_ = options;
+  if (d->options_.file_store_dir.empty()) {
+    // Default the FS algorithms' bucket directory into the store itself, so
+    // reopening needs nothing but `dir` even when the snapshot names a
+    // file-backed algorithm.
+    d->options_.file_store_dir =
+        (fs::path(options.dir) / "fs_store").string();
+  }
+
+  std::vector<StoreFile> snapshots =
+      ListSeqFiles(options.dir, kSnapshotPrefix, kSnapshotSuffix);
+
+  if (snapshots.empty()) {
+    // Fresh store: build the engine from the options and make its (empty)
+    // state durable immediately — a genesis snapshot means recovery always
+    // has a base to replay onto, and the snapshot carries the schema so
+    // later opens need no flags.
+    if (schema.num_dimensions() == 0 || schema.num_measures() == 0) {
+      return Status::InvalidArgument(
+          "creating a durable store needs a schema with at least one "
+          "dimension and one measure");
+    }
+    d->relation_ = std::make_unique<Relation>(schema);
+    if (options.num_shards > 0) {
+      ShardedEngine::Config config;
+      config.num_shards = options.num_shards;
+      config.num_threads = options.num_threads;
+      config.options = options.discovery;
+      config.tau = options.tau;
+      config.rank_facts = options.rank_facts;
+      d->sharded_engine_ =
+          std::make_unique<ShardedEngine>(d->relation_.get(), config);
+    } else {
+      auto disc_or = DiscoveryEngine::CreateDiscoverer(
+          options.algorithm, d->relation_.get(), options.discovery,
+          d->options_.file_store_dir);
+      if (!disc_or.ok()) return disc_or.status();
+      DiscoveryEngine::Config config;
+      config.options = options.discovery;
+      config.tau = options.tau;
+      config.rank_facts =
+          options.rank_facts && disc_or.value()->store() != nullptr;
+      d->engine_ = std::make_unique<DiscoveryEngine>(
+          d->relation_.get(), std::move(disc_or).value(), config);
+    }
+    d->recovery_.created = true;
+    Status genesis = d->Checkpoint();
+    if (!genesis.ok()) return genesis;
+    return d;
+  }
+
+  // Recover: newest loadable snapshot wins. Corrupt or torn snapshots
+  // (crash mid-rename, bit rot) fall back to the previous one; config-level
+  // failures (unknown algorithm, policy mismatch without the replay escape
+  // hatch) abort, because every older snapshot would fail the same way.
+  size_t chosen = snapshots.size();
+  Status last_error = Status::Ok();
+  for (size_t i = snapshots.size(); i-- > 0;) {
+    Status attempt = Status::Ok();
+    if (options.num_shards > 0) {
+      ShardedSnapshotLoadOptions load;
+      load.num_shards = options.num_shards;
+      load.num_threads = options.num_threads;
+      load.allow_replay_rebuild = options.allow_replay_rebuild;
+      auto restored_or = LoadShardedEngineSnapshot(snapshots[i].path, load);
+      if (restored_or.ok()) {
+        RestoredShardedEngine restored = std::move(restored_or).value();
+        d->relation_ = std::move(restored.relation);
+        d->sharded_engine_ = std::move(restored.engine);
+        chosen = i;
+        break;
+      }
+      attempt = restored_or.status();
+    } else {
+      SnapshotLoadOptions load;
+      load.file_store_dir = d->options_.file_store_dir;
+      load.allow_replay_rebuild = options.allow_replay_rebuild;
+      auto restored_or = LoadEngineSnapshot(snapshots[i].path, load);
+      if (restored_or.ok()) {
+        RestoredEngine restored = std::move(restored_or).value();
+        d->relation_ = std::move(restored.relation);
+        d->engine_ = std::move(restored.engine);
+        chosen = i;
+        break;
+      }
+      attempt = restored_or.status();
+    }
+    last_error = attempt;
+    if (attempt.code() != StatusCode::kCorruption &&
+        attempt.code() != StatusCode::kIoError) {
+      return attempt;
+    }
+  }
+  if (chosen == snapshots.size()) {
+    return Status::Corruption("no loadable snapshot in " + options.dir + ": " +
+                              last_error.ToString());
+  }
+  if (schema.num_dimensions() != 0 &&
+      !SchemaMatches(schema, d->relation_->schema())) {
+    return Status::InvalidArgument(
+        "requested schema does not match the recovered store's schema");
+  }
+
+  const uint64_t snapshot_seq = snapshots[chosen].seq;
+  d->recovery_.snapshot_seq = snapshot_seq;
+  d->checkpoint_seq_ = snapshot_seq;
+
+  // Replay the WAL tail: every op with seq >= snapshot_seq, in order,
+  // stopping at the first torn record, gap, or unreadable file — ops past
+  // such a point build on ops that no longer exist. One exception: a torn
+  // tail at seq S followed by a segment starting exactly at S is not a
+  // loss — it is the scar of a PREVIOUS recovery, which dropped the same
+  // tail and rotated to a fresh segment at S; the successor holds the
+  // acknowledged re-sent ops and the chain continues through it.
+  uint64_t expected = snapshot_seq;
+  std::vector<StoreFile> wals = ListSeqFiles(options.dir, kWalPrefix, kWalSuffix);
+  // Segment i holds ops [seq_i, seq_{i+1}) when intact; pre-snapshot
+  // segments are read too (cheap) with every op skipped by the seq guard.
+  // `self` guards against a segment torn in its very first record matching
+  // itself (its start_seq still equals the drop point); only a DIFFERENT
+  // segment starting there proves a prior recovery already handled the
+  // tear.
+  auto has_segment_at = [&wals](uint64_t seq, const StoreFile& self) {
+    for (const StoreFile& f : wals) {
+      if (f.seq == seq && f.path != self.path) return true;
+    }
+    return false;
+  };
+  for (const StoreFile& wal_file : wals) {
+    if (wal_file.seq > expected) {
+      d->recovery_.tail_truncated = true;
+      d->recovery_.note = "missing WAL segment before " + wal_file.path;
+      break;
+    }
+    auto contents_or = ReadWal(wal_file.path);
+    if (!contents_or.ok()) {
+      d->recovery_.tail_truncated = true;
+      d->recovery_.note =
+          wal_file.path + ": " + contents_or.status().ToString();
+      break;
+    }
+    const WalContents& contents = contents_or.value();
+    bool stop = false;
+    for (const WalOp& op : contents.ops) {
+      if (op.seq < expected) continue;  // already inside the snapshot
+      if (op.seq != expected) {
+        d->recovery_.tail_truncated = true;
+        d->recovery_.note = "sequence gap at op " + std::to_string(op.seq) +
+                            " in " + wal_file.path;
+        stop = true;
+        break;
+      }
+      Status applied = Status::Ok();
+      switch (op.kind) {
+        case WalOpKind::kAppend:
+          d->ApplyAppend(op.row);
+          break;
+        case WalOpKind::kRemove:
+          applied = d->ApplyRemove(op.target);
+          break;
+        case WalOpKind::kUpdate: {
+          auto report_or = d->ApplyUpdate(op.target, op.row);
+          applied = report_or.status();
+          break;
+        }
+        default:
+          applied = Status::Corruption("unknown WAL op kind");
+      }
+      if (!applied.ok()) {
+        return Status::Corruption("WAL replay failed at op " +
+                                  std::to_string(op.seq) + ": " +
+                                  applied.ToString());
+      }
+      ++expected;
+      ++d->recovery_.replayed_ops;
+    }
+    if (stop) break;
+    if (!contents.clean_tail && !has_segment_at(expected, wal_file)) {
+      d->recovery_.tail_truncated = true;
+      d->recovery_.note = wal_file.path + ": " + contents.tail_note;
+      break;
+    }
+  }
+
+  d->next_seq_ = expected;
+  // Segments starting past the recovered cursor are a dead timeline: their
+  // ops build on ops the walk above declared lost, so they can never be
+  // validly replayed — and leaving them around would let a future recovery
+  // splice them onto the new timeline once re-sent ops advance the cursor
+  // back to their start_seq. Remove them now.
+  for (const StoreFile& wal_file : wals) {
+    if (wal_file.seq > expected) {
+      std::error_code ignored;
+      fs::remove(wal_file.path, ignored);
+    }
+  }
+  // Creating the new segment truncates any file already named
+  // wal-<expected>; safe, because the chain walk above replayed (or
+  // deliberately dropped) everything such a file could hold.
+  auto wal_or = WalWriter::Create(WalPath(options.dir, expected), expected);
+  if (!wal_or.ok()) return wal_or.status();
+  d->wal_ = std::move(wal_or).value();
+  return d;
+}
+
+DurableEngine::~DurableEngine() {
+  if (wal_ != nullptr) wal_->Close();
+}
+
+std::string DurableEngine::algorithm() const {
+  return engine_ != nullptr ? std::string(engine_->discoverer().name())
+                            : std::string(sharded_engine_->discoverer().name());
+}
+
+Status DurableEngine::Log(WalOp op) {
+  // A failed write or fsync poisons the segment: the frame's bytes may
+  // already be in the file, so reusing the sequence number would let
+  // recovery replay the failed op in place of its acknowledged successor.
+  // Latch the failure; the store must be reopened (which drops the torn
+  // frame) before accepting ops again.
+  if (!wal_status_.ok()) return wal_status_;
+  op.seq = next_seq_;
+  Status logged = wal_->Append(op);
+  if (!logged.ok()) {
+    wal_status_ = logged;
+    return logged;
+  }
+  if (options_.sync_every_op) {
+    Status synced = wal_->Sync();
+    if (!synced.ok()) {
+      wal_status_ = synced;
+      return synced;
+    }
+  }
+  ++next_seq_;
+  return Status::Ok();
+}
+
+ArrivalReport DurableEngine::ApplyAppend(const Row& row) {
+  return engine_ != nullptr ? engine_->Append(row)
+                            : sharded_engine_->Append(row);
+}
+
+Status DurableEngine::ApplyRemove(TupleId t) {
+  return engine_ != nullptr ? engine_->Remove(t) : sharded_engine_->Remove(t);
+}
+
+StatusOr<ArrivalReport> DurableEngine::ApplyUpdate(TupleId t, const Row& row) {
+  return engine_ != nullptr ? engine_->Update(t, row)
+                            : sharded_engine_->Update(t, row);
+}
+
+void DurableEngine::MaybeAutoCheckpoint() {
+  if (options_.checkpoint_every == 0 ||
+      ops_since_checkpoint() < options_.checkpoint_every) {
+    return;
+  }
+  // A failure here must not fail the op that triggered it: the op is
+  // already durable in the WAL and applied to the engine. Latch the outcome
+  // instead; ops_since_checkpoint stays over the threshold, so the next op
+  // retries.
+  checkpoint_status_ = Checkpoint();
+}
+
+/// Arity must be validated BEFORE logging: a mismatched row would
+/// CHECK-fail inside Relation::Append — and if its record reached the WAL
+/// first, every recovery would replay it and abort, bricking the store.
+Status DurableEngine::CheckRowArity(const Row& row) const {
+  if (row.dimensions.size() !=
+          static_cast<size_t>(relation_->schema().num_dimensions()) ||
+      row.measures.size() !=
+          static_cast<size_t>(relation_->schema().num_measures())) {
+    return Status::InvalidArgument("row arity does not match schema");
+  }
+  return Status::Ok();
+}
+
+StatusOr<ArrivalReport> DurableEngine::Append(const Row& row) {
+  Status arity = CheckRowArity(row);
+  if (!arity.ok()) return arity;
+  WalOp op;
+  op.kind = WalOpKind::kAppend;
+  op.row = row;
+  Status logged = Log(std::move(op));
+  if (!logged.ok()) return logged;
+  ArrivalReport report = ApplyAppend(row);
+  MaybeAutoCheckpoint();
+  return report;
+}
+
+DurableEngine::BatchResult DurableEngine::AppendBatch(
+    std::span<const Row> rows) {
+  // Log first — an op must be durable before its effects exist. If logging
+  // fails partway, the durable prefix is still applied (the engine never
+  // lags its own log) and its reports are returned next to the error.
+  BatchResult result;
+  size_t logged_rows = 0;
+  for (const Row& row : rows) {
+    result.status = CheckRowArity(row);
+    if (!result.status.ok()) break;
+    WalOp op;
+    op.kind = WalOpKind::kAppend;
+    op.row = row;
+    result.status = Log(std::move(op));
+    if (!result.status.ok()) break;
+    ++logged_rows;
+  }
+  std::span<const Row> to_apply = rows.subspan(0, logged_rows);
+  if (sharded_engine_ != nullptr) {
+    result.reports = sharded_engine_->AppendBatch(to_apply);
+  } else {
+    result.reports.reserve(to_apply.size());
+    for (const Row& row : to_apply) {
+      result.reports.push_back(engine_->Append(row));
+    }
+  }
+  if (result.status.ok()) MaybeAutoCheckpoint();
+  return result;
+}
+
+Status DurableEngine::Remove(TupleId t) {
+  // Validate before logging so a rejected op (unknown or already-deleted
+  // tuple) leaves no WAL record behind.
+  if (t >= relation_->size() || relation_->IsDeleted(t)) {
+    return Status::InvalidArgument("no such live tuple");
+  }
+  WalOp op;
+  op.kind = WalOpKind::kRemove;
+  op.target = t;
+  Status logged = Log(std::move(op));
+  if (!logged.ok()) return logged;
+  Status removed = ApplyRemove(t);
+  if (!removed.ok()) return removed;
+  MaybeAutoCheckpoint();
+  return Status::Ok();
+}
+
+StatusOr<ArrivalReport> DurableEngine::Update(TupleId t, const Row& row) {
+  if (t >= relation_->size() || relation_->IsDeleted(t)) {
+    return Status::InvalidArgument("no such live tuple");
+  }
+  Status arity = CheckRowArity(row);
+  if (!arity.ok()) return arity;
+  WalOp op;
+  op.kind = WalOpKind::kUpdate;
+  op.target = t;
+  op.row = row;
+  Status logged = Log(std::move(op));
+  if (!logged.ok()) return logged;
+  auto report_or = ApplyUpdate(t, row);
+  if (!report_or.ok()) return report_or.status();
+  MaybeAutoCheckpoint();
+  return report_or;
+}
+
+Status DurableEngine::Checkpoint() {
+  const uint64_t seq = next_seq_;
+  const std::string final_path = SnapshotPath(options_.dir, seq);
+  const std::string tmp_path = final_path + ".tmp";
+
+  // Snapshot to a temp name, then rename: readers either see the whole
+  // CRC-valid file or none of it.
+  Status saved = engine_ != nullptr
+                     ? SaveEngineSnapshot(*engine_, tmp_path)
+                     : SaveEngineSnapshot(*sharded_engine_, tmp_path);
+  if (!saved.ok()) {
+    std::error_code ignored;
+    fs::remove(tmp_path, ignored);
+    return saved;
+  }
+  std::error_code ec;
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    std::error_code ignored;
+    fs::remove(tmp_path, ignored);
+    return Status::IoError("cannot publish snapshot " + final_path + ": " +
+                           ec.message());
+  }
+
+  // Rotate the log: new ops land in a fresh segment starting at `seq`.
+  if (wal_ != nullptr) wal_->Close();
+  auto wal_or = WalWriter::Create(WalPath(options_.dir, seq), seq);
+  if (!wal_or.ok()) return wal_or.status();
+  wal_ = std::move(wal_or).value();
+  checkpoint_seq_ = seq;
+
+  // Prune. Snapshots: keep the newest keep_snapshots. WAL segments: segment
+  // i covers [start_i, start_{i+1}), so it stays while any retained
+  // snapshot might need it for replay — i.e. while its end is beyond the
+  // oldest retained snapshot's seq.
+  std::vector<StoreFile> snapshots =
+      ListSeqFiles(options_.dir, kSnapshotPrefix, kSnapshotSuffix);
+  uint64_t oldest_kept = seq;
+  if (snapshots.size() > static_cast<size_t>(options_.keep_snapshots)) {
+    const size_t drop = snapshots.size() -
+                        static_cast<size_t>(options_.keep_snapshots);
+    for (size_t i = 0; i < drop; ++i) {
+      std::error_code ignored;
+      fs::remove(snapshots[i].path, ignored);
+    }
+    snapshots.erase(snapshots.begin(),
+                    snapshots.begin() + static_cast<ptrdiff_t>(drop));
+  }
+  if (!snapshots.empty()) oldest_kept = snapshots.front().seq;
+
+  std::vector<StoreFile> wals =
+      ListSeqFiles(options_.dir, kWalPrefix, kWalSuffix);
+  for (size_t i = 0; i + 1 < wals.size(); ++i) {
+    if (wals[i + 1].seq <= oldest_kept) {
+      std::error_code ignored;
+      fs::remove(wals[i].path, ignored);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace persist
+}  // namespace sitfact

@@ -1,0 +1,310 @@
+#include "persist/wal.h"
+
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "common/crc32.h"
+
+namespace sitfact {
+namespace persist {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'F', 'W', 'A', 'L', 'v', '1', '\0'};
+constexpr uint32_t kVersion = 1;
+constexpr size_t kHeaderBytes = sizeof(kMagic) + 4 + 8 + 4;
+
+// Caps guarding length prefixes in a (possibly corrupt) record against
+// garbage-sized allocations. A row of 16 dimensions and 16 measures is a few
+// hundred bytes; 1 MiB leaves three orders of magnitude of headroom.
+constexpr uint32_t kMaxRecordBytes = 1u << 20;
+constexpr uint32_t kMaxFieldBytes = 1u << 16;
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>(v >> (8 * i)));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>(v >> (8 * i)));
+  }
+}
+
+void PutF64(std::string* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+void PutRow(std::string* out, const Row& row) {
+  PutU32(out, static_cast<uint32_t>(row.dimensions.size()));
+  for (const std::string& d : row.dimensions) PutString(out, d);
+  PutU32(out, static_cast<uint32_t>(row.measures.size()));
+  for (double m : row.measures) PutF64(out, m);
+}
+
+/// Cursor over a record payload; any overrun or cap violation latches into
+/// ok() so the caller checks once.
+class PayloadCursor {
+ public:
+  PayloadCursor(const char* data, size_t len) : data_(data), len_(len) {}
+
+  uint32_t GetU32() {
+    if (!Take(4)) return 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(
+               static_cast<unsigned char>(data_[pos_ - 4 + i]))
+           << (8 * i);
+    }
+    return v;
+  }
+
+  uint64_t GetU64() {
+    uint64_t lo = GetU32();
+    uint64_t hi = GetU32();
+    return lo | (hi << 32);
+  }
+
+  double GetF64() {
+    uint64_t bits = GetU64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::string GetString() {
+    uint32_t n = GetU32();
+    if (n > kMaxFieldBytes || !Take(n)) {
+      ok_ = false;
+      return std::string();
+    }
+    return std::string(data_ + pos_ - n, n);
+  }
+
+  bool GetRow(Row* row) {
+    uint32_t ndims = GetU32();
+    if (ndims > static_cast<uint32_t>(kMaxDimensions)) ok_ = false;
+    for (uint32_t i = 0; ok_ && i < ndims; ++i) {
+      row->dimensions.push_back(GetString());
+    }
+    uint32_t nmeas = GetU32();
+    if (nmeas > static_cast<uint32_t>(kMaxMeasures)) ok_ = false;
+    for (uint32_t j = 0; ok_ && j < nmeas; ++j) {
+      row->measures.push_back(GetF64());
+    }
+    return ok_;
+  }
+
+  bool ok() const { return ok_; }
+  bool exhausted() const { return pos_ == len_; }
+
+ private:
+  bool Take(size_t n) {
+    if (!ok_ || len_ - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  const char* data_;
+  size_t len_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<WalWriter>> WalWriter::Create(const std::string& path,
+                                                       uint64_t start_seq) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IoError("cannot open WAL for write: " + path);
+  }
+  std::string header(kMagic, sizeof(kMagic));
+  PutU32(&header, kVersion);
+  PutU64(&header, start_seq);
+  uint32_t crc = Crc32::Of(header.data() + sizeof(kMagic),
+                           header.size() - sizeof(kMagic));
+  PutU32(&header, crc);
+  if (std::fwrite(header.data(), 1, header.size(), file) != header.size() ||
+      std::fflush(file) != 0) {
+    std::fclose(file);
+    return Status::IoError("cannot write WAL header: " + path);
+  }
+  return std::unique_ptr<WalWriter>(new WalWriter(file, path, start_seq));
+}
+
+WalWriter::~WalWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status WalWriter::Append(const WalOp& op) {
+  if (file_ == nullptr) return Status::IoError("WAL already closed: " + path_);
+  // Enforce the reader's caps at write time: a record the reader would
+  // refuse to decode must never be acknowledged as durable (it would read
+  // as corruption at recovery and silently drop every later op in the
+  // segment with it).
+  if (op.row.dimensions.size() > static_cast<size_t>(kMaxDimensions) ||
+      op.row.measures.size() > static_cast<size_t>(kMaxMeasures)) {
+    return Status::InvalidArgument("row arity exceeds the WAL format limits");
+  }
+  for (const std::string& d : op.row.dimensions) {
+    if (d.size() > kMaxFieldBytes) {
+      return Status::InvalidArgument(
+          "dimension value exceeds the WAL field limit");
+    }
+  }
+  std::string payload;
+  payload.push_back(static_cast<char>(op.kind));
+  PutU64(&payload, op.seq);
+  switch (op.kind) {
+    case WalOpKind::kAppend:
+      PutRow(&payload, op.row);
+      break;
+    case WalOpKind::kRemove:
+      PutU32(&payload, op.target);
+      break;
+    case WalOpKind::kUpdate:
+      PutU32(&payload, op.target);
+      PutRow(&payload, op.row);
+      break;
+  }
+  if (payload.size() > kMaxRecordBytes) {
+    return Status::InvalidArgument("row exceeds the WAL record size limit");
+  }
+  std::string frame;
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  PutU32(&frame, Crc32::Of(payload.data(), payload.size()));
+  frame.append(payload);
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size() ||
+      std::fflush(file_) != 0) {
+    return Status::IoError("WAL write failed: " + path_);
+  }
+  return Status::Ok();
+}
+
+Status WalWriter::Sync() {
+  if (file_ == nullptr) return Status::IoError("WAL already closed: " + path_);
+  if (::fsync(::fileno(file_)) != 0) {
+    return Status::IoError("WAL fsync failed: " + path_);
+  }
+  return Status::Ok();
+}
+
+Status WalWriter::Close() {
+  if (file_ == nullptr) return Status::Ok();
+  int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) return Status::IoError("WAL close failed: " + path_);
+  return Status::Ok();
+}
+
+StatusOr<WalContents> ReadWal(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IoError("cannot open WAL for read: " + path);
+  }
+  std::string data;
+  char buf[1 << 16];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+    data.append(buf, got);
+  }
+  bool read_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (read_error) return Status::IoError("WAL read failed: " + path);
+
+  if (data.size() < kHeaderBytes ||
+      std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("not a sitfact WAL (bad or short header): " +
+                              path);
+  }
+  {
+    PayloadCursor header(data.data() + sizeof(kMagic),
+                         kHeaderBytes - sizeof(kMagic));
+    uint32_t version = header.GetU32();
+    uint64_t start_seq = header.GetU64();
+    uint32_t stored_crc = header.GetU32();
+    uint32_t actual_crc =
+        Crc32::Of(data.data() + sizeof(kMagic), kHeaderBytes - sizeof(kMagic) - 4);
+    if (stored_crc != actual_crc) {
+      return Status::Corruption("WAL header checksum mismatch: " + path);
+    }
+    if (version != kVersion) {
+      return Status::Corruption("unsupported WAL version " +
+                                std::to_string(version) + ": " + path);
+    }
+    WalContents out;
+    out.start_seq = start_seq;
+
+    size_t pos = kHeaderBytes;
+    while (pos < data.size()) {
+      if (data.size() - pos < 8) {
+        out.clean_tail = false;
+        out.tail_note = "torn record frame at byte " + std::to_string(pos);
+        break;
+      }
+      PayloadCursor frame(data.data() + pos, 8);
+      uint32_t len = frame.GetU32();
+      uint32_t crc = frame.GetU32();
+      // Minimum payload: kind tag (1) + seq (8).
+      if (len < 9 || len > kMaxRecordBytes || data.size() - pos - 8 < len) {
+        out.clean_tail = false;
+        out.tail_note = "torn record body at byte " + std::to_string(pos);
+        break;
+      }
+      const char* payload = data.data() + pos + 8;
+      if (Crc32::Of(payload, len) != crc) {
+        out.clean_tail = false;
+        out.tail_note = "record checksum mismatch at byte " +
+                        std::to_string(pos);
+        break;
+      }
+      // First payload byte is the kind tag; the cursor is u32-granular, so
+      // peel it off by hand.
+      WalOp op;
+      op.kind = static_cast<WalOpKind>(static_cast<uint8_t>(payload[0]));
+      PayloadCursor rest(payload + 1, len - 1);
+      op.seq = rest.GetU64();
+      bool decoded = rest.ok();
+      switch (op.kind) {
+        case WalOpKind::kAppend:
+          decoded = decoded && rest.GetRow(&op.row);
+          break;
+        case WalOpKind::kRemove:
+          op.target = rest.GetU32();
+          decoded = decoded && rest.ok();
+          break;
+        case WalOpKind::kUpdate:
+          op.target = rest.GetU32();
+          decoded = decoded && rest.ok() && rest.GetRow(&op.row);
+          break;
+        default:
+          decoded = false;
+      }
+      if (!decoded || !rest.exhausted()) {
+        out.clean_tail = false;
+        out.tail_note = "undecodable record at byte " + std::to_string(pos);
+        break;
+      }
+      out.ops.push_back(std::move(op));
+      pos += 8 + len;
+    }
+    return out;
+  }
+}
+
+}  // namespace persist
+}  // namespace sitfact

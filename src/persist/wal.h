@@ -1,0 +1,108 @@
+#ifndef SITFACT_PERSIST_WAL_H_
+#define SITFACT_PERSIST_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "relation/relation.h"
+
+namespace sitfact {
+namespace persist {
+
+/// Write-ahead log for the arrivals between two checkpoints.
+///
+/// A durable deployment cannot afford a full snapshot per arrival, so every
+/// engine mutation (Append / Remove / Update) is first framed into the WAL
+/// and only then applied. Recovery loads the newest valid snapshot and
+/// replays the WAL tail; anything after the last intact record — a torn
+/// write from a crash mid-fwrite, a bit flip, a truncated download — is
+/// dropped, never decoded into garbage ops (docs/persistence.md).
+///
+/// File layout (little-endian):
+///   "SFWALv1\0"  magic, 8 bytes
+///   u32          format version (1)
+///   u64          start_seq — sequence number of the first op this log holds
+///   u32          CRC-32 of the 12 header bytes above
+///   record*      each: u32 payload_len | u32 payload_crc | payload
+/// Record payload: u8 kind | u64 seq | body. Body is the row (Append), the
+/// target TupleId (Remove), or target + row (Update).
+///
+/// Sequence numbers count every logged op since the store's genesis, so a
+/// record's seq doubles as its global op index; readers use them to skip
+/// ops already covered by a snapshot and to detect gaps between log files.
+
+enum class WalOpKind : uint8_t {
+  kAppend = 1,
+  kRemove = 2,
+  kUpdate = 3,
+};
+
+/// One logged engine mutation.
+struct WalOp {
+  WalOpKind kind = WalOpKind::kAppend;
+  uint64_t seq = 0;
+  TupleId target = 0;  // kRemove / kUpdate
+  Row row;             // kAppend / kUpdate
+};
+
+/// Appends framed records to a fresh log file. Every Append is flushed to
+/// the OS (fflush) so a process kill loses at most the op being framed;
+/// Sync() additionally forces the data to disk (fsync) for power-failure
+/// durability.
+class WalWriter {
+ public:
+  /// Creates (truncates) `path` and writes the header.
+  static StatusOr<std::unique_ptr<WalWriter>> Create(const std::string& path,
+                                                     uint64_t start_seq);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Frames, writes and flushes one record.
+  Status Append(const WalOp& op);
+
+  /// fsync() the file.
+  Status Sync();
+
+  /// Flushes and closes; further Appends fail.
+  Status Close();
+
+  const std::string& path() const { return path_; }
+  uint64_t start_seq() const { return start_seq_; }
+
+ private:
+  WalWriter(std::FILE* file, std::string path, uint64_t start_seq)
+      : file_(file), path_(std::move(path)), start_seq_(start_seq) {}
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  uint64_t start_seq_ = 0;
+};
+
+/// A decoded log: the intact record prefix plus what (if anything) was
+/// dropped from the tail.
+struct WalContents {
+  uint64_t start_seq = 0;
+  std::vector<WalOp> ops;
+  /// False when trailing bytes were dropped (torn write or corruption);
+  /// `tail_note` says why. Replay must stop at the drop point — later
+  /// records, even if intact, would build on ops that no longer exist.
+  bool clean_tail = true;
+  std::string tail_note;
+};
+
+/// Reads a log tolerantly: returns every record up to the first torn or
+/// corrupt one. Fails outright (Corruption/IoError) only when the header
+/// itself is unreadable — such a file holds no usable ops at all.
+StatusOr<WalContents> ReadWal(const std::string& path);
+
+}  // namespace persist
+}  // namespace sitfact
+
+#endif  // SITFACT_PERSIST_WAL_H_

@@ -28,6 +28,17 @@ FactFeed::FactFeed(ShardedEngine* engine, Subscriber subscriber,
   worker_ = std::thread([this] { WorkerLoop(); });
 }
 
+FactFeed::FactFeed(persist::DurableEngine* engine, Subscriber subscriber,
+                   Options options)
+    : durable_engine_(engine),
+      subscriber_(std::move(subscriber)),
+      options_(options) {
+  SITFACT_CHECK(engine != nullptr);
+  SITFACT_CHECK(options_.queue_capacity > 0);
+  SITFACT_CHECK(options_.max_batch > 0);
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
 FactFeed::~FactFeed() { Stop(); }
 
 bool FactFeed::Publish(Row row) {
@@ -69,9 +80,17 @@ uint64_t FactFeed::prominent_arrivals() const {
   return prominent_arrivals_;
 }
 
+Status FactFeed::durable_status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return durable_status_;
+}
+
 bool FactFeed::PopBatch(std::vector<Row>* batch) {
   batch->clear();
-  size_t limit = sharded_engine_ != nullptr ? options_.max_batch : 1;
+  const bool batched =
+      sharded_engine_ != nullptr ||
+      (durable_engine_ != nullptr && durable_engine_->sharded());
+  size_t limit = batched ? options_.max_batch : 1;
   std::unique_lock<std::mutex> lock(mu_);
   idle_ = true;
   drained_.notify_all();
@@ -103,7 +122,31 @@ void FactFeed::WorkerLoop() {
   while (PopBatch(&batch)) {
     // The engine runs outside the lock: discovery dominates the cost and
     // producers only need the queue.
-    if (sharded_engine_ != nullptr) {
+    if (durable_engine_ != nullptr) {
+      persist::DurableEngine::BatchResult result =
+          durable_engine_->AppendBatch(std::span<const Row>(batch));
+      // Rows that became durable get their reports delivered even when the
+      // batch died partway — the producer will resume past them, so these
+      // notifications have no second chance.
+      for (const ArrivalReport& report : result.reports) {
+        DeliverReport(report);
+      }
+      if (!result.status.ok()) {
+        // Rows the store could not make durable must not be silently
+        // swallowed: latch the error and shut the intake. The backlog is
+        // dropped (it was never durable either); durable_status() tells the
+        // producer where its stream stands.
+        std::lock_guard<std::mutex> lock(mu_);
+        if (durable_status_.ok()) durable_status_ = result.status;
+        stopping_ = true;
+        std::queue<Row>().swap(queue_);
+        idle_ = true;
+        not_empty_.notify_all();
+        not_full_.notify_all();
+        drained_.notify_all();
+        return;
+      }
+    } else if (sharded_engine_ != nullptr) {
       std::vector<ArrivalReport> reports =
           sharded_engine_->AppendBatch(std::span<const Row>(batch));
       for (const ArrivalReport& report : reports) DeliverReport(report);

@@ -10,8 +10,10 @@
 #include <thread>
 #include <vector>
 
+#include "common/status.h"
 #include "core/engine.h"
 #include "exec/sharded_engine.h"
+#include "persist/durable_engine.h"
 #include "relation/relation.h"
 
 namespace sitfact {
@@ -63,6 +65,19 @@ class FactFeed {
   FactFeed(ShardedEngine* engine, Subscriber subscriber)
       : FactFeed(engine, std::move(subscriber), Options()) {}
 
+  /// Durable back end: every row is WAL-logged before discovery, and the
+  /// DurableEngine's checkpoint-every-N policy
+  /// (persist::DurableOptions::checkpoint_every) snapshots the engine as the
+  /// stream flows. Batched drain when the durable store wraps a sharded
+  /// engine. A durability failure (disk full, IO error) latches into
+  /// durable_status() and stops the feed — dropping rows would corrupt
+  /// every later prominence denominator, so refusing further input is the
+  /// only safe reaction.
+  FactFeed(persist::DurableEngine* engine, Subscriber subscriber,
+           Options options);
+  FactFeed(persist::DurableEngine* engine, Subscriber subscriber)
+      : FactFeed(engine, std::move(subscriber), Options()) {}
+
   ~FactFeed();
 
   FactFeed(const FactFeed&) = delete;
@@ -84,6 +99,10 @@ class FactFeed {
   /// Arrivals that carried at least one prominent fact.
   uint64_t prominent_arrivals() const;
 
+  /// First durability error, or Ok. Only ever non-Ok for the durable back
+  /// end; once set the feed has stopped and Publish() returns false.
+  Status durable_status() const;
+
  private:
   void WorkerLoop();
 
@@ -96,8 +115,10 @@ class FactFeed {
 
   DiscoveryEngine* engine_ = nullptr;        // exactly one back end is set
   ShardedEngine* sharded_engine_ = nullptr;
+  persist::DurableEngine* durable_engine_ = nullptr;
   Subscriber subscriber_;
   Options options_;
+  Status durable_status_;  // guarded by mu_
 
   mutable std::mutex mu_;
   std::condition_variable not_full_;

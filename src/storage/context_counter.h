@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
 #include "common/types.h"
 #include "lattice/constraint.h"
 #include "relation/relation.h"
@@ -55,6 +56,16 @@ class ContextCounter {
       counts_[c] = count;
     }
   }
+
+  /// Persistence hook (docs/persistence.md): writes the entry count (u64)
+  /// followed by every (constraint, count) pair, unspecified order.
+  void Serialize(BinaryWriter* w) const;
+
+  /// Restores what Serialize wrote into this counter (existing entries are
+  /// kept — call on a fresh counter). `num_dims` validates constraint masks;
+  /// counts land via Restore(). Corruption/IoError from the reader is
+  /// returned and the counter may hold a partial prefix.
+  Status Deserialize(BinaryReader* r, int num_dims);
 
   int max_bound() const { return max_bound_; }
 

@@ -1,6 +1,59 @@
 #include "storage/mu_store.h"
 
-// MuStore is an interface; this TU only anchors its vtable/key functions so
-// the library has a home for future shared helpers.
+#include "common/binary_io.h"
 
-namespace sitfact {}  // namespace sitfact
+namespace sitfact {
+
+namespace {
+
+// A dump beyond this is either corrupted or far outside the library's
+// design envelope.
+constexpr uint64_t kMaxBuckets = 1ull << 33;
+
+}  // namespace
+
+void MuStore::SerializeBuckets(BinaryWriter* w) {
+  uint64_t buckets = 0;
+  ForEachBucket([&](const Constraint&, MeasureMask,
+                    const std::vector<TupleId>&) { ++buckets; });
+  w->WriteU64(buckets);
+  ForEachBucket([&](const Constraint& c, MeasureMask m,
+                    const std::vector<TupleId>& bucket) {
+    SerializeConstraint(w, c);
+    w->WriteU32(m);
+    w->WriteU32(static_cast<uint32_t>(bucket.size()));
+    for (TupleId t : bucket) w->WriteU32(t);
+  });
+}
+
+Status MuStore::DeserializeBuckets(BinaryReader* r, int num_dims,
+                                   TupleId max_tuple) {
+  return ReadMuBucketDump(r, num_dims, max_tuple, this);
+}
+
+Status ReadMuBucketDump(BinaryReader* r, int num_dims, TupleId max_tuple,
+                        MuStore* store) {
+  uint64_t buckets = r->ReadU64();
+  if (!r->CheckCount(buckets, kMaxBuckets, "bucket count")) {
+    return r->status();
+  }
+  std::vector<TupleId> bucket;
+  for (uint64_t i = 0; i < buckets; ++i) {
+    Constraint c = DeserializeConstraint(r, num_dims);
+    MeasureMask m = r->ReadU32();
+    uint32_t len = r->ReadU32();
+    if (!r->CheckCount(len, max_tuple, "bucket size")) return r->status();
+    bucket.resize(len);
+    for (uint32_t k = 0; k < len; ++k) {
+      bucket[k] = r->ReadU32();
+      if (bucket[k] >= max_tuple) {
+        return Status::Corruption("bucket tuple id out of range");
+      }
+    }
+    if (!r->ok()) return r->status();
+    if (store != nullptr) store->GetOrCreate(c)->Write(m, bucket);
+  }
+  return Status::Ok();
+}
+
+}  // namespace sitfact

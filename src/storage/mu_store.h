@@ -6,6 +6,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/status.h"
 #include "common/types.h"
 #include "lattice/constraint.h"
 
@@ -110,9 +111,27 @@ class MuStore {
   /// Approximate bytes held by the store's in-memory structures (Fig. 10a).
   virtual size_t ApproxMemoryBytes() const = 0;
 
+  /// Persistence hook (docs/persistence.md): writes the bucket dump — a u64
+  /// bucket count, then per bucket the constraint, subspace mask and tuple
+  /// list. Costs two ForEachBucket passes (the file store pays two reads per
+  /// bucket).
+  void SerializeBuckets(BinaryWriter* w);
+
+  /// Restores a dump written by SerializeBuckets into this (empty) store.
+  /// Tuple ids are validated against `max_tuple` (exclusive). On error the
+  /// store may hold a partial prefix; discard it.
+  Status DeserializeBuckets(BinaryReader* r, int num_dims, TupleId max_tuple);
+
  protected:
   MuStoreStats stats_;
 };
+
+/// Decodes a bucket dump, writing each bucket into `store` — or, when
+/// `store` is null, validating and discarding it (the snapshot loader's
+/// replay-rebuild path still has to consume the section so the stream stays
+/// aligned for the trailing checksum).
+Status ReadMuBucketDump(BinaryReader* r, int num_dims, TupleId max_tuple,
+                        MuStore* store);
 
 /// One bucket visit: prefers the store's in-place path (memory store) and
 /// falls back to a Read-into-scratch / Write-back cycle (file store).

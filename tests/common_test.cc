@@ -1,12 +1,16 @@
 // Unit tests for the common substrate: bit utilities, hashing, the seeded
-// PRNG, and Status/StatusOr.
+// PRNG, Status/StatusOr, CRC-32 chunking, and CSV field round trips.
 
+#include <algorithm>
 #include <set>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/bits.h"
+#include "common/crc32.h"
+#include "common/csv.h"
 #include "common/hash.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -146,6 +150,115 @@ TEST(Status, StatusOrWorksWithMoveOnlyAndNonDefaultConstructible) {
   StatusOr<std::unique_ptr<int>> p(std::make_unique<int>(9));
   ASSERT_TRUE(p.ok());
   EXPECT_EQ(*std::move(p).value(), 9);
+}
+
+// --------------------------------------------------------------------------
+// CRC-32. The snapshot and WAL formats lean on three properties: the
+// standard check value (interoperability), zero-length neutrality (empty
+// sections), and chunking-independence (BinaryWriter feeds bytes in
+// whatever pieces the encoder produces).
+
+TEST(Crc32, ZeroLengthInputsAreNeutral) {
+  EXPECT_EQ(Crc32::Of("", 0), 0u);
+  EXPECT_EQ(Crc32::Extend(0, "", 0), 0u);
+  // Extending any running value by zero bytes must not perturb it.
+  uint32_t crc = Crc32::Of("snapshot", 8);
+  EXPECT_EQ(Crc32::Extend(crc, "", 0), crc);
+  Crc32 incremental;
+  incremental.Update("snapshot", 8);
+  incremental.Update("", 0);
+  EXPECT_EQ(incremental.value(), crc);
+}
+
+TEST(Crc32, CheckValueAndSingleBytes) {
+  EXPECT_EQ(Crc32::Of("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32::Of("a", 1), 0xE8B7BE43u);
+}
+
+TEST(Crc32, EveryChunkingMatchesOneShot) {
+  // A buffer shaped like snapshot content: varied bytes including zeros.
+  std::string data;
+  Rng rng(7);
+  for (int i = 0; i < 257; ++i) {
+    data.push_back(static_cast<char>(rng.NextBounded(256)));
+  }
+  const uint32_t expected = Crc32::Of(data.data(), data.size());
+  // Split into two chunks at every boundary.
+  for (size_t cut = 0; cut <= data.size(); ++cut) {
+    uint32_t crc = Crc32::Extend(0, data.data(), cut);
+    crc = Crc32::Extend(crc, data.data() + cut, data.size() - cut);
+    EXPECT_EQ(crc, expected) << "cut " << cut;
+  }
+  // Many small chunks of coprime stride.
+  Crc32 incremental;
+  for (size_t pos = 0; pos < data.size();) {
+    size_t n = std::min<size_t>(13, data.size() - pos);
+    incremental.Update(data.data() + pos, n);
+    pos += n;
+  }
+  EXPECT_EQ(incremental.value(), expected);
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  std::string data = "prominent situational facts";
+  const uint32_t clean = Crc32::Of(data.data(), data.size());
+  data[11] = static_cast<char>(data[11] ^ 0x04);
+  EXPECT_NE(Crc32::Of(data.data(), data.size()), clean);
+}
+
+// --------------------------------------------------------------------------
+// CSV field helpers: quote/split round trips for everything a dimension
+// value can throw at the format.
+
+std::string JoinCsv(const std::vector<std::string>& fields) {
+  std::string line;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) line += ',';
+    line += CsvQuote(fields[i]);
+  }
+  return line;
+}
+
+TEST(Csv, QuoteSplitRoundTripsAwkwardFields) {
+  const std::vector<std::vector<std::string>> cases = {
+      {"plain", "two words", ""},
+      {"comma,inside", "quote\"inside", "\"leading quote"},
+      {"", "", ""},
+      {"trailing space ", " leading space", "tab\tinside"},
+      {"embedded\nnewline", "both,\"at once\"", "ünïcode — dash"},
+      {"\"\"", ",,,", "\""},
+  };
+  for (const auto& fields : cases) {
+    std::vector<std::string> parsed;
+    ASSERT_TRUE(SplitCsvLine(JoinCsv(fields), &parsed).ok())
+        << JoinCsv(fields);
+    EXPECT_EQ(parsed, fields) << JoinCsv(fields);
+  }
+}
+
+TEST(Csv, NeedsQuotingExactlyWhenUnsafe) {
+  EXPECT_FALSE(CsvNeedsQuoting("plain"));
+  EXPECT_FALSE(CsvNeedsQuoting(""));
+  EXPECT_TRUE(CsvNeedsQuoting("a,b"));
+  EXPECT_TRUE(CsvNeedsQuoting("a\"b"));
+  EXPECT_TRUE(CsvNeedsQuoting("a\nb"));
+  // Unquoted safe strings pass through CsvQuote unchanged.
+  EXPECT_EQ(CsvQuote("plain"), "plain");
+  EXPECT_EQ(CsvQuote("a,b"), "\"a,b\"");
+}
+
+TEST(Csv, UnterminatedQuoteIsCorruption) {
+  std::vector<std::string> parsed;
+  EXPECT_FALSE(SplitCsvLine("\"never closed", &parsed).ok());
+  EXPECT_FALSE(SplitCsvLine("ok,\"busted", &parsed).ok());
+}
+
+TEST(Csv, SplitHonorsEmptyFieldsAndDoubledQuotes) {
+  std::vector<std::string> parsed;
+  ASSERT_TRUE(SplitCsvLine("a,,c", &parsed).ok());
+  EXPECT_EQ(parsed, (std::vector<std::string>{"a", "", "c"}));
+  ASSERT_TRUE(SplitCsvLine("\"he said \"\"hi\"\"\",x", &parsed).ok());
+  EXPECT_EQ(parsed, (std::vector<std::string>{"he said \"hi\"", "x"}));
 }
 
 }  // namespace

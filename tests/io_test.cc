@@ -12,7 +12,7 @@
 
 #include "common/crc32.h"
 #include "core/engine.h"
-#include "io/binary_io.h"
+#include "common/binary_io.h"
 #include "io/snapshot.h"
 #include "test_util.h"
 

@@ -58,6 +58,69 @@ expect query 0 "skyline" \
   "$CLI" query --csv "$CSV" --dims player,season,team,opp_team \
   --measures points:+,rebounds:+,assists:+
 
+# Durable checkpoint/restore (docs/persistence.md): ingest the first half
+# of the stream and checkpoint; ingest the next quarter into the WAL only
+# (--no-final — on-disk this is what a crash between checkpoints looks
+# like); "kill" (the process exited); restore must replay the WAL tail and
+# finish the last quarter. The per-arrival reports of the three runs,
+# concatenated, must be byte-identical to one uninterrupted discover run.
+DSTORE="$WORKDIR/durable"
+head -1 "$CSV" > "$WORKDIR/part1.csv"; sed -n '2,101p'   "$CSV" >> "$WORKDIR/part1.csv"
+head -1 "$CSV" > "$WORKDIR/part2.csv"; sed -n '102,151p' "$CSV" >> "$WORKDIR/part2.csv"
+head -1 "$CSV" > "$WORKDIR/part3.csv"; sed -n '152,201p' "$CSV" >> "$WORKDIR/part3.csv"
+
+"$CLI" discover --csv "$CSV" --dims player,season,team,opp_team \
+  --measures points:+,rebounds:+,assists:+ > "$WORKDIR/uninterrupted.txt" 2>&1
+
+# expect_file <name> <expected-exit> <substring> <outfile> <cmd...>
+# Like expect, but tees the command output to a file for later diffing.
+expect_file() {
+  local name=$1 want_status=$2 want_substr=$3 outfile=$4
+  shift 4
+  "$@" > "$outfile" 2>&1
+  local status=$?
+  if [ "$status" -ne "$want_status" ]; then
+    echo "FAIL $name: exit $status, wanted $want_status"
+    sed 's/^/  | /' "$outfile"
+    FAILURES=$((FAILURES + 1))
+    return
+  fi
+  if ! grep -qF "$want_substr" "$outfile"; then
+    echo "FAIL $name: output lacks \"$want_substr\""
+    sed 's/^/  | /' "$outfile"
+    FAILURES=$((FAILURES + 1))
+    return
+  fi
+  echo "ok   $name"
+}
+
+expect_file durable-checkpoint 0 "checkpointed at seq 100" "$WORKDIR/d1.txt" \
+  "$CLI" checkpoint --dir "$DSTORE" --csv "$WORKDIR/part1.csv" \
+  --dims player,season,team,opp_team \
+  --measures points:+,rebounds:+,assists:+ --every 32
+
+expect_file durable-wal-tail 0 "restore will replay them" "$WORKDIR/d2.txt" \
+  "$CLI" checkpoint --dir "$DSTORE" --csv "$WORKDIR/part2.csv" \
+  --dims player,season,team,opp_team \
+  --measures points:+,rebounds:+,assists:+ --no-final
+
+expect_file durable-restore 0 "restored STopDown engine at seq 150" \
+  "$WORKDIR/d3.txt" \
+  "$CLI" restore --dir "$DSTORE" --csv "$WORKDIR/part3.csv"
+
+grep -h '^tuple \|^  ' "$WORKDIR/d1.txt" "$WORKDIR/d2.txt" "$WORKDIR/d3.txt" \
+  > "$WORKDIR/durable_reports.txt"
+grep -h '^tuple \|^  ' "$WORKDIR/uninterrupted.txt" > "$WORKDIR/full_reports.txt"
+if diff -q "$WORKDIR/durable_reports.txt" "$WORKDIR/full_reports.txt" > /dev/null; then
+  echo "ok   durable-differential"
+else
+  echo "FAIL durable-differential: checkpoint+kill+restore reports differ from uninterrupted run"
+  diff "$WORKDIR/durable_reports.txt" "$WORKDIR/full_reports.txt" | head -10 | sed 's/^/  | /'
+  FAILURES=$((FAILURES + 1))
+fi
+
+expect wal-dump 0 "append" "$CLI" wal-dump --dir "$DSTORE" --limit 3
+
 expect usage 2 "USAGE" "$CLI" help
 
 # The parser must reject positionals through the error path (exit 2 from

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Gate bench results against checked-in baselines.
+
+Every bench binary emits BENCH_<name>.json (see bench/harness.h). CI runs
+the suite in smoke mode, uploads the JSON as artifacts, and calls this
+script to compare the run against bench/baselines/.
+
+What is gated: the `comparisons` counter — dominance comparisons are a
+deterministic function of the algorithm and the (seeded) dataset, so they
+are stable across machines, unlike wall time. A record regresses when its
+comparisons grow more than --threshold over baseline. Records with zero
+comparisons (bespoke drivers, whole-process "total" entries) and benches
+whose counters are timing-dependent (the parallel-scaling bench: pruning
+across shards varies with thread interleaving) are reported but not gated.
+Wall-time deltas are printed for the humans reading the CI log.
+
+Exit status: 0 when every gated record is within threshold, 1 otherwise.
+
+Regenerate baselines with tools/update_bench_baselines.sh after an
+intentional algorithmic change.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+# comparisons in these benches depend on thread timing, not just input
+UNGATED_BENCHES = {"fig16_parallel_scaling"}
+
+
+def record_key(record):
+    return (record["name"], record["n"], record["d"], record["m"])
+
+
+def load_records(path):
+    with open(path) as f:
+        doc = json.load(f)
+    records = {}
+    for record in doc.get("records", []):
+        # Repeated keys (e.g. the same algorithm replayed per panel) are
+        # folded by summing: panel order is deterministic, so the sum is too.
+        key = record_key(record)
+        if key in records:
+            records[key]["comparisons"] += record["comparisons"]
+            records[key]["wall_ms"] += record["wall_ms"]
+        else:
+            records[key] = dict(record)
+    return doc.get("bench", path.stem), records
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True, type=pathlib.Path,
+                        help="directory of baseline BENCH_*.json files")
+    parser.add_argument("--results", required=True, type=pathlib.Path,
+                        help="directory of freshly produced BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional growth in a gated metric")
+    parser.add_argument("--require-all", action="store_true",
+                        help="fail when a baseline file has no result file")
+    args = parser.parse_args()
+
+    baseline_files = sorted(args.baseline.glob("BENCH_*.json"))
+    if not baseline_files:
+        print(f"error: no baselines under {args.baseline}", file=sys.stderr)
+        return 1
+
+    failures = []
+    missing = []
+    gated = 0
+    for baseline_file in baseline_files:
+        result_file = args.results / baseline_file.name
+        if not result_file.exists():
+            missing.append(baseline_file.name)
+            continue
+        bench, baseline = load_records(baseline_file)
+        _, results = load_records(result_file)
+        gate_this = bench not in UNGATED_BENCHES
+        print(f"== {bench}" + ("" if gate_this else " (not gated)"))
+        for key, base in sorted(baseline.items()):
+            got = results.get(key)
+            label = "{}  n={} d={} m={}".format(*key)
+            if got is None:
+                failures.append(f"{bench}: record missing from results: "
+                                f"{label}")
+                print(f"  MISSING  {label}")
+                continue
+            wall_note = ""
+            if base["wall_ms"] > 0:
+                wall_delta = (got["wall_ms"] - base["wall_ms"]) / base["wall_ms"]
+                wall_note = f"  wall {wall_delta:+.0%} (not gated)"
+            if not gate_this or base["comparisons"] == 0:
+                print(f"  skip     {label}{wall_note}")
+                continue
+            gated += 1
+            delta = ((got["comparisons"] - base["comparisons"])
+                     / base["comparisons"])
+            verdict = "ok"
+            if delta > args.threshold:
+                verdict = "REGRESSED"
+                failures.append(
+                    f"{bench}: {label}: comparisons {base['comparisons']} -> "
+                    f"{got['comparisons']} ({delta:+.1%}, threshold "
+                    f"{args.threshold:.0%})")
+            elif delta < -args.threshold:
+                verdict = "improved?"  # suspicious enough to flag, not fail
+            print(f"  {verdict:9s}{label}  comparisons {delta:+.1%}"
+                  f"{wall_note}")
+
+    if missing:
+        note = "error" if args.require_all else "warning"
+        for name in missing:
+            print(f"{note}: no result file for baseline {name}",
+                  file=sys.stderr)
+        if args.require_all:
+            failures.extend(missing)
+
+    print(f"\n{gated} gated record(s), {len(failures)} failure(s)")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,8 @@
 #include "datagen/weather_generator.h"
 #include "io/csv_table.h"
 #include "io/snapshot.h"
+#include "persist/durable_engine.h"
+#include "persist/wal.h"
 #include "query/skyline_query.h"
 #include "relation/dataset.h"
 
@@ -161,6 +163,14 @@ USAGE
                        [--algo auto|bnl|sfs|dnc]
   sitfact_cli resume   --snapshot FILE [--csv FILE] [--top K] [--quiet]
                        [--algorithm NAME] [--replay]
+  sitfact_cli checkpoint --dir DIR [--csv FILE --dims ... --measures ...]
+                       [--algorithm A | --threads N [--shards K]]
+                       [--tau T] [--every N] [--sync] [--no-final]
+                       [--top K] [--quiet]
+  sitfact_cli restore  --dir DIR [--csv FILE] [--threads N [--shards K]]
+                       [--every N] [--no-final] [--top K] [--quiet]
+                       [--replay]
+  sitfact_cli wal-dump (--wal FILE | --dir DIR) [--limit N]
 
 NOTES
   Measures take an optional direction suffix: "points:+" (larger is better,
@@ -169,8 +179,13 @@ NOTES
   that admit the new row into a contextual skyline (tau filters weak facts).
   --threads/--shards route discover through the sharded parallel engine
   (identical output, see docs/parallelism.md); --shards defaults to
-  2*threads. The sharded engine has its own algorithm, so --algorithm and
-  --save-snapshot do not combine with it.
+  2*threads. The sharded engine has its own algorithm, so --algorithm does
+  not combine with it.
+  checkpoint/restore manage a durable store (docs/persistence.md): every
+  ingested row is WAL-logged before discovery, --every N snapshots the
+  engine every N ops, and restore recovers from the newest valid snapshot
+  plus the WAL tail — --no-final on checkpoint leaves the tail for restore
+  to replay, which is how a crash looks on disk.
 )");
   return 2;
 }
@@ -274,10 +289,6 @@ bool MakeNarrator(const Args& args, const Dataset& data, Relation* relation,
 /// the merge of arrival i.
 int RunDiscoverSharded(const Args& args, const Dataset& data,
                        const DiscoveryOptions& options) {
-  if (args.Has("save-snapshot")) {
-    return PrintUsage(
-        "--save-snapshot does not combine with --threads/--shards yet");
-  }
   if (args.Has("algorithm")) {
     return PrintUsage(
         "--algorithm does not combine with --threads/--shards (the sharded "
@@ -320,6 +331,15 @@ int RunDiscoverSharded(const Args& args, const Dataset& data,
       "Sharded, shards=" +
           std::to_string(engine.discoverer().num_shards()) +
           ", threads=" + std::to_string(engine.discoverer().num_threads()));
+
+  if (args.Has("save-snapshot")) {
+    Status st = SaveEngineSnapshot(engine, args.Get("save-snapshot"));
+    if (!st.ok()) {
+      std::fprintf(stderr, "snapshot failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("snapshot saved to %s\n", args.Get("save-snapshot").c_str());
+  }
   return 0;
 }
 
@@ -510,6 +530,242 @@ int RunResume(const Args& args) {
   std::printf("resumed stream complete; relation now has %u tuples\n",
               restored.relation->size());
   return 0;
+}
+
+namespace {
+
+/// Durability knobs shared by checkpoint and restore.
+persist::DurableOptions DurableOptionsFromFlags(const Args& args) {
+  persist::DurableOptions opts;
+  opts.dir = args.Get("dir");
+  opts.checkpoint_every = static_cast<uint64_t>(args.GetInt("every", 0));
+  opts.sync_every_op = args.Has("sync");
+  opts.algorithm = args.Get("algorithm", "STopDown");
+  opts.discovery.max_bound_dims = args.GetInt("dhat", -1);
+  opts.discovery.max_measure_dims = args.GetInt("mhat", -1);
+  opts.tau = args.GetDouble("tau", 2.0);
+  opts.allow_replay_rebuild = args.Has("replay");
+  if (args.Has("threads") || args.Has("shards")) {
+    const int threads = args.GetInt("threads", 1);
+    opts.num_threads = threads;
+    opts.num_shards = args.GetInt("shards", threads > 1 ? 2 * threads : 4);
+  }
+  // file_store_dir is left empty: DurableEngine defaults it to
+  // <dir>/fs_store so FS-algorithm stores are self-contained.
+  return opts;
+}
+
+/// Streams --csv rows through the durable engine with the same per-arrival
+/// narration as `discover` (checkpoint + restore must concatenate into the
+/// uninterrupted run's output — tests/smoke/cli_smoke.sh diffs exactly
+/// that). Returns an exit code.
+int StreamIntoDurable(const Args& args, persist::DurableEngine* durable,
+                      const Dataset& data) {
+  std::unique_ptr<FactNarrator> narrator;
+  if (!MakeNarrator(args, data, &durable->relation(), &narrator)) {
+    return PrintUsage("--entity names no dimension");
+  }
+  DiscoverPrinter printer(narrator.get(), args.GetInt("top", 3),
+                          args.Has("quiet"));
+  for (const Row& row : data.rows()) {
+    auto report_or = durable->Append(row);
+    if (!report_or.ok()) {
+      std::fprintf(stderr, "durable append failed: %s\n",
+                   report_or.status().ToString().c_str());
+      return 1;
+    }
+    printer.OnReport(report_or.value());
+  }
+  const double tau = durable->engine() != nullptr
+                         ? durable->engine()->config().tau
+                         : durable->sharded_engine()->config().tau;
+  printer.PrintSummary(data.rows().size(), tau,
+                       durable->algorithm() + " (durable)");
+  return 0;
+}
+
+}  // namespace
+
+int RunCheckpoint(const Args& args) {
+  if (!args.Has("dir")) return PrintUsage("--dir is required");
+  if (args.Has("algorithm") && (args.Has("threads") || args.Has("shards"))) {
+    // Same rule as discover: the sharded engine is its own algorithm.
+    return PrintUsage(
+        "--algorithm does not combine with --threads/--shards (the sharded "
+        "engine is its own algorithm)");
+  }
+  persist::DurableOptions opts = DurableOptionsFromFlags(args);
+
+  Schema schema;
+  Dataset data{Schema()};
+  const bool streaming = args.Has("csv");
+  if (streaming) {
+    auto data_or = LoadCsvFlag(args);
+    if (!data_or.ok()) return PrintUsage(data_or.status().ToString());
+    data = std::move(data_or).value();
+    schema = data.schema();
+  }
+
+  auto durable_or = persist::DurableEngine::Open(opts, schema);
+  if (!durable_or.ok()) {
+    std::fprintf(stderr, "%s\n", durable_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<persist::DurableEngine> durable =
+      std::move(durable_or).value();
+
+  if (streaming) {
+    int rc = StreamIntoDurable(args, durable.get(), data);
+    if (rc != 0) return rc;
+  }
+
+  if (args.Has("no-final")) {
+    std::printf(
+        "WAL holds %llu op(s) past the last checkpoint (checkpoint seq "
+        "%llu, next op seq %llu); restore will replay them\n",
+        static_cast<unsigned long long>(durable->ops_since_checkpoint()),
+        static_cast<unsigned long long>(durable->next_seq() -
+                                        durable->ops_since_checkpoint()),
+        static_cast<unsigned long long>(durable->next_seq()));
+    return 0;
+  }
+  Status st = durable->Checkpoint();
+  if (!st.ok()) {
+    std::fprintf(stderr, "checkpoint failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("checkpointed at seq %llu (%s, %u tuples)\n",
+              static_cast<unsigned long long>(durable->next_seq()),
+              durable->algorithm().c_str(), durable->relation().size());
+  return 0;
+}
+
+int RunRestore(const Args& args) {
+  if (!args.Has("dir")) return PrintUsage("--dir is required");
+  persist::DurableOptions opts = DurableOptionsFromFlags(args);
+
+  auto durable_or = persist::DurableEngine::Open(opts, Schema());
+  if (!durable_or.ok()) {
+    std::fprintf(stderr, "%s\n", durable_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<persist::DurableEngine> durable =
+      std::move(durable_or).value();
+  const persist::RecoveryInfo& info = durable->recovery();
+  std::printf(
+      "restored %s engine at seq %llu (snapshot seq %llu + %llu WAL ops), "
+      "%u tuples (%u live)\n",
+      durable->algorithm().c_str(),
+      static_cast<unsigned long long>(durable->next_seq()),
+      static_cast<unsigned long long>(info.snapshot_seq),
+      static_cast<unsigned long long>(info.replayed_ops),
+      durable->relation().size(), durable->relation().live_size());
+  if (info.tail_truncated) {
+    std::printf("note: WAL tail dropped (%s); re-send ops from seq %llu\n",
+                info.note.c_str(),
+                static_cast<unsigned long long>(durable->next_seq()));
+  }
+
+  if (args.Has("csv")) {
+    // Continue the stream under the snapshot's schema.
+    auto table_or = CsvTable::Read(args.Get("csv"));
+    if (!table_or.ok()) return PrintUsage(table_or.status().ToString());
+    auto data_or =
+        DatasetFromCsvTable(table_or.value(), durable->relation().schema());
+    if (!data_or.ok()) return PrintUsage(data_or.status().ToString());
+    int rc = StreamIntoDurable(args, durable.get(), data_or.value());
+    if (rc != 0) return rc;
+  }
+
+  if (!args.Has("no-final")) {
+    Status st = durable->Checkpoint();
+    if (!st.ok()) {
+      std::fprintf(stderr, "checkpoint failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("checkpointed at seq %llu\n",
+                static_cast<unsigned long long>(durable->next_seq()));
+  }
+  return 0;
+}
+
+namespace {
+
+std::string WalRowToString(const Row& row) {
+  std::string out = "[";
+  for (size_t i = 0; i < row.dimensions.size(); ++i) {
+    if (i > 0) out += ",";
+    out += row.dimensions[i];
+  }
+  out += " |";
+  for (double m : row.measures) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " %g", m);
+    out += buf;
+  }
+  out += "]";
+  return out;
+}
+
+int DumpOneWal(const std::string& path, int limit) {
+  auto contents_or = persist::ReadWal(path);
+  if (!contents_or.ok()) {
+    std::printf("%s: %s\n", path.c_str(),
+                contents_or.status().ToString().c_str());
+    return 1;
+  }
+  const persist::WalContents& contents = contents_or.value();
+  std::printf("%s: start_seq %llu, %zu op(s)\n", path.c_str(),
+              static_cast<unsigned long long>(contents.start_seq),
+              contents.ops.size());
+  int shown = 0;
+  for (const persist::WalOp& op : contents.ops) {
+    if (limit > 0 && shown++ >= limit) {
+      std::printf("  ... (%zu more)\n", contents.ops.size() -
+                                            static_cast<size_t>(limit));
+      break;
+    }
+    switch (op.kind) {
+      case persist::WalOpKind::kAppend:
+        std::printf("  seq %llu append %s\n",
+                    static_cast<unsigned long long>(op.seq),
+                    WalRowToString(op.row).c_str());
+        break;
+      case persist::WalOpKind::kRemove:
+        std::printf("  seq %llu remove tuple %u\n",
+                    static_cast<unsigned long long>(op.seq), op.target);
+        break;
+      case persist::WalOpKind::kUpdate:
+        std::printf("  seq %llu update tuple %u -> %s\n",
+                    static_cast<unsigned long long>(op.seq), op.target,
+                    WalRowToString(op.row).c_str());
+        break;
+    }
+  }
+  if (!contents.clean_tail) {
+    std::printf("  ! tail dropped: %s\n", contents.tail_note.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int RunWalDump(const Args& args) {
+  const int limit = args.GetInt("limit", 0);
+  if (args.Has("wal")) return DumpOneWal(args.Get("wal"), limit);
+  if (!args.Has("dir")) return PrintUsage("--wal or --dir is required");
+
+  std::vector<persist::StoreFile> segments =
+      persist::ListWalSegments(args.Get("dir"));
+  if (segments.empty()) {
+    std::printf("no WAL segments in %s\n", args.Get("dir").c_str());
+    return 0;
+  }
+  int rc = 0;
+  for (const persist::StoreFile& segment : segments) {
+    rc = std::max(rc, DumpOneWal(segment.path, limit));
+  }
+  return rc;
 }
 
 }  // namespace cli

@@ -45,6 +45,20 @@ int RunQuery(const Args& args);
 /// continues streaming another CSV into it.
 int RunResume(const Args& args);
 
+/// `sitfact_cli checkpoint`: streams a CSV into a durable store (WAL +
+/// snapshots under --dir), checkpointing per --every and at the end unless
+/// --no-final. Without --csv it forces a checkpoint of an existing store's
+/// WAL tail.
+int RunCheckpoint(const Args& args);
+
+/// `sitfact_cli restore`: recovers a durable store (newest valid snapshot +
+/// WAL replay) and optionally continues streaming another CSV into it.
+int RunRestore(const Args& args);
+
+/// `sitfact_cli wal-dump`: prints the records of one WAL file (--wal) or of
+/// every WAL segment in a durable store (--dir), including torn-tail notes.
+int RunWalDump(const Args& args);
+
 /// Prints per-command usage; returns exit code 2 for consistency.
 int PrintUsage(const std::string& error);
 

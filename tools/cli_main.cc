@@ -15,6 +15,9 @@ int main(int argc, char** argv) {
   if (args.command == "discover") return sitfact::cli::RunDiscover(args);
   if (args.command == "query") return sitfact::cli::RunQuery(args);
   if (args.command == "resume") return sitfact::cli::RunResume(args);
+  if (args.command == "checkpoint") return sitfact::cli::RunCheckpoint(args);
+  if (args.command == "restore") return sitfact::cli::RunRestore(args);
+  if (args.command == "wal-dump") return sitfact::cli::RunWalDump(args);
   if (args.command == "help" || args.command == "--help") {
     return sitfact::cli::PrintUsage("");
   }

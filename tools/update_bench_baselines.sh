@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Regenerates bench/baselines/*.json — the reference points for CI's bench
+# regression gate (tools/bench_compare.py). Run after an intentional change
+# to an algorithm's work profile, from the repo root, with a Release build
+# in ./build:
+#
+#   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j
+#   tools/update_bench_baselines.sh
+#
+# SITFACT_BENCH_SCALE must match what .github/workflows/ci.yml exports for
+# the bench job: the gated metric (dominance comparisons) is deterministic
+# per (algorithm, dataset, n), and n scales with this knob.
+set -euo pipefail
+
+SCALE="${SITFACT_BENCH_SCALE:-0.25}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+OUT="$ROOT/bench/baselines"
+BUILD="${1:-$ROOT/build}"
+
+mkdir -p "$OUT"
+for bench in "$BUILD"/bench/bench_*; do
+  [ -x "$bench" ] || continue
+  name=$(basename "$bench")
+  echo "== $name (scale $SCALE)"
+  if [ "$name" = "bench_micro_components" ]; then
+    # Google Benchmark binary: keep the smoke run short. The min_time flag
+    # syntax changed across benchmark versions ("0.05s" vs "0.05"); try
+    # both.
+    SITFACT_BENCH_SCALE="$SCALE" "$bench" --out "$OUT" \
+      --benchmark_min_time=0.05s > /dev/null 2>&1 ||
+      SITFACT_BENCH_SCALE="$SCALE" "$bench" --out "$OUT" \
+        --benchmark_min_time=0.05 > /dev/null
+  else
+    SITFACT_BENCH_SCALE="$SCALE" "$bench" --out "$OUT" > /dev/null
+  fi
+done
+echo "baselines written to $OUT"
