@@ -11,10 +11,6 @@ namespace sitfact {
 
 namespace {
 
-// Below this candidate count every algorithm degenerates to BNL; the window
-// fits in cache and sorting or splitting only adds constant factors.
-constexpr size_t kSmallContext = 64;
-
 // Monotone SFS score: the sum of direction-adjusted keys over the subspace.
 // If a dominates b in m then score(a) > score(b) strictly (a is >= on every
 // measure of m and > on at least one), so sorting by descending score places
@@ -48,6 +44,12 @@ QueryAlgorithm ParseQueryAlgorithm(const std::string& name) {
   return QueryAlgorithm::kAuto;
 }
 
+QueryAlgorithm ResolveAuto(QueryAlgorithm algo, size_t context_size) {
+  if (algo != QueryAlgorithm::kAuto) return algo;
+  return context_size <= kAutoSmallContext ? QueryAlgorithm::kBlockNestedLoops
+                                           : QueryAlgorithm::kSortFilter;
+}
+
 SkylineQueryEngine::SkylineQueryEngine(const Relation* relation)
     : relation_(relation) {
   SITFACT_CHECK(relation != nullptr);
@@ -70,11 +72,7 @@ SkylineQueryResult SkylineQueryEngine::EvaluateCandidates(
     QueryAlgorithm algo) const {
   SkylineQueryResult result;
   result.stats.context_size = candidates.size();
-  if (algo == QueryAlgorithm::kAuto) {
-    algo = candidates.size() <= kSmallContext
-               ? QueryAlgorithm::kBlockNestedLoops
-               : QueryAlgorithm::kSortFilter;
-  }
+  algo = ResolveAuto(algo, candidates.size());
   switch (algo) {
     case QueryAlgorithm::kBlockNestedLoops:
       result.skyline = BlockNestedLoops(std::move(candidates), m,
@@ -151,7 +149,7 @@ std::vector<TupleId> SkylineQueryEngine::DncRec(std::vector<TupleId> cands,
                                                 QueryStats* stats) const {
   const Relation& r = *relation_;
   ++stats->recursive_calls;
-  if (cands.size() <= kSmallContext) {
+  if (cands.size() <= kAutoSmallContext) {
     return BlockNestedLoops(std::move(cands), m, stats);
   }
 

@@ -45,6 +45,18 @@ const char* QueryAlgorithmName(QueryAlgorithm a);
 /// strings (callers that must reject bad input validate beforehand).
 QueryAlgorithm ParseQueryAlgorithm(const std::string& name);
 
+/// The kAuto planner's size threshold: contexts of at most this many
+/// candidates run BNL (the window fits in cache and presorting only adds
+/// constant factors); larger contexts run SFS. Also the recursion base size
+/// for divide-and-conquer.
+inline constexpr size_t kAutoSmallContext = 64;
+
+/// Resolves kAuto to a concrete algorithm for a context of `context_size`
+/// candidates; non-auto inputs pass through unchanged. Exposed so tests can
+/// pin the planner's threshold behavior (a silent flip would invalidate
+/// every kAuto benchmark).
+QueryAlgorithm ResolveAuto(QueryAlgorithm algo, size_t context_size);
+
 /// Work counters for one evaluation (reset per query).
 struct QueryStats {
   uint64_t context_size = 0;  ///< |σ_C(R)| scanned into the candidate set

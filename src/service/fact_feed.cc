@@ -1,6 +1,8 @@
 #include "service/fact_feed.h"
 
+#include <exception>
 #include <span>
+#include <string>
 #include <utility>
 
 #include "common/logging.h"
@@ -85,6 +87,17 @@ Status FactFeed::durable_status() const {
   return durable_status_;
 }
 
+Status FactFeed::subscriber_status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return subscriber_status_;
+}
+
+FactService::Snapshot FactFeed::Query() const {
+  SITFACT_CHECK_MSG(options_.fact_service != nullptr,
+                    "FactFeed::Query() needs Options::fact_service");
+  return options_.fact_service->Acquire();
+}
+
 bool FactFeed::PopBatch(std::vector<Row>* batch) {
   batch->clear();
   const bool batched =
@@ -111,9 +124,29 @@ void FactFeed::DeliverReport(const ArrivalReport& report) {
     ++processed_;
     if (!report.prominent.empty()) ++prominent_arrivals_;
   }
+  // Index maintenance happens for every arrival — the service's arrival
+  // windows must stay dense — and before the subscriber, so a subscriber
+  // that queries sees its own arrival.
+  if (options_.fact_service != nullptr) {
+    options_.fact_service->OnArrival(report);
+  }
   if (subscriber_ &&
       (options_.notify_all_arrivals || !report.prominent.empty())) {
-    subscriber_(report);
+    try {
+      subscriber_(report);
+    } catch (const std::exception& e) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (subscriber_status_.ok()) {
+        subscriber_status_ = Status::InvalidArgument(
+            std::string("subscriber threw: ") + e.what());
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (subscriber_status_.ok()) {
+        subscriber_status_ =
+            Status::InvalidArgument("subscriber threw a non-std exception");
+      }
+    }
   }
 }
 

@@ -15,6 +15,7 @@
 #include "exec/sharded_engine.h"
 #include "persist/durable_engine.h"
 #include "relation/relation.h"
+#include "service/fact_service.h"
 
 namespace sitfact {
 
@@ -52,6 +53,13 @@ class FactFeed {
     /// (its AppendBatch pipeline; sequential engines always take one row at
     /// a time). Subscribers still see one report per arrival, in order.
     size_t max_batch = 32;
+    /// Optional query index: when set, the worker folds EVERY arrival into
+    /// the service (regardless of notify_all_arrivals) before invoking the
+    /// subscriber, making Query() safe while ingestion runs. The service
+    /// must be built over the same Relation the engine writes and must
+    /// outlive the feed; no other thread may call its ingest-side methods
+    /// while the feed runs.
+    FactService* fact_service = nullptr;
   };
 
   /// `engine` must outlive the feed and must not be touched by other
@@ -103,6 +111,19 @@ class FactFeed {
   /// end; once set the feed has stopped and Publish() returns false.
   Status durable_status() const;
 
+  /// First exception thrown by the subscriber callback, or Ok. A throwing
+  /// subscriber must not take down the pipeline (the engine already applied
+  /// the arrival — dropping the row now would corrupt every later
+  /// prominence denominator), so the worker catches, latches the first
+  /// error here, and keeps both ingesting and notifying.
+  Status subscriber_status() const;
+
+  /// Snapshot of the attached FactService (Options::fact_service): the
+  /// feed's concurrent query surface. Safe from any thread while ingestion
+  /// runs; the snapshot lags the stream by at most the service's
+  /// publish_every. CHECK-fails when no service is attached.
+  FactService::Snapshot Query() const;
+
  private:
   void WorkerLoop();
 
@@ -118,7 +139,8 @@ class FactFeed {
   persist::DurableEngine* durable_engine_ = nullptr;
   Subscriber subscriber_;
   Options options_;
-  Status durable_status_;  // guarded by mu_
+  Status durable_status_;    // guarded by mu_
+  Status subscriber_status_;  // guarded by mu_
 
   mutable std::mutex mu_;
   std::condition_variable not_full_;

@@ -6,7 +6,9 @@
 
 #include <atomic>
 #include <memory>
+#include <stdexcept>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "test_util.h"
@@ -126,6 +128,123 @@ TEST(FactFeed, StopProcessesTheBacklogFirst) {
   for (const Row& row : data.rows()) ASSERT_TRUE(feed.Publish(row));
   feed.Stop();  // everything already queued must still be discovered
   EXPECT_EQ(feed.processed(), data.rows().size());
+}
+
+TEST(FactFeed, DrainRacingStopNeitherHangsNorLosesRows) {
+  // Drain() and Stop() from different threads while producers are still
+  // pushing: whichever wins, every published row must be processed and both
+  // calls must return (a hang here is the bug this test pins).
+  for (int round = 0; round < 5; ++round) {
+    Dataset data = TestData(60, 40 + round);
+    Relation rel(data.schema());
+    auto engine = MakeEngine(&rel);
+    FactFeed::Options options;
+    options.queue_capacity = 4;
+    FactFeed feed(engine.get(), nullptr, options);
+
+    std::atomic<uint64_t> published{0};
+    std::thread producer([&] {
+      for (const Row& row : data.rows()) {
+        if (!feed.Publish(row)) break;
+        ++published;
+      }
+    });
+    std::thread drainer([&] { feed.Drain(); });
+    std::thread stopper([&] { feed.Stop(); });
+    producer.join();
+    drainer.join();
+    stopper.join();
+    // Rows accepted before the stop won the race are all processed.
+    EXPECT_EQ(feed.processed(), published.load());
+    EXPECT_EQ(rel.size(), published.load());
+  }
+}
+
+TEST(FactFeed, ThrowingSubscriberLatchesErrorAndIngestionContinues) {
+  Dataset data = TestData(50, 41);
+  Relation rel(data.schema());
+  auto engine = MakeEngine(&rel);
+  std::atomic<uint64_t> delivered{0};
+  FactFeed::Options options;
+  options.notify_all_arrivals = true;
+  FactFeed feed(
+      engine.get(),
+      [&](const ArrivalReport& r) {
+        ++delivered;
+        if (r.tuple == 10) throw std::runtime_error("subscriber bug");
+        if (r.tuple == 20) throw 42;  // non-std exception
+      },
+      options);
+  for (const Row& row : data.rows()) {
+    ASSERT_TRUE(feed.Publish(row));
+  }
+  feed.Stop();
+
+  // The pipeline survived: every row discovered, every arrival delivered,
+  // and the first subscriber failure is latched for inspection.
+  EXPECT_EQ(feed.processed(), data.rows().size());
+  EXPECT_EQ(delivered.load(), data.rows().size());
+  EXPECT_EQ(rel.size(), data.rows().size());
+  EXPECT_FALSE(feed.subscriber_status().ok());
+  EXPECT_NE(feed.subscriber_status().message().find("subscriber bug"),
+            std::string::npos);
+}
+
+TEST(FactFeed, PublishAfterStopRefusedFromAnyThread) {
+  Dataset data = TestData(10, 42);
+  Relation rel(data.schema());
+  auto engine = MakeEngine(&rel);
+  FactFeed feed(engine.get(), nullptr);
+  ASSERT_TRUE(feed.Publish(data.rows()[0]));
+  feed.Stop();
+
+  std::atomic<int> accepted{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 3; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 1; i < 10; ++i) {
+        if (feed.Publish(data.rows()[i])) ++accepted;
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(accepted.load(), 0);
+  EXPECT_EQ(feed.processed(), 1u);
+  // Stop() stays idempotent after the refused publishes.
+  feed.Stop();
+  EXPECT_EQ(rel.size(), 1u);
+}
+
+TEST(FactFeed, NotifyAllDeliversEmptyReports) {
+  // Second row repeats the first's dimensions with strictly worse measures:
+  // every context containing it also contains its dominator, so S_t is
+  // empty. With notify_all_arrivals the subscriber must still hear about
+  // it, with an empty report.
+  Schema schema({{"d0"}, {"d1"}},
+                {{"m0", Direction::kLargerIsBetter},
+                 {"m1", Direction::kLargerIsBetter}});
+  Relation rel(schema);
+  auto engine = MakeEngine(&rel, /*tau=*/1.0);
+
+  std::vector<std::pair<TupleId, size_t>> seen;  // (tuple, fact count)
+  FactFeed::Options options;
+  options.notify_all_arrivals = true;
+  FactFeed feed(
+      engine.get(),
+      [&](const ArrivalReport& r) { seen.emplace_back(r.tuple,
+                                                      r.facts.size()); },
+      options);
+  ASSERT_TRUE(feed.Publish(Row{{"x", "y"}, {5.0, 5.0}}));
+  ASSERT_TRUE(feed.Publish(Row{{"x", "y"}, {1.0, 1.0}}));
+  feed.Stop();
+
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].first, 0u);
+  EXPECT_GT(seen[0].second, 0u);  // the first arrival mints facts
+  EXPECT_EQ(seen[1].first, 1u);
+  EXPECT_EQ(seen[1].second, 0u);  // the dominated arrival mints none
+  EXPECT_EQ(feed.processed(), 2u);
+  EXPECT_EQ(feed.prominent_arrivals(), 1u);
 }
 
 TEST(FactFeed, MultipleProducersAllRowsAccountedFor) {

@@ -129,6 +129,61 @@ INSTANTIATE_TEST_SUITE_P(
       return info.param.name;
     });
 
+TEST(AutoPlanner, ThresholdBehaviorIsPinned) {
+  // The kAuto planner's contract: at most kAutoSmallContext candidates run
+  // BNL, anything larger runs SFS. A regression here silently flips the
+  // algorithm behind every kAuto call site (CLI default, benches), so the
+  // threshold is pinned exactly.
+  EXPECT_EQ(kAutoSmallContext, 64u);
+  EXPECT_EQ(ResolveAuto(QueryAlgorithm::kAuto, 0),
+            QueryAlgorithm::kBlockNestedLoops);
+  EXPECT_EQ(ResolveAuto(QueryAlgorithm::kAuto, kAutoSmallContext),
+            QueryAlgorithm::kBlockNestedLoops);
+  EXPECT_EQ(ResolveAuto(QueryAlgorithm::kAuto, kAutoSmallContext + 1),
+            QueryAlgorithm::kSortFilter);
+  EXPECT_EQ(ResolveAuto(QueryAlgorithm::kAuto, 1000000),
+            QueryAlgorithm::kSortFilter);
+  // Non-auto inputs pass through untouched.
+  EXPECT_EQ(ResolveAuto(QueryAlgorithm::kBlockNestedLoops, 1000000),
+            QueryAlgorithm::kBlockNestedLoops);
+  EXPECT_EQ(ResolveAuto(QueryAlgorithm::kSortFilter, 1),
+            QueryAlgorithm::kSortFilter);
+  EXPECT_EQ(ResolveAuto(QueryAlgorithm::kDivideConquer, 1),
+            QueryAlgorithm::kDivideConquer);
+}
+
+TEST(AutoPlanner, EvaluateMatchesResolvedAlgorithmOnBothSidesOfThreshold) {
+  // Behavioral proof that EvaluateCandidates actually routes through the
+  // resolver: at the threshold sizes, kAuto's work counters must be
+  // identical to the explicitly chosen algorithm's (comparison counts
+  // differ between BNL and SFS on this data, so a planner flip would show).
+  RandomDataConfig cfg;
+  cfg.num_tuples = static_cast<int>(kAutoSmallContext) + 1;
+  cfg.seed = 12;
+  cfg.num_measures = 3;
+  Dataset data = RandomDataset(cfg);
+  Relation r = LoadAll(data);
+  SkylineQueryEngine engine(&r);
+
+  std::vector<TupleId> all = AllIds(r);
+  std::vector<TupleId> small(all.begin(),
+                             all.begin() + kAutoSmallContext);
+
+  auto auto_small =
+      engine.EvaluateCandidates(small, 0b111, QueryAlgorithm::kAuto);
+  auto bnl_small = engine.EvaluateCandidates(
+      small, 0b111, QueryAlgorithm::kBlockNestedLoops);
+  EXPECT_EQ(auto_small.skyline, bnl_small.skyline);
+  EXPECT_EQ(auto_small.stats.comparisons, bnl_small.stats.comparisons);
+
+  auto auto_large =
+      engine.EvaluateCandidates(all, 0b111, QueryAlgorithm::kAuto);
+  auto sfs_large =
+      engine.EvaluateCandidates(all, 0b111, QueryAlgorithm::kSortFilter);
+  EXPECT_EQ(auto_large.skyline, sfs_large.skyline);
+  EXPECT_EQ(auto_large.stats.comparisons, sfs_large.stats.comparisons);
+}
+
 TEST(SkylineQueryEngine, EvaluateSkipsDeletedTuples) {
   Dataset data = PaperTableIV();
   Relation r = LoadAll(data);

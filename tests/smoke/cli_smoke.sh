@@ -121,6 +121,27 @@ fi
 
 expect wal-dump 0 "append" "$CLI" wal-dump --dir "$DSTORE" --limit 3
 
+# FactService serving (docs/query_api.md): top-k with filter + pagination
+# over a fresh ingest, then the same store recovered from disk — the
+# recovered index must see the identical fact count.
+expect_file facts-topk 0 "facts indexed over 200 arrivals" \
+  "$WORKDIR/facts_live.txt" \
+  "$CLI" facts --csv "$CSV" --dims player,season,team,opp_team \
+  --measures points:+,rebounds:+,assists:+ --k 6 --page 3 --entity player
+
+expect_file facts-durable 0 "index rebuilt, serving" \
+  "$WORKDIR/facts_recovered.txt" \
+  "$CLI" facts --dir "$DSTORE" --k 6 --page 3
+
+LIVE_COUNT=$(grep -o '[0-9]* facts indexed' "$WORKDIR/facts_live.txt" | head -1)
+RECOVERED_COUNT=$(grep -o '[0-9]* facts indexed' "$WORKDIR/facts_recovered.txt" | head -1)
+if [ -n "$LIVE_COUNT" ] && [ "$LIVE_COUNT" = "$RECOVERED_COUNT" ]; then
+  echo "ok   facts-differential ($LIVE_COUNT)"
+else
+  echo "FAIL facts-differential: live \"$LIVE_COUNT\" vs recovered \"$RECOVERED_COUNT\""
+  FAILURES=$((FAILURES + 1))
+fi
+
 expect usage 2 "USAGE" "$CLI" help
 
 # The parser must reject positionals through the error path (exit 2 from

@@ -3,12 +3,16 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/status.h"
@@ -22,8 +26,11 @@
 #include "io/snapshot.h"
 #include "persist/durable_engine.h"
 #include "persist/wal.h"
+#include "query/fact_index.h"
 #include "query/skyline_query.h"
 #include "relation/dataset.h"
+#include "service/fact_feed.h"
+#include "service/fact_service.h"
 
 namespace sitfact {
 namespace cli {
@@ -110,6 +117,66 @@ std::string TempStoreDir(const std::string& tag) {
       .string();
 }
 
+/// Parses `--where d1=v1,d2=v2` into a constraint over `relation`'s
+/// dictionaries. A value that never occurs in its dimension makes the
+/// context provably empty: `*empty_note` is set and ⊤ returned so callers
+/// can report it as a result rather than an error. Malformed clauses and
+/// unknown dimensions are InvalidArgument.
+StatusOr<Constraint> ParseWhereConstraint(const std::string& where,
+                                          const Relation& relation,
+                                          std::string* empty_note) {
+  const Schema& schema = relation.schema();
+  DimMask bound = 0;
+  std::vector<ValueId> values(static_cast<size_t>(schema.num_dimensions()),
+                              0);
+  for (const std::string& clause : SplitList(where)) {
+    size_t eq = clause.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("--where clauses look like dim=value");
+    }
+    const std::string dim_name = clause.substr(0, eq);
+    const std::string value = clause.substr(eq + 1);
+    int d = schema.DimensionIndex(dim_name);
+    if (d < 0) {
+      return Status::InvalidArgument("--where names no dimension: " +
+                                     dim_name);
+    }
+    ValueId id = relation.dictionary(d).Lookup(value);
+    if (id == kUnboundValue) {
+      *empty_note = "value '" + value + "' never occurs in " + dim_name;
+      return Constraint::Top(schema.num_dimensions());
+    }
+    bound |= DimMask{1} << d;
+    values[static_cast<size_t>(d)] = id;
+  }
+  if (bound == 0) return Constraint::Top(schema.num_dimensions());
+  std::vector<ValueId> bound_values;
+  for (int d = 0; d < schema.num_dimensions(); ++d) {
+    if ((bound >> d) & 1u) bound_values.push_back(values[d]);
+  }
+  return Constraint::FromBoundValues(schema.num_dimensions(), bound,
+                                     bound_values);
+}
+
+/// Parses `--subspace m1,m2` into a measure mask (the full space without
+/// the flag); InvalidArgument on unknown measure names.
+StatusOr<MeasureMask> ParseSubspaceFlag(const Args& args,
+                                        const Schema& schema) {
+  if (!args.Has("subspace")) return schema.FullMeasureMask();
+  MeasureMask subspace = 0;
+  for (const std::string& name : SplitList(args.Get("subspace"))) {
+    int j = schema.MeasureIndex(name);
+    if (j < 0) {
+      return Status::InvalidArgument("--subspace names no measure: " + name);
+    }
+    subspace |= MeasureMask{1} << j;
+  }
+  if (subspace == 0) {
+    return Status::InvalidArgument("--subspace selected no measures");
+  }
+  return subspace;
+}
+
 }  // namespace
 
 int Args::GetInt(const std::string& name, int fallback) const {
@@ -161,6 +228,13 @@ USAGE
   sitfact_cli query    --csv FILE --dims ... --measures ...
                        [--where d1=v1,d2=v2] [--subspace m1,m2]
                        [--algo auto|bnl|sfs|dnc]
+  sitfact_cli facts    (--csv FILE --dims ... --measures ... | --dir DIR)
+                       [--k N] [--page N] [--where d1=v1,...]
+                       [--subspace m1,m2] [--min-prominence P]
+                       [--window FIRST:LAST] [--prominent-only]
+                       [--entity DIM] [--tau T]
+                       [--algorithm A | --threads N [--shards K]]
+                       [--watch [--poll-ms MS]] [--replay]
   sitfact_cli resume   --snapshot FILE [--csv FILE] [--top K] [--quiet]
                        [--algorithm NAME] [--replay]
   sitfact_cli checkpoint --dir DIR [--csv FILE --dims ... --measures ...]
@@ -181,6 +255,11 @@ NOTES
   (identical output, see docs/parallelism.md); --shards defaults to
   2*threads. The sharded engine has its own algorithm, so --algorithm does
   not combine with it.
+  facts serves discovered facts through the snapshot-isolated FactService
+  (docs/query_api.md): top-k by at-arrival prominence with filters and
+  cursor pagination (--page). --watch queries the live index while the
+  stream ingests; --dir recovers a durable store and serves immediately
+  (no CSV — the facts come from the recovered history).
   checkpoint/restore manage a durable store (docs/persistence.md): every
   ingested row is WAL-logged before discovery, --every N snapshots the
   engine every N ops, and restore recovers from the newest valid snapshot
@@ -414,49 +493,22 @@ int RunQuery(const Args& args) {
   for (const Row& row : data.rows()) relation.Append(row);
 
   // --where d=v,...: build the constraint.
-  DimMask bound = 0;
-  std::vector<ValueId> values(static_cast<size_t>(schema.num_dimensions()),
-                              0);
-  for (const std::string& clause : SplitList(args.Get("where"))) {
-    size_t eq = clause.find('=');
-    if (eq == std::string::npos) {
-      return PrintUsage("--where clauses look like dim=value");
-    }
-    const std::string dim_name = clause.substr(0, eq);
-    const std::string value = clause.substr(eq + 1);
-    int d = schema.DimensionIndex(dim_name);
-    if (d < 0) return PrintUsage("--where names no dimension: " + dim_name);
-    ValueId id = relation.dictionary(d).Lookup(value);
-    if (id == kUnboundValue) {
-      std::printf("empty context: value '%s' never occurs in %s\n",
-                  value.c_str(), dim_name.c_str());
-      return 0;
-    }
-    bound |= DimMask{1} << d;
-    values[static_cast<size_t>(d)] = id;
+  std::string empty_note;
+  auto constraint_or =
+      ParseWhereConstraint(args.Get("where"), relation, &empty_note);
+  if (!constraint_or.ok()) {
+    return PrintUsage(constraint_or.status().message());
   }
-  Constraint constraint = Constraint::Top(schema.num_dimensions());
-  if (bound != 0) {
-    std::vector<ValueId> bound_values;
-    for (int d = 0; d < schema.num_dimensions(); ++d) {
-      if ((bound >> d) & 1u) bound_values.push_back(values[d]);
-    }
-    constraint =
-        Constraint::FromBoundValues(schema.num_dimensions(), bound,
-                                    bound_values);
+  if (!empty_note.empty()) {
+    std::printf("empty context: %s\n", empty_note.c_str());
+    return 0;
   }
+  Constraint constraint = constraint_or.value();
 
   // --subspace m1,m2 (default: all measures).
-  MeasureMask subspace = schema.FullMeasureMask();
-  if (args.Has("subspace")) {
-    subspace = 0;
-    for (const std::string& name : SplitList(args.Get("subspace"))) {
-      int j = schema.MeasureIndex(name);
-      if (j < 0) return PrintUsage("--subspace names no measure: " + name);
-      subspace |= MeasureMask{1} << j;
-    }
-    if (subspace == 0) return PrintUsage("--subspace selected no measures");
-  }
+  auto subspace_or = ParseSubspaceFlag(args, schema);
+  if (!subspace_or.ok()) return PrintUsage(subspace_or.status().message());
+  MeasureMask subspace = subspace_or.value();
 
   SkylineQueryEngine query(&relation);
   QueryAlgorithm algo = ParseQueryAlgorithm(args.Get("algo", "auto"));
@@ -584,7 +636,256 @@ int StreamIntoDurable(const Args& args, persist::DurableEngine* durable,
   return 0;
 }
 
+/// Parsed query flags for `facts`; --where needs the ingested relation's
+/// dictionaries, so parsing happens after the stream is drained.
+struct FactsQueryFlags {
+  size_t k = 10;
+  size_t page = 0;  // 0 = one page of k; otherwise cursor-paginate
+  FactFilter filter;
+  std::string empty_note;  // --where named a value that never occurs
+};
+
+StatusOr<FactsQueryFlags> ParseFactsFlags(const Args& args,
+                                          const Relation& relation) {
+  FactsQueryFlags out;
+  const int k = args.GetInt("k", 10);
+  if (k <= 0) return Status::InvalidArgument("--k must be positive");
+  out.k = static_cast<size_t>(k);
+  const int page = args.GetInt("page", 0);
+  if (page < 0) return Status::InvalidArgument("--page must be >= 0");
+  out.page = static_cast<size_t>(page);
+  if (args.Has("where")) {
+    auto constraint_or =
+        ParseWhereConstraint(args.Get("where"), relation, &out.empty_note);
+    if (!constraint_or.ok()) return constraint_or.status();
+    if (constraint_or.value().bound_mask() != 0) {
+      out.filter.about = constraint_or.value();
+    }
+  }
+  if (args.Has("subspace")) {
+    auto subspace_or = ParseSubspaceFlag(args, relation.schema());
+    if (!subspace_or.ok()) return subspace_or.status();
+    out.filter.subspace = subspace_or.value();
+  }
+  out.filter.min_prominence = args.GetDouble("min-prominence", 0.0);
+  if (args.Has("prominent-only")) out.filter.prominent_only = true;
+  if (args.Has("window")) {
+    const std::string w = args.Get("window");
+    const size_t colon = w.find(':');
+    const auto parse_u64 = [](const std::string& s, uint64_t* out_value) {
+      if (s.empty()) return false;
+      for (char c : s) {
+        if (c < '0' || c > '9') return false;
+      }
+      *out_value = std::strtoull(s.c_str(), nullptr, 10);
+      return true;
+    };
+    if (colon == std::string::npos ||
+        !parse_u64(w.substr(0, colon), &out.filter.min_arrival) ||
+        !parse_u64(w.substr(colon + 1), &out.filter.max_arrival)) {
+      return Status::InvalidArgument(
+          "--window looks like FIRST:LAST (non-negative arrival sequence "
+          "numbers), got '" + w + "'");
+    }
+    if (out.filter.min_arrival > out.filter.max_arrival) {
+      return Status::InvalidArgument("--window is reversed: " + w);
+    }
+  }
+  return out;
+}
+
+/// Prints up to `flags.k` TopK facts, cursor-paginating when --page is set.
+void PrintFactPages(const FactService::Snapshot& snap,
+                    const FactsQueryFlags& flags) {
+  std::printf("epoch %llu: %zu facts indexed over %llu arrivals\n",
+              static_cast<unsigned long long>(snap.epoch()),
+              snap.fact_count(),
+              static_cast<unsigned long long>(snap.arrivals()));
+  if (!flags.empty_note.empty()) {
+    std::printf("no facts: %s\n", flags.empty_note.c_str());
+    return;
+  }
+  const size_t page_size = flags.page == 0 ? flags.k : flags.page;
+  size_t printed = 0;
+  std::optional<TopKCursor> cursor;
+  while (printed < flags.k) {
+    FactService::Page page = snap.TopK(
+        std::min(page_size, flags.k - printed), flags.filter, cursor);
+    if (page.facts.empty()) break;
+    if (flags.page != 0 && printed > 0) {
+      std::printf("  -- next page (cursor: prominence %.2f, record %u) --\n",
+                  cursor->prominence, cursor->record_id);
+    }
+    for (const FactService::FactView& view : page.facts) {
+      std::printf("%3zu. %s\n", ++printed, snap.Explain(view).c_str());
+    }
+    if (!page.next.has_value()) break;
+    cursor = page.next;
+  }
+  if (printed == 0) std::printf("no facts match the filter\n");
+}
+
+/// `facts --dir`: recover a durable store and serve immediately — the
+/// "crashed newsroom process comes back and answers queries" path.
+int RunFactsFromDurable(const Args& args) {
+  persist::DurableOptions opts = DurableOptionsFromFlags(args);
+  auto durable_or = persist::DurableEngine::Open(opts, Schema());
+  if (!durable_or.ok()) {
+    std::fprintf(stderr, "%s\n", durable_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<persist::DurableEngine> durable =
+      std::move(durable_or).value();
+
+  // Flags are validated before the (stream-length) index rebuild so a typo
+  // costs nothing.
+  auto flags_or = ParseFactsFlags(args, durable->relation());
+  if (!flags_or.ok()) return PrintUsage(flags_or.status().message());
+
+  FactService::Options service_options;
+  service_options.entity = args.Get("entity");
+  if (!service_options.entity.empty() &&
+      durable->relation().schema().DimensionIndex(service_options.entity) <
+          0) {
+    return PrintUsage("--entity names no dimension");
+  }
+  auto service_or = FactService::FromDurable(durable.get(), service_options);
+  if (!service_or.ok()) {
+    std::fprintf(stderr, "index rebuild failed: %s\n",
+                 service_or.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("recovered %s store at seq %llu; index rebuilt, serving\n",
+              durable->algorithm().c_str(),
+              static_cast<unsigned long long>(durable->next_seq()));
+  PrintFactPages(service_or.value()->Acquire(), flags_or.value());
+  return 0;
+}
+
 }  // namespace
+
+int RunFacts(const Args& args) {
+  if (args.Has("dir")) {
+    if (args.Has("csv")) {
+      return PrintUsage(
+          "facts --dir serves an existing durable store; ingest with "
+          "checkpoint/restore first");
+    }
+    return RunFactsFromDurable(args);
+  }
+
+  auto data_or = LoadCsvFlag(args);
+  if (!data_or.ok()) return PrintUsage(data_or.status().ToString());
+  const Dataset& data = data_or.value();
+
+  DiscoveryOptions options;
+  options.max_bound_dims = args.GetInt("dhat", -1);
+  options.max_measure_dims = args.GetInt("mhat", -1);
+  const double tau = args.GetDouble("tau", 2.0);
+
+  Relation relation(data.schema());
+
+  // Pre-ingest flag validation against the (still empty) relation: a typo
+  // in --k/--page/--window/--subspace or a misspelled --where dimension
+  // must not cost a full discovery run. Dictionary-dependent value lookups
+  // re-run for real after the stream is drained.
+  {
+    auto probe_or = ParseFactsFlags(args, relation);
+    if (!probe_or.ok()) return PrintUsage(probe_or.status().message());
+  }
+  FactService::Options service_options;
+  service_options.entity = args.Get("entity");
+  if (!service_options.entity.empty() &&
+      data.schema().DimensionIndex(service_options.entity) < 0) {
+    return PrintUsage("--entity names no dimension");
+  }
+  FactService service(&relation, service_options);
+
+  // Engine: sequential by default, sharded with --threads/--shards (same
+  // rules as discover).
+  std::unique_ptr<DiscoveryEngine> engine;
+  std::unique_ptr<ShardedEngine> sharded;
+  if (args.Has("threads") || args.Has("shards")) {
+    if (args.Has("algorithm")) {
+      return PrintUsage(
+          "--algorithm does not combine with --threads/--shards (the "
+          "sharded engine is its own algorithm)");
+    }
+    const int threads = args.GetInt("threads", 1);
+    if (threads < 1) return PrintUsage("--threads must be >= 1");
+    const int shards = args.GetInt("shards", threads > 1 ? 2 * threads : 4);
+    if (shards < 1 || shards > ShardedDiscoverer::kMaxShards) {
+      return PrintUsage("--shards must be in [1, " +
+                        std::to_string(ShardedDiscoverer::kMaxShards) + "]");
+    }
+    ShardedEngine::Config config;
+    config.num_shards = shards;
+    config.num_threads = threads;
+    config.options = options;
+    config.tau = tau;
+    sharded = std::make_unique<ShardedEngine>(&relation, config);
+  } else {
+    const std::string algorithm = args.Get("algorithm", "STopDown");
+    std::string store_dir;
+    if (algorithm.rfind("FS", 0) == 0) store_dir = TempStoreDir("facts");
+    auto disc_or = DiscoveryEngine::CreateDiscoverer(algorithm, &relation,
+                                                     options, store_dir);
+    if (!disc_or.ok()) return PrintUsage(disc_or.status().ToString());
+    if (disc_or.value()->store() == nullptr) {
+      return PrintUsage(algorithm +
+                        " keeps no µ-store, so prominence-ranked serving is "
+                        "unavailable; pick a BottomUp/TopDown family "
+                        "algorithm");
+    }
+    DiscoveryEngine::Config config;
+    config.options = options;
+    config.tau = tau;
+    engine = std::make_unique<DiscoveryEngine>(&relation,
+                                               std::move(disc_or).value(),
+                                               config);
+  }
+
+  FactFeed::Options feed_options;
+  feed_options.fact_service = &service;
+  std::unique_ptr<FactFeed> feed;
+  if (sharded != nullptr) {
+    feed = std::make_unique<FactFeed>(sharded.get(), nullptr, feed_options);
+  } else {
+    feed = std::make_unique<FactFeed>(engine.get(), nullptr, feed_options);
+  }
+
+  // Producer pushes the CSV; with --watch the main thread plays dashboard,
+  // querying the service while ingestion runs (the whole point of the
+  // snapshot design: the queries never block the stream).
+  std::thread producer([&] {
+    for (const Row& row : data.rows()) {
+      if (!feed->Publish(row)) break;
+    }
+  });
+  if (args.Has("watch")) {
+    const int poll_ms = args.GetInt("poll-ms", 100);
+    while (feed->processed() < data.rows().size()) {
+      FactService::Snapshot snap = feed->Query();
+      std::string headline = "(no facts yet)";
+      FactService::Page top = snap.TopK(1);
+      if (!top.facts.empty()) headline = snap.Explain(top.facts[0]);
+      std::printf("watch epoch %llu: %zu facts / %llu arrivals | %s\n",
+                  static_cast<unsigned long long>(snap.epoch()),
+                  snap.fact_count(),
+                  static_cast<unsigned long long>(snap.arrivals()),
+                  headline.c_str());
+      std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+    }
+  }
+  producer.join();
+  feed->Drain();
+  feed->Stop();
+
+  auto flags_or = ParseFactsFlags(args, relation);
+  if (!flags_or.ok()) return PrintUsage(flags_or.status().message());
+  PrintFactPages(service.Acquire(), flags_or.value());
+  return 0;
+}
 
 int RunCheckpoint(const Args& args) {
   if (!args.Has("dir")) return PrintUsage("--dir is required");

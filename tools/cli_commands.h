@@ -41,6 +41,12 @@ int RunDiscover(const Args& args);
 /// `sitfact_cli query`: one-shot contextual skyline query over a CSV.
 int RunQuery(const Args& args);
 
+/// `sitfact_cli facts`: serve discovered facts through FactService — top-k
+/// by prominence with filters and cursor pagination, a --watch mode that
+/// queries live while FactFeed ingests, and a --dir mode that recovers a
+/// durable store and serves immediately.
+int RunFacts(const Args& args);
+
 /// `sitfact_cli resume`: restores an engine snapshot and optionally
 /// continues streaming another CSV into it.
 int RunResume(const Args& args);

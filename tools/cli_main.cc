@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   if (args.command == "generate") return sitfact::cli::RunGenerate(args);
   if (args.command == "discover") return sitfact::cli::RunDiscover(args);
   if (args.command == "query") return sitfact::cli::RunQuery(args);
+  if (args.command == "facts") return sitfact::cli::RunFacts(args);
   if (args.command == "resume") return sitfact::cli::RunResume(args);
   if (args.command == "checkpoint") return sitfact::cli::RunCheckpoint(args);
   if (args.command == "restore") return sitfact::cli::RunRestore(args);
