@@ -1,7 +1,10 @@
 #include "core/baseline_seq.h"
 
+#include <algorithm>
+
 #include "lattice/constraint_enumerator.h"
 #include "skyline/dominance.h"
+#include "skyline/dominance_batch.h"
 
 namespace sitfact {
 
@@ -16,14 +19,24 @@ void BaselineSeqDiscoverer::Discover(TupleId t,
   ++stats_.arrivals;
   const Relation& r = *relation_;
   PrunerSet pruned;
+  Relation::MeasurePartition parts[kDominanceBlockSize];
   for (MeasureMask m : universe_.masks()) {
     pruned.Clear();
-    for (TupleId other = 0; other < t; ++other) {
-      if (r.IsDeleted(other)) continue;
-      ++stats_.comparisons;
-      if (Dominates(r, other, t, m)) {
-        // S <- S - C^{t,other}: all masks within the agreement set die.
-        pruned.Add(r.AgreeMask(t, other));
+    // Batched history scan; dominators (rare) fall out of the block's
+    // partition masks, and only they pay for an agreement mask.
+    for (TupleId base = 0; base < t;
+         base += static_cast<TupleId>(kDominanceBlockSize)) {
+      TupleId n = std::min<TupleId>(static_cast<TupleId>(kDominanceBlockSize),
+                                    t - base);
+      PartitionRangeMasked(r, t, base, base + n, m, parts);
+      for (TupleId i = 0; i < n; ++i) {
+        TupleId other = base + i;
+        if (r.IsDeleted(other)) continue;
+        ++stats_.comparisons;
+        if (DominatedInSubspace(parts[i], m)) {
+          // S <- S - C^{t,other}: all masks within the agreement set die.
+          pruned.Add(r.AgreeMask(t, other));
+        }
       }
     }
     for (DimMask mask : masks_) {

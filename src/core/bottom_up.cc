@@ -1,9 +1,11 @@
 #include "core/bottom_up.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/bits.h"
 #include "skyline/dominance.h"
+#include "skyline/dominance_batch.h"
 #include "storage/memory_mu_store.h"
 
 namespace sitfact {
@@ -75,11 +77,16 @@ void BottomUpDiscoverer::RunPass(TupleId t, MeasureMask m,
     cursor.Open(ctx, m, &bucket_);
     std::vector<TupleId>& bucket = cursor.contents();
     {
+      // Partitions come from the per-arrival memo (CachedPartition): the
+      // same history tuple recurs in buckets across many subspace passes,
+      // and a partition is subspace-independent. Per-entry logic
+      // (counters, observer order, early exit, in-place compaction) runs
+      // unchanged.
       size_t keep = 0;
       for (size_t i = 0; i < bucket.size(); ++i) {
         TupleId other = bucket[i];
         ++stats_.comparisons;
-        Relation::MeasurePartition p = r.Partition(t, other);
+        const Relation::MeasurePartition& p = CachedPartition(other);
         if (observer != nullptr) observer->OnComparison(other, p);
         if (DominatedInSubspace(p, m)) {
           // Alg. 4 lines 9-12: t loses here and at every ancestor of C;

@@ -4,6 +4,7 @@
 
 #include "common/bits.h"
 #include "common/logging.h"
+#include "skyline/dominance_batch.h"
 
 namespace sitfact {
 
@@ -36,18 +37,29 @@ void KSkybandDiscoverer::Discover(TupleId t,
 
   // Pass 1: bucket every history tuple by its agreement mask with t, and
   // within the bucket count dominators per admissible subspace (Prop. 4).
-  for (TupleId other = 0; other < r.size(); ++other) {
-    if (other == t || r.IsDeleted(other)) continue;
-    DimMask agree = r.AgreeMask(t, other);
-    ++context_[agree];
-    Relation::MeasurePartition p = r.Partition(t, other);
-    ++stats_.comparisons;
-    if (p.worse == 0) continue;  // dominates t in no subspace
-    uint32_t* row = counts_.data() + static_cast<size_t>(agree) *
-                                         num_subspaces;
-    for (size_t i = 0; i < num_subspaces; ++i) {
-      MeasureMask m = universe_.masks()[i];
-      if ((m & p.worse) != 0 && (m & p.better) == 0) ++row[i];
+  // Partitions and agreement masks come from the batched column-wise
+  // kernels, one block of history at a time.
+  Relation::MeasurePartition parts[kDominanceBlockSize];
+  DimMask agrees[kDominanceBlockSize];
+  for (TupleId base = 0; base < r.size();
+       base += static_cast<TupleId>(kDominanceBlockSize)) {
+    TupleId n = std::min<TupleId>(static_cast<TupleId>(kDominanceBlockSize),
+                                  r.size() - base);
+    PartitionRange(r, t, base, base + n, parts);
+    AgreeMaskRange(r, t, base, base + n, agrees);
+    for (TupleId i = 0; i < n; ++i) {
+      TupleId other = base + i;
+      if (other == t || r.IsDeleted(other)) continue;
+      ++context_[agrees[i]];
+      const Relation::MeasurePartition& p = parts[i];
+      ++stats_.comparisons;
+      if (p.worse == 0) continue;  // dominates t in no subspace
+      uint32_t* row = counts_.data() + static_cast<size_t>(agrees[i]) *
+                                           num_subspaces;
+      for (size_t i2 = 0; i2 < num_subspaces; ++i2) {
+        MeasureMask m = universe_.masks()[i2];
+        if ((m & p.worse) != 0 && (m & p.better) == 0) ++row[i2];
+      }
     }
   }
 

@@ -28,6 +28,15 @@ void LatticeDiscovererBase::BeginArrival(TupleId t) {
   current_tuple_ = t;
   std::fill(constraint_cached_.begin(), constraint_cached_.end(), 0);
   std::fill(context_resolved_.begin(), context_resolved_.end(), 0);
+  if (part_cache_.size() < relation_->size()) {
+    part_cache_.resize(relation_->size());
+    part_epoch_.resize(relation_->size(), 0);
+  }
+  // Epoch 0 marks never-filled slots; skip it on wraparound.
+  if (++part_epoch_current_ == 0) {
+    std::fill(part_epoch_.begin(), part_epoch_.end(), 0);
+    part_epoch_current_ = 1;
+  }
 }
 
 const Constraint& LatticeDiscovererBase::CachedConstraint(DimMask mask) {
@@ -55,7 +64,9 @@ MuStore::Context* LatticeDiscovererBase::CachedContext(DimMask mask,
 }
 
 size_t LatticeDiscovererBase::ApproxMemoryBytes() const {
-  return store_->ApproxMemoryBytes();
+  return store_->ApproxMemoryBytes() +
+         part_cache_.capacity() * sizeof(Relation::MeasurePartition) +
+         part_epoch_.capacity() * sizeof(uint32_t);
 }
 
 Status LatticeDiscovererBase::Remove(TupleId t) {

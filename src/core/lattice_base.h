@@ -46,6 +46,19 @@ class LatticeDiscovererBase : public Discoverer {
   /// µ-store context for `mask`; nullptr when absent and !create.
   MuStore::Context* CachedContext(DimMask mask, bool create);
 
+  /// Prop.-4 partition of the current tuple against `other`, memoized for
+  /// the whole arrival: a partition is subspace-independent, but the
+  /// traversal meets the same history tuple in buckets across many of the
+  /// (up to 2^m) subspace passes. First touch computes the full scalar
+  /// partition; the rest of the arrival is an epoch-checked load.
+  const Relation::MeasurePartition& CachedPartition(TupleId other) {
+    if (part_epoch_[other] != part_epoch_current_) {
+      part_cache_[other] = relation_->Partition(current_tuple_, other);
+      part_epoch_[other] = part_epoch_current_;
+    }
+    return part_cache_[other];
+  }
+
   // Bucket visits go through BucketCursor (storage/mu_store.h), shared with
   // the sharded engine.
 
@@ -75,6 +88,10 @@ class LatticeDiscovererBase : public Discoverer {
   std::vector<uint8_t> constraint_cached_;
   std::vector<MuStore::Context*> context_cache_;
   std::vector<uint8_t> context_resolved_;
+  // Per-arrival partition memo, indexed by TupleId (CachedPartition).
+  std::vector<Relation::MeasurePartition> part_cache_;
+  std::vector<uint32_t> part_epoch_;
+  uint32_t part_epoch_current_ = 0;
 };
 
 }  // namespace sitfact

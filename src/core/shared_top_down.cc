@@ -4,6 +4,7 @@
 
 #include "common/bits.h"
 #include "skyline/dominance.h"
+#include "skyline/dominance_batch.h"
 #include "storage/memory_mu_store.h"
 
 namespace sitfact {
@@ -73,7 +74,6 @@ void SharedTopDownDiscoverer::Discover(TupleId t,
 void SharedTopDownDiscoverer::RunNodePass(TupleId t, MeasureMask m,
                                           const PrunerSet& pruned,
                                           std::vector<SkylineFact>* facts) {
-  const Relation& r = *relation_;
   // The unpruned region is closed under adding bound attributes (a pruner
   // covering a mask covers all its subsets), so iterating admissible masks
   // in ascending-bound order visits exactly the region below the frontier;
@@ -93,7 +93,7 @@ void SharedTopDownDiscoverer::RunNodePass(TupleId t, MeasureMask m,
       for (size_t i = 0; i < bucket.size(); ++i) {
         TupleId other = bucket[i];
         ++stats_.comparisons;
-        Relation::MeasurePartition p = r.Partition(t, other);
+        const Relation::MeasurePartition& p = CachedPartition(other);
         // The root pass established that nothing here dominates t; only the
         // Dominates branch can fire.
         if (DominatesInSubspace(p, m)) {

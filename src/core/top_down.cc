@@ -4,6 +4,7 @@
 
 #include "common/bits.h"
 #include "skyline/dominance.h"
+#include "skyline/dominance_batch.h"
 #include "storage/memory_mu_store.h"
 
 namespace sitfact {
@@ -59,11 +60,12 @@ void TopDownDiscoverer::RunPass(TupleId t, MeasureMask m, bool report,
     cursor.Open(ctx, m, &bucket_);
     std::vector<TupleId>& bucket = cursor.contents();
     {
+      // Per-arrival partition memo; see BottomUpDiscoverer::RunPass.
       size_t keep = 0;
       for (size_t i = 0; i < bucket.size(); ++i) {
         TupleId other = bucket[i];
         ++stats_.comparisons;
-        Relation::MeasurePartition p = r.Partition(t, other);
+        const Relation::MeasurePartition& p = CachedPartition(other);
         if (observer != nullptr) observer->OnComparison(other, p);
         if (DominatedInSubspace(p, m)) {
           // Dominated procedure: every constraint satisfied by both tuples

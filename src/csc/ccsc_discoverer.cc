@@ -36,9 +36,9 @@ void CcscDiscoverer::Discover(TupleId t, std::vector<SkylineFact>* facts) {
     // subspaces, let alone across contexts.
     for (MeasureMask m : universe_.masks()) {
       ++stats_.constraints_traversed;
-      std::vector<TupleId> skyline =
-          cube.QuerySkyline(r, m, &stats_.comparisons);
-      if (std::find(skyline.begin(), skyline.end(), t) != skyline.end()) {
+      cube.QuerySkyline(r, m, &stats_.comparisons, &skyline_scratch_);
+      if (std::find(skyline_scratch_.begin(), skyline_scratch_.end(), t) !=
+          skyline_scratch_.end()) {
         facts->push_back(SkylineFact{c, m});
       }
     }

@@ -44,6 +44,7 @@ class CcscDiscoverer : public Discoverer {
   std::unordered_map<Constraint, CompressedSkycube, ConstraintHash> cubes_;
   uint64_t stored_total_ = 0;
   std::vector<MeasureMask> sky_masks_scratch_;
+  std::vector<TupleId> skyline_scratch_;
 };
 
 }  // namespace sitfact

@@ -4,8 +4,36 @@
 
 #include "common/bits.h"
 #include "skyline/dominance.h"
+#include "skyline/dominance_batch.h"
 
 namespace sitfact {
+
+namespace {
+
+/// Ramped block scan over a gathered candidate block: partitions of the
+/// probe (keys `pk`) against elements [0, block.count()) restricted to
+/// `m`, delivered one at a time to `consume(index, partition)`; stops
+/// early when consume returns false. One home for the ramp policy and the
+/// "bill exactly what a scalar scan would consume" discipline shared by
+/// the CSC promotion and query paths.
+template <typename Consume>
+void RampedCompactScan(const CompactKeyBlock& block, const double* pk,
+                       MeasureMask m, Consume&& consume) {
+  const size_t c = block.count();
+  Relation::MeasurePartition parts[kDominanceBlockSize];
+  size_t next = InitialRampBlock(c);
+  for (size_t base = 0; base < c;) {
+    size_t n = std::min(next, c - base);
+    next = NextRampBlock(next);
+    block.PartitionRun(pk, base, n, m, parts);
+    for (size_t i = 0; i < n; ++i) {
+      if (!consume(base + i, parts[i])) return;
+    }
+    base += n;
+  }
+}
+
+}  // namespace
 
 CompressedSkycube::CompressedSkycube(const SubspaceUniverse* universe,
                                      bool share_partitions)
@@ -65,26 +93,42 @@ void CompressedSkycube::ComputeSkylineSet(
     std::vector<uint8_t>* out, uint64_t* comparisons) {
   const auto& masks = universe_->masks();
   out->assign(masks.size(), 1);
+  id_scratch_.clear();
+  for (TupleId cand : candidates) {
+    if (cand != t) id_scratch_.push_back(cand);
+  }
   if (!share_partitions_) {
-    // 2006-era behaviour: an independent scan per subspace.
+    // 2006-era behaviour: an independent scan per subspace. The candidate
+    // keys are gathered once (layout prep, shared across the per-subspace
+    // passes), but every subspace still pays its own physical scan, and
+    // the comparison counter still bills exactly the tuples a scalar scan
+    // would have consumed before stopping — the competitor's work profile
+    // is the point of this mode.
+    const size_t c = id_scratch_.size();
+    if (c == 0) return;
+    compact_scratch_.Gather(r, id_scratch_.data(), c,
+                            r.schema().FullMeasureMask());
+    double pk[kMaxMeasures];
+    compact_scratch_.ProbeKeys(r, t, pk);
     for (size_t i = 0; i < masks.size(); ++i) {
-      for (TupleId cand : candidates) {
-        if (cand == t) continue;
-        ++*comparisons;
-        if (Dominates(r, cand, t, masks[i])) {
-          (*out)[i] = 0;
-          break;
-        }
-      }
+      MeasureMask m = masks[i];
+      RampedCompactScan(
+          compact_scratch_, pk, m,
+          [&](size_t, const Relation::MeasurePartition& p) {
+            ++*comparisons;
+            if (DominatedInSubspace(p, m)) {
+              (*out)[i] = 0;
+              return false;
+            }
+            return true;
+          });
     }
     return;
   }
-  part_scratch_.clear();
-  for (TupleId cand : candidates) {
-    if (cand == t) continue;
-    ++*comparisons;
-    part_scratch_.push_back(r.Partition(t, cand));
-  }
+  *comparisons += id_scratch_.size();
+  part_scratch_.resize(id_scratch_.size());
+  PartitionBatch(r, t, id_scratch_.data(), id_scratch_.size(),
+                 part_scratch_.data());
   for (size_t i = 0; i < masks.size(); ++i) {
     MeasureMask m = masks[i];
     for (const auto& p : part_scratch_) {
@@ -144,11 +188,14 @@ void CompressedSkycube::Insert(const Relation& r, TupleId t,
   // insertion would rebuild most of the cube.
   demote_scratch_.clear();
   for (const Entry& e : entries_) {
-    for (TupleId other : e.tuples) {
-      if (other == t) continue;
+    BlockedPartitionScan scan(r, t, e.tuples.data(), e.tuples.size(), e.mask,
+                              /*unmasked=*/false);
+    for (size_t i = 0; i < e.tuples.size(); ++i) {
+      if (e.tuples[i] == t) continue;
       ++*comparisons;
-      Relation::MeasurePartition p = r.Partition(t, other);
-      if (DominatesInSubspace(p, e.mask)) demote_scratch_.push_back(other);
+      if (DominatesInSubspace(scan.at(i), e.mask)) {
+        demote_scratch_.push_back(e.tuples[i]);
+      }
     }
   }
   if (demote_scratch_.empty()) return;
@@ -168,8 +215,20 @@ void CompressedSkycube::Insert(const Relation& r, TupleId t,
 
 std::vector<TupleId> CompressedSkycube::QuerySkyline(
     const Relation& r, MeasureMask m, uint64_t* comparisons) const {
-  // Candidates: every tuple stored at a subspace of m.
-  std::vector<TupleId> candidates;
+  std::vector<TupleId> skyline;
+  QuerySkyline(r, m, comparisons, &skyline);
+  return skyline;
+}
+
+void CompressedSkycube::QuerySkyline(const Relation& r, MeasureMask m,
+                                     uint64_t* comparisons,
+                                     std::vector<TupleId>* skyline) const {
+  // Candidates: every tuple stored at a subspace of m, ascending by id (a
+  // deterministic scan order, so the billed comparison trace is too). The
+  // scratch is reused across the millions of per-subspace queries the
+  // C-CSC adaptation issues; not thread-safe, like the rest of the cube.
+  std::vector<TupleId>& candidates = query_scratch_;
+  candidates.clear();
   for (const auto& e : entries_) {
     if (IsSubsetOf(e.mask, m)) {
       candidates.insert(candidates.end(), e.tuples.begin(), e.tuples.end());
@@ -178,20 +237,30 @@ std::vector<TupleId> CompressedSkycube::QuerySkyline(
   std::sort(candidates.begin(), candidates.end());
   candidates.erase(std::unique(candidates.begin(), candidates.end()),
                    candidates.end());
-  std::vector<TupleId> skyline;
-  for (TupleId t : candidates) {
+  skyline->clear();
+  const size_t c = candidates.size();
+  if (c == 0) return;
+  // Every probe rescans the whole candidate set, so gather the |m| key
+  // columns once into a compact (cache-resident) block and stream it per
+  // probe; ramped blocks keep early exits — the common outcome — from
+  // paying for lookahead.
+  compact_scratch_.Gather(r, candidates.data(), c, m);
+  double pk[kMaxMeasures];
+  for (size_t pi = 0; pi < c; ++pi) {
+    compact_scratch_.ProbeKeysAt(pi, pk);
     bool dominated = false;
-    for (TupleId other : candidates) {
-      if (other == t) continue;
-      ++*comparisons;
-      if (Dominates(r, other, t, m)) {
-        dominated = true;
-        break;
-      }
-    }
-    if (!dominated) skyline.push_back(t);
+    RampedCompactScan(compact_scratch_, pk, m,
+                      [&](size_t i, const Relation::MeasurePartition& p) {
+                        if (i == pi) return true;  // self-comparison
+                        ++*comparisons;
+                        if (DominatedInSubspace(p, m)) {
+                          dominated = true;
+                          return false;
+                        }
+                        return true;
+                      });
+    if (!dominated) skyline->push_back(candidates[pi]);
   }
-  return skyline;
 }
 
 bool CompressedSkycube::QueryMembership(const Relation& r, TupleId t,
@@ -199,10 +268,12 @@ bool CompressedSkycube::QueryMembership(const Relation& r, TupleId t,
                                         uint64_t* comparisons) const {
   for (const Entry& e : entries_) {
     if (!IsSubsetOf(e.mask, m)) continue;
-    for (TupleId cand : e.tuples) {
-      if (cand == t) continue;
+    BlockedPartitionScan scan(r, t, e.tuples.data(), e.tuples.size(), m,
+                              /*unmasked=*/false);
+    for (size_t i = 0; i < e.tuples.size(); ++i) {
+      if (e.tuples[i] == t) continue;
       ++*comparisons;
-      if (Dominates(r, cand, t, m)) return false;
+      if (DominatedInSubspace(scan.at(i), m)) return false;
     }
   }
   return true;

@@ -7,6 +7,7 @@
 #include "common/types.h"
 #include "lattice/subspace_universe.h"
 #include "relation/relation.h"
+#include "skyline/dominance_batch.h"
 
 namespace sitfact {
 
@@ -47,6 +48,12 @@ class CompressedSkycube {
   /// The CSC query algorithm: skyline of subspace `m` from stored tuples.
   std::vector<TupleId> QuerySkyline(const Relation& r, MeasureMask m,
                                     uint64_t* comparisons) const;
+
+  /// Allocation-free variant for callers issuing many queries (C-CSC runs
+  /// one per subspace per context per arrival): *skyline is cleared and
+  /// refilled.
+  void QuerySkyline(const Relation& r, MeasureMask m, uint64_t* comparisons,
+                    std::vector<TupleId>* skyline) const;
 
   /// The query algorithm's membership short-cut: is `t` (stored or not) in
   /// the skyline of `m`? Scans the same candidate set the full query visits
@@ -95,7 +102,10 @@ class CompressedSkycube {
   std::vector<TupleId> stored_scratch_;
   std::vector<TupleId> demote_scratch_;
   std::vector<uint8_t> sky_scratch_;
+  std::vector<TupleId> id_scratch_;
   std::vector<Relation::MeasurePartition> part_scratch_;
+  mutable std::vector<TupleId> query_scratch_;  // QuerySkyline candidates
+  mutable CompactKeyBlock compact_scratch_;     // gathered candidate keys
 };
 
 }  // namespace sitfact

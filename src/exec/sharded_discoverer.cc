@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "lattice/constraint_enumerator.h"
 #include "skyline/dominance.h"
+#include "skyline/dominance_batch.h"
 #include "skyline/skyline_compute.h"
 
 namespace sitfact {
@@ -163,10 +164,12 @@ void ShardedDiscoverer::RunShardArrival(int shard, TupleId t, bool rank,
       bool dominated = false;
       bool modified = false;
       size_t keep = 0;
+      BlockedPartitionScan scan(r, t, bucket.data(), bucket.size(), m,
+                                /*unmasked=*/false);
       for (size_t i = 0; i < bucket.size(); ++i) {
         TupleId other = bucket[i];
         ++sh.stats.comparisons;
-        Relation::MeasurePartition p = r.Partition(t, other);
+        const Relation::MeasurePartition& p = scan.at(i);
         if (DominatedInSubspace(p, m)) {
           // t loses at C — and at every constraint where `other` also
           // appears, i.e. every subset of the agreement mask (Prop. 3).

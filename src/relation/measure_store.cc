@@ -1,0 +1,66 @@
+#include "relation/measure_store.h"
+
+#include <cstring>
+#include <new>
+
+#include "common/logging.h"
+
+namespace sitfact {
+
+namespace {
+
+// One cache line; also the widest vector register in current mainstream
+// hardware, so a column pass never splits its first load.
+constexpr size_t kArenaAlign = 64;
+constexpr size_t kInitialStride = 64;  // doubles per column at first Append
+
+double* AllocateArena(size_t doubles) {
+  return static_cast<double*>(::operator new[](
+      doubles * sizeof(double), std::align_val_t(kArenaAlign)));
+}
+
+}  // namespace
+
+void MeasureColumnStore::ArenaDeleter::operator()(double* p) const {
+  ::operator delete[](p, std::align_val_t(kArenaAlign));
+}
+
+MeasureColumnStore::MeasureColumnStore(const Schema& schema)
+    : num_measures_(schema.num_measures()) {
+  SITFACT_CHECK(num_measures_ >= 0 && num_measures_ <= kMaxMeasures);
+  for (int j = 0; j < num_measures_; ++j) {
+    if (schema.measure(j).direction == Direction::kSmallerIsBetter) {
+      negate_mask_ |= (1u << j);
+    }
+  }
+}
+
+void MeasureColumnStore::Grow(size_t min_capacity) {
+  size_t new_stride = stride_ == 0 ? kInitialStride : stride_ * 2;
+  while (new_stride < min_capacity) new_stride *= 2;
+  std::unique_ptr<double[], ArenaDeleter> grown(
+      AllocateArena(2 * static_cast<size_t>(num_measures_) * new_stride));
+  if (size_ > 0) {
+    for (int c = 0; c < 2 * num_measures_; ++c) {
+      std::memcpy(grown.get() + static_cast<size_t>(c) * new_stride,
+                  arena_.get() + static_cast<size_t>(c) * stride_,
+                  size_ * sizeof(double));
+    }
+  }
+  arena_ = std::move(grown);
+  stride_ = new_stride;
+}
+
+void MeasureColumnStore::Append(const double* raw_values) {
+  if (size_ == stride_) Grow(size_ + 1);
+  for (int j = 0; j < num_measures_; ++j) {
+    double raw = raw_values[j];
+    double* base = arena_.get();
+    base[static_cast<size_t>(num_measures_ + j) * stride_ + size_] = raw;
+    base[static_cast<size_t>(j) * stride_ + size_] =
+        (negate_mask_ >> j) & 1u ? -raw : raw;
+  }
+  ++size_;
+}
+
+}  // namespace sitfact

@@ -1,0 +1,79 @@
+#ifndef SITFACT_RELATION_MEASURE_STORE_H_
+#define SITFACT_RELATION_MEASURE_STORE_H_
+
+#include <cstddef>
+#include <memory>
+
+#include "common/types.h"
+#include "relation/schema.h"
+
+namespace sitfact {
+
+/// Structure-of-arrays storage for the measure attributes of a Relation.
+///
+/// Each measure is stored twice — the raw, as-ingested value (display /
+/// narration) and a direction-adjusted *key* (negated when the attribute is
+/// smaller-is-better) so dominance is uniformly "larger key is better".
+/// All 2·m columns live in one cache-line-aligned arena with a shared
+/// stride, key columns first: the batched dominance kernel
+/// (skyline/dominance_batch.h) streams a key column for a whole block of
+/// tuples with unit stride, while the per-tuple row view (`raw()`/`key()`)
+/// stays available for existing callers.
+///
+/// Contract (tested by relation_columns_test): after any Append sequence,
+/// `key_column(j)[t] == key(j, t)` and `raw_column(j)[t] == raw(j, t)` for
+/// every live and tombstoned tuple — the columnar and row views are the
+/// same memory.
+class MeasureColumnStore {
+ public:
+  /// Captures the measure count and directions; the schema object itself is
+  /// not retained.
+  explicit MeasureColumnStore(const Schema& schema);
+
+  MeasureColumnStore(MeasureColumnStore&&) = default;
+  MeasureColumnStore& operator=(MeasureColumnStore&&) = default;
+  MeasureColumnStore(const MeasureColumnStore&) = delete;
+  MeasureColumnStore& operator=(const MeasureColumnStore&) = delete;
+
+  int num_measures() const { return num_measures_; }
+  size_t size() const { return size_; }
+
+  /// Appends one row of `num_measures()` raw values, deriving the keys.
+  void Append(const double* raw_values);
+
+  /// Row view.
+  double raw(int j, TupleId t) const { return raw_column(j)[t]; }
+  double key(int j, TupleId t) const { return key_column(j)[t]; }
+
+  /// Columnar view: contiguous arrays of `size()` values, valid until the
+  /// next Append (growth may reallocate the arena).
+  const double* key_column(int j) const {
+    return arena_.get() + static_cast<size_t>(j) * stride_;
+  }
+  const double* raw_column(int j) const {
+    return arena_.get() +
+           (static_cast<size_t>(num_measures_) + static_cast<size_t>(j)) *
+               stride_;
+  }
+
+  size_t ApproxMemoryBytes() const {
+    return 2 * static_cast<size_t>(num_measures_) * stride_ * sizeof(double);
+  }
+
+ private:
+  void Grow(size_t min_capacity);
+
+  struct ArenaDeleter {
+    void operator()(double* p) const;
+  };
+
+  int num_measures_ = 0;
+  uint32_t negate_mask_ = 0;  // bit j set: measure j is smaller-is-better
+  size_t size_ = 0;
+  size_t stride_ = 0;  // per-column capacity, in doubles
+  std::unique_ptr<double[], ArenaDeleter> arena_;
+};
+
+}  // namespace sitfact
+
+#endif  // SITFACT_RELATION_MEASURE_STORE_H_

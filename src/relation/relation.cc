@@ -6,13 +6,11 @@
 
 namespace sitfact {
 
-Relation::Relation(Schema schema) : schema_(std::move(schema)) {
+Relation::Relation(Schema schema)
+    : schema_(std::move(schema)), measures_(schema_) {
   int nd = schema_.num_dimensions();
-  int nm = schema_.num_measures();
   dicts_.resize(nd);
   dim_cols_.resize(nd);
-  measure_cols_.resize(nm);
-  key_cols_.resize(nm);
 }
 
 TupleId Relation::Append(const Row& row) {
@@ -45,14 +43,7 @@ TupleId Relation::AppendEncoded(const std::vector<ValueId>& dims,
     SITFACT_DCHECK(dims[i] < dicts_[i].size());
     dim_cols_[i].push_back(dims[i]);
   }
-  for (int j = 0; j < schema_.num_measures(); ++j) {
-    double raw = measures[j];
-    measure_cols_[j].push_back(raw);
-    double key = schema_.measure(j).direction == Direction::kLargerIsBetter
-                     ? raw
-                     : -raw;
-    key_cols_[j].push_back(key);
-  }
+  measures_.Append(measures.data());
   return static_cast<TupleId>(num_tuples_++);
 }
 
@@ -77,8 +68,9 @@ Relation::MeasurePartition Relation::Partition(TupleId t,
                                                TupleId other) const {
   MeasurePartition p;
   for (int j = 0; j < schema_.num_measures(); ++j) {
-    double tv = key_cols_[j][t];
-    double ov = key_cols_[j][other];
+    const double* col = measures_.key_column(j);
+    double tv = col[t];
+    double ov = col[other];
     if (tv < ov) {
       p.worse |= (1u << j);
     } else if (tv > ov) {
@@ -91,8 +83,7 @@ Relation::MeasurePartition Relation::Partition(TupleId t,
 size_t Relation::ApproxMemoryBytes() const {
   size_t bytes = 0;
   for (const auto& c : dim_cols_) bytes += c.capacity() * sizeof(ValueId);
-  for (const auto& c : measure_cols_) bytes += c.capacity() * sizeof(double);
-  for (const auto& c : key_cols_) bytes += c.capacity() * sizeof(double);
+  bytes += measures_.ApproxMemoryBytes();
   for (const auto& d : dicts_) bytes += d.ApproxMemoryBytes();
   return bytes;
 }

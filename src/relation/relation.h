@@ -8,6 +8,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "relation/dictionary.h"
+#include "relation/measure_store.h"
 #include "relation/schema.h"
 
 namespace sitfact {
@@ -21,10 +22,13 @@ struct Row {
 
 /// Append-only columnar relation R(D; M) (the paper's ever-growing table).
 ///
-/// Dimensions are dictionary-encoded per attribute. Each measure is stored
-/// twice: the raw value (for display / narration) and a direction-adjusted
-/// *key* (negated when the attribute is smaller-is-better) so that dominance
-/// is uniformly "larger key is better" on the hot path.
+/// Dimensions are dictionary-encoded per attribute. Measures live in a
+/// structure-of-arrays MeasureColumnStore: the raw value (for display /
+/// narration) and a direction-adjusted *key* (negated when the attribute is
+/// smaller-is-better) so that dominance is uniformly "larger key is better"
+/// on the hot path. Both a per-tuple row view and contiguous per-attribute
+/// column views are exposed; the batched dominance kernel
+/// (skyline/dominance_batch.h) consumes the latter.
 class Relation {
  public:
   explicit Relation(Schema schema);
@@ -63,10 +67,18 @@ class Relation {
   ValueId dim(TupleId t, int d) const { return dim_cols_[d][t]; }
 
   /// Raw (as-ingested) measure value.
-  double measure(TupleId t, int j) const { return measure_cols_[j][t]; }
+  double measure(TupleId t, int j) const { return measures_.raw(j, t); }
 
   /// Direction-adjusted measure key: larger is always better.
-  double measure_key(TupleId t, int j) const { return key_cols_[j][t]; }
+  double measure_key(TupleId t, int j) const { return measures_.key(j, t); }
+
+  /// Columnar views — contiguous arrays of size() entries indexed by
+  /// TupleId, valid until the next Append. The SoA/row-view consistency
+  /// contract (column[t] == the row accessor for every t, live or deleted)
+  /// is pinned by relation_columns_test.
+  const double* key_column(int j) const { return measures_.key_column(j); }
+  const double* raw_column(int j) const { return measures_.raw_column(j); }
+  const ValueId* dim_column(int d) const { return dim_cols_[d].data(); }
 
   /// String form of dimension `d` of tuple `t`.
   const std::string& DimString(TupleId t, int d) const {
@@ -102,8 +114,7 @@ class Relation {
   std::vector<uint8_t> deleted_;               // tombstones, lazily grown
   std::vector<Dictionary> dicts_;              // one per dimension
   std::vector<std::vector<ValueId>> dim_cols_;  // [dim][tuple]
-  std::vector<std::vector<double>> measure_cols_;  // raw, [measure][tuple]
-  std::vector<std::vector<double>> key_cols_;      // adjusted, [measure][tuple]
+  MeasureColumnStore measures_;                 // SoA raw + key columns
 };
 
 }  // namespace sitfact

@@ -1,0 +1,25 @@
+#include "skyline/dominance_batch.h"
+
+namespace sitfact {
+
+void BlockedPartitionScan::Refill(size_t i) {
+  block_start_ = i;
+  size_t n = std::min(next_block_, count_ - i);
+  next_block_ = NextRampBlock(next_block_);
+  if (unmasked_) {
+    PartitionBatch(r_, t_, ids_ + i, n, parts_);
+  } else {
+    PartitionBatchMasked(r_, t_, ids_ + i, n, m_, parts_);
+  }
+  block_end_ = i + n;
+}
+
+void BlockedPartitionRangeScan::Refill(TupleId i) {
+  block_start_ = i;
+  TupleId n = std::min(next_block_, limit_ - i);
+  next_block_ = static_cast<TupleId>(NextRampBlock(next_block_));
+  PartitionRangeMasked(r_, t_, i, i + n, m_, parts_);
+  block_end_ = i + n;
+}
+
+}  // namespace sitfact

@@ -1,36 +1,153 @@
 #include "skyline/kdtree.h"
 
+#include <cmath>
+#include <limits>
+#include <utility>
+
 #include "common/logging.h"
 
 namespace sitfact {
+
+namespace {
+
+/// Split plane for one axis of a leaf's points under the routing rule
+/// "key < split goes left, everything else (incl. NaN) goes right", or
+/// nullopt when no plane separates them. Guarantees both sides non-empty.
+struct AxisSplit {
+  bool ok = false;
+  double split = 0;
+  double spread = 0;  // finite key range; ranks competing axes
+};
+
+AxisSplit ProbeAxis(const Relation& r, const std::vector<TupleId>& entries,
+                    int axis) {
+  AxisSplit out;
+  double min_f = std::numeric_limits<double>::infinity();
+  double max_f = -std::numeric_limits<double>::infinity();
+  size_t finite = 0;
+  for (TupleId t : entries) {
+    double k = r.measure_key(t, axis);
+    if (std::isnan(k)) continue;
+    ++finite;
+    min_f = std::min(min_f, k);
+    max_f = std::max(max_f, k);
+  }
+  if (finite > 0 && min_f < max_f) {
+    // Overflow-safe midpoint (min_f + (max_f - min_f) can exceed DBL_MAX
+    // for huge ranges). Both sides must be non-empty under "k < split goes
+    // left": min_f < split <= max_f — max_f as the plane always satisfies
+    // it when the midpoint degenerates (adjacent doubles, ±inf keys).
+    double mid = min_f / 2 + max_f / 2;
+    out.split = (mid > min_f && mid <= max_f) ? mid : max_f;
+    out.spread = max_f - min_f;
+    out.ok = true;
+  } else if (finite > 0 && finite < entries.size()) {
+    // All non-NaN keys equal, but NaN keys exist: any plane just above the
+    // value separates them (NaN routes right). With the shared value +inf
+    // there is no such plane; the axis stays unsplittable.
+    double above =
+        std::nextafter(max_f, std::numeric_limits<double>::infinity());
+    if (above > max_f) {
+      out.split = above;
+      out.spread = 0;
+      out.ok = true;
+    }
+  }
+  return out;
+}
+
+}  // namespace
 
 KdTree::KdTree(const Relation* relation)
     : relation_(relation), num_axes_(relation->schema().num_measures()) {
   SITFACT_CHECK(num_axes_ >= 1);
 }
 
+void KdTree::AppendToLeaf(Node* leaf, TupleId t) {
+  leaf->entries.push_back(t);
+  for (int a = 0; a < num_axes_; ++a) {
+    leaf->keys.push_back(Key(t, a));
+  }
+}
+
 void KdTree::Insert(TupleId t) {
-  auto idx = static_cast<int32_t>(nodes_.size());
-  nodes_.push_back(Node{t, kNull, kNull});
+  ++size_;
   if (root_ == kNull) {
-    root_ = idx;
-    axes_.push_back(0);
+    root_ = 0;
+    nodes_.emplace_back();
+    AppendToLeaf(&nodes_[root_], t);
     return;
   }
   int32_t cur = root_;
-  int depth = 0;
-  while (true) {
-    int axis = axes_[cur];
-    bool go_right = Key(t, axis) >= Key(nodes_[cur].tuple, axis);
-    int32_t& child = go_right ? nodes_[cur].right : nodes_[cur].left;
-    ++depth;
-    if (child == kNull) {
-      child = idx;
-      axes_.push_back(static_cast<uint8_t>(depth % num_axes_));
-      return;
-    }
-    cur = child;
+  while (!nodes_[cur].leaf) {
+    const Node& node = nodes_[cur];
+    cur = Key(t, node.axis) < node.split ? node.left : node.right;
   }
+  AppendToLeaf(&nodes_[cur], t);
+  MaybeSplitLeaf(cur);
+}
+
+void KdTree::MaybeSplitLeaf(int32_t idx) {
+  if (nodes_[idx].entries.size() <= kLeafCapacity) return;
+  if (nodes_[idx].unsplittable) {
+    // Re-probe only against the newest entry: the rest were already known
+    // identical, so the leaf stays an overflow bucket unless the newcomer
+    // differs somewhere. (This keeps n duplicate inserts at O(n·m) total,
+    // not O(n²·m).)
+    const std::vector<TupleId>& e = nodes_[idx].entries;
+    TupleId fresh = e.back();
+    bool differs = false;
+    for (int axis = 0; axis < num_axes_ && !differs; ++axis) {
+      double a = Key(e.front(), axis);
+      double b = Key(fresh, axis);
+      // Distinguishable iff some plane routes them apart: either compares
+      // as different, or exactly one is NaN.
+      if (a < b || b < a || std::isnan(a) != std::isnan(b)) differs = true;
+    }
+    if (!differs) return;
+    nodes_[idx].unsplittable = false;
+  }
+
+  AxisSplit best;
+  int best_axis = -1;
+  for (int axis = 0; axis < num_axes_; ++axis) {
+    AxisSplit probe = ProbeAxis(*relation_, nodes_[idx].entries, axis);
+    if (probe.ok && (best_axis < 0 || probe.spread > best.spread)) {
+      best = probe;
+      best_axis = axis;
+    }
+  }
+  if (best_axis < 0) {
+    nodes_[idx].unsplittable = true;  // duplicate measure vectors
+    return;
+  }
+
+  // Materialize the children first: emplace_back may reallocate nodes_.
+  Node left_leaf;
+  Node right_leaf;
+  for (TupleId t : nodes_[idx].entries) {
+    double k = Key(t, best_axis);
+    AppendToLeaf(k < best.split ? &left_leaf : &right_leaf, t);
+  }
+  SITFACT_DCHECK(!left_leaf.entries.empty() && !right_leaf.entries.empty());
+  auto left_idx = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(std::move(left_leaf));
+  auto right_idx = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(std::move(right_leaf));
+  Node& node = nodes_[idx];
+  node.entries = {};
+  node.keys = {};
+  node.leaf = false;
+  node.axis = static_cast<uint8_t>(best_axis);
+  node.split = best.split;
+  node.left = left_idx;
+  node.right = right_idx;
+  // A lopsided split (e.g. one distinct point arriving at a big duplicate
+  // overflow leaf) can leave a child over capacity; recurse so it either
+  // splits further or gets its unsplittable flag set now — not re-probed
+  // on every later insert.
+  MaybeSplitLeaf(left_idx);
+  MaybeSplitLeaf(right_idx);
 }
 
 std::vector<TupleId> KdTree::FindDominatorCandidates(TupleId t,
@@ -41,6 +158,32 @@ std::vector<TupleId> KdTree::FindDominatorCandidates(TupleId t,
     return true;
   });
   return out;
+}
+
+size_t KdTree::ApproxMemoryBytes() const {
+  size_t bytes = nodes_.capacity() * sizeof(Node);
+  for (const Node& n : nodes_) {
+    bytes += n.entries.capacity() * sizeof(TupleId);
+    bytes += n.keys.capacity() * sizeof(double);
+  }
+  return bytes;
+}
+
+int KdTree::MaxDepth() const {
+  if (root_ == kNull) return 0;
+  int max_depth = 0;
+  std::vector<std::pair<int32_t, int>> stack = {{root_, 1}};
+  while (!stack.empty()) {
+    auto [idx, depth] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, depth);
+    const Node& node = nodes_[idx];
+    if (!node.leaf) {
+      stack.push_back({node.left, depth + 1});
+      stack.push_back({node.right, depth + 1});
+    }
+  }
+  return max_depth;
 }
 
 }  // namespace sitfact

@@ -1,106 +1,162 @@
 #ifndef SITFACT_SKYLINE_KDTREE_H_
 #define SITFACT_SKYLINE_KDTREE_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
+#include "common/bits.h"
+
 #include "common/types.h"
 #include "relation/relation.h"
+#include "skyline/dominance_batch.h"
 
 namespace sitfact {
 
-/// k-d tree over the full measure space (Bentley 1979), as used by
-/// BaselineIdx: supports insertion of tuples as they arrive and the one-sided
-/// range query `∧_{j∈M} key_j >= q_j` (all other measures unbounded) that
-/// retrieves the candidates which weakly dominate a query point in subspace M.
+/// Bucketed k-d tree over the full measure space (Bentley 1979), as used by
+/// BaselineIdx: supports insertion of tuples as they arrive and the
+/// one-sided range query `∧_{j∈M} key_j >= q_j` (all other measures
+/// unbounded) that retrieves the candidates which weakly dominate a query
+/// point in subspace M.
 ///
 /// Points are direction-adjusted measure keys, so "better" is always ">=".
-/// The tree stores TupleIds and reads coordinates from the Relation.
+/// Tuples live in leaf buckets of up to kLeafCapacity ids; an overflowing
+/// leaf splits on the axis with the widest spread among its points. Leaves
+/// whose points are identical on every axis (duplicate measure vectors, a
+/// real hazard in low-cardinality data) are *unsplittable* and simply grow —
+/// the classic pathological case where a point-per-node tree degenerates
+/// into a spine whose depth, and hence query recursion, is O(n). Both
+/// insertion and traversal are iterative, so tree depth never translates
+/// into call-stack depth; leaf buckets are scanned with the batched
+/// dominance kernel, one column pass per measure of M.
 class KdTree {
  public:
+  static constexpr size_t kLeafCapacity = 32;
+
   /// `relation` must outlive the tree; coordinates come from
   /// relation.measure_key().
   explicit KdTree(const Relation* relation);
 
-  /// Inserts tuple `t` (standard unbalanced insert; discovery streams arrive
-  /// in near-random measure order, which keeps the expected depth
-  /// logarithmic).
+  /// Inserts tuple `t`. Discovery streams arrive in near-random measure
+  /// order, which keeps the expected depth logarithmic.
   void Insert(TupleId t);
 
   /// Visits every stored tuple whose key is >= `t`'s key on all measures of
   /// `m` (one-sided range query of Sec. IV). Visited tuples may merely tie
   /// `t` on all of `m`; the caller filters for strict dominance. `t` itself
   /// is skipped. If `visitor` returns false, the search stops early.
+  ///
+  /// Not thread-safe (shares traversal scratch across calls), matching the
+  /// single-writer discovery loop that owns each tree.
   template <typename Visitor>
   void VisitDominators(TupleId t, MeasureMask m, Visitor&& visitor) const {
     if (root_ == kNull) return;
-    bool keep_going = true;
-    VisitRec(root_, t, m, visitor, keep_going);
+    double tkeys[kMaxMeasures];
+    for (int a = 0; a < num_axes_; ++a) tkeys[a] = Key(t, a);
+    stack_scratch_.clear();
+    stack_scratch_.push_back(root_);
+    while (!stack_scratch_.empty()) {
+      const Node& node = nodes_[stack_scratch_.back()];
+      stack_scratch_.pop_back();
+      ++nodes_visited_;
+      if (!node.leaf) {
+        // The right subtree (keys >= split on `axis`) can always hold
+        // qualifying points. The left subtree (keys < split) is dead only
+        // when `axis` carries a bound and the split is already <= that
+        // bound: then every left key is < bound. A NaN probe key bounds
+        // nothing (every candidate passes that axis), so the left side
+        // must be visited — `split > NaN` is false, hence the explicit
+        // isnan. (Pushed left-first so the right subtree pops first, the
+        // side where dominators live.)
+        bool axis_bounded = (m >> node.axis) & 1u;
+        if (!axis_bounded || node.split > tkeys[node.axis] ||
+            std::isnan(tkeys[node.axis])) {
+          stack_scratch_.push_back(node.left);
+        }
+        stack_scratch_.push_back(node.right);
+        continue;
+      }
+      // Leaf: a candidate qualifies iff its key is >= t's on every
+      // measure of m — i.e. t is strictly better nowhere in m. NaN keys
+      // compare false both ways and so never disqualify, matching the
+      // scalar lower-bound test. Keys come from the leaf-resident rows,
+      // not column gathers.
+      const std::vector<TupleId>& entries = node.entries;
+      const double* rows = node.keys.data();
+      for (size_t i = 0; i < entries.size(); ++i) {
+        TupleId cand = entries[i];
+        if (cand == t) continue;
+        ++nodes_visited_;
+        const double* row = rows + i * static_cast<size_t>(num_axes_);
+        bool qualifies = true;
+        for (MeasureMask rest = m; rest != 0; rest &= rest - 1) {
+          int a = LowestBit(rest);
+          if (tkeys[a] > row[a]) {  // t strictly better on a bound axis
+            qualifies = false;
+            break;
+          }
+        }
+        if (qualifies && !visitor(cand)) return;
+      }
+    }
   }
 
   /// Convenience wrapper returning all candidates.
   std::vector<TupleId> FindDominatorCandidates(TupleId t, MeasureMask m) const;
 
-  size_t size() const { return nodes_.size(); }
+  /// Number of inserted tuples.
+  size_t size() const { return size_; }
 
-  /// Tree nodes touched by queries since construction (work-done benches).
+  /// Tree nodes + leaf entries touched by queries since construction
+  /// (work-done benches).
   uint64_t nodes_visited() const { return nodes_visited_; }
 
-  size_t ApproxMemoryBytes() const {
-    return nodes_.capacity() * sizeof(Node) + axes_.capacity();
-  }
+  size_t ApproxMemoryBytes() const;
+
+  /// Maximum root-to-leaf depth (tests: degenerate-split audit).
+  int MaxDepth() const;
 
  private:
   static constexpr int32_t kNull = -1;
 
   struct Node {
-    TupleId tuple;
-    int32_t left = kNull;   // key[axis] <  this node's key[axis]
-    int32_t right = kNull;  // key[axis] >= this node's key[axis]
+    // Leaf: `entries` holds the bucket and `keys` a resident row-major
+    // copy of each entry's measure keys (keys[i * num_axes + a]) — the
+    // same SoA principle as the relation's measure store, applied per
+    // leaf: a scan reads one contiguous row per candidate instead of
+    // gathering from m full-length columns. Internal: keys < split
+    // descend left, keys >= split (and NaN keys, which compare false)
+    // right.
+    std::vector<TupleId> entries;
+    std::vector<double> keys;
+    double split = 0;
+    int32_t left = kNull;
+    int32_t right = kNull;
+    uint8_t axis = 0;
+    bool leaf = true;
+    bool unsplittable = false;  // entries identical on every axis
   };
 
   double Key(TupleId t, int axis) const {
     return relation_->measure_key(t, axis);
   }
 
-  template <typename Visitor>
-  void VisitRec(int32_t node_idx, TupleId t, MeasureMask m, Visitor& visitor,
-                bool& keep_going) const {
-    if (!keep_going) return;
-    ++nodes_visited_;
-    const Node& node = nodes_[node_idx];
-    int axis = axes_[node_idx];
-    // Report this node's point if it meets every lower bound.
-    bool qualifies = true;
-    for (MeasureMask rest = m; rest != 0; rest &= rest - 1) {
-      int j = __builtin_ctz(rest);
-      if (Key(node.tuple, j) < Key(t, j)) {
-        qualifies = false;
-        break;
-      }
-    }
-    if (qualifies && node.tuple != t) {
-      keep_going = visitor(node.tuple);
-      if (!keep_going) return;
-    }
-    // The right subtree (values >= split on `axis`) can always hold
-    // qualifying points. The left subtree (values < split) is dead only when
-    // `axis` carries a bound and the split value is already <= that bound:
-    // then every left value is < bound.
-    if (node.right != kNull) VisitRec(node.right, t, m, visitor, keep_going);
-    if (node.left != kNull) {
-      bool axis_bounded = (m >> axis) & 1u;
-      if (!axis_bounded || Key(node.tuple, axis) > Key(t, axis)) {
-        VisitRec(node.left, t, m, visitor, keep_going);
-      }
-    }
-  }
+  /// Appends `t` and its key row to a leaf's resident storage.
+  void AppendToLeaf(Node* leaf, TupleId t);
+
+  /// Splits leaf `idx` if over capacity and splittable; converts it into
+  /// an internal node with two non-empty leaf children, recursively until
+  /// every descendant leaf is within capacity or marked unsplittable
+  /// (duplicate overflow buckets may exceed capacity by design).
+  void MaybeSplitLeaf(int32_t idx);
 
   const Relation* relation_;
   int num_axes_;
   int32_t root_ = kNull;
+  size_t size_ = 0;
   std::vector<Node> nodes_;
-  std::vector<uint8_t> axes_;  // split axis per node (depth mod num_axes_)
+  mutable std::vector<int32_t> stack_scratch_;
   mutable uint64_t nodes_visited_ = 0;
 };
 

@@ -1,7 +1,10 @@
 #include "skyline/skyline_compute.h"
 
+#include <algorithm>
+
 #include "common/bits.h"
 #include "skyline/dominance.h"
+#include "skyline/dominance_batch.h"
 
 namespace sitfact {
 
@@ -10,9 +13,13 @@ std::vector<TupleId> ComputeSkyline(const Relation& r,
                                     MeasureMask m) {
   std::vector<TupleId> skyline;
   for (TupleId t : candidates) {
+    // Self-comparison yields an empty partition, which never dominates, so
+    // the scan needs no `other != t` filtering.
+    BlockedPartitionScan scan(r, t, candidates.data(), candidates.size(), m,
+                              /*unmasked=*/false);
     bool dominated = false;
-    for (TupleId other : candidates) {
-      if (other != t && Dominates(r, other, t, m)) {
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (DominatedInSubspace(scan.at(i), m)) {
         dominated = true;
         break;
       }
@@ -40,9 +47,14 @@ std::vector<TupleId> ComputeContextualSkyline(const Relation& r,
 bool InContextualSkyline(const Relation& r, TupleId t, const Constraint& c,
                          MeasureMask m, TupleId limit) {
   if (r.IsDeleted(t) || !c.SatisfiedBy(r, t)) return false;
+  // Dominance first (batched, cheap per tuple), then the constraint check
+  // only for actual dominators; same decision as testing the constraint
+  // first, evaluated in a cache-friendly order.
+  BlockedPartitionRangeScan scan(r, t, limit, m);
   for (TupleId other = 0; other < limit; ++other) {
+    if (!DominatedInSubspace(scan.at(other), m)) continue;
     if (other == t || r.IsDeleted(other)) continue;
-    if (c.SatisfiedBy(r, other) && Dominates(r, other, t, m)) return false;
+    if (c.SatisfiedBy(r, other)) return false;
   }
   return true;
 }

@@ -35,21 +35,31 @@ size_t MemoryMuStore::ApproxMemoryBytes() const {
 }
 
 int MemoryMuStore::MemContext::FindEntry(MeasureMask m) const {
+  if (last_entry_ >= 0 && last_mask_ == m &&
+      last_entry_ < static_cast<int>(entries_.size()) &&
+      entries_[last_entry_].mask == m) {
+    return last_entry_;
+  }
   auto it = std::lower_bound(
       entries_.begin(), entries_.end(), m,
       [](const Entry& e, MeasureMask mask) { return e.mask < mask; });
   if (it == entries_.end() || it->mask != m) return -1;
-  return static_cast<int>(it - entries_.begin());
+  last_entry_ = static_cast<int>(it - entries_.begin());
+  last_mask_ = m;
+  return last_entry_;
 }
 
 std::vector<TupleId>* MemoryMuStore::MemContext::GetBucket(MeasureMask m,
                                                            bool create) {
+  int i = FindEntry(m);
+  if (i >= 0) return &entries_[i].bucket;
+  if (!create) return nullptr;
   auto it = std::lower_bound(
       entries_.begin(), entries_.end(), m,
       [](const Entry& e, MeasureMask mask) { return e.mask < mask; });
-  if (it != entries_.end() && it->mask == m) return &it->bucket;
-  if (!create) return nullptr;
   it = entries_.insert(it, Entry{m, {}});
+  last_entry_ = static_cast<int>(it - entries_.begin());
+  last_mask_ = m;
   return &it->bucket;
 }
 
@@ -70,6 +80,7 @@ void MemoryMuStore::MemContext::Write(MeasureMask m,
     stats_->stored_tuples -= entries_[i].bucket.size();
     if (contents.empty()) {
       entries_.erase(entries_.begin() + i);
+      last_entry_ = -1;
     } else {
       entries_[i].bucket = contents;
       stats_->stored_tuples += contents.size();
@@ -109,7 +120,10 @@ bool MemoryMuStore::MemContext::Erase(MeasureMask m, TupleId t) {
   *it = b.back();
   b.pop_back();
   --stats_->stored_tuples;
-  if (b.empty()) entries_.erase(entries_.begin() + i);
+  if (b.empty()) {
+    entries_.erase(entries_.begin() + i);
+    last_entry_ = -1;
+  }
   return true;
 }
 
@@ -126,7 +140,10 @@ void MemoryMuStore::MemContext::CommitDirect(MeasureMask m, size_t old_size) {
   if (i < 0) return;  // bucket vanished; nothing to reconcile
   stats_->stored_tuples += entries_[i].bucket.size();
   stats_->stored_tuples -= old_size;
-  if (entries_[i].bucket.empty()) entries_.erase(entries_.begin() + i);
+  if (entries_[i].bucket.empty()) {
+    entries_.erase(entries_.begin() + i);
+    last_entry_ = -1;
+  }
 }
 
 size_t MemoryMuStore::MemContext::ApproxMemoryBytes() const {

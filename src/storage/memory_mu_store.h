@@ -39,6 +39,7 @@ class MemoryMuStore : public MuStore {
     void Insert(MeasureMask m, TupleId t) override;
     bool Erase(MeasureMask m, TupleId t) override;
     std::vector<TupleId>* Direct(MeasureMask m, bool create) override;
+    bool SupportsDirect() const override { return true; }
     void CommitDirect(MeasureMask m, size_t old_size) override;
 
     size_t ApproxMemoryBytes() const;
@@ -56,6 +57,12 @@ class MemoryMuStore : public MuStore {
 
     std::vector<Entry> entries_;
     MuStoreStats* stats_;
+    /// Memo of the last successful lookup, so the hot Direct→CommitDirect
+    /// protocol (one bucket visit per lattice (C, M) traversal) resolves
+    /// the entry's position once instead of binary-searching twice. Entry
+    /// positions only move on insert/erase, which invalidate it.
+    mutable int last_entry_ = -1;
+    mutable MeasureMask last_mask_ = 0;
   };
 
   std::unordered_map<Constraint, MemContext, ConstraintHash> contexts_;

@@ -81,6 +81,11 @@ class MuStore {
       (void)create;
       return nullptr;
     }
+
+    /// True when Direct() is implemented, in which case a null Direct(m,
+    /// /*create=*/false) means "bucket absent" — letting the cursor skip a
+    /// second lookup on the (very common) empty-bucket visit.
+    virtual bool SupportsDirect() const { return false; }
     virtual void CommitDirect(MeasureMask m, size_t old_size) {
       (void)m;
       (void)old_size;
@@ -151,7 +156,11 @@ class BucketCursor {
       old_size_ = direct_->size();
     } else {
       scratch_->clear();
-      if (ctx != nullptr && !ctx->Empty(m)) ctx->Read(m, scratch_);
+      // A null Direct from a direct-capable store already proved the
+      // bucket absent; only the fallback (file) path needs the probe.
+      if (ctx != nullptr && !ctx->SupportsDirect() && !ctx->Empty(m)) {
+        ctx->Read(m, scratch_);
+      }
     }
   }
 

@@ -1,0 +1,255 @@
+// Batched-vs-scalar dominance kernel contract (ISSUE 5 satellite): the
+// kernels of skyline/dominance_batch.h must agree bit-for-bit with
+// Relation::Partition / AgreeMask on every input, including the edge cases
+// that historically bite dominance code — all-equal tuples, NaN measures
+// (which must set neither bit), single-bit subspace masks, and block-size
+// boundaries where a batch splits.
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/rng.h"
+#include "relation/relation.h"
+#include "skyline/dominance.h"
+#include "skyline/dominance_batch.h"
+#include "skyline/skyline_compute.h"
+
+#include <gtest/gtest.h>
+
+namespace sitfact {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+Schema MixedSchema() {
+  return Schema({{"d0"}, {"d1"}, {"d2"}},
+                {{"m0", Direction::kLargerIsBetter},
+                 {"m1", Direction::kSmallerIsBetter},
+                 {"m2", Direction::kLargerIsBetter},
+                 {"m3", Direction::kSmallerIsBetter}});
+}
+
+/// Random relation with heavy ties, occasional NaN, mixed directions.
+Relation RandomRelation(int n, uint64_t seed, double nan_prob) {
+  Relation r(MixedSchema());
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    Row row;
+    for (int d = 0; d < 3; ++d) {
+      row.dimensions.push_back("v" + std::to_string(rng.NextBounded(3)));
+    }
+    for (int j = 0; j < 4; ++j) {
+      if (nan_prob > 0 && rng.NextBool(nan_prob)) {
+        row.measures.push_back(kNaN);
+      } else {
+        row.measures.push_back(static_cast<double>(rng.NextBounded(5)));
+      }
+    }
+    r.Append(row);
+  }
+  return r;
+}
+
+void ExpectPartitionsEqual(const Relation::MeasurePartition& want,
+                           const Relation::MeasurePartition& got,
+                           const std::string& what) {
+  EXPECT_EQ(want.worse, got.worse) << what;
+  EXPECT_EQ(want.better, got.better) << what;
+}
+
+TEST(DominanceBatchTest, MatchesScalarPartitionOnRandomData) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    Relation r = RandomRelation(300, seed, /*nan_prob=*/0.0);
+    Rng rng(seed + 100);
+    std::vector<TupleId> ids;
+    for (TupleId i = 0; i < r.size(); ++i) ids.push_back(i);
+    std::vector<Relation::MeasurePartition> parts(r.size());
+    for (int probe_trial = 0; probe_trial < 10; ++probe_trial) {
+      TupleId t = static_cast<TupleId>(rng.NextBounded(r.size()));
+      PartitionBatch(r, t, ids.data(), ids.size(), parts.data());
+      for (TupleId o = 0; o < r.size(); ++o) {
+        ExpectPartitionsEqual(r.Partition(t, o), parts[o], "batch");
+      }
+      PartitionRange(r, t, 0, r.size(), parts.data());
+      for (TupleId o = 0; o < r.size(); ++o) {
+        ExpectPartitionsEqual(r.Partition(t, o), parts[o], "range");
+      }
+    }
+  }
+}
+
+TEST(DominanceBatchTest, MaskedVariantsRestrictToMask) {
+  Relation r = RandomRelation(200, 7, /*nan_prob=*/0.05);
+  std::vector<TupleId> ids;
+  for (TupleId i = 0; i < r.size(); ++i) ids.push_back(i);
+  std::vector<Relation::MeasurePartition> parts(r.size());
+  MeasureMask full = r.schema().FullMeasureMask();
+  for (MeasureMask m = 0; m <= full; ++m) {
+    TupleId t = m % r.size();
+    PartitionBatchMasked(r, t, ids.data(), ids.size(), m, parts.data());
+    for (TupleId o = 0; o < r.size(); ++o) {
+      Relation::MeasurePartition want = r.Partition(t, o);
+      EXPECT_EQ(want.worse & m, parts[o].worse) << "m=" << m;
+      EXPECT_EQ(want.better & m, parts[o].better) << "m=" << m;
+      // Nothing outside the mask may leak into the output.
+      EXPECT_EQ(parts[o].worse & ~m, 0u);
+      EXPECT_EQ(parts[o].better & ~m, 0u);
+    }
+    PartitionRangeMasked(r, t, 0, r.size(), m, parts.data());
+    for (TupleId o = 0; o < r.size(); ++o) {
+      Relation::MeasurePartition want = r.Partition(t, o);
+      EXPECT_EQ(want.worse & m, parts[o].worse);
+      EXPECT_EQ(want.better & m, parts[o].better);
+    }
+  }
+}
+
+TEST(DominanceBatchTest, SingleBitMasksMatchScalarDominates) {
+  Relation r = RandomRelation(150, 11, /*nan_prob=*/0.1);
+  std::vector<Relation::MeasurePartition> parts(r.size());
+  for (int j = 0; j < r.schema().num_measures(); ++j) {
+    MeasureMask m = 1u << j;
+    for (TupleId t : {TupleId{0}, TupleId{73}, TupleId{149}}) {
+      PartitionRangeMasked(r, t, 0, r.size(), m, parts.data());
+      for (TupleId o = 0; o < r.size(); ++o) {
+        EXPECT_EQ(Dominates(r, o, t, m), DominatedInSubspace(parts[o], m))
+            << "j=" << j << " t=" << t << " o=" << o;
+        EXPECT_EQ(Dominates(r, t, o, m), DominatesInSubspace(parts[o], m));
+      }
+    }
+  }
+}
+
+TEST(DominanceBatchTest, AllEqualTuplesProduceEmptyPartitions) {
+  Relation r(MixedSchema());
+  for (int i = 0; i < 200; ++i) {
+    r.Append(Row{{"a", "b", "c"}, {3.5, -1.0, 0.0, 7.25}});
+  }
+  std::vector<Relation::MeasurePartition> parts(r.size());
+  PartitionRange(r, 5, 0, r.size(), parts.data());
+  for (TupleId o = 0; o < r.size(); ++o) {
+    EXPECT_EQ(parts[o].worse, 0u);
+    EXPECT_EQ(parts[o].better, 0u);
+    // Equal tuples never dominate each other (Def. 2).
+    EXPECT_FALSE(Dominates(r, 5, o, r.schema().FullMeasureMask()));
+  }
+  // A skyline over identical tuples keeps every one of them.
+  std::vector<TupleId> all;
+  for (TupleId i = 0; i < r.size(); ++i) all.push_back(i);
+  EXPECT_EQ(ComputeSkyline(r, all, r.schema().FullMeasureMask()).size(),
+            all.size());
+}
+
+TEST(DominanceBatchTest, NaNSetsNeitherBitEverywhere) {
+  Relation r(MixedSchema());
+  r.Append(Row{{"a", "b", "c"}, {1.0, 2.0, 3.0, 4.0}});    // t0: finite
+  r.Append(Row{{"a", "b", "c"}, {kNaN, 2.0, 5.0, 4.0}});   // t1: NaN m0
+  r.Append(Row{{"a", "b", "c"}, {kNaN, kNaN, kNaN, kNaN}});  // t2: all NaN
+  r.Append(Row{{"a", "b", "c"}, {2.0, kNaN, 3.0, 4.0}});   // t3: NaN m1 (s.i.b.)
+  std::vector<Relation::MeasurePartition> parts(r.size());
+  for (TupleId t = 0; t < r.size(); ++t) {
+    PartitionRange(r, t, 0, r.size(), parts.data());
+    for (TupleId o = 0; o < r.size(); ++o) {
+      Relation::MeasurePartition want = r.Partition(t, o);
+      ExpectPartitionsEqual(want, parts[o], "NaN");
+    }
+  }
+  // NaN vs anything contributes no bit: t0 vs t2 has empty partition.
+  Relation::MeasurePartition p = r.Partition(0, 2);
+  EXPECT_EQ(p.worse, 0u);
+  EXPECT_EQ(p.better, 0u);
+  // t0 vs t1: m0 incomparable (NaN), m2 differs (3 < 5 larger-is-better).
+  p = r.Partition(0, 1);
+  EXPECT_EQ(p.worse, 0b0100u);
+  EXPECT_EQ(p.better, 0u);
+}
+
+TEST(DominanceBatchTest, AgreeMaskRangeMatchesScalar) {
+  Relation r = RandomRelation(257, 13, /*nan_prob=*/0.0);
+  std::vector<DimMask> agrees(r.size());
+  for (TupleId t : {TupleId{0}, TupleId{128}, TupleId{256}}) {
+    AgreeMaskRange(r, t, 0, r.size(), agrees.data());
+    for (TupleId o = 0; o < r.size(); ++o) {
+      EXPECT_EQ(r.AgreeMask(t, o), agrees[o]) << "t=" << t << " o=" << o;
+    }
+    EXPECT_EQ(agrees[t], FullMask(r.schema().num_dimensions()));
+  }
+}
+
+TEST(DominanceBatchTest, BlockBoundarySizes) {
+  // Exercise counts around the kernel block size so refill seams are hit.
+  for (size_t n : {kDominanceBlockSize - 1, kDominanceBlockSize,
+                   kDominanceBlockSize + 1, 2 * kDominanceBlockSize + 3}) {
+    Relation r = RandomRelation(static_cast<int>(n), 17 + n, 0.02);
+    BlockedPartitionRangeScan scan(r, 0, r.size(),
+                                   r.schema().FullMeasureMask());
+    for (TupleId o = 0; o < r.size(); ++o) {
+      ExpectPartitionsEqual(r.Partition(0, o), scan.at(o), "range scan");
+    }
+    std::vector<TupleId> ids;
+    for (TupleId i = 0; i < r.size(); ++i) ids.push_back(i);
+    BlockedPartitionScan id_scan(r, 0, ids.data(), ids.size(), 0b0101u,
+                                 /*unmasked=*/false);
+    for (size_t i = 0; i < ids.size(); ++i) {
+      Relation::MeasurePartition want = r.Partition(0, ids[i]);
+      EXPECT_EQ(want.worse & 0b0101u, id_scan.at(i).worse);
+      EXPECT_EQ(want.better & 0b0101u, id_scan.at(i).better);
+    }
+  }
+}
+
+TEST(DominanceBatchTest, CompactKeyBlockMatchesScalarPartition) {
+  Relation r = RandomRelation(300, 31, /*nan_prob=*/0.05);
+  Rng rng(31);
+  std::vector<TupleId> ids;
+  for (int i = 0; i < 120; ++i) {
+    ids.push_back(static_cast<TupleId>(rng.NextBounded(r.size())));
+  }
+  MeasureMask full = r.schema().FullMeasureMask();
+  CompactKeyBlock block;
+  std::vector<Relation::MeasurePartition> parts(ids.size());
+  double pk[kMaxMeasures];
+  for (MeasureMask gathered : {full, MeasureMask{0b0101u}, MeasureMask{1u}}) {
+    block.Gather(r, ids.data(), ids.size(), gathered);
+    ASSERT_EQ(block.count(), ids.size());
+    // External probe via ProbeKeys.
+    TupleId t = 7;
+    block.ProbeKeys(r, t, pk);
+    for (MeasureMask msub = 0; msub <= gathered; ++msub) {
+      if ((msub & ~gathered) != 0) continue;
+      block.PartitionRun(pk, 0, ids.size(), msub, parts.data());
+      for (size_t i = 0; i < ids.size(); ++i) {
+        Relation::MeasurePartition want = r.Partition(t, ids[i]);
+        EXPECT_EQ(want.worse & msub, parts[i].worse);
+        EXPECT_EQ(want.better & msub, parts[i].better);
+      }
+    }
+    // In-list probe via ProbeKeysAt, and a mid-block run window.
+    block.ProbeKeysAt(3, pk);
+    size_t begin = 5, n = ids.size() - 9;
+    block.PartitionRun(pk, begin, n, gathered, parts.data());
+    for (size_t i = 0; i < n; ++i) {
+      Relation::MeasurePartition want = r.Partition(ids[3], ids[begin + i]);
+      EXPECT_EQ(want.worse & gathered, parts[i].worse);
+      EXPECT_EQ(want.better & gathered, parts[i].better);
+    }
+  }
+}
+
+TEST(DominanceBatchTest, RampedScanTracksEarlyExitConsumers) {
+  // A consumer that restarts scans at arbitrary forward positions (the
+  // lattice protocol) must still see correct partitions after refills.
+  Relation r = RandomRelation(500, 23, 0.0);
+  std::vector<TupleId> ids;
+  for (TupleId i = 0; i < r.size(); i += 2) ids.push_back(i);
+  BlockedPartitionScan scan(r, 1, ids.data(), ids.size(),
+                            r.schema().FullMeasureMask(), /*unmasked=*/true);
+  for (size_t i = 0; i < ids.size(); i += 7) {  // skips across block seams
+    ExpectPartitionsEqual(r.Partition(1, ids[i]), scan.at(i), "strided");
+  }
+}
+
+}  // namespace
+}  // namespace sitfact

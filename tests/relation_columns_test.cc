@@ -1,0 +1,176 @@
+// SoA/row-view consistency contract (ISSUE 5 satellite): the columnar
+// views Relation exposes (key_column / raw_column / dim_column) and the
+// per-tuple row accessors (measure_key / measure / dim) are two views of
+// the same MeasureColumnStore data. A randomized op-sequence property test
+// — Append / MarkDeleted / engine-style Update (tombstone + re-append),
+// mirroring the workload fuzzer's generator — must never observe them
+// disagreeing, across arena growth, tombstones, NaN measures and mixed
+// directions.
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/rng.h"
+#include "relation/relation.h"
+
+#include <gtest/gtest.h>
+
+namespace sitfact {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+Schema FuzzSchema() {
+  return Schema({{"d0"}, {"d1"}, {"d2"}},
+                {{"m0", Direction::kLargerIsBetter},
+                 {"m1", Direction::kSmallerIsBetter}});
+}
+
+/// Same shape as the workload fuzzer's RandomRow, plus rare NaN measures.
+Row RandomRow(Rng* rng) {
+  Row row;
+  for (int d = 0; d < 3; ++d) {
+    row.dimensions.push_back("v" + std::to_string(rng->NextBounded(3)));
+  }
+  for (int j = 0; j < 2; ++j) {
+    row.measures.push_back(rng->NextBool(0.02)
+                               ? kNaN
+                               : static_cast<double>(rng->NextBounded(6)));
+  }
+  return row;
+}
+
+/// Mirror of every appended row, kept independently of the Relation.
+struct ShadowRow {
+  std::vector<ValueId> dims;
+  std::vector<double> measures;
+};
+
+bool SameDouble(double a, double b) {
+  return (std::isnan(a) && std::isnan(b)) || a == b;
+}
+
+void VerifyViews(const Relation& r, const std::vector<ShadowRow>& shadow) {
+  ASSERT_EQ(r.size(), shadow.size());
+  const Schema& s = r.schema();
+  for (int j = 0; j < s.num_measures(); ++j) {
+    const double* keys = r.key_column(j);
+    const double* raws = r.raw_column(j);
+    bool negated = s.measure(j).direction == Direction::kSmallerIsBetter;
+    for (TupleId t = 0; t < r.size(); ++t) {
+      double want_raw = shadow[t].measures[j];
+      // Row view vs shadow.
+      ASSERT_TRUE(SameDouble(r.measure(t, j), want_raw)) << t << "," << j;
+      // Column view vs row view: literally the same storage.
+      ASSERT_TRUE(SameDouble(raws[t], r.measure(t, j))) << t << "," << j;
+      ASSERT_TRUE(SameDouble(keys[t], r.measure_key(t, j))) << t << "," << j;
+      // Key = direction-adjusted raw (NaN stays NaN under negation).
+      double want_key = negated ? -want_raw : want_raw;
+      ASSERT_TRUE(SameDouble(keys[t], want_key)) << t << "," << j;
+    }
+  }
+  for (int d = 0; d < s.num_dimensions(); ++d) {
+    const ValueId* col = r.dim_column(d);
+    for (TupleId t = 0; t < r.size(); ++t) {
+      ASSERT_EQ(col[t], r.dim(t, d)) << t << "," << d;
+      ASSERT_EQ(col[t], shadow[t].dims[d]) << t << "," << d;
+    }
+  }
+}
+
+TEST(RelationColumnsTest, RandomOpSequencesKeepViewsIdentical) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Relation r(FuzzSchema());
+    std::vector<ShadowRow> shadow;
+    std::vector<TupleId> live;
+    uint32_t live_count = 0;
+    Rng rng(seed);
+    for (int op = 0; op < 400; ++op) {
+      int kind = static_cast<int>(rng.NextBounded(10));
+      if (kind < 6 || live.empty()) {
+        // Append.
+        Row row = RandomRow(&rng);
+        TupleId t = r.Append(row);
+        ShadowRow sr;
+        for (int d = 0; d < 3; ++d) sr.dims.push_back(r.dim(t, d));
+        sr.measures = row.measures;
+        shadow.push_back(sr);
+        live.push_back(t);
+        ++live_count;
+      } else if (kind < 8) {
+        // Remove: tombstone a random live tuple. The row stays readable —
+        // repair logic depends on that — so the views must still agree.
+        size_t pick = rng.NextBounded(live.size());
+        TupleId t = live[pick];
+        live[pick] = live.back();
+        live.pop_back();
+        r.MarkDeleted(t);
+        --live_count;
+        EXPECT_TRUE(r.IsDeleted(t));
+      } else {
+        // Engine-style Update (core/engine.h): tombstone + fresh append.
+        size_t pick = rng.NextBounded(live.size());
+        TupleId old_t = live[pick];
+        live[pick] = live.back();
+        live.pop_back();
+        r.MarkDeleted(old_t);
+        --live_count;
+        Row row = RandomRow(&rng);
+        TupleId t = r.Append(row);
+        ShadowRow sr;
+        for (int d = 0; d < 3; ++d) sr.dims.push_back(r.dim(t, d));
+        sr.measures = row.measures;
+        shadow.push_back(sr);
+        live.push_back(t);
+        ++live_count;
+      }
+      ASSERT_EQ(r.live_size(), live_count);
+      if (op % 16 == 0) VerifyViews(r, shadow);
+    }
+    VerifyViews(r, shadow);
+  }
+}
+
+TEST(RelationColumnsTest, ColumnsSurviveArenaGrowth) {
+  // The arena starts at 64 rows per column and doubles; crossing 64, 128,
+  // 256... must preserve every previously written value and keep the two
+  // views pointing at the same memory.
+  Relation r(FuzzSchema());
+  std::vector<ShadowRow> shadow;
+  for (int i = 0; i < 1000; ++i) {
+    double v = static_cast<double>(i);
+    r.Append(Row{{"a", "b", "c"}, {v, -v}});
+    shadow.push_back({{r.dim(static_cast<TupleId>(i), 0),
+                       r.dim(static_cast<TupleId>(i), 1),
+                       r.dim(static_cast<TupleId>(i), 2)},
+                      {v, -v}});
+    if ((i & (i + 1)) == 0 || i == 63 || i == 64 || i == 999) {
+      VerifyViews(r, shadow);
+    }
+  }
+  // Spot-check the direction adjustment end-to-end: m1 is
+  // smaller-is-better, so its key column is the negated raw column.
+  const double* raw = r.raw_column(1);
+  const double* key = r.key_column(1);
+  for (TupleId t = 0; t < r.size(); ++t) {
+    ASSERT_EQ(key[t], -raw[t]);
+  }
+}
+
+TEST(RelationColumnsTest, AppendEncodedSharesTheSameColumns) {
+  Relation r(FuzzSchema());
+  TupleId a = r.Append(Row{{"x", "y", "z"}, {1.0, 2.0}});
+  // Generator fast path: pre-encoded dims must land in the same columns.
+  std::vector<ValueId> dims = {r.dim(a, 0), r.dim(a, 1), r.dim(a, 2)};
+  TupleId b = r.AppendEncoded(dims, {3.0, 4.0});
+  EXPECT_EQ(r.dim_column(0)[b], r.dim_column(0)[a]);
+  EXPECT_EQ(r.raw_column(0)[b], 3.0);
+  EXPECT_EQ(r.key_column(1)[b], -4.0);
+  EXPECT_EQ(r.AgreeMask(a, b), FullMask(3));
+}
+
+}  // namespace
+}  // namespace sitfact

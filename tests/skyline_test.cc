@@ -203,5 +203,131 @@ TEST_F(KdTreeTest, DuplicatePointsAllRetrievable) {
   EXPECT_EQ(got, (std::vector<TupleId>{a, b}));
 }
 
+// Duplicate-key audit (ISSUE 5 satellite). A point-per-node k-d tree sends
+// ties to one side, so a stream of identical measure vectors degenerates
+// into a spine of depth n — and a recursive range query then needs O(n)
+// stack. The bucketed tree pins the fixed behavior: duplicates pool in one
+// unsplittable overflow leaf, depth stays flat, and every duplicate is
+// still retrieved.
+
+TEST_F(KdTreeTest, MassDuplicatesStayShallowAndComplete) {
+  const int kDups = 50000;
+  for (int i = 0; i < kDups; ++i) {
+    tree_.Insert(Add(7, 7, 7));
+  }
+  EXPECT_EQ(tree_.size(), static_cast<size_t>(kDups));
+  // All identical: no split is possible, so the tree must stay one leaf.
+  EXPECT_EQ(tree_.MaxDepth(), 1);
+  TupleId q = Add(7, 7, 7);
+  // A deep spine would overflow the stack right here.
+  auto got = tree_.FindDominatorCandidates(q, 0b111);
+  EXPECT_EQ(got.size(), static_cast<size_t>(kDups));
+}
+
+TEST_F(KdTreeTest, DegenerateAxisFallsBackToSplittableAxis) {
+  // m0 and m1 carry a single value each; only m2 varies. The split chooser
+  // must skip the degenerate axes instead of looping or spinning off empty
+  // children.
+  Rng rng(5);
+  const int kN = 2000;
+  for (int i = 0; i < kN; ++i) {
+    tree_.Insert(Add(1, 1, static_cast<double>(rng.NextBounded(100))));
+  }
+  EXPECT_EQ(tree_.size(), static_cast<size_t>(kN));
+  EXPECT_GT(tree_.MaxDepth(), 1);     // it did split
+  EXPECT_LT(tree_.MaxDepth(), 64);    // and did not degenerate into a spine
+  TupleId q = Add(1, 1, 50);
+  auto got = tree_.FindDominatorCandidates(q, 0b111);
+  auto want = NaiveDominators(q, 0b111, q);
+  std::sort(got.begin(), got.end());
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(got, want);
+}
+
+TEST_F(KdTreeTest, DuplicateHeavyStreamMissesNoCandidate) {
+  // Randomized audit with heavy ties across every axis: each query must
+  // return exactly the linear-scan reference (a missed candidate here means
+  // a wrong skyline upstream in BaselineIdx).
+  Rng rng(99);
+  const int kN = 600;
+  for (int i = 0; i < kN; ++i) {
+    TupleId t = Add(static_cast<double>(rng.NextBounded(3)),
+                    static_cast<double>(rng.NextBounded(3)),
+                    static_cast<double>(rng.NextBounded(3)));
+    if (i % 7 == 0) {
+      for (MeasureMask m = 1; m <= 0b111u; ++m) {
+        auto got = tree_.FindDominatorCandidates(t, m);
+        auto want = NaiveDominators(t, m, t);
+        std::sort(got.begin(), got.end());
+        std::sort(want.begin(), want.end());
+        ASSERT_EQ(got, want) << "tuple " << t << " subspace " << m;
+      }
+    }
+    tree_.Insert(t);
+  }
+}
+
+TEST_F(KdTreeTest, HugeKeyRangeSplitsWithoutOverflow) {
+  // min + (max - min) overflows to +inf for keys spanning most of the
+  // double range, which would produce a split plane routing everything to
+  // one side (an empty child, then a re-split on every insert). The
+  // overflow-safe midpoint must keep both children populated.
+  const double kHuge = 1.7e308;
+  Rng rng(4242);
+  for (int i = 0; i < 200; ++i) {
+    tree_.Insert(Add(i % 2 == 0 ? -kHuge : kHuge, 5,
+                     static_cast<double>(rng.NextBounded(10))));
+  }
+  EXPECT_LT(tree_.MaxDepth(), 64);
+  TupleId q = Add(-kHuge, 5, 5);
+  auto got = tree_.FindDominatorCandidates(q, 0b111);
+  auto want = NaiveDominators(q, 0b111, q);
+  std::sort(got.begin(), got.end());
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(got, want);
+}
+
+TEST_F(KdTreeTest, NaNProbeKeyBoundsNothing) {
+  // A NaN probe key means "no lower bound on this axis" (NaN comparisons
+  // are false both ways), so every candidate passes it — including
+  // candidates in LEFT subtrees of splits on that axis, which the
+  // descend rule `split > probe_key` would wrongly prune for NaN. This is
+  // the missed-candidate regression test for that fix.
+  Rng rng(2718);
+  const double kNaN = std::numeric_limits<double>::quiet_NaN();
+  for (int i = 0; i < 500; ++i) {
+    tree_.Insert(Add(static_cast<double>(rng.NextBounded(50)),
+                     static_cast<double>(rng.NextBounded(50)),
+                     static_cast<double>(rng.NextBounded(50))));
+  }
+  TupleId q = Add(kNaN, 25, kNaN);
+  for (MeasureMask m = 1; m <= 0b111u; ++m) {
+    auto got = tree_.FindDominatorCandidates(q, m);
+    auto want = NaiveDominators(q, m, q);
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    ASSERT_EQ(got, want) << "subspace " << m;
+  }
+}
+
+TEST_F(KdTreeTest, DuplicateOverflowLeafResumesSplittingOnFreshValues) {
+  // Fill an overflow leaf far past capacity with duplicates, then append
+  // distinct points: the leaf must become splittable again and queries stay
+  // exact.
+  for (int i = 0; i < 200; ++i) tree_.Insert(Add(4, 4, 4));
+  Rng rng(123);
+  for (int i = 0; i < 500; ++i) {
+    tree_.Insert(Add(static_cast<double>(rng.NextBounded(40)),
+                     static_cast<double>(rng.NextBounded(40)),
+                     static_cast<double>(rng.NextBounded(40))));
+  }
+  TupleId q = Add(4, 4, 4);
+  auto got = tree_.FindDominatorCandidates(q, 0b111);
+  auto want = NaiveDominators(q, 0b111, q);
+  std::sort(got.begin(), got.end());
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(got, want);
+}
+
 }  // namespace
 }  // namespace sitfact

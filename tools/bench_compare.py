@@ -36,6 +36,10 @@ def record_key(record):
 def load_records(path):
     with open(path) as f:
         doc = json.load(f)
+    if not isinstance(doc, dict):
+        # The motivating trajectory bug was a file regressing to a bare
+        # `[]`; surface it as a clean diagnostic, not an AttributeError.
+        raise ValueError(f"{path}: top-level value is not an object")
     records = {}
     for record in doc.get("records", []):
         # Repeated keys (e.g. the same algorithm replayed per panel) are
@@ -49,17 +53,52 @@ def load_records(path):
     return doc.get("bench", path.stem), records
 
 
+def validate(directory):
+    """--validate mode: every BENCH_*.json in `directory` must parse and
+    carry at least one record. Guards the committed perf trajectory against
+    silently going empty (the bug this flag was added for: benches wrote
+    their JSON where no collector ever looked, so the repo-root trajectory
+    stayed `[]`)."""
+    files = sorted(directory.glob("BENCH_*.json"))
+    if not files:
+        print(f"error: no BENCH_*.json under {directory}", file=sys.stderr)
+        return 1
+    bad = 0
+    for path in files:
+        try:
+            _, records = load_records(path)
+        except (OSError, ValueError, KeyError) as e:
+            print(f"error: {path}: unreadable ({e})", file=sys.stderr)
+            bad += 1
+            continue
+        if not records:
+            print(f"error: {path}: empty record list", file=sys.stderr)
+            bad += 1
+        else:
+            print(f"ok: {path.name}: {len(records)} record(s)")
+    return 1 if bad else 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--baseline", required=True, type=pathlib.Path,
+    parser.add_argument("--baseline", type=pathlib.Path,
                         help="directory of baseline BENCH_*.json files")
-    parser.add_argument("--results", required=True, type=pathlib.Path,
+    parser.add_argument("--results", type=pathlib.Path,
                         help="directory of freshly produced BENCH_*.json")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="allowed fractional growth in a gated metric")
     parser.add_argument("--require-all", action="store_true",
                         help="fail when a baseline file has no result file")
+    parser.add_argument("--validate", type=pathlib.Path, metavar="DIR",
+                        help="only check that DIR's BENCH_*.json parse and "
+                             "are non-empty; no baseline comparison")
     args = parser.parse_args()
+
+    if args.validate is not None:
+        return validate(args.validate)
+    if args.baseline is None or args.results is None:
+        parser.error("--baseline and --results are required "
+                     "(or use --validate DIR)")
 
     baseline_files = sorted(args.baseline.glob("BENCH_*.json"))
     if not baseline_files:
@@ -74,8 +113,13 @@ def main():
         if not result_file.exists():
             missing.append(baseline_file.name)
             continue
-        bench, baseline = load_records(baseline_file)
-        _, results = load_records(result_file)
+        try:
+            bench, baseline = load_records(baseline_file)
+            _, results = load_records(result_file)
+        except (OSError, ValueError, KeyError) as e:
+            failures.append(f"{baseline_file.name}: unreadable ({e})")
+            print(f"== {baseline_file.name}  UNREADABLE: {e}")
+            continue
         gate_this = bench not in UNGATED_BENCHES
         print(f"== {bench}" + ("" if gate_this else " (not gated)"))
         for key, base in sorted(baseline.items()):

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Records the repo's committed perf trajectory: runs the headline figure
+# benches at DEFAULT scale and writes their BENCH_*.json to the repo root,
+# where they are committed alongside the change that produced them. This is
+# the harness/CI fix for the empty-trajectory bug: bench binaries used to
+# drop JSON wherever they ran (usually an ignored build dir), so nothing
+# ever landed where the trajectory collector and tools/bench_compare.py
+# look. CI validates the committed files with
+# `bench_compare.py --validate .`.
+#
+# Usage, from the repo root with a Release build in ./build:
+#   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j
+#   tools/record_trajectory.sh [bench ...]
+#
+# Default bench set: the end-to-end discovery figures this repo tracks
+# release-over-release, plus the dominance-kernel micro bench. Unlike
+# bench/baselines/ (smoke scale, comparison-count gate), the trajectory is
+# recorded at SITFACT_BENCH_SCALE=1 so wall times reflect the real
+# operating points.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD:-$ROOT/build}"
+BENCHES=("$@")
+if [ ${#BENCHES[@]} -eq 0 ]; then
+  BENCHES=(fig07_time_baselines fig09_weather_time micro_dominance_batch)
+fi
+
+for name in "${BENCHES[@]}"; do
+  bin="$BUILD/bench/bench_$name"
+  [ -x "$bin" ] || { echo "missing $bin (build with SITFACT_BUILD_BENCH=ON)"; exit 1; }
+  echo "== bench_$name (default scale)"
+  SITFACT_BENCH_SCALE="${SITFACT_BENCH_SCALE:-1}" "$bin" --out "$ROOT" \
+    > "$BUILD/bench_${name}_trajectory.log" 2>&1
+done
+python3 "$ROOT/tools/bench_compare.py" --validate "$ROOT"
+echo "trajectory written to $ROOT/BENCH_*.json — commit these files"
