@@ -199,6 +199,36 @@ inline Dataset MakeWeatherData(int n, int d, int m) {
   return std::move(proj).value();
 }
 
+/// Applies the SITFACT_BENCH_ALGOS filter (comma-separated engine names) to
+/// a bench's algorithm list; unset or empty keeps the list unchanged, and a
+/// filter matching nothing is ignored rather than silently producing an
+/// empty bench. Lets a local A/B run isolate one engine's row (e.g.
+/// SITFACT_BENCH_ALGOS=C-CSC for the interleaved before/after protocol in
+/// ROADMAP.md) without editing the bench source. CI never sets it, so gated
+/// JSON always carries every row.
+inline std::vector<std::string> FilterAlgorithms(
+    std::vector<std::string> algorithms) {
+  const char* env = std::getenv("SITFACT_BENCH_ALGOS");
+  if (env == nullptr || env[0] == '\0') return algorithms;
+  std::string list = env;
+  std::vector<std::string> keep;
+  size_t pos = 0;
+  while (pos <= list.size()) {
+    size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    std::string name = list.substr(pos, comma - pos);
+    if (!name.empty()) keep.push_back(name);
+    pos = comma + 1;
+  }
+  std::vector<std::string> out;
+  for (auto& a : algorithms) {
+    if (std::find(keep.begin(), keep.end(), a) != keep.end()) {
+      out.push_back(std::move(a));
+    }
+  }
+  return out.empty() ? std::move(algorithms) : out;
+}
+
 /// One checkpoint sample of a timed stream replay.
 struct Sample {
   uint64_t tuple_id = 0;       // 1-based arrival count at the checkpoint
@@ -329,6 +359,51 @@ inline void PrintSummaryRow(int param,
   std::printf("%12d", param);
   for (const auto& r : results) {
     std::printf("  %14.4f", r.mean_per_tuple_ms);
+  }
+  std::printf("\n");
+}
+
+/// Integer-valued companion to PrintSeriesTable, for work counters
+/// (comparison counts overflow the fixed-point time format).
+template <typename MetricFn>
+void PrintSeriesCountTable(const std::string& title,
+                           const std::string& row_label,
+                           const std::vector<StreamResult>& results,
+                           MetricFn&& metric) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%12s", row_label.c_str());
+  for (const auto& r : results) std::printf("  %14s", r.algorithm.c_str());
+  std::printf("\n");
+  size_t rows = 0;
+  for (const auto& r : results) rows = std::max(rows, r.samples.size());
+  for (size_t i = 0; i < rows; ++i) {
+    uint64_t tid = 0;
+    for (const auto& r : results) {
+      if (i < r.samples.size()) tid = r.samples[i].tuple_id;
+    }
+    std::printf("%12llu", static_cast<unsigned long long>(tid));
+    for (const auto& r : results) {
+      if (i < r.samples.size()) {
+        std::printf("  %14llu",
+                    static_cast<unsigned long long>(metric(r.samples[i])));
+      } else {
+        std::printf("  %14s", "-");
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+/// Comparison-count companion to PrintSummaryRow: the engines' cumulative
+/// dominance comparisons at end of stream. Printed next to every wall-time
+/// panel so counter-relaxed engines (C-CSC) stay auditable at a glance —
+/// the same numbers land in the bench JSON per record.
+inline void PrintComparisonsSummaryRow(
+    int param, const std::vector<StreamResult>& results) {
+  std::printf("%12d", param);
+  for (const auto& r : results) {
+    uint64_t c = r.samples.empty() ? 0 : r.samples.back().comparisons;
+    std::printf("  %14llu", static_cast<unsigned long long>(c));
   }
   std::printf("\n");
 }

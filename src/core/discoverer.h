@@ -62,9 +62,11 @@ class Discoverer {
   /// does both steps); Remove then repairs internal state so subsequent
   /// discovery behaves as if the tuple had never arrived. Deletion is a
   /// rare administrative operation in the append-mostly model, so repairs
-  /// may rescan affected contexts (documented slow path). Unsupported
-  /// algorithms (C-CSC) return Unimplemented and are detectable up front
-  /// via SupportsRemoval().
+  /// may rescan affected contexts (documented slow path). Every built-in
+  /// algorithm supports removal (C-CSC replays the survivors of each
+  /// affected context); third-party discoverers that keep the default
+  /// return Unimplemented and are detectable up front via
+  /// SupportsRemoval().
   virtual bool SupportsRemoval() const { return false; }
   virtual Status Remove(TupleId t) {
     (void)t;

@@ -28,15 +28,7 @@ void LatticeDiscovererBase::BeginArrival(TupleId t) {
   current_tuple_ = t;
   std::fill(constraint_cached_.begin(), constraint_cached_.end(), 0);
   std::fill(context_resolved_.begin(), context_resolved_.end(), 0);
-  if (part_cache_.size() < relation_->size()) {
-    part_cache_.resize(relation_->size());
-    part_epoch_.resize(relation_->size(), 0);
-  }
-  // Epoch 0 marks never-filled slots; skip it on wraparound.
-  if (++part_epoch_current_ == 0) {
-    std::fill(part_epoch_.begin(), part_epoch_.end(), 0);
-    part_epoch_current_ = 1;
-  }
+  part_memo_.BeginArrival(*relation_, t);
 }
 
 const Constraint& LatticeDiscovererBase::CachedConstraint(DimMask mask) {
@@ -64,9 +56,7 @@ MuStore::Context* LatticeDiscovererBase::CachedContext(DimMask mask,
 }
 
 size_t LatticeDiscovererBase::ApproxMemoryBytes() const {
-  return store_->ApproxMemoryBytes() +
-         part_cache_.capacity() * sizeof(Relation::MeasurePartition) +
-         part_epoch_.capacity() * sizeof(uint32_t);
+  return store_->ApproxMemoryBytes() + part_memo_.ApproxMemoryBytes();
 }
 
 Status LatticeDiscovererBase::Remove(TupleId t) {

@@ -6,6 +6,7 @@
 
 #include "core/discoverer.h"
 #include "lattice/constraint.h"
+#include "skyline/subspace_index.h"
 #include "storage/mu_store.h"
 
 namespace sitfact {
@@ -49,14 +50,11 @@ class LatticeDiscovererBase : public Discoverer {
   /// Prop.-4 partition of the current tuple against `other`, memoized for
   /// the whole arrival: a partition is subspace-independent, but the
   /// traversal meets the same history tuple in buckets across many of the
-  /// (up to 2^m) subspace passes. First touch computes the full scalar
-  /// partition; the rest of the arrival is an epoch-checked load.
+  /// (up to 2^m) subspace passes. The memo itself now lives in the shared
+  /// subspace-index layer (skyline/subspace_index.h); semantics are
+  /// unchanged.
   const Relation::MeasurePartition& CachedPartition(TupleId other) {
-    if (part_epoch_[other] != part_epoch_current_) {
-      part_cache_[other] = relation_->Partition(current_tuple_, other);
-      part_epoch_[other] = part_epoch_current_;
-    }
-    return part_cache_[other];
+    return part_memo_.Get(other);
   }
 
   // Bucket visits go through BucketCursor (storage/mu_store.h), shared with
@@ -88,10 +86,8 @@ class LatticeDiscovererBase : public Discoverer {
   std::vector<uint8_t> constraint_cached_;
   std::vector<MuStore::Context*> context_cache_;
   std::vector<uint8_t> context_resolved_;
-  // Per-arrival partition memo, indexed by TupleId (CachedPartition).
-  std::vector<Relation::MeasurePartition> part_cache_;
-  std::vector<uint32_t> part_epoch_;
-  uint32_t part_epoch_current_ = 0;
+  // Per-arrival partition memo (CachedPartition).
+  PartitionMemo part_memo_;
 };
 
 }  // namespace sitfact

@@ -161,9 +161,68 @@ void CompressedSkycube::StoreAtMinimalSubspaces(
   }
 }
 
+void CompressedSkycube::InsertIndexed(
+    const Relation& r, TupleId t,
+    std::vector<MeasureMask>* skyline_subspaces, uint64_t* comparisons,
+    PartitionMemo* arrival_memo, PartitionMemo* repair_memo) {
+  const auto& masks = universe_->masks();
+
+  // 1. t's own skyline memberships, via index probes. Probing against all
+  // context members is equivalent to the legacy stored-tuple scan: both
+  // candidate sets contain the subspace skyline (CSC containment), and a
+  // dominator chain always terminates at a skyline member, so the
+  // membership booleans agree pair for pair.
+  index_->ComputeSkylineSet(t, *universe_, arrival_memo, &sky_scratch_,
+                            comparisons);
+  for (size_t i = 0; i < masks.size(); ++i) {
+    if (sky_scratch_[i]) skyline_subspaces->push_back(masks[i]);
+  }
+
+  // 2. Store t at its minimum subspaces.
+  StoreAtMinimalSubspaces(t, sky_scratch_);
+
+  // 3. Demotion detection: same trigger as the legacy path (t dominates a
+  // stored tuple in a subspace where it is STORED), but each pair costs a
+  // memoized partition instead of a physical bucket scan.
+  demote_scratch_.clear();
+  for (const Entry& e : entries_) {
+    for (TupleId u : e.tuples) {
+      if (u == t) continue;
+      ++*comparisons;
+      Relation::MeasurePartition local;
+      const Relation::MeasurePartition& p =
+          arrival_memo != nullptr ? arrival_memo->Get(u)
+                                  : (local = r.Partition(t, u));
+      if (DominatesInSubspace(p, e.mask)) demote_scratch_.push_back(u);
+    }
+  }
+  if (demote_scratch_.empty()) return;
+  std::sort(demote_scratch_.begin(), demote_scratch_.end());
+  demote_scratch_.erase(
+      std::unique(demote_scratch_.begin(), demote_scratch_.end()),
+      demote_scratch_.end());
+
+  // Two-phase recompute per demoted tuple: index-filtered candidates, then
+  // exact Prop.-4 verification (through repair_memo when supplied).
+  for (TupleId other : demote_scratch_) {
+    EraseEverywhere(other);
+    if (repair_memo != nullptr) repair_memo->BeginArrival(r, other);
+    index_->ComputeSkylineSet(other, *universe_, repair_memo, &sky_scratch_,
+                              comparisons);
+    StoreAtMinimalSubspaces(other, sky_scratch_);
+  }
+}
+
 void CompressedSkycube::Insert(const Relation& r, TupleId t,
                                std::vector<MeasureMask>* skyline_subspaces,
-                               uint64_t* comparisons) {
+                               uint64_t* comparisons,
+                               PartitionMemo* arrival_memo,
+                               PartitionMemo* repair_memo) {
+  if (index_ != nullptr) {
+    InsertIndexed(r, t, skyline_subspaces, comparisons, arrival_memo,
+                  repair_memo);
+    return;
+  }
   const auto& masks = universe_->masks();
 
   // Snapshot of stored tuples: by the CSC containment property they are a
@@ -240,6 +299,18 @@ void CompressedSkycube::QuerySkyline(const Relation& r, MeasureMask m,
   skyline->clear();
   const size_t c = candidates.size();
   if (c == 0) return;
+  if (index_ != nullptr) {
+    // Index-routed probes: a candidate survives against the candidate set
+    // iff it survives against all members (dominator chains terminate at
+    // skyline members, which are themselves candidates), so the output is
+    // identical to the scan below.
+    for (TupleId cand : candidates) {
+      if (index_->IsSkylineMember(cand, m, nullptr, comparisons)) {
+        skyline->push_back(cand);
+      }
+    }
+    return;
+  }
   // Every probe rescans the whole candidate set, so gather the |m| key
   // columns once into a compact (cache-resident) block and stream it per
   // probe; ramped blocks keep early exits — the common outcome — from
@@ -266,6 +337,9 @@ void CompressedSkycube::QuerySkyline(const Relation& r, MeasureMask m,
 bool CompressedSkycube::QueryMembership(const Relation& r, TupleId t,
                                         MeasureMask m,
                                         uint64_t* comparisons) const {
+  if (index_ != nullptr) {
+    return index_->IsSkylineMember(t, m, nullptr, comparisons);
+  }
   for (const Entry& e : entries_) {
     if (!IsSubsetOf(e.mask, m)) continue;
     BlockedPartitionScan scan(r, t, e.tuples.data(), e.tuples.size(), m,

@@ -8,6 +8,7 @@
 #include "lattice/subspace_universe.h"
 #include "relation/relation.h"
 #include "skyline/dominance_batch.h"
+#include "skyline/subspace_index.h"
 
 namespace sitfact {
 
@@ -34,6 +35,16 @@ class CompressedSkycube {
   explicit CompressedSkycube(const SubspaceUniverse* universe,
                              bool share_partitions = true);
 
+  /// Routes every membership decision (promotion, demotion repair, queries)
+  /// through a shared per-context SubspaceIndex instead of physical scans
+  /// of the stored buckets. The index must cover exactly this cube's
+  /// context members — the owner inserts each tuple into the index before
+  /// Insert()ing it here — and must outlive the cube. Attaching an index
+  /// supersedes the share_partitions flag; the stored structure (minimum
+  /// subspaces, stored_count) and all query *outputs* are unchanged, only
+  /// the candidate sets visited (and hence the comparison counters) differ.
+  void AttachIndex(const SubspaceIndex* index) { index_ = index; }
+
   /// Folds tuple `t` (a member of this cube's context) into the structure:
   ///   1. decides, for every admissible subspace, whether t enters the
   ///      skyline (appending those subspace masks to *skyline_subspaces);
@@ -41,9 +52,16 @@ class CompressedSkycube {
   ///   3. demotes stored tuples that t now dominates, re-deriving their
   ///      minimum subspaces.
   /// Adds the number of tuple-pair comparisons performed to *comparisons.
+  ///
+  /// With an index attached, `arrival_memo` (bound to `t`) supplies the
+  /// arrival's memoized partitions for promotion and demotion detection,
+  /// and `repair_memo` is rebound to each demoted tuple for its two-phase
+  /// recompute; either may be null (probes then fall back to batched
+  /// partitions). Both are ignored without an index.
   void Insert(const Relation& r, TupleId t,
               std::vector<MeasureMask>* skyline_subspaces,
-              uint64_t* comparisons);
+              uint64_t* comparisons, PartitionMemo* arrival_memo = nullptr,
+              PartitionMemo* repair_memo = nullptr);
 
   /// The CSC query algorithm: skyline of subspace `m` from stored tuples.
   std::vector<TupleId> QuerySkyline(const Relation& r, MeasureMask m,
@@ -90,12 +108,19 @@ class CompressedSkycube {
                          const std::vector<TupleId>& candidates,
                          std::vector<uint8_t>* out, uint64_t* comparisons);
 
+  /// Insert() body for the index-routed mode.
+  void InsertIndexed(const Relation& r, TupleId t,
+                     std::vector<MeasureMask>* skyline_subspaces,
+                     uint64_t* comparisons, PartitionMemo* arrival_memo,
+                     PartitionMemo* repair_memo);
+
   /// Stores `t` at the minimal masks of its skyline set.
   void StoreAtMinimalSubspaces(TupleId t,
                                const std::vector<uint8_t>& skyline_set);
 
   const SubspaceUniverse* universe_;
   bool share_partitions_;
+  const SubspaceIndex* index_ = nullptr;
   std::vector<Entry> entries_;  // sorted by mask
   uint64_t stored_count_ = 0;
   // Scratch reused across Insert calls.

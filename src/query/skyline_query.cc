@@ -50,6 +50,16 @@ QueryAlgorithm ResolveAuto(QueryAlgorithm algo, size_t context_size) {
                                            : QueryAlgorithm::kSortFilter;
 }
 
+QueryAlgorithm ResolveAuto(QueryAlgorithm algo, size_t context_size,
+                           MeasureMask m) {
+  if (algo != QueryAlgorithm::kAuto) return algo;
+  if (PopCount(m) <= kAutoNarrowMeasures &&
+      context_size <= kAutoNarrowContext) {
+    return QueryAlgorithm::kBlockNestedLoops;
+  }
+  return ResolveAuto(algo, context_size);
+}
+
 SkylineQueryEngine::SkylineQueryEngine(const Relation* relation)
     : relation_(relation) {
   SITFACT_CHECK(relation != nullptr);
@@ -72,7 +82,7 @@ SkylineQueryResult SkylineQueryEngine::EvaluateCandidates(
     QueryAlgorithm algo) const {
   SkylineQueryResult result;
   result.stats.context_size = candidates.size();
-  algo = ResolveAuto(algo, candidates.size());
+  algo = ResolveAuto(algo, candidates.size(), m);
   switch (algo) {
     case QueryAlgorithm::kBlockNestedLoops:
       result.skyline = BlockNestedLoops(std::move(candidates), m,

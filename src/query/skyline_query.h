@@ -51,11 +51,32 @@ QueryAlgorithm ParseQueryAlgorithm(const std::string& name);
 /// for divide-and-conquer.
 inline constexpr size_t kAutoSmallContext = 64;
 
+/// The BNL window for *narrow* subspaces (see the three-arg ResolveAuto).
+/// Calibrated against the index-routed C-CSC engine: its candidate sets
+/// arrive pre-pruned by the subspace index, so by the time a query runs,
+/// moderate-size candidate lists behave like the small contexts the old
+/// threshold assumed — and on one or two measures the SFS presort is pure
+/// overhead because the BNL window stays tiny (a narrow subspace has few
+/// incomparable tuples).
+inline constexpr size_t kAutoNarrowContext = 256;
+
+/// Subspaces with at most this many measures take the wider BNL window.
+inline constexpr int kAutoNarrowMeasures = 2;
+
 /// Resolves kAuto to a concrete algorithm for a context of `context_size`
 /// candidates; non-auto inputs pass through unchanged. Exposed so tests can
 /// pin the planner's threshold behavior (a silent flip would invalidate
 /// every kAuto benchmark).
 QueryAlgorithm ResolveAuto(QueryAlgorithm algo, size_t context_size);
+
+/// Subspace-aware resolution: narrow subspaces (|m| <=
+/// kAutoNarrowMeasures) stay on BNL up to kAutoNarrowContext candidates;
+/// everything else follows the two-arg rule. This is the planner profile
+/// for the post-rebuild C-CSC cost model, where index-pruned candidate
+/// sets replaced the physical per-subspace scans the old threshold was
+/// tuned against. Pinned by query_test.
+QueryAlgorithm ResolveAuto(QueryAlgorithm algo, size_t context_size,
+                           MeasureMask m);
 
 /// Work counters for one evaluation (reset per query).
 struct QueryStats {

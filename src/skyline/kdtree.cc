@@ -153,11 +153,17 @@ void KdTree::MaybeSplitLeaf(int32_t idx) {
 std::vector<TupleId> KdTree::FindDominatorCandidates(TupleId t,
                                                      MeasureMask m) const {
   std::vector<TupleId> out;
+  FindDominatorCandidates(t, m, &out);
+  return out;
+}
+
+void KdTree::FindDominatorCandidates(TupleId t, MeasureMask m,
+                                     std::vector<TupleId>* out) const {
+  out->clear();
   VisitDominators(t, m, [&](TupleId cand) {
-    out.push_back(cand);
+    out->push_back(cand);
     return true;
   });
-  return out;
 }
 
 size_t KdTree::ApproxMemoryBytes() const {

@@ -105,6 +105,13 @@ class KdTree {
   /// Convenience wrapper returning all candidates.
   std::vector<TupleId> FindDominatorCandidates(TupleId t, MeasureMask m) const;
 
+  /// Allocation-free variant for probe batches: *out is cleared and refilled
+  /// from the caller's reusable scratch, so issuing many probes (one per
+  /// subspace per context, in the subspace-index layer) never allocates a
+  /// fresh vector per call.
+  void FindDominatorCandidates(TupleId t, MeasureMask m,
+                               std::vector<TupleId>* out) const;
+
   /// Number of inserted tuples.
   size_t size() const { return size_; }
 

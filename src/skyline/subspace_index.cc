@@ -1,0 +1,85 @@
+#include "skyline/subspace_index.h"
+
+#include "skyline/dominance.h"
+#include "skyline/dominance_batch.h"
+
+namespace sitfact {
+
+SubspaceIndex::SubspaceIndex(const Relation* relation)
+    : relation_(relation), tree_(relation) {}
+
+void SubspaceIndex::Insert(TupleId t) {
+  tree_.Insert(t);
+  members_.push_back(t);
+}
+
+bool SubspaceIndex::IsSkylineMember(TupleId probe, MeasureMask m,
+                                    PartitionMemo* memo,
+                                    uint64_t* comparisons) const {
+  const Relation& r = *relation_;
+  if (members_.size() <= kProbeCutover) {
+    // Small member set: sweep partitions directly. With a memo each pair
+    // costs one scalar partition for the whole arrival; every later mask
+    // (and every later context meeting the same pair) is two bit tests.
+    for (TupleId u : members_) {
+      if (u == probe || r.IsDeleted(u)) continue;
+      ++*comparisons;
+      Relation::MeasurePartition local;
+      const Relation::MeasurePartition& p =
+          memo != nullptr ? memo->Get(u) : (local = r.Partition(probe, u));
+      if (DominatedInSubspace(p, m)) return false;
+    }
+    return true;
+  }
+  if (memo != nullptr) {
+    // Phase 1 (tree range query, weak dominators only) fused with phase 2
+    // (memoized Prop.-4 verify): the first strict dominator ends the probe
+    // mid-traversal.
+    bool dominated = false;
+    tree_.VisitDominators(probe, m, [&](TupleId cand) {
+      if (r.IsDeleted(cand)) return true;
+      ++*comparisons;
+      if (DominatedInSubspace(memo->Get(cand), m)) {
+        dominated = true;
+        return false;
+      }
+      return true;
+    });
+    return !dominated;
+  }
+  // No memo: collect the phase-1 candidates, then verify the (index-pruned,
+  // hence short) list with one batched partition pass.
+  tree_.FindDominatorCandidates(probe, m, &cand_scratch_);
+  size_t live = 0;
+  for (TupleId cand : cand_scratch_) {
+    if (!r.IsDeleted(cand)) cand_scratch_[live++] = cand;
+  }
+  if (live == 0) return true;
+  part_scratch_.resize(live);
+  PartitionBatch(r, probe, cand_scratch_.data(), live, part_scratch_.data());
+  *comparisons += live;
+  for (size_t i = 0; i < live; ++i) {
+    if (DominatedInSubspace(part_scratch_[i], m)) return false;
+  }
+  return true;
+}
+
+void SubspaceIndex::ComputeSkylineSet(TupleId probe,
+                                      const SubspaceUniverse& universe,
+                                      PartitionMemo* memo,
+                                      std::vector<uint8_t>* out,
+                                      uint64_t* comparisons) const {
+  const auto& masks = universe.masks();
+  out->assign(masks.size(), 1);
+  for (size_t i = 0; i < masks.size(); ++i) {
+    if (!IsSkylineMember(probe, masks[i], memo, comparisons)) (*out)[i] = 0;
+  }
+}
+
+size_t SubspaceIndex::ApproxMemoryBytes() const {
+  return tree_.ApproxMemoryBytes() + members_.capacity() * sizeof(TupleId) +
+         cand_scratch_.capacity() * sizeof(TupleId) +
+         part_scratch_.capacity() * sizeof(Relation::MeasurePartition);
+}
+
+}  // namespace sitfact

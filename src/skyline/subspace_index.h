@@ -1,0 +1,134 @@
+#ifndef SITFACT_SKYLINE_SUBSPACE_INDEX_H_
+#define SITFACT_SKYLINE_SUBSPACE_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "lattice/subspace_universe.h"
+#include "relation/relation.h"
+#include "skyline/kdtree.h"
+
+namespace sitfact {
+
+/// Per-arrival memo of Prop.-4 partitions against one probe tuple. A
+/// partition is subspace-independent, so one evaluation of (probe, other)
+/// serves every subspace pass — and, when the memo is shared across
+/// consumers (the C-CSC discoverer threads one memo through all of an
+/// arrival's contexts), every context that meets the same history tuple.
+/// First touch computes the full scalar partition; the rest of the arrival
+/// is an epoch-checked load. Rebinding to a new probe is O(1).
+///
+/// Extracted from the lattice family's per-arrival cache (PR 5) so the
+/// subspace-index layer and the lattice engines share one implementation;
+/// the lattice engines' epoch/billing behaviour is unchanged.
+class PartitionMemo {
+ public:
+  /// Rebinds the memo to probe tuple `t` of `r`, invalidating all cached
+  /// partitions (epoch bump). `r` must outlive the memo and not shrink.
+  void BeginArrival(const Relation& r, TupleId t) {
+    relation_ = &r;
+    probe_ = t;
+    if (cache_.size() < r.size()) {
+      cache_.resize(r.size());
+      epoch_.resize(r.size(), 0);
+    }
+    // Epoch 0 marks never-filled slots; skip it on wraparound.
+    if (++current_ == 0) {
+      std::fill(epoch_.begin(), epoch_.end(), 0);
+      current_ = 1;
+    }
+  }
+
+  /// The probe tuple of the current arrival.
+  TupleId probe() const { return probe_; }
+
+  /// Partition of the current probe against `other`, memoized for the
+  /// whole arrival.
+  const Relation::MeasurePartition& Get(TupleId other) {
+    if (epoch_[other] != current_) {
+      cache_[other] = relation_->Partition(probe_, other);
+      epoch_[other] = current_;
+    }
+    return cache_[other];
+  }
+
+  size_t ApproxMemoryBytes() const {
+    return cache_.capacity() * sizeof(Relation::MeasurePartition) +
+           epoch_.capacity() * sizeof(uint32_t);
+  }
+
+ private:
+  const Relation* relation_ = nullptr;
+  TupleId probe_ = 0;
+  std::vector<Relation::MeasurePartition> cache_;
+  std::vector<uint32_t> epoch_;
+  uint32_t current_ = 0;
+};
+
+/// Shared per-context subspace index: the bucketed k-d tree plus the batched
+/// dominance kernels, packaged as skyline/skyband probe operations over one
+/// member set (one context σ_C(R), or any fixed tuple population).
+///
+/// A membership probe is a two-phase approximate-then-verify scan: phase 1
+/// routes through the tree's one-sided range query, which returns only the
+/// candidates that *weakly* dominate the probe in the queried subspace;
+/// phase 2 verifies strict dominance exactly via Prop. 4 — through a shared
+/// PartitionMemo when the caller has one (each pair then costs one scalar
+/// partition for the whole arrival), or through `PartitionBatch` otherwise.
+/// Small member sets skip the tree: a memoized partition sweep is cheaper
+/// than traversal when everything fits in a handful of cache lines.
+///
+/// Deleted tuples (Relation::IsDeleted) are filtered from every probe, so a
+/// caller that rebuilds after removal only has to drop them from its own
+/// bookkeeping. Not thread-safe: probes share scratch, like the tree.
+class SubspaceIndex {
+ public:
+  /// Member sets up to this size are probed by a linear memoized partition
+  /// sweep instead of tree traversal.
+  static constexpr size_t kProbeCutover = 64;
+
+  /// `relation` must outlive the index.
+  explicit SubspaceIndex(const Relation* relation);
+
+  /// Adds tuple `t` to the member set (and the tree).
+  void Insert(TupleId t);
+
+  /// Members in insertion order (C-CSC replays this on removal-rebuild).
+  const std::vector<TupleId>& members() const { return members_; }
+
+  /// True iff no live member strictly dominates `probe` in subspace `m`.
+  /// `probe` need not be a member; if it is, it never dominates itself.
+  /// `memo`, when non-null, must be bound to `probe` (BeginArrival) and is
+  /// used for phase-2 verification; when null, verification runs through
+  /// batched partitions of the phase-1 candidate list. Adds one comparison
+  /// per pair evaluated to *comparisons.
+  bool IsSkylineMember(TupleId probe, MeasureMask m, PartitionMemo* memo,
+                       uint64_t* comparisons) const;
+
+  /// Membership of `probe` for every mask of `universe`: out[i] = 1 iff
+  /// IsSkylineMember(probe, universe.masks()[i]). One memoized partition
+  /// sweep (or one probe per mask) — the all-subspace question C-CSC asks
+  /// on promotion and on demotion repair.
+  void ComputeSkylineSet(TupleId probe, const SubspaceUniverse& universe,
+                         PartitionMemo* memo, std::vector<uint8_t>* out,
+                         uint64_t* comparisons) const;
+
+  size_t size() const { return members_.size(); }
+  const KdTree& tree() const { return tree_; }
+
+  size_t ApproxMemoryBytes() const;
+
+ private:
+  const Relation* relation_;
+  KdTree tree_;
+  std::vector<TupleId> members_;
+  // Probe scratch, reused across probe batches (no fresh allocation per
+  // probe).
+  mutable std::vector<TupleId> cand_scratch_;
+  mutable std::vector<Relation::MeasurePartition> part_scratch_;
+};
+
+}  // namespace sitfact
+
+#endif  // SITFACT_SKYLINE_SUBSPACE_INDEX_H_

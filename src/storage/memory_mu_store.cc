@@ -6,7 +6,23 @@ namespace sitfact {
 
 MuStore::Context* MemoryMuStore::GetOrCreate(const Constraint& c) {
   auto [it, inserted] = contexts_.try_emplace(c, &stats_);
+  if (inserted) {
+    it->second.owner_ = this;
+    it->second.constraint_ = &it->first;
+  }
   return &it->second;
+}
+
+void MemoryMuStore::MemContext::Notify(
+    MeasureMask m, const std::vector<TupleId>& bucket) const {
+  if (owner_ != nullptr && owner_->bucket_observer() != nullptr) {
+    owner_->bucket_observer()->OnBucketChanged(*constraint_, m, bucket);
+  }
+}
+
+void MemoryMuStore::MemContext::NotifyRemoved(MeasureMask m) const {
+  static const std::vector<TupleId> kEmpty;
+  Notify(m, kEmpty);
 }
 
 MuStore::Context* MemoryMuStore::Find(const Constraint& c) {
@@ -81,14 +97,17 @@ void MemoryMuStore::MemContext::Write(MeasureMask m,
     if (contents.empty()) {
       entries_.erase(entries_.begin() + i);
       last_entry_ = -1;
+      NotifyRemoved(m);
     } else {
       entries_[i].bucket = contents;
       stats_->stored_tuples += contents.size();
+      Notify(m, contents);
     }
     return;
   }
   *GetBucket(m, /*create=*/true) = contents;
   stats_->stored_tuples += contents.size();
+  Notify(m, contents);
 }
 
 uint32_t MemoryMuStore::MemContext::Size(MeasureMask m) const {
@@ -106,8 +125,10 @@ bool MemoryMuStore::MemContext::Contains(MeasureMask m, TupleId t) {
 
 void MemoryMuStore::MemContext::Insert(MeasureMask m, TupleId t) {
   ++stats_->bucket_writes;
-  GetBucket(m, /*create=*/true)->push_back(t);
+  std::vector<TupleId>* bucket = GetBucket(m, /*create=*/true);
+  bucket->push_back(t);
   ++stats_->stored_tuples;
+  Notify(m, *bucket);
 }
 
 bool MemoryMuStore::MemContext::Erase(MeasureMask m, TupleId t) {
@@ -123,6 +144,9 @@ bool MemoryMuStore::MemContext::Erase(MeasureMask m, TupleId t) {
   if (b.empty()) {
     entries_.erase(entries_.begin() + i);
     last_entry_ = -1;
+    NotifyRemoved(m);
+  } else {
+    Notify(m, b);
   }
   return true;
 }
@@ -143,6 +167,9 @@ void MemoryMuStore::MemContext::CommitDirect(MeasureMask m, size_t old_size) {
   if (entries_[i].bucket.empty()) {
     entries_.erase(entries_.begin() + i);
     last_entry_ = -1;
+    NotifyRemoved(m);
+  } else {
+    Notify(m, entries_[i].bucket);
   }
 }
 

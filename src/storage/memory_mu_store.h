@@ -55,8 +55,18 @@ class MemoryMuStore : public MuStore {
     int FindEntry(MeasureMask m) const;
     std::vector<TupleId>* GetBucket(MeasureMask m, bool create);
 
+    /// Bucket-observer hook (MuStore::BucketObserver): one branch when no
+    /// observer is registered.
+    void Notify(MeasureMask m, const std::vector<TupleId>& bucket) const;
+    /// Notify() with an empty bucket (erasure / emptied-bucket reclaim).
+    void NotifyRemoved(MeasureMask m) const;
+
     std::vector<Entry> entries_;
     MuStoreStats* stats_;
+    /// Owning store + map key, for observer notifications. The key pointer
+    /// is stable: unordered_map nodes never move.
+    MemoryMuStore* owner_ = nullptr;
+    const Constraint* constraint_ = nullptr;
     /// Memo of the last successful lookup, so the hot Direct→CommitDirect
     /// protocol (one bucket visit per lattice (C, M) traversal) resolves
     /// the entry's position once instead of binary-searching twice. Entry

@@ -92,7 +92,29 @@ class MuStore {
     }
   };
 
+  /// Observer of bucket mutations: the hook a per-subspace skyband or
+  /// spatial index registers to shadow µ buckets without the store knowing
+  /// its type (the SubspaceIndex layer is the intended consumer). Invoked
+  /// after each mutation with the bucket's new contents; an emptied or
+  /// removed bucket is reported with an empty vector. The memory store
+  /// emits on every mutating Context operation (Write, Insert, Erase,
+  /// CommitDirect); the file-backed stores do not emit — an index shadowing
+  /// a persistent store must rebuild from ForEachBucket after restore.
+  class BucketObserver {
+   public:
+    virtual ~BucketObserver() = default;
+    virtual void OnBucketChanged(const Constraint& c, MeasureMask m,
+                                 const std::vector<TupleId>& bucket) = 0;
+  };
+
   virtual ~MuStore() = default;
+
+  /// Registers `observer` (or nullptr to detach). At most one; the default
+  /// is none, and the hot path pays a single branch when unset.
+  void set_bucket_observer(BucketObserver* observer) {
+    bucket_observer_ = observer;
+  }
+  BucketObserver* bucket_observer() const { return bucket_observer_; }
 
   /// Stable handle for constraint `c`, creating an (empty) entry if absent.
   virtual Context* GetOrCreate(const Constraint& c) = 0;
@@ -129,6 +151,7 @@ class MuStore {
 
  protected:
   MuStoreStats stats_;
+  BucketObserver* bucket_observer_ = nullptr;
 };
 
 /// Decodes a bucket dump, writing each bucket into `store` — or, when

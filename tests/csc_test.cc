@@ -49,7 +49,12 @@ std::vector<MeasureMask> NaiveMinimumSubspaces(
   return out;
 }
 
-class CscTest : public ::testing::Test {
+/// Every storage-invariant and query test runs twice: once against the
+/// legacy scan-based cube and once with a SubspaceIndex attached (the
+/// C-CSC production configuration since the rebuild). The invariants and
+/// outputs must be identical in both modes — only the comparison counts
+/// may differ.
+class CscTest : public ::testing::TestWithParam<bool> {
  protected:
   void Stream(const Dataset& data, int max_measure_dims = -1) {
     relation_ = std::make_unique<Relation>(data.schema());
@@ -58,12 +63,21 @@ class CscTest : public ::testing::Test {
     universe_ =
         std::make_unique<SubspaceUniverse>(data.schema().num_measures(), mm);
     cube_ = std::make_unique<CompressedSkycube>(universe_.get());
+    if (GetParam()) {
+      index_ = std::make_unique<SubspaceIndex>(relation_.get());
+      cube_->AttachIndex(index_.get());
+    }
     uint64_t comparisons = 0;
     for (const Row& row : data.rows()) {
       TupleId t = relation_->Append(row);
       members_.push_back(t);
+      if (index_ != nullptr) {
+        index_->Insert(t);
+        memo_.BeginArrival(*relation_, t);
+      }
       std::vector<MeasureMask> sky;
-      cube_->Insert(*relation_, t, &sky, &comparisons);
+      cube_->Insert(*relation_, t, &sky, &comparisons,
+                    index_ != nullptr ? &memo_ : nullptr);
       last_sky_ = std::move(sky);
     }
   }
@@ -71,11 +85,13 @@ class CscTest : public ::testing::Test {
   std::unique_ptr<Relation> relation_;
   std::unique_ptr<SubspaceUniverse> universe_;
   std::unique_ptr<CompressedSkycube> cube_;
+  std::unique_ptr<SubspaceIndex> index_;
+  PartitionMemo memo_;
   std::vector<TupleId> members_;
   std::vector<MeasureMask> last_sky_;
 };
 
-TEST_F(CscTest, StoresTuplesExactlyAtMinimumSubspaces) {
+TEST_P(CscTest, StoresTuplesExactlyAtMinimumSubspaces) {
   RandomDataConfig cfg;
   cfg.num_tuples = 60;
   cfg.num_measures = 3;
@@ -98,7 +114,7 @@ TEST_F(CscTest, StoresTuplesExactlyAtMinimumSubspaces) {
   }
 }
 
-TEST_F(CscTest, InsertReportsExactSkylineMemberships) {
+TEST_P(CscTest, InsertReportsExactSkylineMemberships) {
   RandomDataConfig cfg;
   cfg.num_tuples = 50;
   cfg.num_measures = 3;
@@ -122,7 +138,7 @@ TEST_F(CscTest, InsertReportsExactSkylineMemberships) {
   EXPECT_EQ(expected, actual);
 }
 
-TEST_F(CscTest, QuerySkylineMatchesReference) {
+TEST_P(CscTest, QuerySkylineMatchesReference) {
   RandomDataConfig cfg;
   cfg.num_tuples = 70;
   cfg.num_measures = 3;
@@ -140,7 +156,7 @@ TEST_F(CscTest, QuerySkylineMatchesReference) {
   EXPECT_GT(comparisons, 0u);
 }
 
-TEST_F(CscTest, ContainmentPropertyHolds) {
+TEST_P(CscTest, ContainmentPropertyHolds) {
   // Theorem behind the CSC: sky(M) ⊆ ∪_{N ⊆ M} CSC[N].
   RandomDataConfig cfg;
   cfg.num_tuples = 60;
@@ -163,7 +179,7 @@ TEST_F(CscTest, ContainmentPropertyHolds) {
   }
 }
 
-TEST_F(CscTest, TruncatedUniverseStaysConsistent) {
+TEST_P(CscTest, TruncatedUniverseStaysConsistent) {
   RandomDataConfig cfg;
   cfg.num_tuples = 50;
   cfg.num_measures = 4;
@@ -184,7 +200,7 @@ TEST_F(CscTest, TruncatedUniverseStaysConsistent) {
   }
 }
 
-TEST_F(CscTest, DuplicateMeasureVectorsCoexist) {
+TEST_P(CscTest, DuplicateMeasureVectorsCoexist) {
   Schema s({{"a"}}, {{"m0"}, {"m1"}});
   Dataset d(std::move(s));
   d.Add(Row{{"x"}, {5, 5}});
@@ -201,7 +217,7 @@ TEST_F(CscTest, DuplicateMeasureVectorsCoexist) {
   EXPECT_EQ(cube_->stored_count(), 4u);
 }
 
-TEST_F(CscTest, StoredCountAndMemoryTrackDemotions) {
+TEST_P(CscTest, StoredCountAndMemoryTrackDemotions) {
   Schema s({{"a"}}, {{"m0"}});
   Dataset d(std::move(s));
   d.Add(Row{{"x"}, {1}});
@@ -213,6 +229,11 @@ TEST_F(CscTest, StoredCountAndMemoryTrackDemotions) {
   EXPECT_EQ(cube_->stored_count(), 1u);
   EXPECT_GT(cube_->ApproxMemoryBytes(), 0u);
 }
+
+INSTANTIATE_TEST_SUITE_P(Modes, CscTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Indexed" : "Unindexed";
+                         });
 
 }  // namespace
 }  // namespace sitfact

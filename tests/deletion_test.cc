@@ -5,6 +5,7 @@
 // invariants.
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -146,10 +147,11 @@ std::vector<DeletionCase> DeletionCases() {
   base.num_dims = 3;
   base.num_measures = 2;
   int seed = 555;
-  for (const char* algo : {"BaselineSeq", "BaselineIdx", "BottomUp",
+  for (const char* algo : {"BaselineSeq", "BaselineIdx", "C-CSC", "BottomUp",
                            "TopDown", "SBottomUp", "STopDown"}) {
     DeletionCase c;
     c.label = std::string(algo);
+    std::erase(c.label, '-');  // gtest param names must be alphanumeric
     c.algorithm = algo;
     c.data = base;
     c.data.seed = seed++;
@@ -203,19 +205,69 @@ TEST(Deletion, EngineRemoveUpdatesProminence) {
   }
 }
 
-TEST(Deletion, UnsupportedAlgorithmsReportUnimplemented) {
+// Third-party discoverers inherit the base class's "no removal" default;
+// the engine must refuse them without side effects. (Every built-in
+// algorithm now supports removal — C-CSC gained it with the SubspaceIndex
+// rebuild — so this exercises the default path directly.)
+class NoRemovalDiscoverer : public Discoverer {
+ public:
+  NoRemovalDiscoverer(const Relation* r, const DiscoveryOptions& o)
+      : Discoverer(r, o) {}
+  std::string_view name() const override { return "NoRemoval"; }
+  void Discover(TupleId, std::vector<SkylineFact>*) override {}
+  size_t ApproxMemoryBytes() const override { return 0; }
+};
+
+TEST(Deletion, UnsupportedDiscovererReportsUnimplemented) {
   Dataset data = PaperTableIV();
   Relation r(data.schema());
-  auto disc = DiscoveryEngine::CreateDiscoverer("C-CSC", &r, {});
-  ASSERT_TRUE(disc.ok());
-  EXPECT_FALSE(disc.value()->SupportsRemoval());
+  auto disc = std::make_unique<NoRemovalDiscoverer>(&r, DiscoveryOptions{});
+  EXPECT_FALSE(disc->SupportsRemoval());
   DiscoveryEngine::Config config;
   config.rank_facts = false;
-  DiscoveryEngine engine(&r, std::move(disc).value(), config);
+  DiscoveryEngine engine(&r, std::move(disc), config);
   engine.Append(data.rows()[0]);
   Status s = engine.Remove(0);
   EXPECT_EQ(s.code(), StatusCode::kUnimplemented);
   EXPECT_FALSE(r.IsDeleted(0));  // no side effects on failure
+}
+
+// C-CSC's removal path requires the caller to tombstone first, like every
+// other algorithm, and repairs its per-context skycubes so a post-deletion
+// arrival discovers exactly what BruteForce does on the same mutated
+// relation.
+TEST(Deletion, CcscRemoveRepairsSkycubes) {
+  Dataset data = PaperTableIV();
+
+  Relation r(data.schema());
+  auto disc_or = DiscoveryEngine::CreateDiscoverer("C-CSC", &r, {});
+  ASSERT_TRUE(disc_or.ok());
+  std::unique_ptr<Discoverer> disc = std::move(disc_or).value();
+  ASSERT_TRUE(disc->SupportsRemoval());
+  std::vector<SkylineFact> facts;
+  for (const Row& row : data.rows()) disc->Discover(r.Append(row), &facts);
+
+  EXPECT_FALSE(disc->Remove(3).ok());    // not tombstoned yet
+  EXPECT_FALSE(disc->Remove(999).ok());  // out of range
+  r.MarkDeleted(3);                      // t4, the global dominator
+  ASSERT_TRUE(disc->Remove(3).ok());
+
+  Relation oracle_rel(data.schema());
+  BruteForceDiscoverer oracle(&oracle_rel, {});
+  for (const Row& row : data.rows()) {
+    oracle.Discover(oracle_rel.Append(row), &facts);
+  }
+  oracle_rel.MarkDeleted(3);
+  ASSERT_TRUE(oracle.Remove(3).ok());
+
+  // The next arrival must agree fact-for-fact with the oracle.
+  Row next{{"a1", "b2", "c1"}, {16, 18}};
+  std::vector<SkylineFact> actual, expected;
+  disc->Discover(r.Append(next), &actual);
+  oracle.Discover(oracle_rel.Append(next), &expected);
+  CanonicalizeFacts(&actual);
+  CanonicalizeFacts(&expected);
+  EXPECT_EQ(actual, expected);
 }
 
 }  // namespace

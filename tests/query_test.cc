@@ -152,6 +152,33 @@ TEST(AutoPlanner, ThresholdBehaviorIsPinned) {
             QueryAlgorithm::kDivideConquer);
 }
 
+TEST(AutoPlanner, SubspaceAwareResolutionIsPinned) {
+  // The three-arg resolver carries the post-rebuild C-CSC cost profile:
+  // candidate sets reaching the evaluators are index-pruned, and on narrow
+  // subspaces (|m| <= kAutoNarrowMeasures) the BNL window stays tiny, so
+  // BNL wins up to kAutoNarrowContext. Wide subspaces keep the legacy
+  // crossover exactly.
+  EXPECT_EQ(kAutoNarrowContext, 256u);
+  EXPECT_EQ(kAutoNarrowMeasures, 2);
+  // Narrow subspaces: the wider BNL window applies.
+  EXPECT_EQ(ResolveAuto(QueryAlgorithm::kAuto, kAutoNarrowContext, 0b11),
+            QueryAlgorithm::kBlockNestedLoops);
+  EXPECT_EQ(ResolveAuto(QueryAlgorithm::kAuto, kAutoNarrowContext, 0b1),
+            QueryAlgorithm::kBlockNestedLoops);
+  EXPECT_EQ(ResolveAuto(QueryAlgorithm::kAuto, kAutoNarrowContext + 1, 0b11),
+            QueryAlgorithm::kSortFilter);
+  // Wide subspaces: identical to the two-arg rule on both sides.
+  EXPECT_EQ(ResolveAuto(QueryAlgorithm::kAuto, kAutoSmallContext, 0b111),
+            QueryAlgorithm::kBlockNestedLoops);
+  EXPECT_EQ(ResolveAuto(QueryAlgorithm::kAuto, kAutoSmallContext + 1, 0b111),
+            QueryAlgorithm::kSortFilter);
+  // Non-auto inputs still pass through untouched.
+  EXPECT_EQ(ResolveAuto(QueryAlgorithm::kSortFilter, 1, 0b1),
+            QueryAlgorithm::kSortFilter);
+  EXPECT_EQ(ResolveAuto(QueryAlgorithm::kBlockNestedLoops, 1000000, 0b111),
+            QueryAlgorithm::kBlockNestedLoops);
+}
+
 TEST(AutoPlanner, EvaluateMatchesResolvedAlgorithmOnBothSidesOfThreshold) {
   // Behavioral proof that EvaluateCandidates actually routes through the
   // resolver: at the threshold sizes, kAuto's work counters must be

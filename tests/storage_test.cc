@@ -8,11 +8,13 @@
 #include <fstream>
 #include <map>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/bottom_up.h"
+#include "core/shared_top_down.h"
 #include "exec/sharded_discoverer.h"
 #include "storage/context_counter.h"
 #include "storage/file_mu_store.h"
@@ -163,6 +165,76 @@ INSTANTIATE_TEST_SUITE_P(MemoryAndFile, MuStoreContractTest,
                          [](const ::testing::TestParamInfo<bool>& info) {
                            return info.param ? "FileMuStore" : "MemoryMuStore";
                          });
+
+/// Shadow index maintained purely from BucketObserver callbacks; after any
+/// mutation sequence it must agree with a ForEachBucket dump of the store.
+class ShadowObserver : public MuStore::BucketObserver {
+ public:
+  void OnBucketChanged(const Constraint& c, MeasureMask m,
+                       const std::vector<TupleId>& bucket) override {
+    ++notifications_;
+    if (bucket.empty()) {
+      shadow_[c].erase(m);
+      if (shadow_[c].empty()) shadow_.erase(c);
+    } else {
+      shadow_[c][m] = bucket;
+    }
+  }
+
+  void ExpectMatches(MuStore& store) const {  // ForEachBucket is non-const
+    size_t dumped = 0;
+    store.ForEachBucket([&](const Constraint& c, MeasureMask m,
+                            const std::vector<TupleId>& bucket) {
+      ++dumped;
+      auto it = shadow_.find(c);
+      ASSERT_NE(it, shadow_.end()) << "constraint missing from shadow";
+      auto bit = it->second.find(m);
+      ASSERT_NE(bit, it->second.end()) << "bucket missing from shadow";
+      EXPECT_EQ(bit->second, bucket);
+    });
+    size_t shadow_buckets = 0;
+    for (const auto& [c, buckets] : shadow_) shadow_buckets += buckets.size();
+    EXPECT_EQ(shadow_buckets, dumped) << "shadow holds stale buckets";
+  }
+
+  uint64_t notifications() const { return notifications_; }
+
+ private:
+  std::unordered_map<Constraint, std::map<MeasureMask, std::vector<TupleId>>,
+                     ConstraintHash>
+      shadow_;
+  uint64_t notifications_ = 0;
+};
+
+// The memory store must emit one notification per bucket mutation, with the
+// bucket's new contents, through a full discovery stream plus deletions —
+// the feed a downstream per-subspace skyband index would be built on.
+TEST(MemoryMuStoreObserver, ShadowTracksDiscoveryStreamAndRemovals) {
+  Dataset data = PaperTableIV();
+  Relation relation(data.schema());
+  SharedTopDownDiscoverer disc(&relation, {});
+  ShadowObserver observer;
+  disc.mutable_store()->set_bucket_observer(&observer);
+
+  std::vector<SkylineFact> facts;
+  for (const Row& row : data.rows()) {
+    disc.Discover(relation.Append(row), &facts);
+  }
+  EXPECT_GT(observer.notifications(), 0u);
+  observer.ExpectMatches(*disc.mutable_store());
+
+  // Deleting the global dominator rewrites many buckets; the observer sees
+  // every rewrite including emptied buckets.
+  relation.MarkDeleted(3);
+  ASSERT_TRUE(disc.Remove(3).ok());
+  observer.ExpectMatches(*disc.mutable_store());
+
+  // Detaching stops the feed.
+  const uint64_t before = observer.notifications();
+  disc.mutable_store()->set_bucket_observer(nullptr);
+  disc.Discover(relation.Append(Row{{"a3", "b3", "c3"}, {30, 30}}), &facts);
+  EXPECT_EQ(observer.notifications(), before);
+}
 
 TEST(FileMuStore, CountsFileIoAndTracksDiskBytes) {
   Dataset data = PaperTableIV();

@@ -1,0 +1,210 @@
+// Unit tests for the shared subspace-index layer (skyline/subspace_index.h):
+// the PartitionMemo rebind/lookup contract and SubspaceIndex membership
+// probes against a quadratic oracle, exercised on both sides of the
+// linear-sweep/tree-probe cutover and on all three verification paths
+// (memoized sweep, memo-fused tree traversal, batched verification).
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lattice/subspace_universe.h"
+#include "skyline/dominance.h"
+#include "skyline/subspace_index.h"
+#include "test_util.h"
+
+namespace sitfact {
+namespace {
+
+using testing_util::RandomDataConfig;
+using testing_util::RandomDataset;
+
+TEST(PartitionMemo, MatchesDirectPartitionAndRebinds) {
+  RandomDataConfig cfg;
+  cfg.num_tuples = 12;
+  cfg.num_measures = 3;
+  cfg.mixed_directions = true;
+  cfg.seed = 31;
+  Dataset data = RandomDataset(cfg);
+  Relation r(data.schema());
+  for (const Row& row : data.rows()) r.Append(row);
+
+  PartitionMemo memo;
+  memo.BeginArrival(r, 7);
+  EXPECT_EQ(memo.probe(), 7u);
+  for (TupleId u = 0; u < r.size(); ++u) {
+    Relation::MeasurePartition want = r.Partition(7, u);
+    const Relation::MeasurePartition& got = memo.Get(u);
+    EXPECT_EQ(got.worse, want.worse) << "u=" << u;
+    EXPECT_EQ(got.better, want.better) << "u=" << u;
+    // Second lookup serves the cached value.
+    EXPECT_EQ(memo.Get(u).worse, want.worse);
+  }
+
+  // Rebinding invalidates every cached partition.
+  memo.BeginArrival(r, 3);
+  EXPECT_EQ(memo.probe(), 3u);
+  for (TupleId u = 0; u < r.size(); ++u) {
+    Relation::MeasurePartition want = r.Partition(3, u);
+    EXPECT_EQ(memo.Get(u).worse, want.worse) << "u=" << u;
+    EXPECT_EQ(memo.Get(u).better, want.better) << "u=" << u;
+  }
+  EXPECT_GT(memo.ApproxMemoryBytes(), 0u);
+}
+
+TEST(PartitionMemo, GrowsWithTheRelation) {
+  Schema s({{"a"}}, {{"m0"}, {"m1"}});
+  Dataset d(std::move(s));
+  d.Add(Row{{"x"}, {1, 2}});
+  d.Add(Row{{"x"}, {2, 1}});
+  Relation r(d.schema());
+  r.Append(d.rows()[0]);
+
+  PartitionMemo memo;
+  memo.BeginArrival(r, 0);
+  (void)memo.Get(0);
+  // Appending and rebinding must accommodate the larger id space.
+  TupleId t = r.Append(d.rows()[1]);
+  memo.BeginArrival(r, t);
+  Relation::MeasurePartition want = r.Partition(t, 0);
+  EXPECT_EQ(memo.Get(0).worse, want.worse);
+  EXPECT_EQ(memo.Get(0).better, want.better);
+}
+
+/// Oracle: `probe` is a skyline member iff no live member (other than the
+/// probe itself) strictly dominates it in `m`.
+bool OracleIsMember(const Relation& r, const std::vector<TupleId>& members,
+                    TupleId probe, MeasureMask m) {
+  for (TupleId u : members) {
+    if (u == probe || r.IsDeleted(u)) continue;
+    if (Dominates(r, u, probe, m)) return false;
+  }
+  return true;
+}
+
+class SubspaceIndexProbeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SubspaceIndexProbeTest, MembershipMatchesOracleAroundCutover) {
+  const size_t n = GetParam();
+  RandomDataConfig cfg;
+  cfg.num_tuples = static_cast<int>(n);
+  cfg.num_measures = 3;
+  cfg.measure_levels = 5;
+  cfg.duplicate_prob = 0.2;
+  cfg.mixed_directions = true;
+  cfg.seed = 100 + n;
+  Dataset data = RandomDataset(cfg);
+  Relation r(data.schema());
+  SubspaceIndex index(&r);
+  for (const Row& row : data.rows()) index.Insert(r.Append(row));
+  ASSERT_EQ(index.size(), n);
+
+  SubspaceUniverse universe(3, 3);
+  PartitionMemo memo;
+  uint64_t comparisons = 0;
+  for (TupleId probe = 0; probe < r.size(); ++probe) {
+    memo.BeginArrival(r, probe);
+    for (MeasureMask m : universe.masks()) {
+      bool want = OracleIsMember(r, index.members(), probe, m);
+      EXPECT_EQ(index.IsSkylineMember(probe, m, &memo, &comparisons), want)
+          << "probe=" << probe << " m=" << m << " (memoized)";
+      EXPECT_EQ(index.IsSkylineMember(probe, m, nullptr, &comparisons), want)
+          << "probe=" << probe << " m=" << m << " (batched)";
+    }
+  }
+  EXPECT_GT(comparisons, 0u);
+}
+
+TEST_P(SubspaceIndexProbeTest, DeletedMembersAreFilteredFromProbes) {
+  const size_t n = GetParam();
+  RandomDataConfig cfg;
+  cfg.num_tuples = static_cast<int>(n);
+  cfg.num_measures = 2;
+  cfg.measure_levels = 4;
+  cfg.seed = 200 + n;
+  Dataset data = RandomDataset(cfg);
+  Relation r(data.schema());
+  SubspaceIndex index(&r);
+  for (const Row& row : data.rows()) index.Insert(r.Append(row));
+  // Tombstone every third member without touching the index; probes must
+  // ignore them (this is the state C-CSC sees mid-removal, before rebuild).
+  for (TupleId t = 0; t < r.size(); t += 3) r.MarkDeleted(t);
+
+  SubspaceUniverse universe(2, 2);
+  uint64_t comparisons = 0;
+  PartitionMemo memo;
+  for (TupleId probe = 1; probe < r.size(); probe += 3) {
+    memo.BeginArrival(r, probe);
+    for (MeasureMask m : universe.masks()) {
+      bool want = OracleIsMember(r, index.members(), probe, m);
+      EXPECT_EQ(index.IsSkylineMember(probe, m, &memo, &comparisons), want);
+      EXPECT_EQ(index.IsSkylineMember(probe, m, nullptr, &comparisons), want);
+    }
+  }
+}
+
+// Sizes straddling kProbeCutover hit the linear sweep (below) and both
+// tree-probe verification paths (above).
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, SubspaceIndexProbeTest,
+    ::testing::Values(SubspaceIndex::kProbeCutover / 2,
+                      SubspaceIndex::kProbeCutover - 1,
+                      SubspaceIndex::kProbeCutover,
+                      SubspaceIndex::kProbeCutover + 1,
+                      SubspaceIndex::kProbeCutover * 2),
+    [](const ::testing::TestParamInfo<size_t>& info) {
+      return "n" + std::to_string(info.param);
+    });
+
+TEST(SubspaceIndex, ComputeSkylineSetMatchesPerMaskProbes) {
+  RandomDataConfig cfg;
+  cfg.num_tuples = 90;  // above the cutover
+  cfg.num_measures = 3;
+  cfg.mixed_directions = true;
+  cfg.seed = 404;
+  Dataset data = RandomDataset(cfg);
+  Relation r(data.schema());
+  SubspaceIndex index(&r);
+  for (const Row& row : data.rows()) index.Insert(r.Append(row));
+
+  SubspaceUniverse universe(3, 3);
+  PartitionMemo memo;
+  std::vector<uint8_t> got;
+  uint64_t comparisons = 0;
+  for (TupleId probe = 0; probe < r.size(); probe += 7) {
+    memo.BeginArrival(r, probe);
+    index.ComputeSkylineSet(probe, universe, &memo, &got, &comparisons);
+    ASSERT_EQ(got.size(), universe.masks().size());
+    for (size_t i = 0; i < universe.masks().size(); ++i) {
+      bool want = OracleIsMember(r, index.members(), probe,
+                                 universe.masks()[i]);
+      EXPECT_EQ(got[i] != 0, want)
+          << "probe=" << probe << " mask=" << universe.masks()[i];
+    }
+  }
+}
+
+TEST(SubspaceIndex, NonMemberProbeIsSupported) {
+  // C-CSC probes an arrival against a context *before* inserting it when
+  // answering membership queries; the probe need not be in the member set.
+  Schema s({{"a"}}, {{"m0"}, {"m1"}});
+  Dataset d(std::move(s));
+  d.Add(Row{{"x"}, {5, 1}});
+  d.Add(Row{{"x"}, {1, 5}});
+  Relation r(d.schema());
+  SubspaceIndex index(&r);
+  index.Insert(r.Append(d.rows()[0]));
+  index.Insert(r.Append(d.rows()[1]));
+  TupleId outside_low = r.Append(Row{{"x"}, {0, 0}});
+  TupleId outside_high = r.Append(Row{{"x"}, {9, 9}});
+
+  uint64_t comparisons = 0;
+  EXPECT_FALSE(index.IsSkylineMember(outside_low, 0b11, nullptr,
+                                     &comparisons));
+  EXPECT_TRUE(index.IsSkylineMember(outside_high, 0b11, nullptr,
+                                    &comparisons));
+  EXPECT_GT(index.ApproxMemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace sitfact

@@ -146,14 +146,32 @@ TEST(EngineUpdate, ValidationFailuresHaveNoSideEffects) {
             StatusCode::kInvalidArgument);
 }
 
-TEST(EngineUpdate, UnsupportedAlgorithmRefusesCleanly) {
+// C-CSC gained removal (and therefore update) support with the
+// SubspaceIndex rebuild: an update tombstones the old row, repairs the
+// per-context skycubes, and re-discovers the corrected row, matching a run
+// that never saw the bad row. (Facts only — C-CSC keeps no µ store, so
+// MakeEngine turns prominence ranking off for it.)
+TEST(EngineUpdate, CcscUpdateBehavesLikeFreshArrival) {
   Dataset data = PaperTableI();
-  Relation relation(data.schema());
-  auto engine = MakeEngine(&relation, "C-CSC");
-  for (const Row& row : data.rows()) engine->Append(row);
-  auto result = engine->Update(0, data.rows()[0]);
-  EXPECT_EQ(result.status().code(), StatusCode::kUnimplemented);
-  EXPECT_FALSE(relation.IsDeleted(0));
+
+  Relation dirty_rel(data.schema());
+  auto dirty = MakeEngine(&dirty_rel, "C-CSC");
+  for (size_t i = 0; i + 1 < data.rows().size(); ++i) {
+    dirty->Append(data.rows()[i]);
+  }
+  Row garbled = data.rows().back();
+  garbled.measures[0] = 2;
+  ArrivalReport bad = dirty->Append(garbled);
+  auto fixed_or = dirty->Update(bad.tuple, data.rows().back());
+  ASSERT_TRUE(fixed_or.ok()) << fixed_or.status().ToString();
+  EXPECT_TRUE(dirty_rel.IsDeleted(bad.tuple));
+
+  Relation clean_rel(data.schema());
+  auto clean = MakeEngine(&clean_rel, "C-CSC");
+  ArrivalReport clean_report;
+  for (const Row& row : data.rows()) clean_report = clean->Append(row);
+
+  EXPECT_EQ(fixed_or.value().facts, clean_report.facts);
 }
 
 }  // namespace

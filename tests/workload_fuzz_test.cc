@@ -496,5 +496,77 @@ INSTANTIATE_TEST_SUITE_P(AllEngines, WorkloadFuzzTest,
                          [](const ::testing::TestParamInfo<const char*>&
                                 info) { return std::string(info.param); });
 
+// C-CSC pass: seeded Append/Remove/Update interleavings against the same
+// brute-force oracle, facts only. C-CSC keeps no µ store, so prominence
+// ranking is off and the FactService legs of the main episode don't apply;
+// what this pins is that the rebuilt engine's skycube repair logic (full
+// per-context replay on removal) survives arbitrary churn orders. Shares
+// the SITFACT_FUZZ_SEEDS / SITFACT_FUZZ_OPS / SITFACT_FUZZ_SEED knobs.
+TEST(WorkloadFuzzCcsc, ChurnFactsMatchBruteForceOracle) {
+  const int ops = EnvInt("SITFACT_FUZZ_OPS", 100);
+  const int pinned = EnvInt("SITFACT_FUZZ_SEED", -1);
+  const int num_seeds = pinned >= 0 ? 1 : EnvInt("SITFACT_FUZZ_SEEDS", 10);
+
+  int iterations = 0;
+  for (int i = 0; i < num_seeds; ++i) {
+    const uint64_t seed = pinned >= 0 ? static_cast<uint64_t>(pinned)
+                                      : static_cast<uint64_t>(i + 1);
+    SCOPED_TRACE("seed " + std::to_string(seed) +
+                 " (reproduce: SITFACT_FUZZ_SEED=" + std::to_string(seed) +
+                 " ./workload_fuzz_test)");
+    Rng rng(seed * 6151 + 3);
+    const double tau = 1.5 + 0.5 * static_cast<double>(seed % 4);
+    Oracle oracle;
+
+    Relation relation(FuzzSchema());
+    auto disc_or = DiscoveryEngine::CreateDiscoverer("C-CSC", &relation, {});
+    ASSERT_TRUE(disc_or.ok());
+    DiscoveryEngine::Config config;
+    config.rank_facts = false;  // no µ store behind C-CSC
+    DiscoveryEngine engine(&relation, std::move(disc_or).value(), config);
+
+    for (int op = 0; op < ops; ++op) {
+      ++iterations;
+      SCOPED_TRACE("op " + std::to_string(op));
+      const uint64_t dice = rng.NextBounded(100);
+      if (dice < 50 || oracle.live().empty()) {
+        Row row = RandomRow(&rng);
+        ArrivalReport actual = engine.Append(row);
+        ArrivalReport expected = oracle.Append(row, tau);
+        ASSERT_EQ(actual.tuple, expected.tuple);
+        ASSERT_EQ(actual.facts, expected.facts)
+            << "facts mismatch for tuple " << expected.tuple << "\nactual:\n"
+            << testing_util::DescribeFacts(relation, actual.facts)
+            << "expected:\n"
+            << testing_util::DescribeFacts(relation, expected.facts);
+      } else if (dice < 75) {
+        TupleId t = oracle.live()[rng.NextBounded(oracle.live().size())];
+        ASSERT_TRUE(engine.Remove(t).ok()) << "remove " << t;
+        oracle.Remove(t);
+      } else {
+        TupleId t = oracle.live()[rng.NextBounded(oracle.live().size())];
+        Row row = RandomRow(&rng);
+        auto actual_or = engine.Update(t, row);
+        ASSERT_TRUE(actual_or.ok()) << actual_or.status().ToString();
+        oracle.Remove(t);
+        ArrivalReport expected = oracle.Append(row, tau);
+        ASSERT_EQ(actual_or.value().facts, expected.facts)
+            << "post-update facts mismatch for tuple " << expected.tuple;
+      }
+      if (::testing::Test::HasFatalFailure()) {
+        std::fprintf(stderr,
+                     "[workload_fuzz] C-CSC FAILED at seed %llu; reproduce "
+                     "with SITFACT_FUZZ_SEED=%llu ./workload_fuzz_test\n",
+                     static_cast<unsigned long long>(seed),
+                     static_cast<unsigned long long>(seed));
+        return;
+      }
+    }
+  }
+  std::printf("[workload_fuzz] ccsc: %d differential iterations across %d "
+              "seed(s)\n",
+              iterations, num_seeds);
+}
+
 }  // namespace
 }  // namespace sitfact

@@ -28,6 +28,14 @@ import sys
 # comparisons in these benches depend on thread timing, not just input
 UNGATED_BENCHES = {"fig16_parallel_scaling"}
 
+# Benches where the C-CSC / TopDown comparison *ratio* is additionally
+# gated per (n, d, m). C-CSC's counters were deliberately relaxed when it
+# moved onto the subspace-index layer (index-pruned candidate sets), so its
+# absolute count gate alone would let it slide back toward the old
+# outlier profile as long as each drift stayed under threshold; the ratio
+# against the bit-identical TopDown engine pins the relative cost profile.
+RATIO_GATED_BENCHES = {"fig07_time_baselines": ("C-CSC", "TopDown")}
+
 
 def record_key(record):
     return (record["name"], record["n"], record["d"], record["m"])
@@ -51,6 +59,43 @@ def load_records(path):
         else:
             records[key] = dict(record)
     return doc.get("bench", path.stem), records
+
+
+def ratio_by_config(records, name):
+    """comparisons per (n, d, m) for the named engine, zero rows dropped."""
+    return {key[1:]: rec["comparisons"] for key, rec in records.items()
+            if key[0] == name and rec["comparisons"] > 0}
+
+
+def check_ratio_gate(bench, baseline, results, threshold, failures):
+    """Gates the numerator/denominator comparison ratio per (n, d, m)."""
+    numerator, denominator = RATIO_GATED_BENCHES[bench]
+    base_num = ratio_by_config(baseline, numerator)
+    base_den = ratio_by_config(baseline, denominator)
+    got_num = ratio_by_config(results, numerator)
+    got_den = ratio_by_config(results, denominator)
+    for config in sorted(base_num):
+        label = "{}/{}  n={} d={} m={}".format(numerator, denominator,
+                                               *config)
+        if config not in base_den:
+            continue  # no denominator row at this config; absolute gate only
+        if config not in got_num or config not in got_den:
+            # The missing absolute record is already reported above.
+            print(f"  MISSING  {label}")
+            continue
+        base_ratio = base_num[config] / base_den[config]
+        got_ratio = got_num[config] / got_den[config]
+        delta = (got_ratio - base_ratio) / base_ratio
+        verdict = "ok"
+        if delta > threshold:
+            verdict = "REGRESSED"
+            failures.append(
+                f"{bench}: {label}: comparison ratio {base_ratio:.2f} -> "
+                f"{got_ratio:.2f} ({delta:+.1%}, threshold {threshold:.0%})")
+        elif delta < -threshold:
+            verdict = "improved?"
+        print(f"  {verdict:9s}{label}  ratio {base_ratio:.2f} -> "
+              f"{got_ratio:.2f} ({delta:+.1%})")
 
 
 def validate(directory):
@@ -151,6 +196,9 @@ def main():
                 verdict = "improved?"  # suspicious enough to flag, not fail
             print(f"  {verdict:9s}{label}  comparisons {delta:+.1%}"
                   f"{wall_note}")
+        if gate_this and bench in RATIO_GATED_BENCHES:
+            check_ratio_gate(bench, baseline, results, args.threshold,
+                             failures)
 
     if missing:
         note = "error" if args.require_all else "warning"
