@@ -13,6 +13,8 @@
 // shrink every stream length (e.g. 4 for a longer run closer to the paper's
 // operating points).
 
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -22,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/cpu.h"
 #include "common/logging.h"
 #include "common/timer.h"
 #include "core/discoverer.h"
@@ -61,6 +64,18 @@ inline std::vector<BenchRecord>& BenchRecords() {
 
 inline void RecordBench(BenchRecord record) {
   BenchRecords().push_back(std::move(record));
+}
+
+/// Peak resident set of the whole process so far, from the kernel's
+/// ru_maxrss accounting. ReplayStream-driven benches report engine-owned
+/// bytes (Discoverer::ApproxMemoryBytes) per sample; bespoke drivers with
+/// no engine to ask (the kernel micro bench) sample this instead so their
+/// trajectory rows carry real peaks rather than a hardwired 0. Monotonic
+/// across a process, like any high-water mark.
+inline size_t PeakRssBytes() {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<size_t>(usage.ru_maxrss) * 1024;  // Linux reports KiB
 }
 
 inline std::string JsonEscape(const std::string& s) {
@@ -123,8 +138,13 @@ inline void WriteBenchJson(const std::string& bench_name) {
     std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
     return;
   }
-  std::fprintf(f, "{\"bench\": \"%s\", \"records\": [",
-               JsonEscape(bench_name).c_str());
+  // The SIMD tier the dominance kernels actually dispatched to in this
+  // process (cpuid detection ∧ any SITFACT_SIMD override), so a recorded
+  // trajectory is attributable to the kernel tier that produced it.
+  // bench_compare.py keys on records only and ignores this field.
+  std::fprintf(f, "{\"bench\": \"%s\", \"simd_tier\": \"%s\", \"records\": [",
+               JsonEscape(bench_name).c_str(),
+               SimdTierName(ActiveSimdTier()));
   const std::vector<BenchRecord>& records = BenchRecords();
   for (size_t i = 0; i < records.size(); ++i) {
     const BenchRecord& r = records[i];

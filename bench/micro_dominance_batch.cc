@@ -10,12 +10,23 @@
 //                      random depth (the CSC query profile)
 // The `comparisons` field records tuple pairs partitioned — a deterministic
 // function of the seeded input, so CI's bench-compare gate and the
-// bench-smoke ctest label can catch kernel regressions.
+// bench-smoke ctest label can catch kernel regressions. Billing note:
+// ramped_scan bills exactly the pairs its early-exit consumer consumes
+// (stop_p + 1 per probe, stops drawn from Rng(13)), so its count — e.g.
+// 3,831,440 at default scale — intentionally differs from the 64×n
+// full-scan variants; dominance_batch_test pins the formula and the
+// default-scale constant so the comparison gate can't absorb real drift.
+// The kernels dispatch through the SIMD tier table (scalar/SSE2/AVX2,
+// skyline/dominance_simd.h); comparisons are tier-independent, wall time
+// is not, and the dispatched tier is stamped into the JSON. peak_bytes
+// carries the process peak RSS at each record (PeakRssBytes — there is no
+// engine here to report engine-owned bytes).
 
 #include <algorithm>
 #include <cstdio>
 #include <vector>
 
+#include "common/cpu.h"
 #include "common/rng.h"
 #include "harness.h"
 #include "skyline/dominance.h"
@@ -52,7 +63,7 @@ void Report(const char* name, int n, int nm, double wall_ms, uint64_t pairs) {
               static_cast<unsigned long long>(pairs), wall_ms,
               pairs > 0 ? wall_ms * 1e6 / static_cast<double>(pairs) : 0.0);
   RecordBench(BenchRecord{name, static_cast<uint64_t>(n), 2, nm, wall_ms,
-                          pairs, 0});
+                          pairs, PeakRssBytes()});
 }
 
 void Run() {
@@ -143,6 +154,9 @@ int main(int argc, char** argv) {
   sitfact::bench::InitBenchOutput(&argc, argv);
   sitfact::bench::ScopedBenchJson json("micro_dominance_batch");
   std::printf("# micro_dominance_batch: batched kernel vs scalar oracle\n");
+  std::printf("# simd tier: %s (detected %s)\n",
+              sitfact::SimdTierName(sitfact::ActiveSimdTier()),
+              sitfact::SimdTierName(sitfact::DetectSimdTier()));
   sitfact::bench::Run();
   return 0;
 }

@@ -8,6 +8,7 @@
 #include "common/bits.h"
 #include "common/types.h"
 #include "relation/relation.h"
+#include "skyline/dominance_simd.h"
 
 namespace sitfact {
 
@@ -23,24 +24,31 @@ namespace sitfact {
 /// stride-separated loads per pair; these kernels instead stream one column
 /// across the whole block, so the candidate keys are consumed at unit
 /// stride (range variant) or one gather per column (id-list variant), with
-/// branch-free mask assembly the compiler can vectorize.
+/// branch-free mask assembly.
+///
+/// The column inner loops dispatch through the SIMD tier table
+/// (skyline/dominance_simd.h): AVX2 / SSE2 intrinsic paths selected once
+/// per process from cpuid (override with SITFACT_SIMD=scalar|sse2|avx2),
+/// with the scalar loops below kept verbatim as the bit-identical oracle.
+/// The `...With` kernel variants take an explicit op table so tests and
+/// benches can pin a tier; the plain names use the active tier.
 ///
 /// Callers process candidate lists in blocks of `kDominanceBlockSize` (a
-/// stack buffer; ~1 KiB) and keep their per-tuple consume logic — early
+/// stack buffer; ~2 KiB) and keep their per-tuple consume logic — early
 /// exits, counters, bucket rewrites — exactly as in the scalar code, which
 /// is how the rewired call sites stay tuple-for-tuple identical to their
 /// pre-batch selves.
-inline constexpr size_t kDominanceBlockSize = 128;
+inline constexpr size_t kDominanceBlockSize = 256;
 
 namespace internal {
 
-/// One column's contribution to a block of partitions. Comparisons are
-/// written branch-free; with a NaN on either side both compare false and
-/// the pair contributes no bit, matching Relation::Partition.
-inline void AccumulateColumnRange(const double* col, double tv, TupleId begin,
-                                  size_t count, MeasureMask bit,
-                                  Relation::MeasurePartition* out) {
-  const double* src = col + begin;
+/// One column's contribution to a block of partitions — the scalar SIMD
+/// tier, and the oracle every vector tier is tested against. Comparisons
+/// are written branch-free; with a NaN on either side both compare false
+/// and the pair contributes no bit, matching Relation::Partition.
+inline void ScalarPartitionColumnRange(const double* src, double tv,
+                                       size_t count, MeasureMask bit,
+                                       Relation::MeasurePartition* out) {
   for (size_t i = 0; i < count; ++i) {
     double ov = src[i];
     out[i].worse |= (tv < ov) ? bit : 0u;
@@ -48,10 +56,10 @@ inline void AccumulateColumnRange(const double* col, double tv, TupleId begin,
   }
 }
 
-inline void AccumulateColumnBatch(const double* col, double tv,
-                                  const TupleId* ids, size_t count,
-                                  MeasureMask bit,
-                                  Relation::MeasurePartition* out) {
+inline void ScalarPartitionColumnGather(const double* col, double tv,
+                                        const TupleId* ids, size_t count,
+                                        MeasureMask bit,
+                                        Relation::MeasurePartition* out) {
   for (size_t i = 0; i < count; ++i) {
     double ov = col[ids[i]];
     out[i].worse |= (tv < ov) ? bit : 0u;
@@ -59,34 +67,55 @@ inline void AccumulateColumnBatch(const double* col, double tv,
   }
 }
 
+/// One dimension column's contribution to a block of Def.-8 agreement
+/// masks.
+inline void ScalarAgreeColumnRange(const ValueId* src, ValueId tv,
+                                   size_t count, DimMask bit, DimMask* out) {
+  for (size_t i = 0; i < count; ++i) {
+    out[i] |= (src[i] == tv) ? bit : 0u;
+  }
+}
+
 }  // namespace internal
 
 /// out[i] = r.Partition(t, candidates[i]) for i in [0, count).
-inline void PartitionBatch(const Relation& r, TupleId t,
-                           const TupleId* candidates, size_t count,
-                           Relation::MeasurePartition* out) {
+inline void PartitionBatchWith(const DominanceColumnOps& ops,
+                               const Relation& r, TupleId t,
+                               const TupleId* candidates, size_t count,
+                               Relation::MeasurePartition* out) {
   std::fill_n(out, count, Relation::MeasurePartition{});
   const int nm = r.schema().num_measures();
   for (int j = 0; j < nm; ++j) {
     const double* col = r.key_column(j);
-    internal::AccumulateColumnBatch(col, col[t], candidates, count, 1u << j,
-                                    out);
+    ops.partition_column_gather(col, col[t], candidates, count, 1u << j, out);
   }
+}
+
+inline void PartitionBatch(const Relation& r, TupleId t,
+                           const TupleId* candidates, size_t count,
+                           Relation::MeasurePartition* out) {
+  PartitionBatchWith(ActiveDominanceOps(), r, t, candidates, count, out);
 }
 
 /// Contiguous-range variant: out[i] = r.Partition(t, begin + i) for
 /// begin + i < end. The hot shape for history scans (k-skyband, baselines):
 /// pure unit-stride column traversal, no gathers.
-inline void PartitionRange(const Relation& r, TupleId t, TupleId begin,
-                           TupleId end, Relation::MeasurePartition* out) {
+inline void PartitionRangeWith(const DominanceColumnOps& ops,
+                               const Relation& r, TupleId t, TupleId begin,
+                               TupleId end, Relation::MeasurePartition* out) {
   if (end <= begin) return;
   size_t count = end - begin;
   std::fill_n(out, count, Relation::MeasurePartition{});
   const int nm = r.schema().num_measures();
   for (int j = 0; j < nm; ++j) {
     const double* col = r.key_column(j);
-    internal::AccumulateColumnRange(col, col[t], begin, count, 1u << j, out);
+    ops.partition_column_range(col + begin, col[t], count, 1u << j, out);
   }
+}
+
+inline void PartitionRange(const Relation& r, TupleId t, TupleId begin,
+                           TupleId end, Relation::MeasurePartition* out) {
+  PartitionRangeWith(ActiveDominanceOps(), r, t, begin, end, out);
 }
 
 /// Masked variants: only the measure columns selected by `m` are read, and
@@ -94,47 +123,63 @@ inline void PartitionRange(const Relation& r, TupleId t, TupleId begin,
 /// partition ANDed with m on both sides). For consumers that evaluate a
 /// single subspace (C-CSC's per-subspace scans, the lattice bucket passes)
 /// this skips the columns the decision cannot depend on.
+inline void PartitionBatchMaskedWith(const DominanceColumnOps& ops,
+                                     const Relation& r, TupleId t,
+                                     const TupleId* candidates, size_t count,
+                                     MeasureMask m,
+                                     Relation::MeasurePartition* out) {
+  std::fill_n(out, count, Relation::MeasurePartition{});
+  ForEachBit(m, [&](int j) {
+    const double* col = r.key_column(j);
+    ops.partition_column_gather(col, col[t], candidates, count, 1u << j, out);
+  });
+}
+
 inline void PartitionBatchMasked(const Relation& r, TupleId t,
                                  const TupleId* candidates, size_t count,
                                  MeasureMask m,
                                  Relation::MeasurePartition* out) {
+  PartitionBatchMaskedWith(ActiveDominanceOps(), r, t, candidates, count, m,
+                           out);
+}
+
+inline void PartitionRangeMaskedWith(const DominanceColumnOps& ops,
+                                     const Relation& r, TupleId t,
+                                     TupleId begin, TupleId end, MeasureMask m,
+                                     Relation::MeasurePartition* out) {
+  if (end <= begin) return;
+  size_t count = end - begin;
   std::fill_n(out, count, Relation::MeasurePartition{});
   ForEachBit(m, [&](int j) {
     const double* col = r.key_column(j);
-    internal::AccumulateColumnBatch(col, col[t], candidates, count, 1u << j,
-                                    out);
+    ops.partition_column_range(col + begin, col[t], count, 1u << j, out);
   });
 }
 
 inline void PartitionRangeMasked(const Relation& r, TupleId t, TupleId begin,
                                  TupleId end, MeasureMask m,
                                  Relation::MeasurePartition* out) {
-  if (end <= begin) return;
-  size_t count = end - begin;
-  std::fill_n(out, count, Relation::MeasurePartition{});
-  ForEachBit(m, [&](int j) {
-    const double* col = r.key_column(j);
-    internal::AccumulateColumnRange(col, col[t], begin, count, 1u << j, out);
-  });
+  PartitionRangeMaskedWith(ActiveDominanceOps(), r, t, begin, end, m, out);
 }
 
 /// Batched Def.-8 agreement masks: out[i] = r.AgreeMask(t, begin + i),
 /// column-wise over the dictionary-encoded dimension columns.
-inline void AgreeMaskRange(const Relation& r, TupleId t, TupleId begin,
-                           TupleId end, DimMask* out) {
+inline void AgreeMaskRangeWith(const DominanceColumnOps& ops,
+                               const Relation& r, TupleId t, TupleId begin,
+                               TupleId end, DimMask* out) {
   if (end <= begin) return;
   size_t count = end - begin;
   std::fill_n(out, count, DimMask{0});
   const int nd = r.schema().num_dimensions();
   for (int d = 0; d < nd; ++d) {
     const ValueId* col = r.dim_column(d);
-    const ValueId tv = col[t];
-    const ValueId* src = col + begin;
-    const DimMask bit = 1u << d;
-    for (size_t i = 0; i < count; ++i) {
-      out[i] |= (src[i] == tv) ? bit : 0u;
-    }
+    ops.agree_column_range(col + begin, col[t], count, 1u << d, out);
   }
+}
+
+inline void AgreeMaskRange(const Relation& r, TupleId t, TupleId begin,
+                           TupleId end, DimMask* out) {
+  AgreeMaskRangeWith(ActiveDominanceOps(), r, t, begin, end, out);
 }
 
 /// Candidate keys gathered once into a compact column-major block, for
@@ -186,21 +231,19 @@ class CompactKeyBlock {
 
   /// out[i] = partition of the probe (keys `pk`, as filled by ProbeKeys)
   /// against ids[begin + i], restricted to `msub` ∩ the gathered measures,
-  /// for i in [0, n); begin + n <= count().
+  /// for i in [0, n); begin + n <= count(). The compact columns are
+  /// contiguous, so this runs the same dispatched range primitive as
+  /// PartitionRange.
   void PartitionRun(const double* pk, size_t begin, size_t n, MeasureMask msub,
                     Relation::MeasurePartition* out) const {
+    const DominanceColumnOps& ops = ActiveDominanceOps();
     std::fill_n(out, n, Relation::MeasurePartition{});
     for (int k = 0; k < width_; ++k) {
       MeasureMask bit = MeasureMask{1} << jbit_[k];
       if ((msub & bit) == 0) continue;
       const double* col = keys_.data() + static_cast<size_t>(k) * count_ +
                           begin;
-      double tv = pk[k];
-      for (size_t i = 0; i < n; ++i) {
-        double ov = col[i];
-        out[i].worse |= (tv < ov) ? bit : 0u;
-        out[i].better |= (tv > ov) ? bit : 0u;
-      }
+      ops.partition_column_range(col, pk[k], n, bit, out);
     }
   }
 

@@ -10,10 +10,12 @@
 #include <vector>
 
 #include "common/bits.h"
+#include "common/cpu.h"
 #include "common/rng.h"
 #include "relation/relation.h"
 #include "skyline/dominance.h"
 #include "skyline/dominance_batch.h"
+#include "skyline/dominance_simd.h"
 #include "skyline/skyline_compute.h"
 
 #include <gtest/gtest.h>
@@ -236,6 +238,174 @@ TEST(DominanceBatchTest, CompactKeyBlockMatchesScalarPartition) {
       EXPECT_EQ(want.better & gathered, parts[i].better);
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// SIMD dispatch tiers (skyline/dominance_simd.h). CI additionally runs this
+// whole binary once per forced tier (SITFACT_SIMD=scalar|sse2|avx2), which
+// exercises the env-resolved ActiveDominanceOps() path end to end; the
+// tests below sweep every tier the machine supports inside one process via
+// DominanceOpsForTier, so a dev box always covers all its tiers too.
+
+std::vector<SimdTier> AllTierNames() {
+  return {SimdTier::kScalar, SimdTier::kSse2, SimdTier::kAvx2};
+}
+
+TEST(DominanceSimdTest, ResolveSimdTierPolicy) {
+  // Explicit override below capability: honored.
+  EXPECT_EQ(ResolveSimdTier("scalar", SimdTier::kAvx2), SimdTier::kScalar);
+  EXPECT_EQ(ResolveSimdTier("sse2", SimdTier::kAvx2), SimdTier::kSse2);
+  EXPECT_EQ(ResolveSimdTier("avx2", SimdTier::kAvx2), SimdTier::kAvx2);
+  // Override above capability: clamped, never an illegal instruction.
+  EXPECT_EQ(ResolveSimdTier("avx2", SimdTier::kSse2), SimdTier::kSse2);
+  EXPECT_EQ(ResolveSimdTier("avx2", SimdTier::kScalar), SimdTier::kScalar);
+  // Absent / empty / unknown spellings fall back to detection.
+  EXPECT_EQ(ResolveSimdTier(nullptr, SimdTier::kAvx2), SimdTier::kAvx2);
+  EXPECT_EQ(ResolveSimdTier("", SimdTier::kSse2), SimdTier::kSse2);
+  EXPECT_EQ(ResolveSimdTier("AVX2", SimdTier::kAvx2), SimdTier::kAvx2);
+  EXPECT_EQ(ResolveSimdTier("neon", SimdTier::kAvx2), SimdTier::kAvx2);
+}
+
+TEST(DominanceSimdTest, ActiveOpsMatchActiveTier) {
+  // The dispatch table is resolved once from the active tier; requesting
+  // that tier again must yield the very same table (no per-call re-detect).
+  EXPECT_EQ(&ActiveDominanceOps(), &DominanceOpsForTier(ActiveSimdTier()));
+  // An over-capability request clamps onto the detected tier's table.
+  SimdTier detected = DetectSimdTier();
+  SimdTier capped = detected < SimdTier::kAvx2 ? detected : SimdTier::kAvx2;
+  EXPECT_EQ(&DominanceOpsForTier(SimdTier::kAvx2),
+            &DominanceOpsForTier(capped));
+}
+
+/// The full scalar-vs-kernel bit-for-bit contract, per tier: every kernel
+/// shape against Relation::Partition / AgreeMask on NaN-heavy data, with
+/// misaligned begin offsets (1..7 covers every phase of both vector
+/// widths), counts below one vector, and block-seam tails.
+TEST(DominanceSimdTest, AllTiersMatchScalarOracleAtEveryAlignment) {
+  Relation r = RandomRelation(4 * static_cast<int>(kDominanceBlockSize) + 11,
+                              41, /*nan_prob=*/0.15);
+  const TupleId n = r.size();
+  std::vector<Relation::MeasurePartition> parts(n);
+  std::vector<DimMask> agrees(n);
+  std::vector<TupleId> ids;
+  Rng rng(42);
+  for (TupleId i = 0; i < n; ++i) ids.push_back(i);
+  for (size_t i = ids.size(); i > 1; --i) {
+    std::swap(ids[i - 1], ids[rng.NextBounded(i)]);
+  }
+  for (SimdTier tier : AllTierNames()) {
+    const DominanceColumnOps& ops = DominanceOpsForTier(tier);
+    SCOPED_TRACE(SimdTierName(tier));
+    // Misaligned begins × tail-heavy counts around the vector widths.
+    for (TupleId begin : {TupleId{0}, TupleId{1}, TupleId{2}, TupleId{3},
+                          TupleId{4}, TupleId{5}, TupleId{6}, TupleId{7}}) {
+      for (size_t count :
+           {size_t{0}, size_t{1}, size_t{2}, size_t{3}, size_t{5}, size_t{8},
+            size_t{13}, kDominanceBlockSize,
+            2 * kDominanceBlockSize + 3, static_cast<size_t>(n - begin)}) {
+        TupleId end = begin + static_cast<TupleId>(
+                                  std::min<size_t>(count, n - begin));
+        TupleId t = (begin * 31 + static_cast<TupleId>(count)) % n;
+        PartitionRangeWith(ops, r, t, begin, end, parts.data());
+        for (TupleId o = begin; o < end; ++o) {
+          ExpectPartitionsEqual(r.Partition(t, o), parts[o - begin],
+                                "range tier");
+        }
+        PartitionRangeMaskedWith(ops, r, t, begin, end, 0b1010u,
+                                 parts.data());
+        for (TupleId o = begin; o < end; ++o) {
+          Relation::MeasurePartition want = r.Partition(t, o);
+          EXPECT_EQ(want.worse & 0b1010u, parts[o - begin].worse);
+          EXPECT_EQ(want.better & 0b1010u, parts[o - begin].better);
+        }
+        AgreeMaskRangeWith(ops, r, t, begin, end, agrees.data());
+        for (TupleId o = begin; o < end; ++o) {
+          EXPECT_EQ(r.AgreeMask(t, o), agrees[o - begin]);
+        }
+        size_t id_count = std::min<size_t>(count, ids.size() - begin);
+        PartitionBatchWith(ops, r, t, ids.data() + begin, id_count,
+                           parts.data());
+        for (size_t i = 0; i < id_count; ++i) {
+          ExpectPartitionsEqual(r.Partition(t, ids[begin + i]), parts[i],
+                                "batch tier");
+        }
+        PartitionBatchMaskedWith(ops, r, t, ids.data() + begin, id_count,
+                                 0b0110u, parts.data());
+        for (size_t i = 0; i < id_count; ++i) {
+          Relation::MeasurePartition want = r.Partition(t, ids[begin + i]);
+          EXPECT_EQ(want.worse & 0b0110u, parts[i].worse);
+          EXPECT_EQ(want.better & 0b0110u, parts[i].better);
+        }
+      }
+    }
+  }
+}
+
+TEST(DominanceSimdTest, AllTiersAgreeOnNaNAndAllEqualColumns) {
+  // A relation with an all-NaN measure, an all-equal measure, and a mixed
+  // one: the degenerate columns every vector predicate must get right.
+  Relation r(MixedSchema());
+  Rng rng(43);
+  for (int i = 0; i < 100; ++i) {
+    r.Append(Row{{"a", "b", "c"},
+                 {kNaN, 5.0, static_cast<double>(rng.NextBounded(3)),
+                  rng.NextBool(0.2) ? kNaN : 1.5}});
+  }
+  std::vector<Relation::MeasurePartition> parts(r.size());
+  for (SimdTier tier : AllTierNames()) {
+    const DominanceColumnOps& ops = DominanceOpsForTier(tier);
+    SCOPED_TRACE(SimdTierName(tier));
+    for (TupleId t : {TupleId{0}, TupleId{57}, TupleId{99}}) {
+      PartitionRangeWith(ops, r, t, 0, r.size(), parts.data());
+      for (TupleId o = 0; o < r.size(); ++o) {
+        Relation::MeasurePartition want = r.Partition(t, o);
+        ExpectPartitionsEqual(want, parts[o], "degenerate columns");
+        // NaN (m0) and all-equal (m1) columns contribute no bits, ever.
+        EXPECT_EQ(parts[o].worse & 0b0011u, 0u);
+        EXPECT_EQ(parts[o].better & 0b0011u, 0u);
+      }
+    }
+  }
+}
+
+/// Pins the ramped_scan billing of bench/micro_dominance_batch.cc: the
+/// early-exit consumer bills exactly the pairs it consumes — stop_p + 1
+/// per probe (positions 0..stop_p inclusive) — so at the default bench
+/// scale (n=60000, 512 probes, stops drawn from Rng(13)) the committed
+/// baseline's 3,831,440 is the exact sum of the random exit depths, not
+/// comparison drift against the 64×60000 = 3,840,000 full-scan variants.
+/// If BlockedPartitionRangeScan ever consumed or skipped pairs behind the
+/// consumer's back, the small-scale replica below would diverge.
+TEST(DominanceBatchTest, RampedScanBillingIsExactlyConsumedPairs) {
+  // Pure arithmetic replica of the bench's billing loop at default scale.
+  {
+    const uint64_t n = 60000;
+    Rng rng(13);
+    uint64_t expected = 0;
+    for (int p = 0; p < 64 * 8; ++p) {
+      expected += 2 + rng.NextBounded(n / 4);  // (1 + bounded) + 1 consumed
+    }
+    EXPECT_EQ(expected, 3831440u);  // BENCH_micro_dominance_batch baseline
+  }
+  // Small-scale actual run: consumed pairs must equal the same formula.
+  const int n = 600;
+  Relation r = RandomRelation(n, 2024, 0.0);
+  Rng rng(13);
+  uint64_t billed = 0, expected = 0;
+  for (int p = 0; p < 32; ++p) {
+    TupleId t = static_cast<TupleId>((p * 131) % n);
+    TupleId stop = static_cast<TupleId>(
+        1 + rng.NextBounded(static_cast<uint64_t>(n) / 4));
+    expected += stop + 1;
+    BlockedPartitionRangeScan scan(r, t, static_cast<TupleId>(n), 0b0011u);
+    for (TupleId o = 0; o < static_cast<TupleId>(n); ++o) {
+      Relation::MeasurePartition want = r.Partition(t, o);
+      EXPECT_EQ(want.worse & 0b0011u, scan.at(o).worse);
+      ++billed;
+      if (o >= stop) break;
+    }
+  }
+  EXPECT_EQ(billed, expected);
 }
 
 TEST(DominanceBatchTest, RampedScanTracksEarlyExitConsumers) {

@@ -62,13 +62,19 @@ def load_records(path):
 
 
 def ratio_by_config(records, name):
-    """comparisons per (n, d, m) for the named engine, zero rows dropped."""
+    """comparisons per (n, d, m) for the named engine."""
     return {key[1:]: rec["comparisons"] for key, rec in records.items()
-            if key[0] == name and rec["comparisons"] > 0}
+            if key[0] == name}
 
 
 def check_ratio_gate(bench, baseline, results, threshold, failures):
-    """Gates the numerator/denominator comparison ratio per (n, d, m)."""
+    """Gates the numerator/denominator comparison ratio per (n, d, m).
+
+    A zero comparison count anywhere in a ratio — a smoke-scale config
+    whose stream is too short to bill a single dominance pair — makes the
+    ratio meaningless, so such configs are skipped with a warning instead
+    of crashing the gate with a ZeroDivisionError (the absolute gate above
+    already skips zero-comparison baselines the same way)."""
     numerator, denominator = RATIO_GATED_BENCHES[bench]
     base_num = ratio_by_config(baseline, numerator)
     base_den = ratio_by_config(baseline, denominator)
@@ -82,6 +88,15 @@ def check_ratio_gate(bench, baseline, results, threshold, failures):
         if config not in got_num or config not in got_den:
             # The missing absolute record is already reported above.
             print(f"  MISSING  {label}")
+            continue
+        zeros = [what for what, count in [
+            ("baseline " + numerator, base_num[config]),
+            ("baseline " + denominator, base_den[config]),
+            ("result " + denominator, got_den[config]),
+        ] if count == 0]
+        if zeros:
+            print(f"  skip     {label}  zero comparisons in "
+                  f"{', '.join(zeros)}; ratio not gated", file=sys.stderr)
             continue
         base_ratio = base_num[config] / base_den[config]
         got_ratio = got_num[config] / got_den[config]

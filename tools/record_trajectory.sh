@@ -32,6 +32,11 @@ for name in "${BENCHES[@]}"; do
   echo "== bench_$name (default scale)"
   SITFACT_BENCH_SCALE="${SITFACT_BENCH_SCALE:-1}" "$bin" --out "$ROOT" \
     > "$BUILD/bench_${name}_trajectory.log" 2>&1
+  # The dominance kernels dispatch by SIMD tier (SITFACT_SIMD overrides
+  # cpuid); surface the tier this recording actually ran under — it is
+  # also stamped into the JSON as the top-level "simd_tier" field.
+  grep -o '"simd_tier": "[a-z0-9]*"' "$ROOT/BENCH_$name.json" |
+    sed "s/^/   recorded under /" || true
 done
 python3 "$ROOT/tools/bench_compare.py" --validate "$ROOT"
 echo "trajectory written to $ROOT/BENCH_*.json — commit these files"
