@@ -1,0 +1,266 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace sitfact {
+namespace net {
+
+namespace {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+ParseResult Bad(int status, std::string error) {
+  ParseResult r;
+  r.state = ParseResult::State::kBad;
+  r.http_status = status;
+  r.error = std::move(error);
+  return r;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::Header(std::string_view name) const {
+  for (const auto& [k, v] : headers) {
+    if (k == name) return &v;
+  }
+  return nullptr;
+}
+
+const std::string* HttpRequest::Query(std::string_view name) const {
+  for (const auto& [k, v] : query) {
+    if (k == name) return &v;
+  }
+  return nullptr;
+}
+
+std::string PercentDecode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '+') {
+      out += ' ';
+    } else if (c == '%' && i + 2 < s.size()) {
+      auto hex = [](char h) -> int {
+        if (h >= '0' && h <= '9') return h - '0';
+        if (h >= 'a' && h <= 'f') return h - 'a' + 10;
+        if (h >= 'A' && h <= 'F') return h - 'A' + 10;
+        return -1;
+      };
+      const int hi = hex(s[i + 1]);
+      const int lo = hex(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out += static_cast<char>((hi << 4) | lo);
+        i += 2;
+      } else {
+        out += c;  // malformed escape passes through verbatim
+      }
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>> ParseQueryString(
+    std::string_view s) {
+  std::vector<std::pair<std::string, std::string>> out;
+  size_t pos = 0;
+  while (pos <= s.size()) {
+    size_t amp = s.find('&', pos);
+    if (amp == std::string_view::npos) amp = s.size();
+    const std::string_view item = s.substr(pos, amp - pos);
+    if (!item.empty()) {
+      const size_t eq = item.find('=');
+      if (eq == std::string_view::npos) {
+        out.emplace_back(PercentDecode(item), "");
+      } else {
+        out.emplace_back(PercentDecode(item.substr(0, eq)),
+                         PercentDecode(item.substr(eq + 1)));
+      }
+    }
+    if (amp == s.size()) break;
+    pos = amp + 1;
+  }
+  return out;
+}
+
+ParseResult ParseHttpRequest(std::string_view buffer,
+                             const HttpLimits& limits,
+                             HttpRequest* request) {
+  const size_t head_end = buffer.find("\r\n\r\n");
+  if (head_end == std::string_view::npos) {
+    if (buffer.size() > limits.max_header_bytes) {
+      return Bad(431, "request header section exceeds " +
+                          std::to_string(limits.max_header_bytes) + " bytes");
+    }
+    return ParseResult{};  // kNeedMore
+  }
+  if (head_end > limits.max_header_bytes) {
+    return Bad(431, "request header section exceeds " +
+                        std::to_string(limits.max_header_bytes) + " bytes");
+  }
+
+  *request = HttpRequest{};
+  const std::string_view head = buffer.substr(0, head_end);
+
+  // --- request line ---
+  size_t line_end = head.find("\r\n");
+  if (line_end == std::string_view::npos) line_end = head.size();
+  const std::string_view request_line = head.substr(0, line_end);
+  const size_t sp1 = request_line.find(' ');
+  const size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    return Bad(400, "malformed request line");
+  }
+  request->method = std::string(request_line.substr(0, sp1));
+  request->target = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  const std::string_view version = request_line.substr(sp2 + 1);
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    return Bad(400, "unsupported protocol version");
+  }
+  if (request->method.empty() || request->target.empty() ||
+      request->target[0] != '/') {
+    return Bad(400, "malformed request line");
+  }
+  request->keep_alive = version == "HTTP/1.1";
+
+  const std::string_view target = request->target;
+  const size_t q = target.find('?');
+  if (q == std::string_view::npos) {
+    request->path = PercentDecode(target);
+  } else {
+    request->path = PercentDecode(target.substr(0, q));
+    request->query = ParseQueryString(target.substr(q + 1));
+  }
+
+  // --- header fields ---
+  size_t pos = line_end + 2;
+  uint64_t content_length = 0;
+  bool has_length = false;
+  while (pos < head.size()) {
+    size_t next = head.find("\r\n", pos);
+    if (next == std::string_view::npos) next = head.size();
+    const std::string_view line = head.substr(pos, next - pos);
+    pos = next + 2;
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return Bad(400, "malformed header field");
+    }
+    std::string name = ToLower(Trim(line.substr(0, colon)));
+    std::string value(Trim(line.substr(colon + 1)));
+    if (name == "transfer-encoding") {
+      return Bad(501,
+                 "chunked transfer encoding is not supported; send a "
+                 "Content-Length body");
+    }
+    if (name == "content-length") {
+      char* end = nullptr;
+      errno = 0;
+      content_length = std::strtoull(value.c_str(), &end, 10);
+      if (value.empty() || end != value.c_str() + value.size()) {
+        return Bad(400, "malformed Content-Length");
+      }
+      has_length = true;
+    }
+    if (name == "connection") {
+      const std::string lowered = ToLower(value);
+      if (lowered.find("close") != std::string::npos) {
+        request->keep_alive = false;
+      } else if (lowered.find("keep-alive") != std::string::npos) {
+        request->keep_alive = true;
+      }
+    }
+    request->headers.emplace_back(std::move(name), std::move(value));
+  }
+
+  if (has_length && content_length > limits.max_body_bytes) {
+    return Bad(413, "request body exceeds " +
+                        std::to_string(limits.max_body_bytes) + " bytes");
+  }
+  const size_t body_begin = head_end + 4;
+  const size_t body_len = has_length ? static_cast<size_t>(content_length) : 0;
+  if (buffer.size() < body_begin + body_len) {
+    return ParseResult{};  // kNeedMore
+  }
+  request->body = std::string(buffer.substr(body_begin, body_len));
+
+  ParseResult result;
+  result.state = ParseResult::State::kComplete;
+  result.consumed = body_begin + body_len;
+  return result;
+}
+
+const char* HttpStatusReason(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 413:
+      return "Payload Too Large";
+    case 429:
+      return "Too Many Requests";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 500:
+      return "Internal Server Error";
+    case 501:
+      return "Not Implemented";
+    case 503:
+      return "Service Unavailable";
+  }
+  return "Unknown";
+}
+
+std::string SerializeHttpResponse(const HttpResponse& response) {
+  std::string out;
+  out.reserve(128 + response.body.size());
+  out += "HTTP/1.1 ";
+  out += std::to_string(response.status);
+  out += ' ';
+  out += HttpStatusReason(response.status);
+  out += "\r\nContent-Type: ";
+  out += response.content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(response.body.size());
+  out += "\r\nConnection: ";
+  out += response.close ? "close" : "keep-alive";
+  out += "\r\n";
+  for (const auto& [name, value] : response.extra_headers) {
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+}  // namespace net
+}  // namespace sitfact

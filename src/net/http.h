@@ -1,0 +1,87 @@
+#ifndef SITFACT_NET_HTTP_H_
+#define SITFACT_NET_HTTP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sitfact {
+namespace net {
+
+/// HTTP/1.1, the subset the serving plane speaks: requests with bounded
+/// headers and bounded Content-Length bodies (chunked transfer encoding is
+/// rejected — every body is length-delimited so the parser never needs
+/// unbounded buffering), keep-alive by default, close on request.
+
+/// Size limits enforced while parsing; exceeding one fails the request
+/// with the status code in ParseResult::http_status.
+struct HttpLimits {
+  size_t max_header_bytes = 8192;
+  size_t max_body_bytes = 1 << 16;
+};
+
+struct HttpRequest {
+  std::string method;  ///< uppercase, e.g. "GET"
+  std::string target;  ///< raw request target, e.g. "/topk?k=5"
+  std::string path;    ///< percent-decoded path, e.g. "/topk"
+  /// Percent-decoded query parameters, in request order.
+  std::vector<std::pair<std::string, std::string>> query;
+  /// Header fields; names lowercased, values trimmed.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  bool keep_alive = true;
+
+  /// First matching header value (name given lowercase); nullptr if absent.
+  const std::string* Header(std::string_view name) const;
+  /// First matching query parameter; nullptr if absent.
+  const std::string* Query(std::string_view name) const;
+};
+
+/// Outcome of attempting to parse one request from the front of a buffer.
+struct ParseResult {
+  enum class State {
+    kNeedMore,  ///< incomplete — read more bytes and retry
+    kComplete,  ///< `request` filled, `consumed` bytes eaten
+    kBad,       ///< protocol error — answer http_status and close
+  };
+  State state = State::kNeedMore;
+  size_t consumed = 0;
+  int http_status = 0;  ///< kBad: 400/413/431/501
+  std::string error;    ///< kBad: human-readable reason
+};
+
+/// Tries to parse one complete request at the start of `buffer`.
+/// Stateless — callers keep the unconsumed tail and call again.
+ParseResult ParseHttpRequest(std::string_view buffer,
+                             const HttpLimits& limits, HttpRequest* request);
+
+/// A response about to be serialized. Content-Length, Connection and the
+/// status line are emitted by SerializeResponse.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  /// Extra headers (e.g. Retry-After), name/value verbatim.
+  std::vector<std::pair<std::string, std::string>> extra_headers;
+  bool close = false;  ///< force Connection: close
+};
+
+std::string SerializeHttpResponse(const HttpResponse& response);
+
+/// Reason phrase for the handful of statuses the server emits.
+const char* HttpStatusReason(int status);
+
+/// Percent-decodes %XX escapes; '+' becomes a space (query convention).
+std::string PercentDecode(std::string_view s);
+
+/// Splits "a=1&b=x%20y" into decoded pairs, preserving order.
+std::vector<std::pair<std::string, std::string>> ParseQueryString(
+    std::string_view s);
+
+}  // namespace net
+}  // namespace sitfact
+
+#endif  // SITFACT_NET_HTTP_H_

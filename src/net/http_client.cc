@@ -1,0 +1,191 @@
+#include "net/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace sitfact {
+namespace net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+}  // namespace
+
+const std::string* HttpClient::Response::Header(
+    std::string_view name) const {
+  for (const auto& [k, v] : headers) {
+    if (k == name) return &v;
+  }
+  return nullptr;
+}
+
+HttpClient::HttpClient(std::string host, uint16_t port)
+    : host_(std::move(host)), port_(port) {}
+
+HttpClient::~HttpClient() { Disconnect(); }
+
+void HttpClient::Disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  residue_.clear();
+}
+
+Status HttpClient::Connect() {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    Disconnect();
+    return Status::InvalidArgument("bad host address: " + host_);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status s = Errno("connect " + host_ + ":" + std::to_string(port_));
+    Disconnect();
+    return s;
+  }
+  return Status();
+}
+
+StatusOr<HttpClient::Response> HttpClient::Get(const std::string& target) {
+  const std::string request = "GET " + target +
+                              " HTTP/1.1\r\nHost: " + host_ +
+                              "\r\n\r\n";
+  return RoundTrip(request, /*retry_on_stale=*/true);
+}
+
+StatusOr<HttpClient::Response> HttpClient::Post(
+    const std::string& target, const std::string& body,
+    const std::string& content_type) {
+  const std::string request =
+      "POST " + target + " HTTP/1.1\r\nHost: " + host_ +
+      "\r\nContent-Type: " + content_type +
+      "\r\nContent-Length: " + std::to_string(body.size()) + "\r\n\r\n" +
+      body;
+  return RoundTrip(request, /*retry_on_stale=*/true);
+}
+
+StatusOr<HttpClient::Response> HttpClient::RoundTrip(
+    const std::string& request, bool retry_on_stale) {
+  const bool fresh = fd_ < 0;
+  if (fresh) {
+    Status s = Connect();
+    if (!s.ok()) return s;
+  }
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::write(fd_, request.data() + sent, request.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // A kept-alive connection the server has since closed: reconnect
+      // once and resend.
+      Disconnect();
+      if (retry_on_stale && !fresh) {
+        return RoundTrip(request, /*retry_on_stale=*/false);
+      }
+      return Errno("write");
+    }
+    sent += static_cast<size_t>(n);
+  }
+
+  std::string buffer = std::move(residue_);
+  residue_.clear();
+  auto read_more = [&]() -> int {
+    char chunk[8192];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n > 0) buffer.append(chunk, static_cast<size_t>(n));
+    return static_cast<int>(n);
+  };
+
+  // --- headers ---
+  size_t head_end;
+  while ((head_end = buffer.find("\r\n\r\n")) == std::string::npos) {
+    const int n = read_more();
+    if (n == 0 && buffer.empty() && retry_on_stale && !fresh) {
+      // Stale keep-alive: the server closed before our request arrived.
+      Disconnect();
+      return RoundTrip(request, /*retry_on_stale=*/false);
+    }
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      Disconnect();
+      return Status::IoError("connection closed before response headers");
+    }
+  }
+
+  Response response;
+  const std::string head = buffer.substr(0, head_end);
+  size_t pos = head.find("\r\n");
+  const std::string status_line =
+      head.substr(0, pos == std::string::npos ? head.size() : pos);
+  if (status_line.size() < 12 || status_line.compare(0, 5, "HTTP/") != 0) {
+    Disconnect();
+    return Status::IoError("malformed status line: " + status_line);
+  }
+  response.status = std::atoi(status_line.c_str() + 9);
+
+  uint64_t content_length = 0;
+  bool keep_alive = true;
+  while (pos != std::string::npos && pos + 2 < head.size()) {
+    size_t next = head.find("\r\n", pos + 2);
+    const std::string line =
+        head.substr(pos + 2, (next == std::string::npos ? head.size() : next) -
+                                 pos - 2);
+    pos = next;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::string name = ToLower(line.substr(0, colon));
+    std::string value = line.substr(colon + 1);
+    while (!value.empty() && value.front() == ' ') value.erase(0, 1);
+    if (name == "content-length") {
+      content_length = std::strtoull(value.c_str(), nullptr, 10);
+    }
+    if (name == "connection" && ToLower(value) == "close") {
+      keep_alive = false;
+    }
+    response.headers.emplace_back(std::move(name), std::move(value));
+  }
+
+  const size_t body_begin = head_end + 4;
+  while (buffer.size() < body_begin + content_length) {
+    const int n = read_more();
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      Disconnect();
+      return Status::IoError("connection closed mid-body");
+    }
+  }
+  response.body = buffer.substr(body_begin, content_length);
+  residue_ = buffer.substr(body_begin + content_length);
+  if (!keep_alive) Disconnect();
+  return response;
+}
+
+}  // namespace net
+}  // namespace sitfact

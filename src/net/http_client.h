@@ -1,0 +1,56 @@
+#ifndef SITFACT_NET_HTTP_CLIENT_H_
+#define SITFACT_NET_HTTP_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sitfact {
+namespace net {
+
+/// Minimal blocking HTTP/1.1 client — enough to drive the server from
+/// tests, the multi-client smoke test, and the load generator. Reuses one
+/// keep-alive connection; reconnects transparently when the server closed
+/// it between requests.
+class HttpClient {
+ public:
+  struct Response {
+    int status = 0;
+    std::vector<std::pair<std::string, std::string>> headers;  ///< lowercased names
+    std::string body;
+    const std::string* Header(std::string_view name) const;
+  };
+
+  HttpClient(std::string host, uint16_t port);
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  StatusOr<Response> Get(const std::string& target);
+  StatusOr<Response> Post(const std::string& target, const std::string& body,
+                          const std::string& content_type =
+                              "application/json");
+
+  /// Drops the kept-alive connection (next request reconnects).
+  void Disconnect();
+
+ private:
+  StatusOr<Response> RoundTrip(const std::string& request,
+                               bool retry_on_stale);
+  Status Connect();
+
+  std::string host_;
+  uint16_t port_;
+  int fd_ = -1;
+  std::string residue_;  ///< bytes read past the previous response
+};
+
+}  // namespace net
+}  // namespace sitfact
+
+#endif  // SITFACT_NET_HTTP_CLIENT_H_

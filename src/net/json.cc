@@ -1,0 +1,1052 @@
+#include "net/json.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "common/logging.h"
+#include "service/filter_parse.h"
+
+namespace sitfact {
+namespace net {
+
+namespace {
+
+/// Finite doubles render through %.17g — enough digits that strtod gives
+/// back the exact bit pattern, and a pure function of the value so every
+/// serializer call emits the same bytes.
+std::string FormatDouble(double d) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  return buf;
+}
+
+/// Doubles that may be non-finite: JSON has no NaN/Infinity tokens, so the
+/// DTO layer spells them as strings and accepts both spellings back.
+JsonValue DoubleToJson(double d) {
+  if (std::isfinite(d)) return JsonValue::Number(d);
+  if (std::isnan(d)) return JsonValue::Str("NaN");
+  return JsonValue::Str(d > 0 ? "Infinity" : "-Infinity");
+}
+
+StatusOr<double> DoubleFromJson(const JsonValue& v, const char* field) {
+  if (v.type() == JsonValue::Type::kNumber) return v.NumberAsDouble();
+  if (v.type() == JsonValue::Type::kString) {
+    const std::string& s = v.string_value();
+    if (s == "NaN") return std::numeric_limits<double>::quiet_NaN();
+    if (s == "Infinity") return std::numeric_limits<double>::infinity();
+    if (s == "-Infinity") return -std::numeric_limits<double>::infinity();
+  }
+  return Status::InvalidArgument(std::string("field '") + field +
+                                 "' is not a number");
+}
+
+StatusOr<uint64_t> U64FromJson(const JsonValue& v, const char* field) {
+  if (v.type() != JsonValue::Type::kNumber) {
+    return Status::InvalidArgument(std::string("field '") + field +
+                                   "' is not an unsigned integer");
+  }
+  auto u = v.NumberAsU64();
+  if (!u.ok()) {
+    return Status::InvalidArgument(std::string("field '") + field + "': " +
+                                   u.status().message());
+  }
+  return u.value();
+}
+
+StatusOr<uint32_t> U32FromJson(const JsonValue& v, const char* field) {
+  auto u = U64FromJson(v, field);
+  if (!u.ok()) return u.status();
+  if (u.value() > std::numeric_limits<uint32_t>::max()) {
+    return Status::InvalidArgument(std::string("field '") + field +
+                                   "' exceeds 32 bits");
+  }
+  return static_cast<uint32_t>(u.value());
+}
+
+StatusOr<bool> BoolFromJson(const JsonValue& v, const char* field) {
+  if (v.type() != JsonValue::Type::kBool) {
+    return Status::InvalidArgument(std::string("field '") + field +
+                                   "' is not a boolean");
+  }
+  return v.bool_value();
+}
+
+StatusOr<std::string> StringFromJson(const JsonValue& v, const char* field) {
+  if (v.type() != JsonValue::Type::kString) {
+    return Status::InvalidArgument(std::string("field '") + field +
+                                   "' is not a string");
+  }
+  return v.string_value();
+}
+
+void EscapeInto(const std::string& s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+// --- parser ---
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  StatusOr<JsonValue> ParseDocument() {
+    auto v = ParseValue(0);
+    if (!v.ok()) return v.status();
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Err("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  Status Err(const std::string& what) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<JsonValue> ParseValue(int depth) {
+    // depth counts enclosing containers (0 at the top level), so a value
+    // at depth kMaxDepth would be nested kMaxDepth+1 containers deep.
+    if (depth >= JsonValue::kMaxDepth) return Err("nesting too deep");
+    SkipWs();
+    if (pos_ >= text_.size()) return Err("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(depth);
+    if (c == '[') return ParseArray(depth);
+    if (c == '"') {
+      auto s = ParseString();
+      if (!s.ok()) return s.status();
+      return JsonValue::Str(std::move(s).value());
+    }
+    if (ConsumeWord("true")) return JsonValue::Bool(true);
+    if (ConsumeWord("false")) return JsonValue::Bool(false);
+    if (ConsumeWord("null")) return JsonValue::Null();
+    return ParseNumber();
+  }
+
+  StatusOr<JsonValue> ParseObject(int depth) {
+    JsonValue obj = JsonValue::Object();
+    ++pos_;  // '{'
+    SkipWs();
+    if (Consume('}')) return obj;
+    while (true) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Err("expected object key string");
+      }
+      auto key = ParseString();
+      if (!key.ok()) return key.status();
+      if (obj.Find(key.value()) != nullptr) {
+        return Err("duplicate object key '" + key.value() + "'");
+      }
+      SkipWs();
+      if (!Consume(':')) return Err("expected ':' after object key");
+      auto value = ParseValue(depth + 1);
+      if (!value.ok()) return value.status();
+      obj.Set(std::move(key).value(), std::move(value).value());
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume('}')) return obj;
+      return Err("expected ',' or '}' in object");
+    }
+  }
+
+  StatusOr<JsonValue> ParseArray(int depth) {
+    JsonValue arr = JsonValue::Array();
+    ++pos_;  // '['
+    SkipWs();
+    if (Consume(']')) return arr;
+    while (true) {
+      auto value = ParseValue(depth + 1);
+      if (!value.ok()) return value.status();
+      arr.Append(std::move(value).value());
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume(']')) return arr;
+      return Err("expected ',' or ']' in array");
+    }
+  }
+
+  StatusOr<std::string> ParseString() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Err("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Err("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_ + static_cast<size_t>(i)];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Err("bad \\u escape");
+            }
+          }
+          pos_ += 4;
+          // UTF-8 encode the BMP code point (surrogate pairs are not
+          // produced by our serializer; decode them pairwise if present).
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (pos_ + 6 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return Err("unpaired surrogate in \\u escape");
+            }
+            pos_ += 2;
+            unsigned low = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_ + static_cast<size_t>(i)];
+              low <<= 4;
+              if (h >= '0' && h <= '9') {
+                low |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                low |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                low |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return Err("bad \\u escape");
+              }
+            }
+            pos_ += 4;
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Err("unpaired surrogate in \\u escape");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            return Err("unpaired surrogate in \\u escape");
+          }
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else if (code < 0x10000) {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xF0 | (code >> 18));
+            out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return Err("bad escape character");
+      }
+    }
+    return Err("unterminated string");
+  }
+
+  StatusOr<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+      return Err("expected a JSON value");
+    }
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    if (Consume('.')) {
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Err("digits must follow '.'");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return Err("digits must follow exponent");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    JsonValue v = JsonValue::Number(0.0);
+    // Replace the canonical lexeme with exactly what was written, so exact
+    // integers survive (NumberAsU64 parses the lexeme, not a double).
+    v = JsonValue::RawNumber(std::string(text_.substr(start, pos_ - start)));
+    return v;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue JsonValue::Number(double d) {
+  SITFACT_CHECK_MSG(std::isfinite(d),
+                    "JsonValue::Number needs a finite double");
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.string_ = FormatDouble(d);
+  return v;
+}
+
+JsonValue JsonValue::Number(uint64_t u) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.string_ = std::to_string(u);
+  return v;
+}
+
+JsonValue JsonValue::Number(int64_t i) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.string_ = std::to_string(i);
+  return v;
+}
+
+JsonValue JsonValue::RawNumber(std::string lexeme) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.string_ = std::move(lexeme);
+  return v;
+}
+
+double JsonValue::NumberAsDouble() const {
+  return std::strtod(string_.c_str(), nullptr);
+}
+
+StatusOr<uint64_t> JsonValue::NumberAsU64() const {
+  const std::string& s = string_;
+  if (s.empty() || s[0] == '-') {
+    return Status::InvalidArgument("negative where unsigned expected");
+  }
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("not an integer: " + s);
+    }
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno == ERANGE || end != s.c_str() + s.size()) {
+    return Status::InvalidArgument("integer out of range: " + s);
+  }
+  return static_cast<uint64_t>(v);
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    if (keys_[i] == key) return &items_[i];
+  }
+  return nullptr;
+}
+
+StatusOr<JsonValue> JsonValue::Parse(std::string_view text) {
+  return Parser(text).ParseDocument();
+}
+
+void JsonValue::DumpTo(std::string* out) const {
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      return;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Type::kNumber:
+      *out += string_;
+      return;
+    case Type::kString:
+      *out += '"';
+      EscapeInto(string_, out);
+      *out += '"';
+      return;
+    case Type::kArray:
+      *out += '[';
+      for (size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) *out += ',';
+        items_[i].DumpTo(out);
+      }
+      *out += ']';
+      return;
+    case Type::kObject:
+      *out += '{';
+      for (size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) *out += ',';
+        *out += '"';
+        EscapeInto(keys_[i], out);
+        *out += "\":";
+        items_[i].DumpTo(out);
+      }
+      *out += '}';
+      return;
+  }
+}
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  DumpTo(&out);
+  return out;
+}
+
+// --- DTO (de)serialization ---
+
+namespace {
+
+JsonValue ConstraintToJson(const Constraint& c) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("num_dims", JsonValue::Number(static_cast<uint64_t>(c.num_dims())));
+  obj.Set("bound", JsonValue::Number(static_cast<uint64_t>(c.bound_mask())));
+  JsonValue values = JsonValue::Array();
+  for (int d = 0; d < c.num_dims(); ++d) {
+    if (c.IsBound(d)) {
+      values.Append(JsonValue::Number(static_cast<uint64_t>(c.value(d))));
+    }
+  }
+  obj.Set("values", std::move(values));
+  return obj;
+}
+
+StatusOr<Constraint> ConstraintFromJson(const JsonValue& v,
+                                        const char* field) {
+  if (v.type() != JsonValue::Type::kObject) {
+    return Status::InvalidArgument(std::string("field '") + field +
+                                   "' is not a constraint object");
+  }
+  int num_dims = 0;
+  DimMask bound = 0;
+  std::vector<ValueId> values;
+  for (const std::string& key : v.keys()) {
+    const JsonValue& member = *v.Find(key);
+    if (key == "num_dims") {
+      auto u = U32FromJson(member, "num_dims");
+      if (!u.ok()) return u.status();
+      if (u.value() > static_cast<uint32_t>(kMaxDimensions)) {
+        return Status::InvalidArgument("constraint num_dims exceeds " +
+                                       std::to_string(kMaxDimensions));
+      }
+      num_dims = static_cast<int>(u.value());
+    } else if (key == "bound") {
+      auto u = U32FromJson(member, "bound");
+      if (!u.ok()) return u.status();
+      bound = u.value();
+    } else if (key == "values") {
+      if (member.type() != JsonValue::Type::kArray) {
+        return Status::InvalidArgument("constraint 'values' is not an array");
+      }
+      for (size_t i = 0; i < member.size(); ++i) {
+        auto u = U32FromJson(member.at(i), "values");
+        if (!u.ok()) return u.status();
+        values.push_back(u.value());
+      }
+    } else {
+      return Status::InvalidArgument("unknown constraint field '" + key +
+                                     "'");
+    }
+  }
+  if (num_dims <= 0) {
+    return Status::InvalidArgument("constraint needs positive num_dims");
+  }
+  if ((bound >> num_dims) != 0) {
+    return Status::InvalidArgument(
+        "constraint bound mask exceeds num_dims");
+  }
+  int popcount = 0;
+  for (DimMask m = bound; m != 0; m &= m - 1) ++popcount;
+  if (static_cast<size_t>(popcount) != values.size()) {
+    return Status::InvalidArgument(
+        "constraint 'values' length does not match the bound mask");
+  }
+  return Constraint::FromBoundValues(num_dims, bound, values);
+}
+
+JsonValue CursorToJson(const TopKCursor& cursor, bool with_token) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("prominence", DoubleToJson(cursor.prominence));
+  obj.Set("record", JsonValue::Number(static_cast<uint64_t>(
+                        cursor.record_id)));
+  if (with_token) {
+    obj.Set("token", JsonValue::Str(EncodeCursorToken(cursor)));
+  }
+  return obj;
+}
+
+StatusOr<TopKCursor> CursorFromJson(const JsonValue& v) {
+  if (v.type() == JsonValue::Type::kString) {
+    return ParseCursorToken(v.string_value());
+  }
+  if (v.type() != JsonValue::Type::kObject) {
+    return Status::InvalidArgument(
+        "field 'cursor' is not a cursor object or token");
+  }
+  TopKCursor cursor;
+  for (const std::string& key : v.keys()) {
+    const JsonValue& member = *v.Find(key);
+    if (key == "prominence") {
+      auto d = DoubleFromJson(member, "prominence");
+      if (!d.ok()) return d.status();
+      cursor.prominence = d.value();
+    } else if (key == "record") {
+      auto u = U32FromJson(member, "record");
+      if (!u.ok()) return u.status();
+      cursor.record_id = u.value();
+    } else if (key == "token") {
+      // Tolerated on input so a client can echo a response's `next` object
+      // back verbatim; the structured fields win.
+    } else {
+      return Status::InvalidArgument("unknown cursor field '" + key + "'");
+    }
+  }
+  return cursor;
+}
+
+JsonValue FilterToJson(const FactFilter& filter) {
+  JsonValue obj = JsonValue::Object();
+  if (filter.tuple.has_value()) {
+    obj.Set("tuple", JsonValue::Number(static_cast<uint64_t>(*filter.tuple)));
+  }
+  if (filter.bound_mask.has_value()) {
+    obj.Set("bound_mask",
+            JsonValue::Number(static_cast<uint64_t>(*filter.bound_mask)));
+  }
+  if (filter.subspace.has_value()) {
+    obj.Set("subspace",
+            JsonValue::Number(static_cast<uint64_t>(*filter.subspace)));
+  }
+  if (filter.about.has_value()) {
+    obj.Set("about", ConstraintToJson(*filter.about));
+  }
+  obj.Set("min_arrival", JsonValue::Number(filter.min_arrival));
+  obj.Set("max_arrival", JsonValue::Number(filter.max_arrival));
+  obj.Set("min_prominence", DoubleToJson(filter.min_prominence));
+  obj.Set("prominent_only", JsonValue::Bool(filter.prominent_only));
+  obj.Set("include_dead", JsonValue::Bool(filter.include_dead));
+  return obj;
+}
+
+StatusOr<FactFilter> FilterFromJson(const JsonValue& v,
+                                    const Relation* relation,
+                                    std::string* empty_note) {
+  if (v.type() != JsonValue::Type::kObject) {
+    return Status::InvalidArgument("field 'filter' is not an object");
+  }
+  FactFilter filter;
+  FactFilterSpec spec;
+  bool has_structured_window = false;
+  for (const std::string& key : v.keys()) {
+    const JsonValue& member = *v.Find(key);
+    if (key == "tuple") {
+      auto u = U32FromJson(member, "tuple");
+      if (!u.ok()) return u.status();
+      filter.tuple = u.value();
+    } else if (key == "bound_mask") {
+      auto u = U32FromJson(member, "bound_mask");
+      if (!u.ok()) return u.status();
+      filter.bound_mask = u.value();
+    } else if (key == "subspace") {
+      auto u = U32FromJson(member, "subspace");
+      if (!u.ok()) return u.status();
+      filter.subspace = u.value();
+    } else if (key == "about") {
+      auto c = ConstraintFromJson(member, "about");
+      if (!c.ok()) return c.status();
+      filter.about = std::move(c).value();
+    } else if (key == "min_arrival") {
+      auto u = U64FromJson(member, "min_arrival");
+      if (!u.ok()) return u.status();
+      filter.min_arrival = u.value();
+      has_structured_window = true;
+    } else if (key == "max_arrival") {
+      auto u = U64FromJson(member, "max_arrival");
+      if (!u.ok()) return u.status();
+      filter.max_arrival = u.value();
+      has_structured_window = true;
+    } else if (key == "min_prominence") {
+      auto d = DoubleFromJson(member, "min_prominence");
+      if (!d.ok()) return d.status();
+      filter.min_prominence = d.value();
+    } else if (key == "prominent_only") {
+      auto b = BoolFromJson(member, "prominent_only");
+      if (!b.ok()) return b.status();
+      filter.prominent_only = b.value();
+    } else if (key == "include_dead") {
+      auto b = BoolFromJson(member, "include_dead");
+      if (!b.ok()) return b.status();
+      filter.include_dead = b.value();
+    } else if (key == "where" || key == "measures" || key == "window") {
+      auto s = StringFromJson(member, key.c_str());
+      if (!s.ok()) return s.status();
+      if (relation == nullptr) {
+        return Status::InvalidArgument(
+            "textual filter field '" + key +
+            "' needs a served relation to resolve names against");
+      }
+      if (key == "where") {
+        spec.where = std::move(s).value();
+      } else if (key == "measures") {
+        spec.subspace = std::move(s).value();
+      } else {
+        spec.window = std::move(s).value();
+      }
+    } else {
+      return Status::InvalidArgument("unknown filter field '" + key + "'");
+    }
+  }
+  // The textual grammar resolves through the exact parser the CLI uses;
+  // mixing a textual field with its structured twin is ambiguous.
+  if (!spec.where.empty() && filter.about.has_value()) {
+    return Status::InvalidArgument("filter gives both 'where' and 'about'");
+  }
+  if (!spec.subspace.empty() && filter.subspace.has_value()) {
+    return Status::InvalidArgument(
+        "filter gives both 'measures' and 'subspace'");
+  }
+  if (!spec.window.empty() && has_structured_window) {
+    return Status::InvalidArgument(
+        "filter gives both 'window' and 'min_arrival'/'max_arrival'");
+  }
+  if (!spec.where.empty() || !spec.subspace.empty() || !spec.window.empty()) {
+    auto parsed = ParseFactFilter(spec, *relation, empty_note);
+    if (!parsed.ok()) return parsed.status();
+    if (parsed.value().about.has_value()) filter.about = parsed.value().about;
+    if (parsed.value().subspace.has_value()) {
+      filter.subspace = parsed.value().subspace;
+    }
+    if (!spec.window.empty()) {
+      filter.min_arrival = parsed.value().min_arrival;
+      filter.max_arrival = parsed.value().max_arrival;
+    }
+  }
+  return filter;
+}
+
+JsonValue FactViewToJson(const FactService::FactView& view) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("id", JsonValue::Number(static_cast<uint64_t>(view.id)));
+  obj.Set("tuple", JsonValue::Number(static_cast<uint64_t>(view.tuple)));
+  obj.Set("arrival_seq", JsonValue::Number(view.arrival_seq));
+  obj.Set("constraint", ConstraintToJson(view.fact.constraint));
+  obj.Set("subspace",
+          JsonValue::Number(static_cast<uint64_t>(view.fact.subspace)));
+  obj.Set("context_size", JsonValue::Number(view.context_size));
+  obj.Set("skyline_size", JsonValue::Number(view.skyline_size));
+  obj.Set("prominence", DoubleToJson(view.prominence));
+  obj.Set("prominent", JsonValue::Bool(view.prominent));
+  obj.Set("ranked", JsonValue::Bool(view.ranked));
+  obj.Set("live", JsonValue::Bool(view.live));
+  obj.Set("narration", JsonValue::Str(view.narration));
+  return obj;
+}
+
+StatusOr<FactService::FactView> FactViewFromJson(const JsonValue& v) {
+  if (v.type() != JsonValue::Type::kObject) {
+    return Status::InvalidArgument("fact entry is not an object");
+  }
+  FactService::FactView view;
+  for (const std::string& key : v.keys()) {
+    const JsonValue& member = *v.Find(key);
+    if (key == "id") {
+      auto u = U32FromJson(member, "id");
+      if (!u.ok()) return u.status();
+      view.id = u.value();
+    } else if (key == "tuple") {
+      auto u = U32FromJson(member, "tuple");
+      if (!u.ok()) return u.status();
+      view.tuple = u.value();
+    } else if (key == "arrival_seq") {
+      auto u = U64FromJson(member, "arrival_seq");
+      if (!u.ok()) return u.status();
+      view.arrival_seq = u.value();
+    } else if (key == "constraint") {
+      auto c = ConstraintFromJson(member, "constraint");
+      if (!c.ok()) return c.status();
+      view.fact.constraint = std::move(c).value();
+    } else if (key == "subspace") {
+      auto u = U32FromJson(member, "subspace");
+      if (!u.ok()) return u.status();
+      view.fact.subspace = u.value();
+    } else if (key == "context_size") {
+      auto u = U64FromJson(member, "context_size");
+      if (!u.ok()) return u.status();
+      view.context_size = u.value();
+    } else if (key == "skyline_size") {
+      auto u = U64FromJson(member, "skyline_size");
+      if (!u.ok()) return u.status();
+      view.skyline_size = u.value();
+    } else if (key == "prominence") {
+      auto d = DoubleFromJson(member, "prominence");
+      if (!d.ok()) return d.status();
+      view.prominence = d.value();
+    } else if (key == "prominent") {
+      auto b = BoolFromJson(member, "prominent");
+      if (!b.ok()) return b.status();
+      view.prominent = b.value();
+    } else if (key == "ranked") {
+      auto b = BoolFromJson(member, "ranked");
+      if (!b.ok()) return b.status();
+      view.ranked = b.value();
+    } else if (key == "live") {
+      auto b = BoolFromJson(member, "live");
+      if (!b.ok()) return b.status();
+      view.live = b.value();
+    } else if (key == "narration") {
+      auto s = StringFromJson(member, "narration");
+      if (!s.ok()) return s.status();
+      view.narration = std::move(s).value();
+    } else {
+      return Status::InvalidArgument("unknown fact field '" + key + "'");
+    }
+  }
+  return view;
+}
+
+std::string WireErrorCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kAlreadyExists:
+      return "already_exists";
+    case StatusCode::kIoError:
+      return "io_error";
+    case StatusCode::kCorruption:
+      return "corruption";
+    case StatusCode::kUnimplemented:
+      return "unimplemented";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+JsonValue RequestToJson(const QueryRequest& request) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("schema",
+          JsonValue::Number(static_cast<uint64_t>(kWireSchemaVersion)));
+  obj.Set("kind", JsonValue::Str(QueryKindName(request.kind)));
+  obj.Set("k", JsonValue::Number(request.k));
+  obj.Set("filter", FilterToJson(request.filter));
+  if (request.tuple.has_value()) {
+    obj.Set("tuple",
+            JsonValue::Number(static_cast<uint64_t>(*request.tuple)));
+  }
+  if (request.window_first.has_value()) {
+    obj.Set("window_first", JsonValue::Number(*request.window_first));
+  }
+  if (request.window_last.has_value()) {
+    obj.Set("window_last", JsonValue::Number(*request.window_last));
+  }
+  if (request.cursor.has_value()) {
+    obj.Set("cursor", CursorToJson(*request.cursor, /*with_token=*/false));
+  }
+  if (request.record.has_value()) {
+    obj.Set("record",
+            JsonValue::Number(static_cast<uint64_t>(*request.record)));
+  }
+  return obj;
+}
+
+std::string CanonicalRequestKey(const QueryRequest& request) {
+  return RequestToJson(request).Dump();
+}
+
+StatusOr<QueryRequest> RequestFromJson(const JsonValue& json,
+                                       const Relation* relation) {
+  return RequestFromJson(json, relation, nullptr);
+}
+
+StatusOr<QueryRequest> RequestFromJson(const JsonValue& json,
+                                       const Relation* relation,
+                                       std::string* empty_note) {
+  if (json.type() != JsonValue::Type::kObject) {
+    return Status::InvalidArgument("request is not a JSON object");
+  }
+  QueryRequest request;
+  std::string scratch_note;
+  if (empty_note == nullptr) empty_note = &scratch_note;
+  for (const std::string& key : json.keys()) {
+    const JsonValue& member = *json.Find(key);
+    if (key == "schema") {
+      auto u = U64FromJson(member, "schema");
+      if (!u.ok()) return u.status();
+      if (u.value() != kWireSchemaVersion) {
+        return Status::InvalidArgument(
+            "unsupported schema version " + std::to_string(u.value()) +
+            " (this server speaks " + std::to_string(kWireSchemaVersion) +
+            ")");
+      }
+    } else if (key == "kind") {
+      auto s = StringFromJson(member, "kind");
+      if (!s.ok()) return s.status();
+      auto kind = ParseQueryKind(s.value());
+      if (!kind.ok()) return kind.status();
+      request.kind = kind.value();
+    } else if (key == "k") {
+      auto u = U64FromJson(member, "k");
+      if (!u.ok()) return u.status();
+      request.k = u.value();
+    } else if (key == "filter") {
+      auto f = FilterFromJson(member, relation, empty_note);
+      if (!f.ok()) return f.status();
+      request.filter = std::move(f).value();
+    } else if (key == "tuple") {
+      auto u = U32FromJson(member, "tuple");
+      if (!u.ok()) return u.status();
+      request.tuple = u.value();
+    } else if (key == "window_first") {
+      auto u = U64FromJson(member, "window_first");
+      if (!u.ok()) return u.status();
+      request.window_first = u.value();
+    } else if (key == "window_last") {
+      auto u = U64FromJson(member, "window_last");
+      if (!u.ok()) return u.status();
+      request.window_last = u.value();
+    } else if (key == "cursor") {
+      auto c = CursorFromJson(member);
+      if (!c.ok()) return c.status();
+      request.cursor = c.value();
+    } else if (key == "record") {
+      auto u = U32FromJson(member, "record");
+      if (!u.ok()) return u.status();
+      request.record = u.value();
+    } else {
+      return Status::InvalidArgument("unknown request field '" + key + "'");
+    }
+  }
+  return request;
+}
+
+StatusOr<QueryRequest> ParseRequest(std::string_view text,
+                                    const Relation* relation) {
+  auto json = JsonValue::Parse(text);
+  if (!json.ok()) return json.status();
+  return RequestFromJson(json.value(), relation);
+}
+
+JsonValue ResponseToJson(const QueryResponse& response) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("schema", JsonValue::Number(static_cast<uint64_t>(response.schema)));
+  obj.Set("epoch", JsonValue::Number(response.epoch));
+  JsonValue facts = JsonValue::Array();
+  for (const FactService::FactView& view : response.facts) {
+    facts.Append(FactViewToJson(view));
+  }
+  obj.Set("facts", std::move(facts));
+  if (response.next.has_value()) {
+    obj.Set("next", CursorToJson(*response.next, /*with_token=*/true));
+  }
+  if (response.explanation.has_value()) {
+    obj.Set("explanation", JsonValue::Str(*response.explanation));
+  }
+  return obj;
+}
+
+std::string SerializeResponse(const QueryResponse& response) {
+  return ResponseToJson(response).Dump();
+}
+
+StatusOr<QueryResponse> ResponseFromJson(const JsonValue& json) {
+  if (json.type() != JsonValue::Type::kObject) {
+    return Status::InvalidArgument("response is not a JSON object");
+  }
+  QueryResponse response;
+  for (const std::string& key : json.keys()) {
+    const JsonValue& member = *json.Find(key);
+    if (key == "schema") {
+      auto u = U32FromJson(member, "schema");
+      if (!u.ok()) return u.status();
+      response.schema = u.value();
+    } else if (key == "epoch") {
+      auto u = U64FromJson(member, "epoch");
+      if (!u.ok()) return u.status();
+      response.epoch = u.value();
+    } else if (key == "facts") {
+      if (member.type() != JsonValue::Type::kArray) {
+        return Status::InvalidArgument("response 'facts' is not an array");
+      }
+      for (size_t i = 0; i < member.size(); ++i) {
+        auto view = FactViewFromJson(member.at(i));
+        if (!view.ok()) return view.status();
+        response.facts.push_back(std::move(view).value());
+      }
+    } else if (key == "next") {
+      auto c = CursorFromJson(member);
+      if (!c.ok()) return c.status();
+      response.next = c.value();
+    } else if (key == "explanation") {
+      auto s = StringFromJson(member, "explanation");
+      if (!s.ok()) return s.status();
+      response.explanation = std::move(s).value();
+    } else {
+      return Status::InvalidArgument("unknown response field '" + key + "'");
+    }
+  }
+  return response;
+}
+
+StatusOr<QueryResponse> ParseResponse(std::string_view text) {
+  auto json = JsonValue::Parse(text);
+  if (!json.ok()) return json.status();
+  return ResponseFromJson(json.value());
+}
+
+std::string SerializeErrorBody(const Status& status) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("schema",
+          JsonValue::Number(static_cast<uint64_t>(kWireSchemaVersion)));
+  JsonValue error = JsonValue::Object();
+  error.Set("code", JsonValue::Str(WireErrorCode(status.code())));
+  error.Set("message", JsonValue::Str(status.message()));
+  obj.Set("error", std::move(error));
+  return obj.Dump();
+}
+
+std::string EncodeCursorToken(const TopKCursor& cursor) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%a:%u", cursor.prominence,
+                cursor.record_id);
+  // %a writes exponents as p+N, and '+' in a query string decodes to a
+  // space — strip it (strtod accepts a signless exponent) so the token
+  // survives being pasted into a URL verbatim.
+  std::string token = buf;
+  const size_t plus = token.find('+');
+  if (plus != std::string::npos) token.erase(plus, 1);
+  return token;
+}
+
+StatusOr<TopKCursor> ParseCursorToken(const std::string& token) {
+  const size_t colon = token.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= token.size()) {
+    return Status::InvalidArgument("bad cursor token '" + token + "'");
+  }
+  const std::string prom = token.substr(0, colon);
+  const std::string rec = token.substr(colon + 1);
+  char* end = nullptr;
+  const double p = std::strtod(prom.c_str(), &end);
+  if (end != prom.c_str() + prom.size()) {
+    return Status::InvalidArgument("bad cursor token '" + token + "'");
+  }
+  for (char c : rec) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("bad cursor token '" + token + "'");
+    }
+  }
+  errno = 0;
+  const unsigned long long r = std::strtoull(rec.c_str(), nullptr, 10);
+  if (errno == ERANGE || r > std::numeric_limits<uint32_t>::max()) {
+    return Status::InvalidArgument("bad cursor token '" + token + "'");
+  }
+  TopKCursor cursor;
+  cursor.prominence = p;
+  cursor.record_id = static_cast<uint32_t>(r);
+  return cursor;
+}
+
+}  // namespace net
+}  // namespace sitfact

@@ -1,0 +1,164 @@
+#ifndef SITFACT_NET_JSON_H_
+#define SITFACT_NET_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "query/fact_index.h"
+#include "relation/relation.h"
+#include "service/query_api.h"
+
+namespace sitfact {
+namespace net {
+
+/// Minimal JSON document model, grown for one job: THE (de)serializer for
+/// the unified QueryRequest/QueryResponse wire shapes, shared by the HTTP
+/// server, the CLI's `--format json`, the load generator, and the tests.
+///
+/// Two properties the standard library shapes would not give us:
+///  * Deterministic output — objects keep insertion order and Dump() is a
+///    pure function of the value, so the same response serializes to the
+///    same bytes (the per-epoch response cache and the byte-identical
+///    server-vs-in-process differential tests both rest on this).
+///  * Exact 64-bit integers — numbers remember their lexeme, so a uint64
+///    survives the round trip bit-for-bit instead of sagging through a
+///    double at 2^53.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b) {
+    JsonValue v;
+    v.type_ = Type::kBool;
+    v.bool_ = b;
+    return v;
+  }
+  /// Finite doubles only (shortest round-trip formatting); the DTO layer
+  /// encodes NaN/Infinity as strings because JSON has no tokens for them.
+  static JsonValue Number(double d);
+  static JsonValue Number(uint64_t u);
+  static JsonValue Number(int64_t i);
+  static JsonValue Number(uint32_t u) {
+    return Number(static_cast<uint64_t>(u));
+  }
+  static JsonValue Number(int i) { return Number(static_cast<int64_t>(i)); }
+  /// A number from its exact lexeme (no validation; the parser's path for
+  /// keeping integers bit-exact).
+  static JsonValue RawNumber(std::string lexeme);
+  static JsonValue Str(std::string s) {
+    JsonValue v;
+    v.type_ = Type::kString;
+    v.string_ = std::move(s);
+    return v;
+  }
+  static JsonValue Array() {
+    JsonValue v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  /// Parses one JSON document (trailing garbage rejected). Duplicate
+  /// object keys are rejected — a canonical cache key must name each field
+  /// once. Nesting deeper than kMaxDepth is rejected.
+  static StatusOr<JsonValue> Parse(std::string_view text);
+  static constexpr int kMaxDepth = 32;
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+
+  bool bool_value() const { return bool_; }
+  const std::string& string_value() const { return string_; }
+  /// The number's lexeme as written/parsed.
+  const std::string& number_lexeme() const { return string_; }
+  double NumberAsDouble() const;
+  /// Exact unsigned integer; InvalidArgument when the lexeme is negative,
+  /// fractional, or exceeds uint64.
+  StatusOr<uint64_t> NumberAsU64() const;
+
+  // --- array ---
+  void Append(JsonValue v) { items_.push_back(std::move(v)); }
+  size_t size() const { return items_.size(); }
+  const JsonValue& at(size_t i) const { return items_[i]; }
+
+  // --- object (insertion-ordered) ---
+  void Set(std::string key, JsonValue v) {
+    keys_.push_back(std::move(key));
+    items_.push_back(std::move(v));
+  }
+  /// Member lookup; nullptr when absent.
+  const JsonValue* Find(std::string_view key) const;
+  const std::vector<std::string>& keys() const { return keys_; }
+
+  /// Compact deterministic rendering (no whitespace, insertion order).
+  std::string Dump() const;
+
+ private:
+  void DumpTo(std::string* out) const;
+
+  Type type_;
+  bool bool_ = false;
+  std::string string_;  ///< string value or number lexeme
+  std::vector<JsonValue> items_;
+  std::vector<std::string> keys_;  ///< parallel to items_ for objects
+};
+
+// --- the one QueryRequest/QueryResponse (de)serializer ---
+
+/// Canonical structured form of a request. Pure function of the struct:
+/// two equal requests serialize to the same bytes, which is what makes
+/// Dump(RequestToJson(r)) usable as the response-cache key.
+JsonValue RequestToJson(const QueryRequest& request);
+
+/// The per-epoch cache key: the canonical serialized request.
+std::string CanonicalRequestKey(const QueryRequest& request);
+
+/// Decodes a request. Structured fields round-trip RequestToJson exactly.
+/// When `relation` is non-null the filter additionally accepts the textual
+/// grammar shared with the CLI (`where`, `measures`, `window` — see
+/// src/service/filter_parse.h); with a null relation those fields are
+/// rejected (no dictionaries to resolve names against). Unknown fields are
+/// rejected by name at every nesting level.
+StatusOr<QueryRequest> RequestFromJson(const JsonValue& json,
+                                       const Relation* relation);
+/// Like above but surfaces the provably-empty-context note from a `where`
+/// value that never occurs (see ParseWhereConstraint): the caller should
+/// answer with an empty page, not execute the unconstrained query.
+StatusOr<QueryRequest> RequestFromJson(const JsonValue& json,
+                                       const Relation* relation,
+                                       std::string* empty_note);
+StatusOr<QueryRequest> ParseRequest(std::string_view text,
+                                    const Relation* relation);
+
+JsonValue ResponseToJson(const QueryResponse& response);
+std::string SerializeResponse(const QueryResponse& response);
+StatusOr<QueryResponse> ResponseFromJson(const JsonValue& json);
+StatusOr<QueryResponse> ParseResponse(std::string_view text);
+
+/// `{"schema":1,"error":{"code":"invalid_argument","message":...}}` — the
+/// structured error body every non-2xx endpoint response carries.
+std::string SerializeErrorBody(const Status& status);
+
+/// Opaque pagination token carried beside the structured cursor in
+/// responses ("next.token") and accepted as the `cursor` query parameter:
+/// `<prominence-hexfloat>:<record-id>`. Hexfloat keeps the double exact
+/// (NaN included, as "nan").
+std::string EncodeCursorToken(const TopKCursor& cursor);
+StatusOr<TopKCursor> ParseCursorToken(const std::string& token);
+
+}  // namespace net
+}  // namespace sitfact
+
+#endif  // SITFACT_NET_JSON_H_

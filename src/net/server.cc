@@ -1,0 +1,276 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sitfact {
+namespace net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+EpollServer::EpollServer(Options options) : options_(std::move(options)) {}
+
+EpollServer::~EpollServer() {
+  for (auto& [fd, conn] : connections_) ::close(fd);
+  connections_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+Status EpollServer::Listen() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad listen address: " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Errno("bind " + options_.host + ":" +
+                 std::to_string(options_.port));
+  }
+  if (::listen(listen_fd_, options_.listen_backlog) < 0) {
+    return Errno("listen");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    return Errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+
+  epoll_fd_ = ::epoll_create1(0);
+  if (epoll_fd_ < 0) return Errno("epoll_create1");
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) < 0) {
+    return Errno("epoll_ctl(listen)");
+  }
+  return Status();
+}
+
+Status EpollServer::Serve() {
+  if (listen_fd_ < 0 || epoll_fd_ < 0) {
+    return Status::InvalidArgument("Serve() before Listen()");
+  }
+  epoll_event events[64];
+  while (!stop_requested_ &&
+         !(external_stop_ != nullptr &&
+           external_stop_->load(std::memory_order_relaxed))) {
+    const int n = ::epoll_wait(epoll_fd_, events, 64, /*timeout_ms=*/100);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("epoll_wait");
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == listen_fd_) {
+        AcceptNew();
+        continue;
+      }
+      auto it = connections_.find(fd);
+      if (it == connections_.end()) continue;
+      Connection* conn = it->second.get();
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        CloseConnection(fd);
+        continue;
+      }
+      if ((events[i].events & EPOLLIN) != 0) {
+        if (!OnReadable(conn)) continue;
+      }
+      if ((events[i].events & EPOLLOUT) != 0) {
+        OnWritable(conn);
+      }
+    }
+  }
+  // Flush any buffered responses (briefly, blocking) before closing.
+  for (auto& [fd, conn] : connections_) {
+    if (conn->out_pos < conn->out.size()) {
+      const int flags = fcntl(fd, F_GETFL, 0);
+      fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+      const std::string_view rest =
+          std::string_view(conn->out).substr(conn->out_pos);
+      (void)!::write(fd, rest.data(), rest.size());
+    }
+    ::close(fd);
+  }
+  connections_.clear();
+  return Status();
+}
+
+void EpollServer::AcceptNew() {
+  while (true) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+    if (fd < 0) {
+      return;  // EAGAIN or transient error; epoll will call again
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (static_cast<int>(connections_.size()) >= options_.max_connections) {
+      // Shed at the door: a bounded, immediate 429 instead of an unbounded
+      // queue. The write is best-effort — the socket buffer of a fresh
+      // connection always has room for one small response.
+      ++stats_.shed;
+      HttpResponse shed;
+      shed.status = 429;
+      shed.body =
+          "{\"schema\":1,\"error\":{\"code\":\"overloaded\",\"message\":"
+          "\"connection limit reached, retry later\"}}";
+      shed.extra_headers.emplace_back(
+          "Retry-After", std::to_string(options_.retry_after_seconds));
+      shed.close = true;
+      const std::string wire = SerializeHttpResponse(shed);
+      (void)!::write(fd, wire.data(), wire.size());
+      ::close(fd);
+      continue;
+    }
+    ++stats_.accepted;
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      ::close(fd);
+      continue;
+    }
+    connections_[fd] = std::move(conn);
+    stats_.active_connections = static_cast<int>(connections_.size());
+  }
+}
+
+bool EpollServer::OnReadable(Connection* conn) {
+  char buf[8192];
+  while (true) {
+    const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+    if (n > 0) {
+      conn->in.append(buf, static_cast<size_t>(n));
+      // Oversized pipelined garbage with no complete request: bound input.
+      if (conn->in.size() >
+          options_.limits.max_header_bytes + options_.limits.max_body_bytes +
+              4096) {
+        break;
+      }
+      continue;
+    }
+    if (n == 0) {
+      // Peer closed its write side. Serve what was already buffered, flush
+      // the response if one is still in flight, then drop the connection.
+      if (!DrainRequests(conn)) return false;
+      if (conn->out_pos >= conn->out.size()) {
+        CloseConnection(conn->fd);
+        return false;
+      }
+      conn->close_after_flush = true;
+      return true;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CloseConnection(conn->fd);
+    return false;
+  }
+  return DrainRequests(conn);
+}
+
+bool EpollServer::DrainRequests(Connection* conn) {
+  while (!conn->close_after_flush) {
+    HttpRequest request;
+    const ParseResult parsed =
+        ParseHttpRequest(conn->in, options_.limits, &request);
+    if (parsed.state == ParseResult::State::kNeedMore) break;
+    if (parsed.state == ParseResult::State::kBad) {
+      ++stats_.protocol_errors;
+      HttpResponse response;
+      response.status = parsed.http_status;
+      response.body =
+          "{\"schema\":1,\"error\":{\"code\":\"bad_request\",\"message\":\"" +
+          parsed.error + "\"}}";
+      response.close = true;
+      conn->out += SerializeHttpResponse(response);
+      conn->close_after_flush = true;
+      break;
+    }
+    conn->in.erase(0, parsed.consumed);
+    ++stats_.requests;
+    HttpResponse response =
+        handler_ ? handler_(request)
+                 : HttpResponse{500, "application/json",
+                                "{\"schema\":1,\"error\":{\"code\":"
+                                "\"unimplemented\",\"message\":\"no "
+                                "handler\"}}",
+                                {},
+                                true};
+    if (!request.keep_alive) response.close = true;
+    if (response.close) conn->close_after_flush = true;
+    conn->out += SerializeHttpResponse(response);
+  }
+  return FlushOut(conn);
+}
+
+bool EpollServer::OnWritable(Connection* conn) { return FlushOut(conn); }
+
+bool EpollServer::FlushOut(Connection* conn) {
+  while (conn->out_pos < conn->out.size()) {
+    const ssize_t n = ::write(conn->fd, conn->out.data() + conn->out_pos,
+                              conn->out.size() - conn->out_pos);
+    if (n > 0) {
+      conn->out_pos += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      UpdateInterest(conn);
+      return true;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    CloseConnection(conn->fd);
+    return false;
+  }
+  conn->out.clear();
+  conn->out_pos = 0;
+  if (conn->close_after_flush) {
+    CloseConnection(conn->fd);
+    return false;
+  }
+  UpdateInterest(conn);
+  return true;
+}
+
+void EpollServer::UpdateInterest(Connection* conn) {
+  const bool want_write = conn->out_pos < conn->out.size();
+  if (want_write == conn->want_write) return;
+  conn->want_write = want_write;
+  epoll_event ev{};
+  ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+  ev.data.fd = conn->fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+}
+
+void EpollServer::CloseConnection(int fd) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  connections_.erase(fd);
+  stats_.active_connections = static_cast<int>(connections_.size());
+}
+
+}  // namespace net
+}  // namespace sitfact

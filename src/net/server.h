@@ -1,0 +1,112 @@
+#ifndef SITFACT_NET_SERVER_H_
+#define SITFACT_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "net/http.h"
+
+namespace sitfact {
+namespace net {
+
+/// Single-threaded epoll HTTP/1.1 server. One thread owns the listener,
+/// every connection, and the handler — queries against FactService
+/// snapshots are cheap and the index itself is single-writer, so the
+/// serving plane multiplexes connections instead of spawning threads.
+/// Concurrency = many in-flight connections, not many cores.
+///
+/// Admission control: at most `max_connections` connections are admitted;
+/// beyond that, new arrivals are answered immediately with
+/// `429 Too Many Requests` + `Retry-After` and closed (load is shed at the
+/// door, never queued without bound). The kernel accept backlog is also
+/// bounded by `listen_backlog`.
+class EpollServer {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;  ///< 0: kernel assigns; read back via port()
+    int listen_backlog = 64;
+    int max_connections = 64;
+    int retry_after_seconds = 1;
+    HttpLimits limits;
+  };
+
+  /// Serving statistics, exported verbatim at /statz.
+  struct Stats {
+    uint64_t accepted = 0;        ///< connections admitted
+    uint64_t shed = 0;            ///< connections answered 429 at the door
+    uint64_t protocol_errors = 0; ///< requests failed in HTTP parsing
+    uint64_t requests = 0;        ///< requests dispatched to the handler
+    int active_connections = 0;
+  };
+
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  explicit EpollServer(Options options);
+  ~EpollServer();
+
+  EpollServer(const EpollServer&) = delete;
+  EpollServer& operator=(const EpollServer&) = delete;
+
+  void set_handler(Handler handler) { handler_ = std::move(handler); }
+
+  /// Binds and listens. After this, port() is the bound port.
+  Status Listen();
+  uint16_t port() const { return port_; }
+
+  /// Runs the event loop until RequestStop() (or the external stop flag)
+  /// is observed. Pending responses are flushed before returning.
+  Status Serve();
+
+  /// Asks Serve() to wind down. Safe from the handler (same thread) and
+  /// from signal context via the external stop flag.
+  void RequestStop() { stop_requested_ = true; }
+
+  /// Optional additional stop signal checked each loop iteration
+  /// (lets a signal handler stop the server without touching this object).
+  void set_external_stop(const std::atomic<bool>* flag) {
+    external_stop_ = flag;
+  }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::string in;        ///< unconsumed request bytes
+    std::string out;       ///< unsent response bytes
+    size_t out_pos = 0;
+    bool close_after_flush = false;
+    bool want_write = false;  ///< currently registered for EPOLLOUT
+  };
+
+  void AcceptNew();
+  /// false: connection was closed and erased.
+  bool OnReadable(Connection* conn);
+  bool OnWritable(Connection* conn);
+  /// Parses and dispatches every complete request in conn->in.
+  bool DrainRequests(Connection* conn);
+  bool FlushOut(Connection* conn);
+  void UpdateInterest(Connection* conn);
+  void CloseConnection(int fd);
+
+  Options options_;
+  Handler handler_;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  uint16_t port_ = 0;
+  bool stop_requested_ = false;
+  const std::atomic<bool>* external_stop_ = nullptr;
+  std::map<int, std::unique_ptr<Connection>> connections_;
+  Stats stats_;
+};
+
+}  // namespace net
+}  // namespace sitfact
+
+#endif  // SITFACT_NET_SERVER_H_

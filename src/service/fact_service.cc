@@ -1,6 +1,8 @@
 #include "service/fact_service.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <limits>
 #include <utility>
 
 #include "common/logging.h"
@@ -65,24 +67,83 @@ FactService::Page FactService::Snapshot::TopK(
   return page;
 }
 
+namespace {
+
+/// Cuts one page out of a record-id-ascending id list: start strictly
+/// after the cursor's record id, take k, and hand out a resume cursor when
+/// matches remain. Shared by FactsForTuple and FactsInWindow so the two
+/// carry exactly the pagination contract TopK already has.
+std::pair<size_t, size_t> PageBounds(
+    const std::vector<uint32_t>& ids, size_t k,
+    const std::optional<TopKCursor>& cursor) {
+  size_t begin = 0;
+  if (cursor.has_value()) {
+    begin = static_cast<size_t>(
+        std::upper_bound(ids.begin(), ids.end(), cursor->record_id) -
+        ids.begin());
+  }
+  const size_t take = std::min(k, ids.size() - begin);
+  return {begin, take};
+}
+
+}  // namespace
+
+FactService::Page FactService::Snapshot::FactsForTuple(
+    TupleId t, const FactFilter& filter, size_t k,
+    const std::optional<TopKCursor>& cursor) const {
+  const std::vector<uint32_t> ids = state_->FactsForTuple(t, filter);
+  const auto [begin, take] = PageBounds(ids, k, cursor);
+  Page page;
+  page.epoch = state_->epoch();
+  page.facts.reserve(take);
+  for (size_t i = begin; i < begin + take; ++i) {
+    page.facts.push_back(View(ids[i]));
+  }
+  if (take > 0 && begin + take < ids.size()) {
+    const uint32_t last = ids[begin + take - 1];
+    page.next = TopKCursor{state_->record(last).prominence, last};
+  }
+  return page;
+}
+
+FactService::Page FactService::Snapshot::FactsInWindow(
+    uint64_t first_arrival, uint64_t last_arrival, const FactFilter& filter,
+    size_t k, const std::optional<TopKCursor>& cursor) const {
+  const std::vector<uint32_t> ids =
+      state_->FactsInWindow(first_arrival, last_arrival, filter);
+  const auto [begin, take] = PageBounds(ids, k, cursor);
+  Page page;
+  page.epoch = state_->epoch();
+  page.facts.reserve(take);
+  for (size_t i = begin; i < begin + take; ++i) {
+    page.facts.push_back(View(ids[i]));
+  }
+  if (take > 0 && begin + take < ids.size()) {
+    const uint32_t last = ids[begin + take - 1];
+    page.next = TopKCursor{state_->record(last).prominence, last};
+  }
+  return page;
+}
+
 std::vector<FactService::FactView> FactService::Snapshot::FactsForTuple(
     TupleId t, const FactFilter& filter) const {
-  std::vector<FactView> out;
-  for (uint32_t id : state_->FactsForTuple(t, filter)) {
-    out.push_back(View(id));
-  }
-  return out;
+  return FactsForTuple(t, filter, std::numeric_limits<size_t>::max(),
+                       std::nullopt)
+      .facts;
 }
 
 std::vector<FactService::FactView> FactService::Snapshot::FactsInWindow(
     uint64_t first_arrival, uint64_t last_arrival,
     const FactFilter& filter) const {
-  std::vector<FactView> out;
-  for (uint32_t id :
-       state_->FactsInWindow(first_arrival, last_arrival, filter)) {
-    out.push_back(View(id));
-  }
-  return out;
+  return FactsInWindow(first_arrival, last_arrival, filter,
+                       std::numeric_limits<size_t>::max(), std::nullopt)
+      .facts;
+}
+
+std::optional<FactService::FactView> FactService::Snapshot::Fact(
+    uint32_t id) const {
+  if (id >= state_->fact_count()) return std::nullopt;
+  return View(id);
 }
 
 FactService::Page FactService::Snapshot::About(const Constraint& about,

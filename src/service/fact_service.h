@@ -105,11 +105,30 @@ class FactService {
     Page TopK(size_t k, const FactFilter& filter = {},
               const std::optional<TopKCursor>& cursor = std::nullopt) const;
 
-    /// Every fact minted at tuple `t`'s arrival.
+    /// Facts minted at tuple `t`'s arrival, as one cursor-paginated Page —
+    /// the same contract TopK has, over record-id-ascending order (report
+    /// order). The cursor names the last record already returned; the next
+    /// page starts strictly after it (only `record_id` orders these scans;
+    /// `prominence` is carried for symmetry with TopK cursors).
+    Page FactsForTuple(TupleId t, const FactFilter& filter, size_t k,
+                       const std::optional<TopKCursor>& cursor =
+                           std::nullopt) const;
+
+    /// Facts minted by arrivals in the inclusive window, as one
+    /// cursor-paginated Page (record-id ascending; same cursor contract as
+    /// FactsForTuple).
+    Page FactsInWindow(uint64_t first_arrival, uint64_t last_arrival,
+                       const FactFilter& filter, size_t k,
+                       const std::optional<TopKCursor>& cursor =
+                           std::nullopt) const;
+
+    /// Deprecated unpaginated shim (one unbounded page); migrate to the
+    /// Page overload above — these go away next PR.
     std::vector<FactView> FactsForTuple(TupleId t,
                                         const FactFilter& filter = {}) const;
 
-    /// Facts minted by arrivals in the inclusive window.
+    /// Deprecated unpaginated shim (one unbounded page); migrate to the
+    /// Page overload above — these go away next PR.
     std::vector<FactView> FactsInWindow(uint64_t first_arrival,
                                         uint64_t last_arrival,
                                         const FactFilter& filter = {}) const;
@@ -117,6 +136,10 @@ class FactService {
     /// "Facts about" convenience: TopK among facts whose constraint binds at
     /// least `about`'s attribute=value pairs.
     Page About(const Constraint& about, size_t k) const;
+
+    /// The view of one record by id (the pagination key every Page hands
+    /// out), or nullopt when the id does not exist at this epoch. O(1).
+    std::optional<FactView> Fact(uint32_t id) const;
 
     /// News-style sentence for a fact (the stored narration when available,
     /// a numeric summary otherwise). Never touches the live Relation.

@@ -1,0 +1,125 @@
+#include "service/filter_parse.h"
+
+#include <cstdlib>
+
+namespace sitfact {
+
+std::vector<std::string> SplitList(const std::string& s) {
+  std::vector<std::string> out;
+  std::string token;
+  for (char c : s) {
+    if (c == ',') {
+      if (!token.empty()) out.push_back(token);
+      token.clear();
+    } else {
+      token += c;
+    }
+  }
+  if (!token.empty()) out.push_back(token);
+  return out;
+}
+
+StatusOr<Constraint> ParseWhereConstraint(const std::string& where,
+                                          const Relation& relation,
+                                          std::string* empty_note) {
+  const Schema& schema = relation.schema();
+  DimMask bound = 0;
+  std::vector<ValueId> values(static_cast<size_t>(schema.num_dimensions()),
+                              0);
+  for (const std::string& clause : SplitList(where)) {
+    size_t eq = clause.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("--where clauses look like dim=value");
+    }
+    const std::string dim_name = clause.substr(0, eq);
+    const std::string value = clause.substr(eq + 1);
+    int d = schema.DimensionIndex(dim_name);
+    if (d < 0) {
+      return Status::InvalidArgument("--where names no dimension: " +
+                                     dim_name);
+    }
+    ValueId id = relation.dictionary(d).Lookup(value);
+    if (id == kUnboundValue) {
+      *empty_note = "value '" + value + "' never occurs in " + dim_name;
+      return Constraint::Top(schema.num_dimensions());
+    }
+    bound |= DimMask{1} << d;
+    values[static_cast<size_t>(d)] = id;
+  }
+  if (bound == 0) return Constraint::Top(schema.num_dimensions());
+  std::vector<ValueId> bound_values;
+  for (int d = 0; d < schema.num_dimensions(); ++d) {
+    if ((bound >> d) & 1u) bound_values.push_back(values[d]);
+  }
+  return Constraint::FromBoundValues(schema.num_dimensions(), bound,
+                                     bound_values);
+}
+
+StatusOr<MeasureMask> ParseSubspaceList(const std::string& list,
+                                        const Schema& schema) {
+  MeasureMask subspace = 0;
+  for (const std::string& name : SplitList(list)) {
+    int j = schema.MeasureIndex(name);
+    if (j < 0) {
+      return Status::InvalidArgument("--subspace names no measure: " + name);
+    }
+    subspace |= MeasureMask{1} << j;
+  }
+  if (subspace == 0) {
+    return Status::InvalidArgument("--subspace selected no measures");
+  }
+  return subspace;
+}
+
+Status ParseArrivalWindow(const std::string& window, uint64_t* first,
+                          uint64_t* last) {
+  const size_t colon = window.find(':');
+  const auto parse_u64 = [](const std::string& s, uint64_t* out_value) {
+    if (s.empty()) return false;
+    for (char c : s) {
+      if (c < '0' || c > '9') return false;
+    }
+    *out_value = std::strtoull(s.c_str(), nullptr, 10);
+    return true;
+  };
+  if (colon == std::string::npos ||
+      !parse_u64(window.substr(0, colon), first) ||
+      !parse_u64(window.substr(colon + 1), last)) {
+    return Status::InvalidArgument(
+        "--window looks like FIRST:LAST (non-negative arrival sequence "
+        "numbers), got '" + window + "'");
+  }
+  if (*first > *last) {
+    return Status::InvalidArgument("--window is reversed: " + window);
+  }
+  return Status::Ok();
+}
+
+StatusOr<FactFilter> ParseFactFilter(const FactFilterSpec& spec,
+                                     const Relation& relation,
+                                     std::string* empty_note) {
+  FactFilter filter;
+  if (!spec.where.empty()) {
+    auto constraint_or = ParseWhereConstraint(spec.where, relation,
+                                              empty_note);
+    if (!constraint_or.ok()) return constraint_or.status();
+    if (constraint_or.value().bound_mask() != 0) {
+      filter.about = constraint_or.value();
+    }
+  }
+  if (!spec.subspace.empty()) {
+    auto subspace_or = ParseSubspaceList(spec.subspace, relation.schema());
+    if (!subspace_or.ok()) return subspace_or.status();
+    filter.subspace = subspace_or.value();
+  }
+  if (!spec.window.empty()) {
+    Status st = ParseArrivalWindow(spec.window, &filter.min_arrival,
+                                   &filter.max_arrival);
+    if (!st.ok()) return st;
+  }
+  filter.min_prominence = spec.min_prominence;
+  filter.prominent_only = spec.prominent_only;
+  return filter;
+}
+
+}  // namespace sitfact

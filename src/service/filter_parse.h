@@ -1,0 +1,64 @@
+#ifndef SITFACT_SERVICE_FILTER_PARSE_H_
+#define SITFACT_SERVICE_FILTER_PARSE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "lattice/constraint.h"
+#include "query/fact_index.h"
+#include "relation/relation.h"
+
+namespace sitfact {
+
+/// The textual filter grammar shared by every query surface — the CLI's
+/// `--where`/`--subspace`/`--window` flags and the HTTP server's
+/// query-string / JSON filter fields parse through these exact functions,
+/// so a filter expression means the same thing (and fails with the same
+/// message) no matter where it was typed. The error strings are pinned by
+/// tests/query_api_test.cc: do not reword them casually.
+
+/// Splits "a,b,c" into trimmed tokens (empty tokens dropped).
+std::vector<std::string> SplitList(const std::string& s);
+
+/// Parses `d1=v1,d2=v2` into a constraint over `relation`'s dictionaries.
+/// A value that never occurs in its dimension makes the context provably
+/// empty: `*empty_note` is set and ⊤ returned so callers can report it as
+/// a result rather than an error. Malformed clauses and unknown dimensions
+/// are InvalidArgument.
+StatusOr<Constraint> ParseWhereConstraint(const std::string& where,
+                                          const Relation& relation,
+                                          std::string* empty_note);
+
+/// Parses `m1,m2` into a measure mask; InvalidArgument on unknown measure
+/// names or an empty selection.
+StatusOr<MeasureMask> ParseSubspaceList(const std::string& list,
+                                        const Schema& schema);
+
+/// Parses `FIRST:LAST` (non-negative arrival sequence numbers, inclusive)
+/// into *first/*last; InvalidArgument on malformed or reversed windows.
+Status ParseArrivalWindow(const std::string& window, uint64_t* first,
+                          uint64_t* last);
+
+/// Textual filter fields as they arrive from a CLI flag set or an HTTP
+/// request, before dictionary resolution. Empty strings mean "not given".
+struct FactFilterSpec {
+  std::string where;     ///< "d1=v1,d2=v2" -> FactFilter::about
+  std::string subspace;  ///< "m1,m2" -> FactFilter::subspace
+  std::string window;    ///< "FIRST:LAST" -> min_arrival/max_arrival
+  double min_prominence = 0.0;
+  bool prominent_only = false;
+};
+
+/// Resolves a textual spec against `relation` into a FactFilter. When
+/// `where` names a value that never occurs, `*empty_note` is set and the
+/// returned filter carries no `about` constraint (the caller reports an
+/// empty result, mirroring the historical CLI behavior).
+StatusOr<FactFilter> ParseFactFilter(const FactFilterSpec& spec,
+                                     const Relation& relation,
+                                     std::string* empty_note);
+
+}  // namespace sitfact
+
+#endif  // SITFACT_SERVICE_FILTER_PARSE_H_

@@ -1,0 +1,105 @@
+#include "service/query_api.h"
+
+#include <utility>
+
+namespace sitfact {
+
+const char* QueryKindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kTopK:
+      return "topk";
+    case QueryKind::kFactsForTuple:
+      return "facts_for_tuple";
+    case QueryKind::kFactsInWindow:
+      return "facts_in_window";
+    case QueryKind::kAbout:
+      return "about";
+    case QueryKind::kExplain:
+      return "explain";
+  }
+  return "topk";
+}
+
+StatusOr<QueryKind> ParseQueryKind(const std::string& name) {
+  for (QueryKind kind :
+       {QueryKind::kTopK, QueryKind::kFactsForTuple,
+        QueryKind::kFactsInWindow, QueryKind::kAbout, QueryKind::kExplain}) {
+    if (name == QueryKindName(kind)) return kind;
+  }
+  return Status::InvalidArgument("unknown query kind '" + name + "'");
+}
+
+StatusOr<QueryResponse> ExecuteQuery(const FactService::Snapshot& snapshot,
+                                     const QueryRequest& request) {
+  QueryResponse response;
+  response.epoch = snapshot.epoch();
+  switch (request.kind) {
+    case QueryKind::kTopK: {
+      FactService::Page page = snapshot.TopK(
+          static_cast<size_t>(request.k), request.filter, request.cursor);
+      response.facts = std::move(page.facts);
+      response.next = page.next;
+      return response;
+    }
+    case QueryKind::kAbout: {
+      if (!request.filter.about.has_value()) {
+        return Status::InvalidArgument(
+            "about query needs a constraint (filter.about / 'where')");
+      }
+      FactService::Page page = snapshot.TopK(
+          static_cast<size_t>(request.k), request.filter, request.cursor);
+      response.facts = std::move(page.facts);
+      response.next = page.next;
+      return response;
+    }
+    case QueryKind::kFactsForTuple: {
+      if (!request.tuple.has_value()) {
+        return Status::InvalidArgument(
+            "facts_for_tuple query needs a tuple id");
+      }
+      FactService::Page page = snapshot.FactsForTuple(
+          *request.tuple, request.filter, static_cast<size_t>(request.k),
+          request.cursor);
+      response.facts = std::move(page.facts);
+      response.next = page.next;
+      return response;
+    }
+    case QueryKind::kFactsInWindow: {
+      if (!request.window_first.has_value() ||
+          !request.window_last.has_value()) {
+        return Status::InvalidArgument(
+            "facts_in_window query needs a first:last arrival window");
+      }
+      if (*request.window_first > *request.window_last) {
+        return Status::InvalidArgument("--window is reversed: " +
+                                       std::to_string(*request.window_first) +
+                                       ":" +
+                                       std::to_string(*request.window_last));
+      }
+      FactService::Page page = snapshot.FactsInWindow(
+          *request.window_first, *request.window_last, request.filter,
+          static_cast<size_t>(request.k), request.cursor);
+      response.facts = std::move(page.facts);
+      response.next = page.next;
+      return response;
+    }
+    case QueryKind::kExplain: {
+      if (!request.record.has_value()) {
+        return Status::InvalidArgument("explain query needs a record id");
+      }
+      std::optional<FactService::FactView> view =
+          snapshot.Fact(*request.record);
+      if (!view.has_value()) {
+        return Status::NotFound(
+            "record " + std::to_string(*request.record) +
+            " does not exist at epoch " + std::to_string(snapshot.epoch()));
+      }
+      response.explanation = snapshot.Explain(*view);
+      response.facts.push_back(std::move(*view));
+      return response;
+    }
+  }
+  return Status::InvalidArgument("unknown query kind");
+}
+
+}  // namespace sitfact

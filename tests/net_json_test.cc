@@ -1,0 +1,347 @@
+// Tests for net/json.h: the JSON document model (determinism, exact
+// integers, rejection rules) and the one QueryRequest/QueryResponse
+// (de)serializer — round-trip properties over randomized requests and real
+// service responses, NaN/Infinity encoding, cursor tokens, and the pinned
+// wire-error shapes.
+
+#include "net/json.h"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "service/fact_service.h"
+#include "service/query_api.h"
+#include "test_util.h"
+
+#include <gtest/gtest.h>
+
+namespace sitfact {
+namespace net {
+namespace {
+
+using testing_util::RandomDataConfig;
+using testing_util::RandomDataset;
+
+JsonValue MustParse(const std::string& text) {
+  auto v = JsonValue::Parse(text);
+  EXPECT_TRUE(v.ok()) << text << ": " << v.status().ToString();
+  return std::move(v).value();
+}
+
+TEST(JsonValue, DumpIsDeterministicAndInsertionOrdered) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("zebra", JsonValue::Number(uint64_t{1}));
+  obj.Set("apple", JsonValue::Str("two"));
+  obj.Set("mango", JsonValue::Bool(false));
+  EXPECT_EQ(obj.Dump(), "{\"zebra\":1,\"apple\":\"two\",\"mango\":false}");
+  // Parse preserves the written order, so dump∘parse is the identity on
+  // serialized objects — the property the response cache keys rest on.
+  EXPECT_EQ(MustParse(obj.Dump()).Dump(), obj.Dump());
+}
+
+TEST(JsonValue, ExactUint64SurvivesRoundTrip) {
+  const uint64_t big[] = {0,
+                          (1ull << 53) + 1,  // first double-unrepresentable
+                          (1ull << 63) + 12345,
+                          std::numeric_limits<uint64_t>::max()};
+  for (uint64_t u : big) {
+    JsonValue v = MustParse(JsonValue::Number(u).Dump());
+    auto back = v.NumberAsU64();
+    ASSERT_TRUE(back.ok()) << u;
+    EXPECT_EQ(back.value(), u);
+  }
+  // Negative / fractional / overflowing lexemes are not uint64.
+  EXPECT_FALSE(MustParse("-1").NumberAsU64().ok());
+  EXPECT_FALSE(MustParse("1.5").NumberAsU64().ok());
+  EXPECT_FALSE(MustParse("18446744073709551616").NumberAsU64().ok());
+}
+
+TEST(JsonValue, StringEscapesRoundTrip) {
+  const std::string raw = "quote\" slash\\ ctrl\x01 tab\t nl\n high\xC3\xA9";
+  std::string dumped = JsonValue::Str(raw).Dump();
+  EXPECT_EQ(MustParse(dumped).string_value(), raw);
+  // \u escapes, including a surrogate pair (U+1D11E musical G clef).
+  EXPECT_EQ(MustParse("\"\\u0041\\uD834\\uDD1E\"").string_value(),
+            "A\xF0\x9D\x84\x9E");
+}
+
+TEST(JsonValue, RejectsDuplicateKeysDepthAndTrailingGarbage) {
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":1,\"a\":2}").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1,2] trailing").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":1}{").ok());
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+
+  std::string deep(JsonValue::kMaxDepth + 1, '[');
+  deep += std::string(JsonValue::kMaxDepth + 1, ']');
+  EXPECT_FALSE(JsonValue::Parse(deep).ok());
+  std::string ok_depth(JsonValue::kMaxDepth, '[');
+  ok_depth += std::string(JsonValue::kMaxDepth, ']');
+  EXPECT_TRUE(JsonValue::Parse(ok_depth).ok());
+}
+
+TEST(CursorToken, RoundTripsEdgeValuesAndStaysUrlSafe) {
+  const double proms[] = {0.0,
+                          1.0,
+                          1.75,
+                          3.0 / 7.0,
+                          1e-300,
+                          1e300,
+                          std::numeric_limits<double>::denorm_min(),
+                          std::numeric_limits<double>::max(),
+                          std::numeric_limits<double>::quiet_NaN()};
+  const uint32_t ids[] = {0, 1, 4476, std::numeric_limits<uint32_t>::max()};
+  for (double p : proms) {
+    for (uint32_t id : ids) {
+      TopKCursor c{p, id};
+      std::string token = EncodeCursorToken(c);
+      // '+' percent-decodes to space in query strings; the token must not
+      // contain one (hexfloat exponents are emitted signless).
+      EXPECT_EQ(token.find('+'), std::string::npos) << token;
+      auto back = ParseCursorToken(token);
+      ASSERT_TRUE(back.ok()) << token << ": " << back.status().ToString();
+      EXPECT_EQ(back.value().record_id, id);
+      if (std::isnan(p)) {
+        EXPECT_TRUE(std::isnan(back.value().prominence)) << token;
+      } else {
+        EXPECT_EQ(back.value().prominence, p) << token;
+      }
+    }
+  }
+  for (const char* bad : {"", ":", "1.5", "1.5:", ":7", "0x1.cp6:12x",
+                          "0x1.cp6:-3", "zebra:7", "0x1.cp6:99999999999"}) {
+    EXPECT_FALSE(ParseCursorToken(bad).ok()) << bad;
+  }
+}
+
+TEST(WireError, SerializedShapeIsPinned) {
+  EXPECT_EQ(SerializeErrorBody(Status::InvalidArgument("bad k")),
+            "{\"schema\":1,\"error\":{\"code\":\"invalid_argument\","
+            "\"message\":\"bad k\"}}");
+  EXPECT_EQ(SerializeErrorBody(Status::NotFound("record 7")),
+            "{\"schema\":1,\"error\":{\"code\":\"not_found\","
+            "\"message\":\"record 7\"}}");
+}
+
+// --- request round trip ---
+
+/// A randomized but always-valid request for round-trip testing.
+QueryRequest RandomRequest(std::mt19937* rng, const Relation& rel) {
+  std::uniform_int_distribution<int> kind_d(0, 4);
+  std::uniform_int_distribution<int> coin(0, 1);
+  std::uniform_int_distribution<uint32_t> small(0, 99);
+  QueryRequest r;
+  r.kind = static_cast<QueryKind>(kind_d(*rng));
+  r.k = 1 + small(*rng);
+  if (coin(*rng)) r.filter.tuple = small(*rng);
+  if (coin(*rng)) r.filter.bound_mask = small(*rng) & 0b111;
+  if (coin(*rng)) r.filter.subspace = 1 + (small(*rng) & 0b1);
+  if (coin(*rng)) {
+    r.filter.about =
+        Constraint::ForTuple(rel, small(*rng) % rel.size(), 0b101);
+  }
+  if (coin(*rng)) r.filter.min_arrival = small(*rng);
+  if (coin(*rng)) r.filter.max_arrival = 100 + small(*rng);
+  if (coin(*rng)) r.filter.min_prominence = small(*rng) / 7.0;
+  r.filter.prominent_only = coin(*rng) == 1;
+  r.filter.include_dead = coin(*rng) == 1;
+  switch (r.kind) {
+    case QueryKind::kFactsForTuple:
+      r.tuple = small(*rng);
+      break;
+    case QueryKind::kFactsInWindow:
+      r.window_first = small(*rng);
+      r.window_last = *r.window_first + small(*rng);
+      break;
+    case QueryKind::kExplain:
+      r.record = small(*rng);
+      break;
+    default:
+      break;
+  }
+  if (r.kind != QueryKind::kExplain && coin(*rng)) {
+    r.cursor = TopKCursor{small(*rng) / 3.0, small(*rng)};
+  }
+  return r;
+}
+
+TEST(RequestRoundTrip, RandomizedRequestsSerializeStably) {
+  RandomDataConfig cfg;
+  cfg.num_tuples = 30;
+  cfg.seed = 5;
+  cfg.num_dims = 3;
+  cfg.num_measures = 2;
+  Dataset data = RandomDataset(cfg);
+  Relation rel(data.schema());
+  for (const Row& row : data.rows()) rel.Append(row);
+
+  std::mt19937 rng(20260808);
+  for (int i = 0; i < 500; ++i) {
+    QueryRequest req = RandomRequest(&rng, rel);
+    const std::string bytes = RequestToJson(req).Dump();
+    SCOPED_TRACE(bytes);
+    auto back = ParseRequest(bytes, &rel);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    // Round trip is byte-stable: serialize(parse(serialize(r))) ==
+    // serialize(r) — exactly the property the canonical cache key needs.
+    EXPECT_EQ(RequestToJson(back.value()).Dump(), bytes);
+    EXPECT_EQ(CanonicalRequestKey(back.value()), CanonicalRequestKey(req));
+    // A relation-free parse must accept the same structured bytes (the
+    // serializer never emits the textual grammar).
+    EXPECT_TRUE(ParseRequest(bytes, nullptr).ok());
+  }
+}
+
+TEST(RequestRoundTrip, RejectionsArePinned) {
+  auto r = ParseRequest("{\"schema\":1,\"kind\":\"topk\",\"zzz\":1}", nullptr);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().message(), "unknown request field 'zzz'");
+
+  r = ParseRequest("{\"schema\":2,\"kind\":\"topk\"}", nullptr);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().message(),
+            "unsupported schema version 2 (this server speaks 1)");
+
+  r = ParseRequest("{\"schema\":1,\"kind\":\"nope\"}", nullptr);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().message(), "unknown query kind 'nope'");
+
+  // Textual filter fields need dictionaries; without a relation they are
+  // structured errors, not silent drops.
+  r = ParseRequest(
+      "{\"schema\":1,\"kind\":\"topk\",\"filter\":{\"where\":\"a=b\"}}",
+      nullptr);
+  EXPECT_FALSE(r.ok());
+}
+
+// --- response round trip ---
+
+TEST(ResponseRoundTrip, EmptyPageIsBytePinned) {
+  QueryResponse resp;
+  resp.epoch = 42;
+  EXPECT_EQ(SerializeResponse(resp),
+            "{\"schema\":1,\"epoch\":42,\"facts\":[]}");
+  auto back = ParseResponse(SerializeResponse(resp));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().epoch, 42u);
+  EXPECT_TRUE(back.value().facts.empty());
+  EXPECT_FALSE(back.value().next.has_value());
+  EXPECT_EQ(SerializeResponse(back.value()), SerializeResponse(resp));
+}
+
+TEST(ResponseRoundTrip, NanAndInfinityMeasureValuesSurvive) {
+  // JSON has no NaN/Infinity tokens; the DTO layer encodes them as strings
+  // and must decode them back bit-for-bit (sign of infinity included).
+  QueryResponse resp;
+  resp.epoch = 7;
+  FactService::FactView v;
+  v.id = 3;
+  v.tuple = 9;
+  v.fact.constraint = Constraint::Top(2);
+  v.fact.subspace = 0b11;
+  v.prominence = std::numeric_limits<double>::quiet_NaN();
+  resp.facts.push_back(v);
+  v.id = 4;
+  v.prominence = std::numeric_limits<double>::infinity();
+  resp.facts.push_back(v);
+  v.id = 5;
+  v.prominence = -std::numeric_limits<double>::infinity();
+  resp.facts.push_back(v);
+  resp.next = TopKCursor{std::numeric_limits<double>::quiet_NaN(), 5};
+
+  const std::string bytes = SerializeResponse(resp);
+  auto back = ParseResponse(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back.value().facts.size(), 3u);
+  EXPECT_TRUE(std::isnan(back.value().facts[0].prominence));
+  EXPECT_EQ(back.value().facts[1].prominence,
+            std::numeric_limits<double>::infinity());
+  EXPECT_EQ(back.value().facts[2].prominence,
+            -std::numeric_limits<double>::infinity());
+  ASSERT_TRUE(back.value().next.has_value());
+  EXPECT_TRUE(std::isnan(back.value().next->prominence));
+  EXPECT_EQ(SerializeResponse(back.value()), bytes);
+}
+
+TEST(ResponseRoundTrip, RealServiceResponsesAreByteStable) {
+  RandomDataConfig cfg;
+  cfg.num_tuples = 80;
+  cfg.seed = 31;
+  cfg.num_dims = 3;
+  cfg.num_measures = 2;
+  Dataset data = RandomDataset(cfg);
+  Relation rel(data.schema());
+  auto disc_or = DiscoveryEngine::CreateDiscoverer("STopDown", &rel, {});
+  ASSERT_TRUE(disc_or.ok());
+  DiscoveryEngine::Config config;
+  config.tau = 2.0;
+  DiscoveryEngine engine(&rel, std::move(disc_or).value(), config);
+  FactService::Options so;
+  so.entity = "d0";
+  FactService service(&rel, so);
+  for (const Row& row : data.rows()) {
+    service.OnArrival(engine.Append(row));
+  }
+  FactService::Snapshot snap = service.Acquire();
+
+  std::vector<QueryRequest> requests;
+  {
+    QueryRequest r;  // topk, default filter, small pages to force cursors
+    r.k = 3;
+    requests.push_back(r);
+    r = QueryRequest();
+    r.kind = QueryKind::kFactsForTuple;
+    r.tuple = 10;
+    requests.push_back(r);
+    r = QueryRequest();
+    r.kind = QueryKind::kFactsInWindow;
+    r.window_first = 0;
+    r.window_last = snap.arrivals() - 1;
+    r.k = 5;
+    requests.push_back(r);
+    r = QueryRequest();
+    r.kind = QueryKind::kAbout;
+    r.filter.about = Constraint::ForTuple(rel, 4, 0b001);
+    requests.push_back(r);
+    r = QueryRequest();
+    r.kind = QueryKind::kExplain;
+    r.record = 0;
+    requests.push_back(r);
+  }
+  for (size_t i = 0; i < requests.size(); ++i) {
+    SCOPED_TRACE("request " + std::to_string(i));
+    // Follow the cursor chain so later pages (cursor edge cases: resume
+    // mid-tie, final short page) round-trip too.
+    std::optional<TopKCursor> cursor;
+    for (int page = 0; page < 4; ++page) {
+      QueryRequest req = requests[i];
+      req.cursor = cursor;
+      auto resp_or = ExecuteQuery(snap, req);
+      ASSERT_TRUE(resp_or.ok()) << resp_or.status().ToString();
+      const std::string bytes = SerializeResponse(resp_or.value());
+      auto back = ParseResponse(bytes);
+      ASSERT_TRUE(back.ok()) << back.status().ToString();
+      EXPECT_EQ(SerializeResponse(back.value()), bytes);
+      ASSERT_EQ(back.value().facts.size(), resp_or.value().facts.size());
+      for (size_t f = 0; f < back.value().facts.size(); ++f) {
+        const auto& a = resp_or.value().facts[f];
+        const auto& b = back.value().facts[f];
+        EXPECT_EQ(a.id, b.id);
+        EXPECT_EQ(a.tuple, b.tuple);
+        EXPECT_EQ(a.arrival_seq, b.arrival_seq);
+        EXPECT_EQ(a.fact, b.fact);
+        EXPECT_EQ(a.prominence, b.prominence);
+        EXPECT_EQ(a.narration, b.narration);
+      }
+      if (!resp_or.value().next.has_value()) break;
+      cursor = resp_or.value().next;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace sitfact

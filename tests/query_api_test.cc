@@ -1,0 +1,322 @@
+// Tests for service/query_api.h + service/filter_parse.h: the unified
+// request/response layer every query surface funnels through. Covers the
+// Page pagination contract vs the deprecated vector shims, ExecuteQuery's
+// per-kind validation, and the shared textual filter grammar whose error
+// messages are pinned here (CLI and HTTP server emit these exact strings).
+
+#include "service/query_api.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "service/fact_service.h"
+#include "service/filter_parse.h"
+#include "test_util.h"
+
+#include <gtest/gtest.h>
+
+namespace sitfact {
+namespace {
+
+using testing_util::RandomDataConfig;
+using testing_util::RandomDataset;
+
+struct Fixture {
+  Dataset data;
+  Relation rel;
+  std::unique_ptr<DiscoveryEngine> engine;
+  std::unique_ptr<FactService> service;
+
+  explicit Fixture(int n = 100, uint64_t seed = 11)
+      : data(RandomDataset(Config(n, seed))), rel(data.schema()) {
+    auto disc_or = DiscoveryEngine::CreateDiscoverer("STopDown", &rel, {});
+    EXPECT_TRUE(disc_or.ok());
+    DiscoveryEngine::Config config;
+    config.tau = 2.0;
+    engine = std::make_unique<DiscoveryEngine>(
+        &rel, std::move(disc_or).value(), config);
+    service = std::make_unique<FactService>(&rel);
+    for (const Row& row : data.rows()) {
+      service->OnArrival(engine->Append(row));
+    }
+  }
+
+  static RandomDataConfig Config(int n, uint64_t seed) {
+    RandomDataConfig cfg;
+    cfg.num_tuples = n;
+    cfg.seed = seed;
+    cfg.num_dims = 3;
+    cfg.num_measures = 2;
+    return cfg;
+  }
+};
+
+std::vector<uint32_t> Ids(const std::vector<FactService::FactView>& views) {
+  std::vector<uint32_t> ids;
+  for (const auto& v : views) ids.push_back(v.id);
+  return ids;
+}
+
+/// Drains every page of a paginated call into one id list.
+template <typename NextPage>
+std::vector<uint32_t> Drain(NextPage next_page) {
+  std::vector<uint32_t> ids;
+  std::optional<TopKCursor> cursor;
+  for (;;) {
+    FactService::Page p = next_page(cursor);
+    for (const auto& v : p.facts) ids.push_back(v.id);
+    if (!p.next.has_value()) break;
+    cursor = p.next;
+  }
+  return ids;
+}
+
+TEST(Pagination, FactsForTuplePagesMatchVectorShim) {
+  Fixture fx(120, 3);
+  FactService::Snapshot snap = fx.service->Acquire();
+  FactFilter all;
+  for (TupleId t = 0; t < fx.rel.size(); ++t) {
+    std::vector<uint32_t> shim = Ids(snap.FactsForTuple(t, all));
+    for (size_t page : {size_t{1}, size_t{3}, size_t{1000}}) {
+      SCOPED_TRACE("tuple " + std::to_string(t) + " page " +
+                   std::to_string(page));
+      ASSERT_EQ(Drain([&](const std::optional<TopKCursor>& c) {
+                  return snap.FactsForTuple(t, all, page, c);
+                }),
+                shim);
+    }
+    // Record-id ascending within the scan.
+    for (size_t i = 1; i < shim.size(); ++i) ASSERT_LT(shim[i - 1], shim[i]);
+  }
+}
+
+TEST(Pagination, FactsInWindowPagesMatchVectorShim) {
+  Fixture fx(120, 5);
+  FactService::Snapshot snap = fx.service->Acquire();
+  FactFilter all;
+  const uint64_t last = snap.arrivals() - 1;
+  const std::pair<uint64_t, uint64_t> windows[] = {
+      {0, last}, {10, 30}, {last, last}, {last + 5, last + 9}};
+  for (auto [first, second] : windows) {
+    std::vector<uint32_t> shim = Ids(snap.FactsInWindow(first, second, all));
+    for (size_t page : {size_t{1}, size_t{7}, size_t{1000}}) {
+      SCOPED_TRACE(std::to_string(first) + ":" + std::to_string(second) +
+                   " page " + std::to_string(page));
+      ASSERT_EQ(Drain([&](const std::optional<TopKCursor>& c) {
+                  return snap.FactsInWindow(first, second, all, page, c);
+                }),
+                shim);
+    }
+  }
+}
+
+TEST(ExecuteQuery, EveryKindMatchesDirectSnapshotCalls) {
+  Fixture fx(100, 7);
+  FactService::Snapshot snap = fx.service->Acquire();
+
+  QueryRequest topk;
+  topk.k = 12;
+  auto r = ExecuteQuery(snap, topk);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().epoch, snap.epoch());
+  EXPECT_EQ(Ids(r.value().facts), Ids(snap.TopK(12).facts));
+
+  QueryRequest per_tuple;
+  per_tuple.kind = QueryKind::kFactsForTuple;
+  per_tuple.tuple = 9;
+  per_tuple.k = 1000;
+  r = ExecuteQuery(snap, per_tuple);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Ids(r.value().facts), Ids(snap.FactsForTuple(9)));
+
+  QueryRequest window;
+  window.kind = QueryKind::kFactsInWindow;
+  window.window_first = 5;
+  window.window_last = 25;
+  window.k = 1000;
+  r = ExecuteQuery(snap, window);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Ids(r.value().facts), Ids(snap.FactsInWindow(5, 25)));
+
+  QueryRequest about;
+  about.kind = QueryKind::kAbout;
+  about.filter.about = Constraint::ForTuple(fx.rel, 4, 0b001);
+  about.k = 1000;
+  r = ExecuteQuery(snap, about);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Ids(r.value().facts),
+            Ids(snap.About(*about.filter.about, 1000).facts));
+
+  QueryRequest explain;
+  explain.kind = QueryKind::kExplain;
+  explain.record = 0;
+  r = ExecuteQuery(snap, explain);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().facts.size(), 1u);
+  EXPECT_EQ(r.value().facts[0].id, 0u);
+  ASSERT_TRUE(r.value().explanation.has_value());
+  EXPECT_EQ(*r.value().explanation, snap.Explain(r.value().facts[0]));
+}
+
+TEST(ExecuteQuery, ValidationMessagesArePinned) {
+  Fixture fx(30, 9);
+  FactService::Snapshot snap = fx.service->Acquire();
+  const struct {
+    QueryRequest request;
+    std::string message;
+  } cases[] = {
+      {[] {
+         QueryRequest q;
+         q.kind = QueryKind::kAbout;
+         return q;
+       }(),
+       "about query needs a constraint (filter.about / 'where')"},
+      {[] {
+         QueryRequest q;
+         q.kind = QueryKind::kFactsForTuple;
+         return q;
+       }(),
+       "facts_for_tuple query needs a tuple id"},
+      {[] {
+         QueryRequest q;
+         q.kind = QueryKind::kFactsInWindow;
+         return q;
+       }(),
+       "facts_in_window query needs a first:last arrival window"},
+      {[] {
+         QueryRequest q;
+         q.kind = QueryKind::kFactsInWindow;
+         q.window_first = 9;
+         q.window_last = 3;
+         return q;
+       }(),
+       "--window is reversed: 9:3"},
+      {[] {
+         QueryRequest q;
+         q.kind = QueryKind::kExplain;
+         return q;
+       }(),
+       "explain query needs a record id"},
+  };
+  for (const auto& c : cases) {
+    auto r = ExecuteQuery(snap, c.request);
+    ASSERT_FALSE(r.ok()) << c.message;
+    EXPECT_EQ(r.status().message(), c.message);
+  }
+
+  QueryRequest missing;
+  missing.kind = QueryKind::kExplain;
+  missing.record = 1u << 30;
+  auto r = ExecuteQuery(snap, missing);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.status().message(),
+            "record " + std::to_string(1u << 30) + " does not exist at epoch " +
+                std::to_string(snap.epoch()));
+}
+
+TEST(QueryKindNames, RoundTripAndRejection) {
+  for (QueryKind k : {QueryKind::kTopK, QueryKind::kFactsForTuple,
+                      QueryKind::kFactsInWindow, QueryKind::kAbout,
+                      QueryKind::kExplain}) {
+    auto back = ParseQueryKind(QueryKindName(k));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), k);
+  }
+  auto bad = ParseQueryKind("topj");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().message(), "unknown query kind 'topj'");
+}
+
+// --- the shared textual filter grammar (CLI flags == wire fields) ---
+
+TEST(FilterGrammar, WhereResolvesAgainstDictionaries) {
+  Fixture fx(60, 13);
+  std::string note;
+  auto c = ParseWhereConstraint("d0=v1,d2=v0", fx.rel, &note);
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(note.empty());
+  EXPECT_EQ(c.value().bound_mask(), DimMask{0b101});
+
+  // A value that never occurs is a provably-empty context, not an error.
+  note.clear();
+  c = ParseWhereConstraint("d1=zebra", fx.rel, &note);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(note, "value 'zebra' never occurs in d1");
+  EXPECT_EQ(c.value().bound_mask(), DimMask{0});
+
+  // And ParseFactFilter mirrors it: empty note, no `about` constraint.
+  FactFilterSpec spec;
+  spec.where = "d1=zebra";
+  note.clear();
+  auto f = ParseFactFilter(spec, fx.rel, &note);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(note, "value 'zebra' never occurs in d1");
+  EXPECT_FALSE(f.value().about.has_value());
+}
+
+TEST(FilterGrammar, ErrorMessagesArePinned) {
+  Fixture fx(30, 17);
+  std::string note;
+  auto c = ParseWhereConstraint("d0", fx.rel, &note);
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.status().message(), "--where clauses look like dim=value");
+
+  c = ParseWhereConstraint("season=1996", fx.rel, &note);
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.status().message(), "--where names no dimension: season");
+
+  auto m = ParseSubspaceList("m0,steals", fx.rel.schema());
+  ASSERT_FALSE(m.ok());
+  EXPECT_EQ(m.status().message(), "--subspace names no measure: steals");
+
+  m = ParseSubspaceList(",", fx.rel.schema());
+  ASSERT_FALSE(m.ok());
+  EXPECT_EQ(m.status().message(), "--subspace selected no measures");
+
+  uint64_t first = 0, last = 0;
+  Status w = ParseArrivalWindow("10-20", &first, &last);
+  ASSERT_FALSE(w.ok());
+  EXPECT_EQ(w.message(),
+            "--window looks like FIRST:LAST (non-negative arrival sequence "
+            "numbers), got '10-20'");
+
+  w = ParseArrivalWindow("20:10", &first, &last);
+  ASSERT_FALSE(w.ok());
+  EXPECT_EQ(w.message(), "--window is reversed: 20:10");
+}
+
+TEST(FilterGrammar, FullSpecBuildsTheCombinedFilter) {
+  Fixture fx(60, 19);
+  FactFilterSpec spec;
+  spec.where = "d0=v0";
+  spec.subspace = "m1";
+  spec.window = "5:40";
+  spec.min_prominence = 1.5;
+  spec.prominent_only = true;
+  std::string note;
+  auto f = ParseFactFilter(spec, fx.rel, &note);
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  EXPECT_TRUE(note.empty());
+  ASSERT_TRUE(f.value().about.has_value());
+  EXPECT_EQ(f.value().about->bound_mask(), DimMask{0b001});
+  EXPECT_EQ(f.value().subspace, MeasureMask{0b10});
+  EXPECT_EQ(f.value().min_arrival, 5u);
+  EXPECT_EQ(f.value().max_arrival, 40u);
+  EXPECT_EQ(f.value().min_prominence, 1.5);
+  EXPECT_TRUE(f.value().prominent_only);
+
+  // The filter a request built from this spec executes like the direct one.
+  QueryRequest req;
+  req.filter = f.value();
+  req.k = 1000;
+  FactService::Snapshot snap = fx.service->Acquire();
+  auto resp = ExecuteQuery(snap, req);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(Ids(resp.value().facts), Ids(snap.TopK(1000, f.value()).facts));
+}
+
+}  // namespace
+}  // namespace sitfact

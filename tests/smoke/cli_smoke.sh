@@ -142,6 +142,64 @@ else
   FAILURES=$((FAILURES + 1))
 fi
 
+# HTTP serving (docs/serving.md): start `serve` on an ephemeral port, curl
+# every endpoint, and byte-diff /topk against `facts --format json`. Both
+# commands ingest the same CSV through the same feed, so they land on the
+# same epoch and the response bytes must be identical (the CLI only adds a
+# trailing newline).
+PORTFILE="$WORKDIR/port"
+SERVELOG="$WORKDIR/serve.log"
+"$CLI" serve --csv "$CSV" --dims player,season,team,opp_team \
+  --measures points:+,rebounds:+,assists:+ --entity player \
+  --port 0 --port-file "$PORTFILE" > "$SERVELOG" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$PORTFILE" ] && break
+  kill -0 "$SERVE_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if [ ! -s "$PORTFILE" ]; then
+  echo "FAIL serve-start: server wrote no port file"
+  sed 's/^/  | /' "$SERVELOG"
+  FAILURES=$((FAILURES + 1))
+else
+  BASE="http://127.0.0.1:$(cat "$PORTFILE")"
+  expect serve-healthz 0 '"status":"ok"' curl -fsS "$BASE/healthz"
+  expect serve-topk 0 '"schema":1' curl -fsS "$BASE/topk?k=6"
+  expect serve-window 0 '"facts"' curl -fsS "$BASE/facts_in_window?window=0:9"
+  expect serve-tuple 0 '"facts"' curl -fsS "$BASE/facts_for_tuple?tuple=0"
+  expect serve-explain 0 '"narration"' curl -fsS "$BASE/explain?record=0"
+  expect serve-statz 0 '"endpoints"' curl -fsS "$BASE/statz"
+  expect serve-bad-param 0 "unknown query parameter 'zzz'" \
+    curl -sS "$BASE/topk?zzz=1"
+
+  # The differential: server /topk bytes == `facts --format json` bytes.
+  "$CLI" facts --csv "$CSV" --dims player,season,team,opp_team \
+    --measures points:+,rebounds:+,assists:+ --entity player \
+    --k 6 --format json > "$WORKDIR/facts.json" 2>&1
+  curl -fsS "$BASE/topk?k=6" > "$WORKDIR/serve.json"
+  echo >> "$WORKDIR/serve.json"  # the CLI prints a trailing newline
+  if diff -q "$WORKDIR/facts.json" "$WORKDIR/serve.json" > /dev/null; then
+    echo "ok   serve-differential"
+  else
+    echo "FAIL serve-differential: server /topk differs from facts --format json"
+    diff "$WORKDIR/facts.json" "$WORKDIR/serve.json" | head -5 | sed 's/^/  | /'
+    FAILURES=$((FAILURES + 1))
+  fi
+
+  expect serve-quit 0 "shutting down" \
+    curl -fsS -X POST "$BASE/quitquitquit"
+  wait "$SERVE_PID"
+  SERVE_STATUS=$?
+  if [ "$SERVE_STATUS" -eq 0 ] && grep -q "served .* request(s)" "$SERVELOG"; then
+    echo "ok   serve-shutdown"
+  else
+    echo "FAIL serve-shutdown: exit $SERVE_STATUS"
+    sed 's/^/  | /' "$SERVELOG"
+    FAILURES=$((FAILURES + 1))
+  fi
+fi
+
 expect usage 2 "USAGE" "$CLI" help
 
 # The parser must reject positionals through the error path (exit 2 from

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -26,32 +27,20 @@
 #include "io/snapshot.h"
 #include "persist/durable_engine.h"
 #include "persist/wal.h"
+#include "net/fact_server.h"
+#include "net/json.h"
 #include "query/fact_index.h"
 #include "query/skyline_query.h"
 #include "relation/dataset.h"
 #include "service/fact_feed.h"
 #include "service/fact_service.h"
+#include "service/filter_parse.h"
+#include "service/query_api.h"
 
 namespace sitfact {
 namespace cli {
 
 namespace {
-
-/// Splits "a,b,c" into trimmed tokens (empty tokens dropped).
-std::vector<std::string> SplitList(const std::string& s) {
-  std::vector<std::string> out;
-  std::string token;
-  for (char c : s) {
-    if (c == ',') {
-      if (!token.empty()) out.push_back(token);
-      token.clear();
-    } else {
-      token += c;
-    }
-  }
-  if (!token.empty()) out.push_back(token);
-  return out;
-}
 
 /// Parses a measure list "points:+,fouls:-,assists" (default direction +).
 StatusOr<std::vector<MeasureAttribute>> ParseMeasureSpecs(
@@ -117,66 +106,6 @@ std::string TempStoreDir(const std::string& tag) {
       .string();
 }
 
-/// Parses `--where d1=v1,d2=v2` into a constraint over `relation`'s
-/// dictionaries. A value that never occurs in its dimension makes the
-/// context provably empty: `*empty_note` is set and ⊤ returned so callers
-/// can report it as a result rather than an error. Malformed clauses and
-/// unknown dimensions are InvalidArgument.
-StatusOr<Constraint> ParseWhereConstraint(const std::string& where,
-                                          const Relation& relation,
-                                          std::string* empty_note) {
-  const Schema& schema = relation.schema();
-  DimMask bound = 0;
-  std::vector<ValueId> values(static_cast<size_t>(schema.num_dimensions()),
-                              0);
-  for (const std::string& clause : SplitList(where)) {
-    size_t eq = clause.find('=');
-    if (eq == std::string::npos) {
-      return Status::InvalidArgument("--where clauses look like dim=value");
-    }
-    const std::string dim_name = clause.substr(0, eq);
-    const std::string value = clause.substr(eq + 1);
-    int d = schema.DimensionIndex(dim_name);
-    if (d < 0) {
-      return Status::InvalidArgument("--where names no dimension: " +
-                                     dim_name);
-    }
-    ValueId id = relation.dictionary(d).Lookup(value);
-    if (id == kUnboundValue) {
-      *empty_note = "value '" + value + "' never occurs in " + dim_name;
-      return Constraint::Top(schema.num_dimensions());
-    }
-    bound |= DimMask{1} << d;
-    values[static_cast<size_t>(d)] = id;
-  }
-  if (bound == 0) return Constraint::Top(schema.num_dimensions());
-  std::vector<ValueId> bound_values;
-  for (int d = 0; d < schema.num_dimensions(); ++d) {
-    if ((bound >> d) & 1u) bound_values.push_back(values[d]);
-  }
-  return Constraint::FromBoundValues(schema.num_dimensions(), bound,
-                                     bound_values);
-}
-
-/// Parses `--subspace m1,m2` into a measure mask (the full space without
-/// the flag); InvalidArgument on unknown measure names.
-StatusOr<MeasureMask> ParseSubspaceFlag(const Args& args,
-                                        const Schema& schema) {
-  if (!args.Has("subspace")) return schema.FullMeasureMask();
-  MeasureMask subspace = 0;
-  for (const std::string& name : SplitList(args.Get("subspace"))) {
-    int j = schema.MeasureIndex(name);
-    if (j < 0) {
-      return Status::InvalidArgument("--subspace names no measure: " + name);
-    }
-    subspace |= MeasureMask{1} << j;
-  }
-  if (subspace == 0) {
-    return Status::InvalidArgument("--subspace selected no measures");
-  }
-  return subspace;
-}
-
 }  // namespace
 
 int Args::GetInt(const std::string& name, int fallback) const {
@@ -232,9 +161,13 @@ USAGE
                        [--k N] [--page N] [--where d1=v1,...]
                        [--subspace m1,m2] [--min-prominence P]
                        [--window FIRST:LAST] [--prominent-only]
-                       [--entity DIM] [--tau T]
+                       [--entity DIM] [--tau T] [--format text|json]
                        [--algorithm A | --threads N [--shards K]]
                        [--watch [--poll-ms MS]] [--replay]
+  sitfact_cli serve    --csv FILE --dims ... --measures ...
+                       [--port P] [--host H] [--port-file FILE]
+                       [--max-connections N] [--cache N]
+                       [--algorithm A] [--tau T] [--entity DIM]
   sitfact_cli resume   --snapshot FILE [--csv FILE] [--top K] [--quiet]
                        [--algorithm NAME] [--replay]
   sitfact_cli checkpoint --dir DIR [--csv FILE --dims ... --measures ...]
@@ -260,6 +193,14 @@ NOTES
   cursor pagination (--page). --watch queries the live index while the
   stream ingests; --dir recovers a durable store and serves immediately
   (no CSV — the facts come from the recovered history).
+  serve ingests the CSV, then answers HTTP queries (docs/serving.md): the
+  same top-k/filter/pagination surface as facts, over a single-threaded
+  epoll loop with keep-alive, a per-epoch response cache, and bounded
+  admission (--max-connections; overload answers 429 + Retry-After).
+  --port 0 picks a free port; --port-file publishes the choice to scripts.
+  facts --format json prints the same serialized QueryResponse the server
+  sends, byte for byte — the two surfaces share one query API and one
+  serializer (docs/query_api.md).
   checkpoint/restore manage a durable store (docs/persistence.md): every
   ingested row is WAL-logged before discovery, --every N snapshots the
   engine every N ops, and restore recovers from the newest valid snapshot
@@ -492,7 +433,8 @@ int RunQuery(const Args& args) {
   Relation relation(schema);
   for (const Row& row : data.rows()) relation.Append(row);
 
-  // --where d=v,...: build the constraint.
+  // --where d=v,...: build the constraint (grammar shared with the server,
+  // src/service/filter_parse.h).
   std::string empty_note;
   auto constraint_or =
       ParseWhereConstraint(args.Get("where"), relation, &empty_note);
@@ -506,9 +448,12 @@ int RunQuery(const Args& args) {
   Constraint constraint = constraint_or.value();
 
   // --subspace m1,m2 (default: all measures).
-  auto subspace_or = ParseSubspaceFlag(args, schema);
-  if (!subspace_or.ok()) return PrintUsage(subspace_or.status().message());
-  MeasureMask subspace = subspace_or.value();
+  MeasureMask subspace = schema.FullMeasureMask();
+  if (args.Has("subspace")) {
+    auto subspace_or = ParseSubspaceList(args.Get("subspace"), schema);
+    if (!subspace_or.ok()) return PrintUsage(subspace_or.status().message());
+    subspace = subspace_or.value();
+  }
 
   SkylineQueryEngine query(&relation);
   QueryAlgorithm algo = ParseQueryAlgorithm(args.Get("algo", "auto"));
@@ -654,44 +599,48 @@ StatusOr<FactsQueryFlags> ParseFactsFlags(const Args& args,
   const int page = args.GetInt("page", 0);
   if (page < 0) return Status::InvalidArgument("--page must be >= 0");
   out.page = static_cast<size_t>(page);
-  if (args.Has("where")) {
-    auto constraint_or =
-        ParseWhereConstraint(args.Get("where"), relation, &out.empty_note);
-    if (!constraint_or.ok()) return constraint_or.status();
-    if (constraint_or.value().bound_mask() != 0) {
-      out.filter.about = constraint_or.value();
-    }
+  const std::string format = args.Get("format", "text");
+  if (format != "text" && format != "json") {
+    return Status::InvalidArgument("--format must be text or json");
   }
-  if (args.Has("subspace")) {
-    auto subspace_or = ParseSubspaceFlag(args, relation.schema());
-    if (!subspace_or.ok()) return subspace_or.status();
-    out.filter.subspace = subspace_or.value();
-  }
-  out.filter.min_prominence = args.GetDouble("min-prominence", 0.0);
-  if (args.Has("prominent-only")) out.filter.prominent_only = true;
-  if (args.Has("window")) {
-    const std::string w = args.Get("window");
-    const size_t colon = w.find(':');
-    const auto parse_u64 = [](const std::string& s, uint64_t* out_value) {
-      if (s.empty()) return false;
-      for (char c : s) {
-        if (c < '0' || c > '9') return false;
-      }
-      *out_value = std::strtoull(s.c_str(), nullptr, 10);
-      return true;
-    };
-    if (colon == std::string::npos ||
-        !parse_u64(w.substr(0, colon), &out.filter.min_arrival) ||
-        !parse_u64(w.substr(colon + 1), &out.filter.max_arrival)) {
-      return Status::InvalidArgument(
-          "--window looks like FIRST:LAST (non-negative arrival sequence "
-          "numbers), got '" + w + "'");
-    }
-    if (out.filter.min_arrival > out.filter.max_arrival) {
-      return Status::InvalidArgument("--window is reversed: " + w);
-    }
-  }
+  // The filter grammar is shared verbatim with the HTTP server
+  // (src/service/filter_parse.h) — one parser, one set of error messages.
+  FactFilterSpec spec;
+  spec.where = args.Get("where");
+  spec.subspace = args.Get("subspace");
+  spec.window = args.Get("window");
+  spec.min_prominence = args.GetDouble("min-prominence", 0.0);
+  spec.prominent_only = args.Has("prominent-only");
+  auto filter_or = ParseFactFilter(spec, relation, &out.empty_note);
+  if (!filter_or.ok()) return filter_or.status();
+  out.filter = std::move(filter_or).value();
   return out;
+}
+
+/// `facts --format json`: the canonical serialized QueryResponse for the
+/// equivalent TopK request — byte-identical to what the HTTP server
+/// answers for the same query at the same epoch (tests/smoke diff this).
+void PrintFactsJson(const FactService::Snapshot& snap,
+                    const FactsQueryFlags& flags) {
+  QueryResponse response;
+  if (flags.empty_note.empty()) {
+    QueryRequest request;
+    request.kind = QueryKind::kTopK;
+    request.k = flags.k;
+    request.filter = flags.filter;
+    auto response_or = ExecuteQuery(snap, request);
+    if (!response_or.ok()) {
+      std::printf("%s\n",
+                  net::SerializeErrorBody(response_or.status()).c_str());
+      return;
+    }
+    response = std::move(response_or).value();
+  } else {
+    // Provably empty context: an empty page at the current epoch, exactly
+    // what the server answers.
+    response.epoch = snap.epoch();
+  }
+  std::printf("%s\n", net::SerializeResponse(response).c_str());
 }
 
 /// Prints up to `flags.k` TopK facts, cursor-paginating when --page is set.
@@ -754,6 +703,10 @@ int RunFactsFromDurable(const Args& args) {
     std::fprintf(stderr, "index rebuild failed: %s\n",
                  service_or.status().ToString().c_str());
     return 1;
+  }
+  if (args.Get("format", "text") == "json") {
+    PrintFactsJson(service_or.value()->Acquire(), flags_or.value());
+    return 0;
   }
   std::printf("recovered %s store at seq %llu; index rebuilt, serving\n",
               durable->algorithm().c_str(),
@@ -883,7 +836,130 @@ int RunFacts(const Args& args) {
 
   auto flags_or = ParseFactsFlags(args, relation);
   if (!flags_or.ok()) return PrintUsage(flags_or.status().message());
-  PrintFactPages(service.Acquire(), flags_or.value());
+  if (args.Get("format", "text") == "json") {
+    PrintFactsJson(service.Acquire(), flags_or.value());
+  } else {
+    PrintFactPages(service.Acquire(), flags_or.value());
+  }
+  return 0;
+}
+
+namespace {
+
+/// SIGINT/SIGTERM ask the serve loop to wind down gracefully.
+std::atomic<bool> g_serve_stop{false};
+
+void HandleStopSignal(int) { g_serve_stop.store(true); }
+
+}  // namespace
+
+int RunServe(const Args& args) {
+  auto data_or = LoadCsvFlag(args);
+  if (!data_or.ok()) return PrintUsage(data_or.status().ToString());
+  const Dataset& data = data_or.value();
+
+  DiscoveryOptions options;
+  options.max_bound_dims = args.GetInt("dhat", -1);
+  options.max_measure_dims = args.GetInt("mhat", -1);
+
+  Relation relation(data.schema());
+  FactService::Options service_options;
+  service_options.entity = args.Get("entity");
+  if (!service_options.entity.empty() &&
+      data.schema().DimensionIndex(service_options.entity) < 0) {
+    return PrintUsage("--entity names no dimension");
+  }
+  FactService service(&relation, service_options);
+
+  const std::string algorithm = args.Get("algorithm", "STopDown");
+  std::string store_dir;
+  if (algorithm.rfind("FS", 0) == 0) store_dir = TempStoreDir("serve");
+  auto disc_or = DiscoveryEngine::CreateDiscoverer(algorithm, &relation,
+                                                   options, store_dir);
+  if (!disc_or.ok()) return PrintUsage(disc_or.status().ToString());
+  if (disc_or.value()->store() == nullptr) {
+    return PrintUsage(algorithm +
+                      " keeps no µ-store, so prominence-ranked serving is "
+                      "unavailable; pick a BottomUp/TopDown family "
+                      "algorithm");
+  }
+  DiscoveryEngine::Config config;
+  config.options = options;
+  config.tau = args.GetDouble("tau", 2.0);
+  DiscoveryEngine engine(&relation, std::move(disc_or).value(), config);
+
+  // Ingest through the same FactFeed path as `facts`, so a server over a
+  // CSV lands on the same epoch as the in-process query — the smoke test
+  // byte-diffs the two.
+  {
+    FactFeed::Options feed_options;
+    feed_options.fact_service = &service;
+    FactFeed feed(&engine, nullptr, feed_options);
+    for (const Row& row : data.rows()) {
+      if (!feed.Publish(row)) break;
+    }
+    feed.Drain();
+    feed.Stop();
+  }
+
+  net::FactServer::Options server_options;
+  server_options.net.host = args.Get("host", "127.0.0.1");
+  const int port = args.GetInt("port", 8080);
+  if (port < 0 || port > 65535) {
+    return PrintUsage("--port must be in [0, 65535] (0 = kernel-assigned)");
+  }
+  server_options.net.port = static_cast<uint16_t>(port);
+  const int max_connections = args.GetInt("max-connections", 64);
+  if (max_connections < 1) {
+    return PrintUsage("--max-connections must be >= 1");
+  }
+  server_options.net.max_connections = max_connections;
+  const int cache = args.GetInt("cache", 512);
+  if (cache < 0) return PrintUsage("--cache must be >= 0 (0 disables)");
+  server_options.cache_capacity = static_cast<size_t>(cache);
+
+  net::FactServer server(&service, &relation, server_options);
+  Status st = server.Listen();
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (args.Has("port-file")) {
+    // Written after the socket is bound: a waiting script reads the file
+    // and knows the server is accepting.
+    std::FILE* f = std::fopen(args.Get("port-file").c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write --port-file %s\n",
+                   args.Get("port-file").c_str());
+      return 1;
+    }
+    std::fprintf(f, "%u\n", server.port());
+    std::fclose(f);
+  }
+  {
+    FactService::Snapshot snap = service.Acquire();
+    std::printf(
+        "serving %zu facts (epoch %llu) at http://%s:%u — endpoints: /topk "
+        "/facts_for_tuple /facts_in_window /about /explain /statz /healthz; "
+        "POST /quitquitquit (or SIGINT) to stop\n",
+        snap.fact_count(), static_cast<unsigned long long>(snap.epoch()),
+        server_options.net.host.c_str(), server.port());
+    std::fflush(stdout);
+  }
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  server.set_external_stop(&g_serve_stop);
+  st = server.Serve();
+  if (!st.ok()) {
+    std::fprintf(stderr, "serve failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  const net::EpollServer::Stats& stats = server.net_stats();
+  std::printf("served %llu request(s) over %llu connection(s), shed %llu\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.accepted),
+              static_cast<unsigned long long>(stats.shed));
   return 0;
 }
 

@@ -47,6 +47,10 @@ int RunQuery(const Args& args);
 /// durable store and serves immediately.
 int RunFacts(const Args& args);
 
+/// `sitfact_cli serve`: ingest a CSV, then answer HTTP queries over the
+/// unified query API (epoll front end, src/net/) until stopped.
+int RunServe(const Args& args);
+
 /// `sitfact_cli resume`: restores an engine snapshot and optionally
 /// continues streaming another CSV into it.
 int RunResume(const Args& args);

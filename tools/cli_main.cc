@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   if (args.command == "discover") return sitfact::cli::RunDiscover(args);
   if (args.command == "query") return sitfact::cli::RunQuery(args);
   if (args.command == "facts") return sitfact::cli::RunFacts(args);
+  if (args.command == "serve") return sitfact::cli::RunServe(args);
   if (args.command == "resume") return sitfact::cli::RunResume(args);
   if (args.command == "checkpoint") return sitfact::cli::RunCheckpoint(args);
   if (args.command == "restore") return sitfact::cli::RunRestore(args);
