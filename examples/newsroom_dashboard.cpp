@@ -122,10 +122,10 @@ int main() {
   FactFilter recent;
   recent.min_arrival = snap.arrivals() > 300 ? snap.arrivals() - 300 : 0;
   recent.prominent_only = true;
-  std::vector<FactService::FactView> late =
-      snap.FactsInWindow(recent.min_arrival, snap.arrivals() - 1, recent);
+  FactService::Page late = snap.FactsInWindow(
+      recent.min_arrival, snap.arrivals() - 1, recent, snap.fact_count() + 1);
   std::printf("\n== last 300 arrivals: %zu prominent facts ==\n",
-              late.size());
+              late.facts.size());
 
   const bool ok = feed.processed() == data.rows().size() &&
                   snap.arrivals() == data.rows().size() &&

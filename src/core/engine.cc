@@ -102,6 +102,19 @@ DiscoveryEngine::DiscoveryEngine(Relation* relation,
     SITFACT_CHECK_MSG(discoverer_->store() != nullptr,
                       "prominence ranking needs a µ-store algorithm");
   }
+  // The skyband shadow rides along from the first arrival when the store
+  // notifies (in-memory stores); attaching before any restore keeps it
+  // coherent through DeserializeBuckets, which writes through the observed
+  // Context API. File-backed stores never notify — a live engine over one
+  // serves prominence from the store as before.
+  MuStore* store = discoverer_->mutable_store();
+  if (config_.rank_facts && store != nullptr && store->NotifiesObservers() &&
+      SkybandIndexEnabledFromEnv()) {
+    skyband_ = std::make_unique<SkybandIndex>();
+    skyband_->Attach(store, discoverer_->storage_policy(),
+                     discoverer_->max_bound_dims(),
+                     static_cast<int>(discoverer_->subspaces().max_size()));
+  }
 }
 
 ArrivalReport DiscoveryEngine::Append(const Row& row) {
@@ -172,6 +185,7 @@ ArrivalReport DiscoveryEngine::DiscoverLast() {
     ProminenceEvaluator evaluator(relation_, &counter_,
                                   discoverer_->mutable_store(),
                                   discoverer_->storage_policy());
+    evaluator.set_skyband(skyband_.get());
     report.ranked = evaluator.RankAll(report.facts);
     report.prominent = SelectProminent(report.ranked, config_.tau);
   }

@@ -10,6 +10,7 @@
 #include "core/discoverer.h"
 #include "core/prominence.h"
 #include "relation/relation.h"
+#include "skyline/skyband_index.h"
 #include "storage/context_counter.h"
 
 namespace sitfact {
@@ -75,6 +76,15 @@ class DiscoveryEngine {
 
   Relation& relation() { return *relation_; }
   Discoverer& discoverer() { return *discoverer_; }
+
+  /// The µ-side skyband shadow: attached when ranking is on, the algorithm
+  /// keeps a notifying (in-memory) store, and SITFACT_SKYBAND_INDEX is not
+  /// "off". Null otherwise (baselines, file stores, escape hatch) — every
+  /// consumer falls back to store reads. Prominence denominators are served
+  /// from it when present; forward queries may probe it via
+  /// SkylineQueryEngine's skyband-aware overload.
+  const SkybandIndex* skyband_index() const { return skyband_.get(); }
+
   const ContextCounter& counter() const { return counter_; }
   /// Snapshot restore needs to repopulate the counter in place.
   ContextCounter& mutable_counter() { return counter_; }
@@ -102,6 +112,9 @@ class DiscoveryEngine {
   std::unique_ptr<Discoverer> discoverer_;
   Config config_;
   ContextCounter counter_;
+  /// Declared after discoverer_: destruction detaches from the store, which
+  /// must still be alive.
+  std::unique_ptr<SkybandIndex> skyband_;
 };
 
 }  // namespace sitfact

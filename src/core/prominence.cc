@@ -15,6 +15,9 @@ ProminenceEvaluator::ProminenceEvaluator(const Relation* relation,
 uint64_t ProminenceEvaluator::SkylineSize(const SkylineFact& fact) {
   const Constraint& c = fact.constraint;
   MeasureMask m = fact.subspace;
+  if (skyband_ != nullptr) {
+    return skyband_->SkylineSizeFor(*relation_, c, m);
+  }
   if (policy_ == StoragePolicy::kAllSkylineConstraints) {
     MuStore::Context* ctx = store_->Find(c);
     return ctx == nullptr ? 0 : ctx->Size(m);

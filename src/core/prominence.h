@@ -5,6 +5,7 @@
 
 #include "core/fact.h"
 #include "relation/relation.h"
+#include "skyline/skyband_index.h"
 #include "storage/context_counter.h"
 #include "storage/mu_store.h"
 
@@ -23,6 +24,15 @@ class ProminenceEvaluator {
   ProminenceEvaluator(const Relation* relation, const ContextCounter* counter,
                       MuStore* store, StoragePolicy policy);
 
+  /// Routes SkylineSize through a live skyband index instead of the store:
+  /// the same numbers (the index shadows every bucket mutation) without
+  /// bucket reads — under Invariant 2 the whole ancestor-union walk runs on
+  /// in-memory bands. A null or non-live index leaves the store path in
+  /// place, so callers can pass whatever the engine holds unconditionally.
+  void set_skyband(const SkybandIndex* index) {
+    skyband_ = (index != nullptr && index->live()) ? index : nullptr;
+  }
+
   /// Ranks one fact of the latest arrival (the arrival must already be
   /// folded into the store and the counter).
   RankedFact Evaluate(const SkylineFact& fact);
@@ -39,6 +49,7 @@ class ProminenceEvaluator {
   const ContextCounter* counter_;
   MuStore* store_;
   StoragePolicy policy_;
+  const SkybandIndex* skyband_ = nullptr;
   std::vector<TupleId> scratch_;
   std::vector<TupleId> union_scratch_;
 };

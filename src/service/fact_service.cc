@@ -1,13 +1,12 @@
 #include "service/fact_service.h"
 
-#include <algorithm>
 #include <cstdio>
-#include <limits>
 #include <utility>
 
 #include "common/logging.h"
 #include "core/prominence.h"
 #include "relation/schema.h"
+#include "skyline/skyband_index.h"
 
 namespace sitfact {
 
@@ -19,6 +18,7 @@ FactIndex::Options FactService::IndexOptions(const Relation* relation,
   out.entity_dim = options.entity.empty()
                        ? -1
                        : relation->schema().DimensionIndex(options.entity);
+  out.skyband_index = options.skyband_index && SkybandIndexEnabledFromEnv();
   return out;
 }
 
@@ -67,77 +67,29 @@ FactService::Page FactService::Snapshot::TopK(
   return page;
 }
 
-namespace {
-
-/// Cuts one page out of a record-id-ascending id list: start strictly
-/// after the cursor's record id, take k, and hand out a resume cursor when
-/// matches remain. Shared by FactsForTuple and FactsInWindow so the two
-/// carry exactly the pagination contract TopK already has.
-std::pair<size_t, size_t> PageBounds(
-    const std::vector<uint32_t>& ids, size_t k,
-    const std::optional<TopKCursor>& cursor) {
-  size_t begin = 0;
-  if (cursor.has_value()) {
-    begin = static_cast<size_t>(
-        std::upper_bound(ids.begin(), ids.end(), cursor->record_id) -
-        ids.begin());
-  }
-  const size_t take = std::min(k, ids.size() - begin);
-  return {begin, take};
-}
-
-}  // namespace
-
 FactService::Page FactService::Snapshot::FactsForTuple(
     TupleId t, const FactFilter& filter, size_t k,
     const std::optional<TopKCursor>& cursor) const {
-  const std::vector<uint32_t> ids = state_->FactsForTuple(t, filter);
-  const auto [begin, take] = PageBounds(ids, k, cursor);
+  TopKResult result = state_->FactsForTuple(t, filter, k, cursor);
   Page page;
   page.epoch = state_->epoch();
-  page.facts.reserve(take);
-  for (size_t i = begin; i < begin + take; ++i) {
-    page.facts.push_back(View(ids[i]));
-  }
-  if (take > 0 && begin + take < ids.size()) {
-    const uint32_t last = ids[begin + take - 1];
-    page.next = TopKCursor{state_->record(last).prominence, last};
-  }
+  page.facts.reserve(result.record_ids.size());
+  for (uint32_t id : result.record_ids) page.facts.push_back(View(id));
+  page.next = result.next;
   return page;
 }
 
 FactService::Page FactService::Snapshot::FactsInWindow(
     uint64_t first_arrival, uint64_t last_arrival, const FactFilter& filter,
     size_t k, const std::optional<TopKCursor>& cursor) const {
-  const std::vector<uint32_t> ids =
-      state_->FactsInWindow(first_arrival, last_arrival, filter);
-  const auto [begin, take] = PageBounds(ids, k, cursor);
+  TopKResult result =
+      state_->FactsInWindow(first_arrival, last_arrival, filter, k, cursor);
   Page page;
   page.epoch = state_->epoch();
-  page.facts.reserve(take);
-  for (size_t i = begin; i < begin + take; ++i) {
-    page.facts.push_back(View(ids[i]));
-  }
-  if (take > 0 && begin + take < ids.size()) {
-    const uint32_t last = ids[begin + take - 1];
-    page.next = TopKCursor{state_->record(last).prominence, last};
-  }
+  page.facts.reserve(result.record_ids.size());
+  for (uint32_t id : result.record_ids) page.facts.push_back(View(id));
+  page.next = result.next;
   return page;
-}
-
-std::vector<FactService::FactView> FactService::Snapshot::FactsForTuple(
-    TupleId t, const FactFilter& filter) const {
-  return FactsForTuple(t, filter, std::numeric_limits<size_t>::max(),
-                       std::nullopt)
-      .facts;
-}
-
-std::vector<FactService::FactView> FactService::Snapshot::FactsInWindow(
-    uint64_t first_arrival, uint64_t last_arrival,
-    const FactFilter& filter) const {
-  return FactsInWindow(first_arrival, last_arrival, filter,
-                       std::numeric_limits<size_t>::max(), std::nullopt)
-      .facts;
 }
 
 std::optional<FactService::FactView> FactService::Snapshot::Fact(
@@ -180,6 +132,16 @@ StatusOr<std::unique_ptr<FactService>> FactService::Rebuild(
 
   auto service = std::make_unique<FactService>(relation, options);
   ContextCounter counter(disc->max_bound_dims());
+  // The replay rides the same skyband shadow a live engine would keep, so a
+  // rebuilt service exercises (and is accelerated by) the identical
+  // prominence path. SBottomUp's store is in-memory, hence notifying.
+  SkybandIndex skyband;
+  if (SkybandIndexEnabledFromEnv() && disc->mutable_store() != nullptr &&
+      disc->mutable_store()->NotifiesObservers()) {
+    skyband.Attach(disc->mutable_store(), disc->storage_policy(),
+                   disc->max_bound_dims(),
+                   static_cast<int>(disc->subspaces().max_size()));
+  }
   ArrivalReport report;
   for (TupleId t = 0; t < relation->size(); ++t) {
     if (relation->IsDeleted(t)) continue;
@@ -190,6 +152,7 @@ StatusOr<std::unique_ptr<FactService>> FactService::Rebuild(
     CanonicalizeFacts(&report.facts);
     ProminenceEvaluator evaluator(relation, &counter, disc->mutable_store(),
                                   disc->storage_policy());
+    evaluator.set_skyband(&skyband);
     report.ranked = evaluator.RankAll(report.facts);
     report.prominent = SelectProminent(report.ranked, tau);
     service->OnArrival(report);

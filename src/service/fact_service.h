@@ -38,6 +38,12 @@ class FactService {
     /// Dimension naming the acting entity for narrations (e.g. "player");
     /// empty picks no subject.
     std::string entity;
+    /// Keep the index's prominence buckets and shape lists in TopK order
+    /// (the skyband serving bands), so TopK/About pages come off a sorted
+    /// walk instead of a scan-and-sort. ANDed with the
+    /// SITFACT_SKYBAND_INDEX environment escape hatch; responses are
+    /// byte-identical either way.
+    bool skyband_index = true;
   };
 
   /// `relation` must outlive the service; it is read only from the writer
@@ -122,17 +128,6 @@ class FactService {
                        const std::optional<TopKCursor>& cursor =
                            std::nullopt) const;
 
-    /// Deprecated unpaginated shim (one unbounded page); migrate to the
-    /// Page overload above — these go away next PR.
-    std::vector<FactView> FactsForTuple(TupleId t,
-                                        const FactFilter& filter = {}) const;
-
-    /// Deprecated unpaginated shim (one unbounded page); migrate to the
-    /// Page overload above — these go away next PR.
-    std::vector<FactView> FactsInWindow(uint64_t first_arrival,
-                                        uint64_t last_arrival,
-                                        const FactFilter& filter = {}) const;
-
     /// "Facts about" convenience: TopK among facts whose constraint binds at
     /// least `about`'s attribute=value pairs.
     Page About(const Constraint& about, size_t k) const;
@@ -144,6 +139,14 @@ class FactService {
     /// News-style sentence for a fact (the stored narration when available,
     /// a numeric summary otherwise). Never touches the live Relation.
     std::string Explain(const FactView& view) const;
+
+    /// Whether this epoch's serving lists are TopK-sorted (the skyband
+    /// serving bands), plus the cumulative maintenance counters behind
+    /// them; /statz renders both.
+    bool skyband_enabled() const { return state_->skyband_enabled(); }
+    const FactIndexSnapshot::SkybandStats& skyband_stats() const {
+      return state_->skyband_stats();
+    }
 
    private:
     friend class FactService;
@@ -157,13 +160,10 @@ class FactService {
   /// Pins the current epoch. Any thread, never blocks on ingestion.
   Snapshot Acquire() const { return Snapshot(index_.Acquire()); }
 
-  /// One-shot conveniences (acquire + query).
+  /// One-shot convenience (acquire + query).
   Page TopK(size_t k, const FactFilter& filter = {},
             const std::optional<TopKCursor>& cursor = std::nullopt) const {
     return Acquire().TopK(k, filter, cursor);
-  }
-  std::vector<FactView> FactsForTuple(TupleId t) const {
-    return Acquire().FactsForTuple(t);
   }
 
   const FactIndex& index() const { return index_; }

@@ -1,0 +1,172 @@
+#ifndef SITFACT_SKYLINE_SKYBAND_INDEX_H_
+#define SITFACT_SKYLINE_SKYBAND_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "lattice/constraint.h"
+#include "relation/relation.h"
+#include "storage/mu_store.h"
+
+namespace sitfact {
+
+/// Master switch for the skyband index layers, read once per consumer:
+/// SITFACT_SKYBAND_INDEX=off (or 0) disables them, anything else — including
+/// unset — leaves them on. One escape hatch covers both the µ-side shadow
+/// (this file) and the FactIndex serving bands, so a single environment
+/// variable restores the pre-index behaviour end to end.
+bool SkybandIndexEnabledFromEnv();
+
+/// Incremental per-(constraint, measure-subspace) skyband shadow of a µ
+/// store — the paper's prominence denominator |λ_M(σ_C(R))| turned into a
+/// lookup. Each non-empty µ bucket is mirrored as one *band*; bands of one
+/// constraint form a *family*, exactly the Context grouping the store uses.
+///
+/// Two maintenance paths, per the BucketObserver contract:
+///  * notifying stores (MemoryMuStore, SegmentedMuStore): the index
+///    registers as the store's observer and folds every OnBucketChanged
+///    into its bands — it is then `live()` and coherent with the store
+///    after every mutation, including shard-parallel ones (one internal
+///    mutex; the per-bucket copy is the price of O(1) size probes).
+///  * non-notifying stores (the file-backed stores) and restored dumps:
+///    Rebuild() primes the bands from ForEachBucket. The index is a frozen
+///    snapshot, not live; consumers must fall back to store reads once the
+///    store mutates again.
+///
+/// What it answers without touching the store:
+///  * Invariant 1 (kAllSkylineConstraints): a band IS λ_M(σ_C(R)) — size,
+///    membership and the full member list are direct reads. This also makes
+///    the band a valid answer to the *forward* contextual-skyline query,
+///    which is how SkylineQueryEngine's planner uses it (the small-context
+///    path becomes a probe; fallbacks run the usual dominance kernels).
+///  * Invariant 2 (kMaximalSkylineConstraints): λ is the deduplicated union
+///    of C's ancestor bands filtered by satisfaction of C — the same walk
+///    ProminenceEvaluator does against the store, minus every bucket read.
+///
+/// Threading: Attach/Detach/Rebuild and all probes belong to the engine's
+/// writer thread; OnBucketChanged may arrive concurrently from shard pool
+/// threads (SegmentedMuStore forwards to per-shard segments). Every method
+/// takes the one internal mutex, and none calls out while holding it, so
+/// the index is safe under the sharded engine's fork/join without ordering
+/// assumptions beyond the store's own.
+class SkybandIndex : public MuStore::BucketObserver {
+ public:
+  /// Maintenance and probe counters (monotonic except the three gauges).
+  struct Stats {
+    uint64_t notifications = 0;  ///< OnBucketChanged callbacks folded in
+    uint64_t rebuilds = 0;       ///< ForEachBucket re-primes
+    uint64_t size_probes = 0;    ///< Invariant-1 SkylineSize answers
+    uint64_t union_probes = 0;   ///< Invariant-2 union answers
+    uint64_t query_probes = 0;   ///< forward-query band reads (Members)
+    uint64_t families = 0;       ///< gauge: constraints with >= 1 band
+    uint64_t bands = 0;          ///< gauge: non-empty (C, M) bands
+    uint64_t members = 0;        ///< gauge: Σ band sizes
+  };
+
+  SkybandIndex() = default;
+  ~SkybandIndex() override { Detach(); }
+
+  SkybandIndex(const SkybandIndex&) = delete;
+  SkybandIndex& operator=(const SkybandIndex&) = delete;
+
+  /// Registers as `store`'s observer, records the invariant and the
+  /// truncation knobs (d̂ / m̂, -1 for unlimited — forward-query eligibility
+  /// needs them), and primes the bands from ForEachBucket so attaching to
+  /// an already-populated store (a restored snapshot) starts coherent.
+  /// live() afterwards iff the store notifies.
+  void Attach(MuStore* store, StoragePolicy policy, int max_bound_dims = -1,
+              int max_measure_dims = -1);
+
+  /// Unregisters from the store and drops every band.
+  void Detach();
+
+  /// Re-primes the bands from the attached store's ForEachBucket (the
+  /// restore path for non-notifying stores; costs one bucket materialization
+  /// each, i.e. one file read per bucket on a file store).
+  void Rebuild();
+
+  bool attached() const;
+  /// True when the bands track every store mutation (notifying store).
+  bool live() const;
+  StoragePolicy policy() const { return policy_; }
+
+  /// |λ_M(σ_C(R))| under Invariant 1: the band size, 0 when absent.
+  uint64_t SkylineSize(const Constraint& c, MeasureMask m) const;
+
+  /// |λ_M(σ_C(R))| under Invariant 2: deduplicated union of the bands of
+  /// C's ancestors-or-self, filtered by satisfaction of C — byte-for-byte
+  /// the set ProminenceEvaluator computes from the store.
+  uint64_t UnionSkylineSize(const Relation& r, const Constraint& c,
+                            MeasureMask m) const;
+
+  /// Policy-dispatched |λ|: the evaluator's one entry point.
+  uint64_t SkylineSizeFor(const Relation& r, const Constraint& c,
+                          MeasureMask m) const {
+    return policy_ == StoragePolicy::kAllSkylineConstraints
+               ? SkylineSize(c, m)
+               : UnionSkylineSize(r, c, m);
+  }
+
+  /// Band membership of `t` (Invariant-1 skyband membership test).
+  bool Contains(const Constraint& c, MeasureMask m, TupleId t) const;
+
+  /// Copy of the band in ascending TupleId order; empty when absent. Under
+  /// Invariant 1 this is λ_M(σ_C(R)) in SkylineQueryResult order.
+  std::vector<TupleId> Members(const Constraint& c, MeasureMask m) const;
+
+  /// True when a live Invariant-1 index can answer the forward query
+  /// λ_M(σ_C(R)) for (c, m) authoritatively: the constraint is within the
+  /// attached store's truncation knobs, so an absent band proves an empty
+  /// context rather than an unindexed one.
+  bool CoversQuery(const Constraint& c, MeasureMask m) const;
+
+  /// Visits every band (unspecified order; members in store order). `fn`
+  /// must not call back into the index — the lock is held.
+  void ForEachBand(
+      const std::function<void(const Constraint&, MeasureMask,
+                               const std::vector<TupleId>&)>& fn) const;
+
+  Stats stats() const;
+  size_t ApproxMemoryBytes() const;
+
+  // MuStore::BucketObserver: replaces (or erases, when `bucket` is empty)
+  // the band for (c, m). Any thread.
+  void OnBucketChanged(const Constraint& c, MeasureMask m,
+                       const std::vector<TupleId>& bucket) override;
+
+ private:
+  /// One mirrored bucket. Members stay in store order (a replace is then
+  /// one vector assign); probes that need sorted output sort their copy.
+  struct Band {
+    MeasureMask mask = 0;
+    std::vector<TupleId> members;
+  };
+  /// Bands of one constraint, sorted by mask (few subspaces per constraint,
+  /// same reasoning as MemoryMuStore's flat entry vector).
+  using Family = std::vector<Band>;
+
+  /// Locked helpers. `mu_` must be held.
+  const Band* FindBandLocked(const Constraint& c, MeasureMask m) const;
+  void ApplyLocked(const Constraint& c, MeasureMask m,
+                   const std::vector<TupleId>& bucket);
+  void ClearLocked();
+  void RebuildLocked();
+
+  mutable std::mutex mu_;
+  MuStore* store_ = nullptr;
+  StoragePolicy policy_ = StoragePolicy::kAllSkylineConstraints;
+  bool live_ = false;
+  int max_bound_dims_ = -1;
+  int max_measure_dims_ = -1;
+  std::unordered_map<Constraint, Family, ConstraintHash> families_;
+  mutable Stats stats_;
+  mutable std::vector<TupleId> union_scratch_;
+};
+
+}  // namespace sitfact
+
+#endif  // SITFACT_SKYLINE_SKYBAND_INDEX_H_

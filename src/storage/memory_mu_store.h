@@ -24,6 +24,9 @@ class MemoryMuStore : public MuStore {
 
   size_t ApproxMemoryBytes() const override;
 
+  /// The memory store notifies on every mutating Context operation.
+  bool NotifiesObservers() const override { return true; }
+
   /// Number of distinct constraints with an entry.
   size_t context_count() const { return contexts_.size(); }
 

@@ -36,6 +36,11 @@ void SegmentedMuStore::ForEachBucket(
   for (auto& segment : segments_) segment->ForEachBucket(fn);
 }
 
+void SegmentedMuStore::set_bucket_observer(BucketObserver* observer) {
+  bucket_observer_ = observer;
+  for (auto& segment : segments_) segment->set_bucket_observer(observer);
+}
+
 const MuStoreStats& SegmentedMuStore::stats() const {
   aggregated_ = MuStoreStats{};
   for (const auto& segment : segments_) {

@@ -37,6 +37,16 @@ class SegmentedMuStore : public MuStore {
   /// Discoverer::StoredTupleCount() / the bench harness would under-report.
   const MuStoreStats& stats() const override;
 
+  /// Forwards the registration to every segment: mutations go straight to
+  /// the per-shard MemoryMuStores, so an observer registered only on the
+  /// composite would never fire. The observer must be thread-safe — shards
+  /// mutate their segments concurrently.
+  void set_bucket_observer(BucketObserver* observer) override;
+
+  /// Every segment is a MemoryMuStore, so the composite notifies iff the
+  /// segments do (always).
+  bool NotifiesObservers() const override { return true; }
+
   size_t ApproxMemoryBytes() const override;
 
   int num_segments() const { return static_cast<int>(segments_.size()); }

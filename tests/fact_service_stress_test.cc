@@ -39,7 +39,9 @@ std::unique_ptr<DiscoveryEngine> MakeEngine(Relation* relation, double tau) {
 void CheckSnapshotConsistency(const FactService::Snapshot& snap) {
   // Every record reachable through the arrival directory stays in bounds.
   std::vector<FactService::FactView> window =
-      snap.FactsInWindow(0, snap.arrivals() == 0 ? 0 : snap.arrivals() - 1);
+      snap.FactsInWindow(0, snap.arrivals() == 0 ? 0 : snap.arrivals() - 1,
+                         FactFilter(), snap.fact_count() + 1)
+          .facts;
   for (const auto& view : window) {
     ASSERT_LT(view.id, snap.fact_count());
     ASSERT_LT(view.arrival_seq, snap.arrivals());
@@ -77,7 +79,8 @@ void CheckSnapshotConsistency(const FactService::Snapshot& snap) {
   // Every live record is reachable through its tuple.
   for (const auto& view : all.facts) {
     std::vector<FactService::FactView> per_tuple =
-        snap.FactsForTuple(view.tuple);
+        snap.FactsForTuple(view.tuple, FactFilter(), snap.fact_count() + 1)
+            .facts;
     bool found = false;
     for (const auto& other : per_tuple) found |= other.id == view.id;
     ASSERT_TRUE(found) << "record " << view.id << " not indexed under tuple "

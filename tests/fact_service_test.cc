@@ -128,6 +128,36 @@ std::vector<uint32_t> PaginateAll(const FactService::Snapshot& snap,
   return ids;
 }
 
+/// Drains every FactsForTuple page for `t` (deliberately small pages, so
+/// every call here also exercises the resume-cursor path).
+std::vector<FactService::FactView> AllForTuple(
+    const FactService::Snapshot& snap, TupleId t) {
+  std::vector<FactService::FactView> views;
+  std::optional<TopKCursor> cursor;
+  for (;;) {
+    FactService::Page p = snap.FactsForTuple(t, FactFilter(), 8, cursor);
+    views.insert(views.end(), p.facts.begin(), p.facts.end());
+    if (!p.next.has_value()) break;
+    cursor = p.next;
+  }
+  return views;
+}
+
+/// Drains every FactsInWindow page of [first, last] under `filter`.
+std::vector<FactService::FactView> AllInWindow(
+    const FactService::Snapshot& snap, uint64_t first, uint64_t last,
+    const FactFilter& filter = {}) {
+  std::vector<FactService::FactView> views;
+  std::optional<TopKCursor> cursor;
+  for (;;) {
+    FactService::Page p = snap.FactsInWindow(first, last, filter, 8, cursor);
+    views.insert(views.end(), p.facts.begin(), p.facts.end());
+    if (!p.next.has_value()) break;
+    cursor = p.next;
+  }
+  return views;
+}
+
 TEST(CowVec, AppendMutateAndStructuralSharing) {
   CowVec<int> v;
   for (int i = 0; i < 1000; ++i) v.PushBack(i);
@@ -302,7 +332,7 @@ TEST(FactIndex, SnapshotIsolationAcrossMutations) {
   FactService::Snapshot fresh = service.Acquire();
   EXPECT_GT(fresh.epoch(), old_epoch);
   EXPECT_EQ(fresh.arrivals(), 80u);
-  EXPECT_TRUE(fresh.FactsForTuple(3).empty());
+  EXPECT_TRUE(AllForTuple(fresh, 3).empty());
   FactFilter dead;
   dead.include_dead = true;
   dead.tuple = 3;
@@ -331,11 +361,11 @@ TEST(FactIndex, RemoveAndUpdateSemantics) {
   ASSERT_TRUE(service.OnUpdate(7, report_or.value()).ok());
 
   FactService::Snapshot snap = service.Acquire();
-  EXPECT_TRUE(snap.FactsForTuple(7).empty());
-  EXPECT_FALSE(snap.FactsForTuple(new_id).empty());
+  EXPECT_TRUE(AllForTuple(snap, 7).empty());
+  EXPECT_FALSE(AllForTuple(snap, new_id).empty());
   // Window queries skip dead records but keep the arrival numbering dense.
   EXPECT_EQ(snap.arrivals(), data.rows().size() + 1);
-  for (const auto& view : snap.FactsInWindow(0, snap.arrivals() - 1)) {
+  for (const auto& view : AllInWindow(snap, 0, snap.arrivals() - 1)) {
     EXPECT_TRUE(view.live);
     EXPECT_NE(view.tuple, 5u);
     EXPECT_NE(view.tuple, 7u);
@@ -364,14 +394,14 @@ TEST(FactIndex, ReplayedArrivalSupersedesWithoutDuplicates) {
   FactService::Snapshot snap = service.Acquire();
   EXPECT_EQ(snap.fact_count(), before + reports[replayed].ranked.size());
   // Per-tuple, window, and TopK views all agree: one live copy.
-  EXPECT_EQ(snap.FactsForTuple(replayed).size(),
+  EXPECT_EQ(AllForTuple(snap, replayed).size(),
             reports[replayed].ranked.size());
   FactFilter mine;
   mine.tuple = replayed;
   EXPECT_EQ(snap.TopK(1000, mine).facts.size(),
             reports[replayed].ranked.size());
   size_t in_window = 0;
-  for (const auto& view : snap.FactsInWindow(0, snap.arrivals() - 1)) {
+  for (const auto& view : AllInWindow(snap, 0, snap.arrivals() - 1)) {
     if (view.tuple == replayed) ++in_window;
   }
   EXPECT_EQ(in_window, reports[replayed].ranked.size());
@@ -379,7 +409,7 @@ TEST(FactIndex, ReplayedArrivalSupersedesWithoutDuplicates) {
   // Removal follows the remapped arrival and leaves no live copy behind.
   ASSERT_TRUE(service.OnRemove(replayed).ok());
   snap = service.Acquire();
-  EXPECT_TRUE(snap.FactsForTuple(replayed).empty());
+  EXPECT_TRUE(AllForTuple(snap, replayed).empty());
   EXPECT_TRUE(snap.TopK(1000, mine).facts.empty());
 }
 
@@ -461,8 +491,8 @@ TEST(FactService, RebuildMatchesLiveStream) {
   ASSERT_EQ(PaginateAll(a, FactFilter(), 9), PaginateAll(b, FactFilter(), 9));
   // Per-record equality: same facts, same prominence, same prominent set.
   for (TupleId t = 0; t < rel.size(); ++t) {
-    auto fa = a.FactsForTuple(t);
-    auto fb = b.FactsForTuple(t);
+    auto fa = AllForTuple(a, t);
+    auto fb = AllForTuple(b, t);
     ASSERT_EQ(fa.size(), fb.size()) << "tuple " << t;
     for (size_t i = 0; i < fa.size(); ++i) {
       ASSERT_EQ(fa[i].fact, fb[i].fact);
@@ -499,7 +529,7 @@ TEST(FactService, FromDurableServesAfterRecovery) {
     FactService::Snapshot snap = live.Acquire();
     for (TupleId t = 0; t < durable->relation().size(); ++t) {
       std::vector<uint32_t> ids;
-      for (const auto& v : snap.FactsForTuple(t)) ids.push_back(v.id);
+      for (const auto& v : AllForTuple(snap, t)) ids.push_back(v.id);
       live_for_tuple.push_back(std::move(ids));
     }
   }
@@ -518,7 +548,7 @@ TEST(FactService, FromDurableServesAfterRecovery) {
     EXPECT_EQ(snap.arrivals(), data.rows().size());
     ASSERT_EQ(live_for_tuple.size(), durable->relation().size());
     for (TupleId t = 0; t < durable->relation().size(); ++t) {
-      EXPECT_EQ(snap.FactsForTuple(t).size(), live_for_tuple[t].size())
+      EXPECT_EQ(AllForTuple(snap, t).size(), live_for_tuple[t].size())
           << "tuple " << t;
     }
   }

@@ -1,11 +1,13 @@
 // Tests for service/query_api.h + service/filter_parse.h: the unified
 // request/response layer every query surface funnels through. Covers the
-// Page pagination contract vs the deprecated vector shims, ExecuteQuery's
-// per-kind validation, and the shared textual filter grammar whose error
-// messages are pinned here (CLI and HTTP server emit these exact strings).
+// Page pagination contract (differentially against a TopK-filter brute
+// force), ExecuteQuery's per-kind validation, and the shared textual filter
+// grammar whose error messages are pinned here (CLI and HTTP server emit
+// these exact strings).
 
 #include "service/query_api.h"
 
+#include <algorithm>
 #include <memory>
 #include <optional>
 #include <string>
@@ -73,26 +75,31 @@ std::vector<uint32_t> Drain(NextPage next_page) {
   return ids;
 }
 
-TEST(Pagination, FactsForTuplePagesMatchVectorShim) {
+TEST(Pagination, FactsForTuplePagesMatchTopKDifferential) {
   Fixture fx(120, 3);
   FactService::Snapshot snap = fx.service->Acquire();
   FactFilter all;
   for (TupleId t = 0; t < fx.rel.size(); ++t) {
-    std::vector<uint32_t> shim = Ids(snap.FactsForTuple(t, all));
+    // Independent oracle: TopK with a tuple filter returns the same record
+    // set in prominence order; re-sorting by id gives the per-tuple scan
+    // order.
+    FactFilter mine;
+    mine.tuple = t;
+    std::vector<uint32_t> expected =
+        Ids(snap.TopK(snap.fact_count() + 1, mine).facts);
+    std::sort(expected.begin(), expected.end());
     for (size_t page : {size_t{1}, size_t{3}, size_t{1000}}) {
       SCOPED_TRACE("tuple " + std::to_string(t) + " page " +
                    std::to_string(page));
       ASSERT_EQ(Drain([&](const std::optional<TopKCursor>& c) {
                   return snap.FactsForTuple(t, all, page, c);
                 }),
-                shim);
+                expected);
     }
-    // Record-id ascending within the scan.
-    for (size_t i = 1; i < shim.size(); ++i) ASSERT_LT(shim[i - 1], shim[i]);
   }
 }
 
-TEST(Pagination, FactsInWindowPagesMatchVectorShim) {
+TEST(Pagination, FactsInWindowPagesMatchTopKDifferential) {
   Fixture fx(120, 5);
   FactService::Snapshot snap = fx.service->Acquire();
   FactFilter all;
@@ -100,14 +107,19 @@ TEST(Pagination, FactsInWindowPagesMatchVectorShim) {
   const std::pair<uint64_t, uint64_t> windows[] = {
       {0, last}, {10, 30}, {last, last}, {last + 5, last + 9}};
   for (auto [first, second] : windows) {
-    std::vector<uint32_t> shim = Ids(snap.FactsInWindow(first, second, all));
+    FactFilter in_window;
+    in_window.min_arrival = first;
+    in_window.max_arrival = second;
+    std::vector<uint32_t> expected =
+        Ids(snap.TopK(snap.fact_count() + 1, in_window).facts);
+    std::sort(expected.begin(), expected.end());
     for (size_t page : {size_t{1}, size_t{7}, size_t{1000}}) {
       SCOPED_TRACE(std::to_string(first) + ":" + std::to_string(second) +
                    " page " + std::to_string(page));
       ASSERT_EQ(Drain([&](const std::optional<TopKCursor>& c) {
                   return snap.FactsInWindow(first, second, all, page, c);
                 }),
-                shim);
+                expected);
     }
   }
 }
@@ -129,7 +141,8 @@ TEST(ExecuteQuery, EveryKindMatchesDirectSnapshotCalls) {
   per_tuple.k = 1000;
   r = ExecuteQuery(snap, per_tuple);
   ASSERT_TRUE(r.ok());
-  EXPECT_EQ(Ids(r.value().facts), Ids(snap.FactsForTuple(9)));
+  EXPECT_EQ(Ids(r.value().facts),
+            Ids(snap.FactsForTuple(9, FactFilter(), 1000).facts));
 
   QueryRequest window;
   window.kind = QueryKind::kFactsInWindow;
@@ -138,7 +151,8 @@ TEST(ExecuteQuery, EveryKindMatchesDirectSnapshotCalls) {
   window.k = 1000;
   r = ExecuteQuery(snap, window);
   ASSERT_TRUE(r.ok());
-  EXPECT_EQ(Ids(r.value().facts), Ids(snap.FactsInWindow(5, 25)));
+  EXPECT_EQ(Ids(r.value().facts),
+            Ids(snap.FactsInWindow(5, 25, FactFilter(), 1000).facts));
 
   QueryRequest about;
   about.kind = QueryKind::kAbout;

@@ -1,0 +1,399 @@
+// Differential tests for skyline/skyband_index.h. Every maintenance path is
+// diffed against a brute-force ForEachBucket rescan after each mutation
+// (memory, file, and segmented stores), engines run the same op stream with
+// the index on vs off and must produce identical reports, the sharded
+// engine hammers OnBucketChanged from pool threads (the SkybandIndex TSan
+// target), and the forward-query planner path is diffed against the three
+// index-free dominance kernels.
+
+#include "skyline/skyband_index.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/rng.h"
+#include "core/engine.h"
+#include "exec/sharded_engine.h"
+#include "query/skyline_query.h"
+#include "storage/file_mu_store.h"
+#include "storage/memory_mu_store.h"
+#include "storage/segmented_mu_store.h"
+#include "test_util.h"
+
+#include <gtest/gtest.h>
+
+namespace sitfact {
+namespace {
+
+namespace fs = std::filesystem;
+using testing_util::PaperTableIV;
+using testing_util::RandomDataConfig;
+using testing_util::RandomDataset;
+
+/// Brute-force oracle: the index must hold exactly the store's non-empty
+/// buckets, member-for-member, with gauges and probe surface agreeing.
+void ExpectMatchesRescan(const SkybandIndex& index, MuStore& store) {
+  std::unordered_map<Constraint, std::map<MeasureMask, std::vector<TupleId>>,
+                     ConstraintHash>
+      dump;
+  size_t dumped_buckets = 0;
+  size_t dumped_members = 0;
+  store.ForEachBucket([&](const Constraint& c, MeasureMask m,
+                          const std::vector<TupleId>& bucket) {
+    dump[c][m] = bucket;
+    ++dumped_buckets;
+    dumped_members += bucket.size();
+  });
+
+  size_t bands = 0;
+  index.ForEachBand([&](const Constraint& c, MeasureMask m,
+                        const std::vector<TupleId>& members) {
+    ++bands;
+    auto it = dump.find(c);
+    ASSERT_NE(it, dump.end()) << "band for unknown constraint";
+    auto bit = it->second.find(m);
+    ASSERT_NE(bit, it->second.end()) << "band for unknown subspace";
+    EXPECT_EQ(members, bit->second);
+  });
+  EXPECT_EQ(bands, dumped_buckets) << "index holds stale bands";
+
+  for (const auto& [c, buckets] : dump) {
+    for (const auto& [m, bucket] : buckets) {
+      EXPECT_EQ(index.SkylineSize(c, m), bucket.size());
+      std::vector<TupleId> sorted = bucket;
+      std::sort(sorted.begin(), sorted.end());
+      EXPECT_EQ(index.Members(c, m), sorted);
+      for (TupleId t : bucket) EXPECT_TRUE(index.Contains(c, m, t));
+    }
+  }
+
+  const SkybandIndex::Stats stats = index.stats();
+  EXPECT_EQ(stats.families, dump.size());
+  EXPECT_EQ(stats.bands, dumped_buckets);
+  EXPECT_EQ(stats.members, dumped_members);
+}
+
+RandomDataConfig SmallConfig(int n, uint64_t seed) {
+  RandomDataConfig cfg;
+  cfg.num_tuples = n;
+  cfg.seed = seed;
+  cfg.num_dims = 3;
+  cfg.num_measures = 2;
+  return cfg;
+}
+
+TEST(SkybandIndexMemory, ObserverTracksEveryDiscoveryMutation) {
+  Dataset data = RandomDataset(SmallConfig(40, 7));
+  Relation relation(data.schema());
+  auto disc_or = DiscoveryEngine::CreateDiscoverer("SBottomUp", &relation, {});
+  ASSERT_TRUE(disc_or.ok());
+  std::unique_ptr<Discoverer> disc = std::move(disc_or).value();
+
+  SkybandIndex index;
+  index.Attach(disc->mutable_store(), disc->storage_policy());
+  EXPECT_TRUE(index.attached());
+  EXPECT_TRUE(index.live());
+
+  std::vector<SkylineFact> facts;
+  for (const Row& row : data.rows()) {
+    disc->Discover(relation.Append(row), &facts);
+    ExpectMatchesRescan(index, *disc->mutable_store());
+  }
+  EXPECT_GT(index.stats().notifications, 0u);
+
+  // Removals repair many buckets; the shadow follows each repair.
+  for (TupleId t : {TupleId{3}, TupleId{17}, TupleId{0}}) {
+    relation.MarkDeleted(t);
+    ASSERT_TRUE(disc->Remove(t).ok());
+    ExpectMatchesRescan(index, *disc->mutable_store());
+  }
+
+  // One observer slot per store: release it, then a late Attach to the
+  // already-populated store must prime itself from ForEachBucket.
+  index.Detach();
+  EXPECT_FALSE(index.attached());
+  SkybandIndex late;
+  late.Attach(disc->mutable_store(), disc->storage_policy());
+  ExpectMatchesRescan(late, *disc->mutable_store());
+}
+
+TEST(SkybandIndexFile, NonNotifyingStoreNeedsRebuild) {
+  Dataset data = PaperTableIV();
+  Relation r(data.schema());
+  for (const Row& row : data.rows()) r.Append(row);
+  const std::string dir =
+      (fs::temp_directory_path() / "sitfact_skyband_file_test").string();
+  fs::remove_all(dir);
+  FileMuStore store(dir);
+  ASSERT_FALSE(store.NotifiesObservers());
+
+  auto C = [&](DimMask mask) { return Constraint::ForTuple(r, 4, mask); };
+  store.GetOrCreate(C(0b001))->Write(0b01, {0, 1});
+  store.GetOrCreate(C(0b011))->Write(0b11, {2, 3});
+
+  SkybandIndex index;
+  index.Attach(&store, StoragePolicy::kAllSkylineConstraints);
+  EXPECT_TRUE(index.attached());
+  EXPECT_FALSE(index.live());  // file stores never notify
+  ExpectMatchesRescan(index, store);  // Attach primed from ForEachBucket
+
+  // Mutations are invisible until the next Rebuild.
+  store.GetOrCreate(C(0b001))->Write(0b01, {0, 1, 4});
+  store.GetOrCreate(C(0b011))->Write(0b11, {});
+  EXPECT_EQ(index.stats().notifications, 0u);
+  index.Rebuild();
+  ExpectMatchesRescan(index, store);
+  EXPECT_GE(index.stats().rebuilds, 2u);  // Attach's prime + explicit
+  fs::remove_all(dir);
+}
+
+TEST(SkybandIndexSegmented, ObserverFollowsPerSegmentWrites) {
+  Dataset data = PaperTableIV();
+  Relation r(data.schema());
+  for (const Row& row : data.rows()) r.Append(row);
+  SegmentedMuStore store(3, {0, 1, 2, 0, 1, 2, 0, 1});
+
+  SkybandIndex index;
+  index.Attach(&store, StoragePolicy::kAllSkylineConstraints);
+  EXPECT_TRUE(index.live());
+
+  auto C = [&](DimMask mask, TupleId t = 4) {
+    return Constraint::ForTuple(r, t, mask);
+  };
+  store.GetOrCreate(C(0b001))->Write(0b01, {0, 1});
+  ExpectMatchesRescan(index, store);
+  store.GetOrCreate(C(0b010))->Write(0b10, {2});
+  store.GetOrCreate(C(0b011))->Write(0b11, {3, 4});
+  ExpectMatchesRescan(index, store);
+  store.segment(0)->Find(C(0b011))->Write(0b11, {3});  // shard's direct path
+  ExpectMatchesRescan(index, store);
+  store.Find(C(0b001))->Write(0b01, {});  // emptied -> band erased
+  ExpectMatchesRescan(index, store);
+}
+
+TEST(SkybandIndexRestore, AttachPrimesFromDeserializedDump) {
+  // Populate a memory store through discovery, snapshot it, restore the
+  // dump into a file store (which never notifies): Attach alone must leave
+  // the index coherent with the restored buckets.
+  Dataset data = RandomDataset(SmallConfig(30, 11));
+  Relation relation(data.schema());
+  auto disc_or = DiscoveryEngine::CreateDiscoverer("SBottomUp", &relation, {});
+  ASSERT_TRUE(disc_or.ok());
+  std::unique_ptr<Discoverer> disc = std::move(disc_or).value();
+  std::vector<SkylineFact> facts;
+  for (const Row& row : data.rows()) {
+    disc->Discover(relation.Append(row), &facts);
+  }
+
+  const fs::path base =
+      fs::temp_directory_path() / "sitfact_skyband_restore_test";
+  fs::remove_all(base);
+  fs::create_directories(base);
+  const std::string dump = (base / "buckets.bin").string();
+  {
+    BinaryWriter w(dump);
+    disc->mutable_store()->SerializeBuckets(&w);
+  }
+
+  FileMuStore restored((base / "store").string());
+  {
+    BinaryReader reader(dump);
+    ASSERT_TRUE(restored
+                    .DeserializeBuckets(&reader,
+                                        relation.schema().num_dimensions(),
+                                        relation.size())
+                    .ok());
+  }
+
+  SkybandIndex index;
+  index.Attach(&restored, disc->storage_policy());
+  EXPECT_FALSE(index.live());
+  ExpectMatchesRescan(index, restored);
+  // And the restored bands agree with the original store's bands.
+  ExpectMatchesRescan(index, *disc->mutable_store());
+  fs::remove_all(base);
+}
+
+void ExpectReportsEqual(const ArrivalReport& a, const ArrivalReport& b) {
+  ASSERT_EQ(a.tuple, b.tuple);
+  ASSERT_EQ(a.facts, b.facts);
+  ASSERT_EQ(a.ranked.size(), b.ranked.size());
+  for (size_t i = 0; i < a.ranked.size(); ++i) {
+    ASSERT_EQ(a.ranked[i].fact, b.ranked[i].fact) << "rank " << i;
+    ASSERT_EQ(a.ranked[i].context_size, b.ranked[i].context_size);
+    ASSERT_EQ(a.ranked[i].skyline_size, b.ranked[i].skyline_size);
+    ASSERT_EQ(a.ranked[i].prominence, b.ranked[i].prominence);
+  }
+  ASSERT_EQ(a.prominent.size(), b.prominent.size());
+  for (size_t i = 0; i < a.prominent.size(); ++i) {
+    ASSERT_EQ(a.prominent[i].fact, b.prominent[i].fact);
+  }
+}
+
+/// The engine differential: the same Append/Remove/Update stream through an
+/// index-accelerated engine and an escape-hatched one must produce
+/// identical reports — the index may only change how |λ| is obtained.
+void RunEngineDifferential(const std::string& algo) {
+  Dataset data = RandomDataset(SmallConfig(70, 23));
+  Relation on_rel(data.schema());
+  Relation off_rel(data.schema());
+  auto make = [&](Relation* rel) {
+    auto disc_or = DiscoveryEngine::CreateDiscoverer(algo, rel, {});
+    EXPECT_TRUE(disc_or.ok());
+    DiscoveryEngine::Config config;
+    config.tau = 2.0;
+    return std::make_unique<DiscoveryEngine>(rel, std::move(disc_or).value(),
+                                             config);
+  };
+  auto on = make(&on_rel);
+  ASSERT_NE(on->skyband_index(), nullptr);
+  EXPECT_TRUE(on->skyband_index()->live());
+  ::setenv("SITFACT_SKYBAND_INDEX", "off", 1);
+  auto off = make(&off_rel);
+  ::unsetenv("SITFACT_SKYBAND_INDEX");
+  ASSERT_EQ(off->skyband_index(), nullptr);
+
+  Rng rng(5);
+  for (const Row& row : data.rows()) {
+    ExpectReportsEqual(on->Append(row), off->Append(row));
+    if (::testing::Test::HasFatalFailure()) return;
+    if (on_rel.size() > 5 && rng.NextBool(0.15)) {
+      const TupleId t = rng.NextBounded(on_rel.size());
+      if (!on_rel.IsDeleted(t)) {
+        if (rng.NextBool(0.5)) {
+          ASSERT_EQ(on->Remove(t).ok(), off->Remove(t).ok());
+        } else {
+          auto ra = on->Update(t, data.rows()[0]);
+          auto rb = off->Update(t, data.rows()[0]);
+          ASSERT_EQ(ra.ok(), rb.ok());
+          if (ra.ok()) ExpectReportsEqual(ra.value(), rb.value());
+        }
+      }
+    }
+  }
+  // The accelerated engine's shadow still mirrors its store exactly.
+  ExpectMatchesRescan(*on->skyband_index(), *on->discoverer().mutable_store());
+}
+
+TEST(SkybandIndexEngine, SBottomUpReportsIdenticalOnVsOff) {
+  RunEngineDifferential("SBottomUp");
+}
+
+TEST(SkybandIndexEngine, STopDownReportsIdenticalOnVsOff) {
+  RunEngineDifferential("STopDown");
+}
+
+TEST(SkybandIndexSharded, ConcurrentNotificationsStayCoherent) {
+  // The sharded engine's pool threads notify the index concurrently during
+  // AppendBatch; after the join the bands must equal a bucket rescan. This
+  // test is the SkybandIndex TSan target in CI.
+  Dataset data = RandomDataset(SmallConfig(120, 31));
+  Relation relation(data.schema());
+  ShardedEngine::Config config;
+  config.num_shards = 3;
+  config.num_threads = 3;
+  config.tau = 2.0;
+  ShardedEngine engine(&relation, config);
+  ASSERT_NE(engine.skyband_index(), nullptr);
+  EXPECT_TRUE(engine.skyband_index()->live());
+
+  std::vector<ArrivalReport> reports = engine.AppendBatch(data.rows());
+  EXPECT_EQ(reports.size(), data.rows().size());
+  ExpectMatchesRescan(*engine.skyband_index(),
+                      *engine.discoverer().mutable_store());
+
+  ASSERT_TRUE(engine.Remove(7).ok());
+  auto updated = engine.Update(12, data.rows()[1]);
+  ASSERT_TRUE(updated.ok());
+  ExpectMatchesRescan(*engine.skyband_index(),
+                      *engine.discoverer().mutable_store());
+}
+
+TEST(SkybandIndexForwardQuery, PlannerAnswersMatchDominanceKernels) {
+  // kAuto routes covered shapes through the index (Invariant 1); forcing
+  // any concrete algorithm bypasses it. Both must agree on every query,
+  // including constraints of removed tuples (possibly empty contexts).
+  Dataset data = RandomDataset(SmallConfig(90, 41));
+  Relation relation(data.schema());
+  auto disc_or = DiscoveryEngine::CreateDiscoverer("SBottomUp", &relation, {});
+  ASSERT_TRUE(disc_or.ok());
+  DiscoveryEngine::Config config;
+  config.tau = 2.0;
+  DiscoveryEngine engine(&relation, std::move(disc_or).value(), config);
+  for (const Row& row : data.rows()) engine.Append(row);
+  for (TupleId t : {TupleId{5}, TupleId{40}}) {
+    ASSERT_TRUE(engine.Remove(t).ok());
+  }
+  ASSERT_NE(engine.skyband_index(), nullptr);
+
+  SkylineQueryEngine query(&relation);
+  query.set_skyband(engine.skyband_index());
+  Rng rng(13);
+  int index_served = 0;
+  for (int i = 0; i < 60; ++i) {
+    const TupleId t = rng.NextBounded(relation.size());
+    const DimMask dmask =
+        static_cast<DimMask>(1 + rng.NextBounded(7));  // non-empty, d=3
+    const MeasureMask m =
+        static_cast<MeasureMask>(1 + rng.NextBounded(3));  // non-empty, w=2
+    const Constraint c = Constraint::ForTuple(relation, t, dmask);
+    SkylineQueryResult fast = query.Evaluate(c, m);
+    if (fast.from_index) ++index_served;
+    for (QueryAlgorithm algo :
+         {QueryAlgorithm::kBlockNestedLoops, QueryAlgorithm::kSortFilter,
+          QueryAlgorithm::kDivideConquer}) {
+      SkylineQueryResult slow = query.Evaluate(c, m, algo);
+      EXPECT_FALSE(slow.from_index);
+      ASSERT_EQ(fast.skyline, slow.skyline)
+          << "query " << i << " algo " << QueryAlgorithmName(algo);
+    }
+  }
+  // The planner path must actually have triggered (SBottomUp = Invariant 1,
+  // unlimited knobs: every query shape is covered).
+  EXPECT_EQ(index_served, 60);
+  EXPECT_GE(engine.skyband_index()->stats().query_probes, 60u);
+}
+
+TEST(SkybandIndexForwardQuery, InvariantTwoIndexNeverServesQueries) {
+  // STopDown keeps maximal-constraint buckets (Invariant 2): a bucket is
+  // not λ_M(σ_C(R)), so CoversQuery must refuse and the planner must fall
+  // back to scans — silently serving union state would be wrong.
+  Dataset data = RandomDataset(SmallConfig(40, 43));
+  Relation relation(data.schema());
+  auto disc_or = DiscoveryEngine::CreateDiscoverer("STopDown", &relation, {});
+  ASSERT_TRUE(disc_or.ok());
+  DiscoveryEngine engine(&relation, std::move(disc_or).value(), {});
+  for (const Row& row : data.rows()) engine.Append(row);
+  ASSERT_NE(engine.skyband_index(), nullptr);
+
+  SkylineQueryEngine query(&relation);
+  query.set_skyband(engine.skyband_index());
+  const Constraint c = Constraint::ForTuple(relation, 3, 0b011);
+  SkylineQueryResult result = query.Evaluate(c, 0b11);
+  EXPECT_FALSE(result.from_index);
+  SkylineQueryResult oracle =
+      query.Evaluate(c, 0b11, QueryAlgorithm::kBlockNestedLoops);
+  EXPECT_EQ(result.skyline, oracle.skyline);
+}
+
+TEST(SkybandIndexEnv, EscapeHatchParsesOffAndZero) {
+  ::setenv("SITFACT_SKYBAND_INDEX", "off", 1);
+  EXPECT_FALSE(SkybandIndexEnabledFromEnv());
+  ::setenv("SITFACT_SKYBAND_INDEX", "0", 1);
+  EXPECT_FALSE(SkybandIndexEnabledFromEnv());
+  ::setenv("SITFACT_SKYBAND_INDEX", "on", 1);
+  EXPECT_TRUE(SkybandIndexEnabledFromEnv());
+  ::unsetenv("SITFACT_SKYBAND_INDEX");
+  EXPECT_TRUE(SkybandIndexEnabledFromEnv());
+}
+
+}  // namespace
+}  // namespace sitfact
