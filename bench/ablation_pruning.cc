@@ -36,8 +36,9 @@ template <typename Algo, typename... Extra>
 AblationRow RunAblation(const char* label, const Dataset& data,
                         Extra&&... extra) {
   Relation relation(data.schema());
-  Algo disc(&relation, DiscoveryOptions{.max_bound_dims = 4},
-            std::forward<Extra>(extra)...);
+  DiscoveryOptions options;
+  options.max_bound_dims = 4;
+  Algo disc(&relation, options, std::forward<Extra>(extra)...);
   std::vector<SkylineFact> facts;
   WallTimer timer;
   for (const Row& row : data.rows()) {

@@ -30,7 +30,8 @@ std::vector<std::string> Algorithms() {
 void PanelA() {
   int n = Scaled(3000);
   Dataset data = MakeNbaData(n, /*d=*/5, /*m=*/7);
-  DiscoveryOptions options{.max_bound_dims = 4};
+  DiscoveryOptions options;
+  options.max_bound_dims = 4;
   std::vector<StreamResult> results;
   for (const auto& algo : Algorithms()) {
     results.push_back(ReplayStream(algo, data, n / 8, options));
@@ -52,7 +53,8 @@ void RunSummaryPanel(const std::string& time_title,
   int n = Scaled(1000);
   std::vector<std::pair<int, std::vector<StreamResult>>> panel;
   for (const auto& [param, data] : configs) {
-    DiscoveryOptions options{.max_bound_dims = 4};
+    DiscoveryOptions options;
+    options.max_bound_dims = 4;
     std::vector<StreamResult> results;
     for (const auto& algo : Algorithms()) {
       results.push_back(ReplayStream(algo, data, n, options));

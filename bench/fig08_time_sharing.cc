@@ -23,7 +23,8 @@ const std::vector<std::string> kAlgorithms = {
 void PanelA() {
   int n = Scaled(2500);
   Dataset data = MakeNbaData(n, 5, 7);
-  DiscoveryOptions options{.max_bound_dims = 4};
+  DiscoveryOptions options;
+  options.max_bound_dims = 4;
   std::vector<StreamResult> results;
   for (const auto& algo : kAlgorithms) {
     results.push_back(ReplayStream(algo, data, n / 10, options));
@@ -43,7 +44,8 @@ void PanelBC(bool vary_d) {
   PrintSummaryHeader(title, vary_d ? "d" : "m", kAlgorithms);
   for (int p = 4; p <= 7; ++p) {
     Dataset data = vary_d ? MakeNbaData(n, p, 7) : MakeNbaData(n, 5, p);
-    DiscoveryOptions options{.max_bound_dims = 4};
+    DiscoveryOptions options;
+    options.max_bound_dims = 4;
     std::vector<StreamResult> results;
     for (const auto& algo : kAlgorithms) {
       results.push_back(ReplayStream(algo, data, n, options));

@@ -16,7 +16,8 @@ namespace {
 void Run() {
   int n = Scaled(4000);
   Dataset data = MakeWeatherData(n, 5, 7);
-  DiscoveryOptions options{.max_bound_dims = 4};
+  DiscoveryOptions options;
+  options.max_bound_dims = 4;
   const std::vector<std::string> algorithms = {
       "C-CSC", "BottomUp", "TopDown", "SBottomUp", "STopDown"};
   // The paper terminated C-CSC early on this dataset (it exhausted the heap

@@ -1,23 +1,121 @@
 // Figure 10: memory consumption on the NBA dataset (d=5, m=7), varying n.
 //   (a) bytes held by each algorithm's private structures
 //   (b) number of skyline tuples stored
+//   (c) peak process RSS per engine × µ-store backend (d=7, the fig07
+//       operating point where BottomUp's in-memory footprint peaks)
 // Expected shapes: BottomUp/SBottomUp store every skyline-constraint copy
 // and grow several times faster than TopDown/STopDown (which store only
 // maximal-constraint copies); C-CSC sits between, near the top-down family.
+// On the paged backend the resident set is bounded by the page-cache
+// budget, so the BottomUp rows collapse toward the cache size while the
+// memory-backend rows keep growing with state.
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <string>
 #include <vector>
 
 #include "harness.h"
+#include "storage/storage_options.h"
 
 namespace sitfact {
 namespace bench {
 namespace {
 
+/// Replays `data` through `algo` on the given µ-store backend and returns
+/// the child process's peak RSS. ru_maxrss is a process-lifetime high-water
+/// mark, so each engine × backend configuration must run in its own forked
+/// child (a shared process would report every later run at the level of the
+/// hungriest earlier one); the child reports through a pipe.
+size_t MeasurePeakRss(const std::string& algo, const Dataset& data,
+                      const StorageConfig& storage) {
+  int fds[2];
+  SITFACT_CHECK(::pipe(fds) == 0);
+  const pid_t pid = ::fork();
+  SITFACT_CHECK(pid >= 0);
+  if (pid == 0) {
+    ::close(fds[0]);
+    {
+      Relation relation(data.schema());
+      DiscoveryOptions options;
+      options.max_bound_dims = 4;
+      options.storage = storage;
+      auto disc_or =
+          DiscoveryEngine::CreateDiscoverer(algo, &relation, options, "");
+      if (!disc_or.ok()) ::_exit(2);
+      std::unique_ptr<Discoverer> disc = std::move(disc_or).value();
+      std::vector<SkylineFact> facts;
+      for (const Row& row : data.rows()) {
+        TupleId t = relation.Append(row);
+        facts.clear();
+        disc->Discover(t, &facts);
+      }
+      const size_t rss = PeakRssBytes();
+      (void)!::write(fds[1], &rss, sizeof(rss));
+      // Scope ends here so the store destructor removes any spill file
+      // before _exit skips static teardown.
+    }
+    ::_exit(0);
+  }
+  ::close(fds[1]);
+  size_t rss = 0;
+  const ssize_t got = ::read(fds[0], &rss, sizeof(rss));
+  ::close(fds[0]);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  SITFACT_CHECK_MSG(got == static_cast<ssize_t>(sizeof(rss)) &&
+                        WIFEXITED(status) && WEXITSTATUS(status) == 0,
+                    ("peak-RSS child failed for " + algo).c_str());
+  return rss;
+}
+
+/// Panel (c): engine × backend peak RSS at the fig07 d=7 operating point.
+/// Runs before the ReplayStream panels so the forked children inherit a
+/// small parent image (copy-on-write pages count toward the child's RSS).
+void RunRssPanel() {
+  const int n = Scaled(1000);
+  Dataset data = MakeNbaData(n, /*d=*/7, /*m=*/7);
+  const std::vector<std::string> algorithms =
+      FilterAlgorithms({"BottomUp", "TopDown", "SBottomUp", "STopDown"});
+
+  StorageConfig memory;
+  memory.backend = StorageBackend::kMemory;
+  StorageConfig paged;
+  paged.backend = StorageBackend::kPaged;
+  paged.cache_bytes = 64u << 20;
+  const std::vector<std::pair<std::string, StorageConfig>> backends = {
+      {"memory", memory}, {"paged", paged}};
+
+  std::printf(
+      "\n# Fig. 10(c)  Peak RSS (MB), NBA, n=%d, d=7, m=7, dhat=4 "
+      "(paged: --cache-mb 64)\n",
+      n);
+  std::printf("%12s  %14s  %14s\n", "algorithm", "memory", "paged");
+  for (const auto& algo : algorithms) {
+    std::printf("%12s", algo.c_str());
+    for (const auto& [label, storage] : backends) {
+      const size_t rss = MeasurePeakRss(algo, data, storage);
+      std::printf("  %14.1f", static_cast<double>(rss) / 1e6);
+      BenchRecord record;
+      record.name = algo + "+" + label;
+      record.n = static_cast<uint64_t>(n);
+      record.d = 7;
+      record.m = 7;
+      record.peak_bytes = rss;
+      RecordBench(std::move(record));
+    }
+    std::printf("\n");
+  }
+}
+
 void Run() {
+  RunRssPanel();
+
   int n = Scaled(2500);
   Dataset data = MakeNbaData(n, 5, 7);
-  DiscoveryOptions options{.max_bound_dims = 4};
+  DiscoveryOptions options;
+  options.max_bound_dims = 4;
   const std::vector<std::string> algorithms = {
       "C-CSC", "BottomUp", "TopDown", "SBottomUp", "STopDown"};
   std::vector<StreamResult> results;

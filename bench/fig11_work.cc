@@ -19,7 +19,8 @@ namespace {
 void Run() {
   int n = Scaled(2500);
   Dataset data = MakeNbaData(n, 5, 7);
-  DiscoveryOptions options{.max_bound_dims = 4};
+  DiscoveryOptions options;
+  options.max_bound_dims = 4;
   const std::vector<std::string> algorithms = {"BottomUp", "TopDown",
                                                "SBottomUp", "STopDown"};
   std::vector<StreamResult> results;

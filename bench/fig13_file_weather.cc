@@ -15,7 +15,8 @@ namespace {
 void Run() {
   int n = Scaled(48);
   Dataset data = MakeWeatherData(n, 5, 7);
-  DiscoveryOptions options{.max_bound_dims = 4};
+  DiscoveryOptions options;
+  options.max_bound_dims = 4;
   const std::vector<std::string> algorithms = {"FSBottomUp", "FSTopDown"};
   std::vector<StreamResult> results;
   for (const auto& algo : algorithms) {

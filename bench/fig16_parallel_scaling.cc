@@ -87,7 +87,8 @@ void Run() {
   const int d = 5;
   const int m = 7;
   Dataset data = MakeNbaData(n, d, m);
-  DiscoveryOptions options{.max_bound_dims = 4};
+  DiscoveryOptions options;
+  options.max_bound_dims = 4;
 
   RunResult seq = RunSequential(data, options);
   RecordBench(BenchRecord{"sequential_BottomUp", static_cast<uint64_t>(n), d,

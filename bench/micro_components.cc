@@ -162,7 +162,9 @@ template <typename Algo>
 void SteadyStateDiscover(benchmark::State& state) {
   Dataset data = MakeNbaData(3000, 5, 7);
   Relation relation(data.schema());
-  Algo disc(&relation, DiscoveryOptions{.max_bound_dims = 4});
+  DiscoveryOptions options;
+  options.max_bound_dims = 4;
+  Algo disc(&relation, options);
   std::vector<SkylineFact> facts;
   for (int i = 0; i < 2800; ++i) {
     facts.clear();

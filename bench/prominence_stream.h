@@ -30,7 +30,9 @@ struct ProminentRecord {
 inline std::vector<ProminentRecord> RunProminenceStream(int n) {
   Dataset data = MakeNbaData(n, /*d=*/5, /*m=*/7);
   Relation relation(data.schema());
-  DiscoveryOptions options{.max_bound_dims = 3, .max_measure_dims = 3};
+  DiscoveryOptions options;
+  options.max_bound_dims = 3;
+  options.max_measure_dims = 3;
   // SBottomUp: fast discovery and O(1) skyline-size lookups (Invariant 1).
   auto disc_or =
       DiscoveryEngine::CreateDiscoverer("SBottomUp", &relation, options);

@@ -121,7 +121,9 @@ int main(int argc, char** argv) {
   }
 
   Relation relation(std::move(schema).value());
-  DiscoveryOptions options{.max_bound_dims = dhat, .max_measure_dims = mhat};
+  DiscoveryOptions options;
+  options.max_bound_dims = dhat;
+  options.max_measure_dims = mhat;
   auto disc = DiscoveryEngine::CreateDiscoverer(algo, &relation, options,
                                                 "/tmp/sitfact_csv_store");
   if (!disc.ok()) {

@@ -35,7 +35,9 @@ int main(int argc, char** argv) {
   Dataset data = std::move(projected).value();
   Relation relation(data.schema());
 
-  DiscoveryOptions options{.max_bound_dims = 3, .max_measure_dims = 3};
+  DiscoveryOptions options;
+  options.max_bound_dims = 3;
+  options.max_measure_dims = 3;
   auto discoverer =
       DiscoveryEngine::CreateDiscoverer("SBottomUp", &relation, options);
   if (!discoverer.ok()) {

@@ -63,7 +63,9 @@ int main(int argc, char** argv) {
                  {"volume", Direction::kLargerIsBetter}});
   Relation relation(std::move(schema));
 
-  DiscoveryOptions options{.max_bound_dims = 2, .max_measure_dims = 2};
+  DiscoveryOptions options;
+  options.max_bound_dims = 2;
+  options.max_measure_dims = 2;
   BottomUpDiscoverer discoverer(&relation, options);
   ContextCounter counter(options.max_bound_dims);
   ProminenceEvaluator prominence(&relation, &counter,

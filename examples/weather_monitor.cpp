@@ -38,7 +38,9 @@ int main(int argc, char** argv) {
   Dataset data = std::move(projected).value();
   Relation relation(data.schema());
 
-  DiscoveryOptions options{.max_bound_dims = 2, .max_measure_dims = 2};
+  DiscoveryOptions options;
+  options.max_bound_dims = 2;
+  options.max_measure_dims = 2;
   auto discoverer =
       DiscoveryEngine::CreateDiscoverer("STopDown", &relation, options);
   if (!discoverer.ok()) {

@@ -6,7 +6,7 @@
 #include "common/bits.h"
 #include "skyline/dominance.h"
 #include "skyline/dominance_batch.h"
-#include "storage/memory_mu_store.h"
+#include "storage/storage_options.h"
 
 namespace sitfact {
 
@@ -24,8 +24,7 @@ BottomUpDiscoverer::BottomUpDiscoverer(const Relation* relation,
 
 BottomUpDiscoverer::BottomUpDiscoverer(const Relation* relation,
                                        const DiscoveryOptions& options)
-    : BottomUpDiscoverer(relation, options,
-                         std::make_unique<MemoryMuStore>()) {}
+    : BottomUpDiscoverer(relation, options, CreateMuStore(options.storage)) {}
 
 void BottomUpDiscoverer::Discover(TupleId t, std::vector<SkylineFact>* facts) {
   ++stats_.arrivals;

@@ -12,10 +12,11 @@
 #include "lattice/subspace_universe.h"
 #include "relation/relation.h"
 #include "storage/mu_store.h"
+#include "storage/storage_options.h"
 
 namespace sitfact {
 
-/// Search-space truncation knobs (Sec. VI-A).
+/// Search-space truncation knobs (Sec. VI-A), plus storage selection.
 struct DiscoveryOptions {
   /// The paper's d̂: maximum bound dimension attributes per constraint.
   /// -1 means "all dimensions".
@@ -23,6 +24,12 @@ struct DiscoveryOptions {
 
   /// The paper's m̂: maximum measure-subspace size. -1 means "all measures".
   int max_measure_dims = -1;
+
+  /// µ-store backend for the store-keeping algorithms (BottomUp/TopDown
+  /// families and the sharded engine's segments): in-memory by default, or
+  /// the out-of-core paged store (--storage paged --cache-mb N). Ignored by
+  /// the baselines (no store) and the explicitly file-backed FS* variants.
+  StorageConfig storage;
 };
 
 /// Work counters matching the paper's Fig. 11 metrics, cumulative over the

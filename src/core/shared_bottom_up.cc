@@ -3,7 +3,7 @@
 #include <utility>
 
 #include "skyline/dominance.h"
-#include "storage/memory_mu_store.h"
+#include "storage/storage_options.h"
 
 namespace sitfact {
 
@@ -51,7 +51,7 @@ SharedBottomUpDiscoverer::SharedBottomUpDiscoverer(
 SharedBottomUpDiscoverer::SharedBottomUpDiscoverer(
     const Relation* relation, const DiscoveryOptions& options)
     : SharedBottomUpDiscoverer(relation, options,
-                               std::make_unique<MemoryMuStore>()) {}
+                               CreateMuStore(options.storage)) {}
 
 void SharedBottomUpDiscoverer::Discover(TupleId t,
                                         std::vector<SkylineFact>* facts) {

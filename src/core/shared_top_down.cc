@@ -5,7 +5,7 @@
 #include "common/bits.h"
 #include "skyline/dominance.h"
 #include "skyline/dominance_batch.h"
-#include "storage/memory_mu_store.h"
+#include "storage/storage_options.h"
 
 namespace sitfact {
 
@@ -51,7 +51,7 @@ SharedTopDownDiscoverer::SharedTopDownDiscoverer(
 SharedTopDownDiscoverer::SharedTopDownDiscoverer(
     const Relation* relation, const DiscoveryOptions& options)
     : SharedTopDownDiscoverer(relation, options,
-                              std::make_unique<MemoryMuStore>()) {}
+                              CreateMuStore(options.storage)) {}
 
 void SharedTopDownDiscoverer::Discover(TupleId t,
                                        std::vector<SkylineFact>* facts) {

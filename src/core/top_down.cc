@@ -5,7 +5,7 @@
 #include "common/bits.h"
 #include "skyline/dominance.h"
 #include "skyline/dominance_batch.h"
-#include "storage/memory_mu_store.h"
+#include "storage/storage_options.h"
 
 namespace sitfact {
 
@@ -22,8 +22,7 @@ TopDownDiscoverer::TopDownDiscoverer(const Relation* relation,
 
 TopDownDiscoverer::TopDownDiscoverer(const Relation* relation,
                                      const DiscoveryOptions& options)
-    : TopDownDiscoverer(relation, options,
-                        std::make_unique<MemoryMuStore>()) {}
+    : TopDownDiscoverer(relation, options, CreateMuStore(options.storage)) {}
 
 void TopDownDiscoverer::Discover(TupleId t, std::vector<SkylineFact>* facts) {
   ++stats_.arrivals;

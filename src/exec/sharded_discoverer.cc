@@ -86,8 +86,8 @@ ShardedDiscoverer::ShardedDiscoverer(const Relation* relation,
     shards_[s]->masks.push_back(descending[i]);
     segment_of_mask[descending[i]] = static_cast<uint8_t>(s);
   }
-  store_ = std::make_unique<SegmentedMuStore>(num_shards,
-                                              std::move(segment_of_mask));
+  store_ = std::make_unique<SegmentedMuStore>(
+      num_shards, std::move(segment_of_mask), options.storage);
   if (num_threads <= 0) num_threads = num_shards;
   pool_ = std::make_unique<ThreadPool>(num_threads);
 }
@@ -139,7 +139,7 @@ void ShardedDiscoverer::RunShardArrival(int shard, TupleId t, bool rank,
                                         int slot) {
   const Relation& r = *relation_;
   Shard& sh = *shards_[shard];
-  MemoryMuStore* segment = store_->segment(shard);
+  MuStore* segment = store_->segment(shard);
   ShardOutput& out = sh.out[slot];
   out.facts.clear();
   out.ranked.clear();
@@ -238,7 +238,7 @@ Status ShardedDiscoverer::Remove(TupleId t) {
 void ShardedDiscoverer::RepairShardAfterRemoval(int shard, TupleId t) {
   const Relation& r = *relation_;
   Shard& sh = *shards_[shard];
-  MemoryMuStore* segment = store_->segment(shard);
+  MuStore* segment = store_->segment(shard);
   sh.counter.OnRemovalMasks(r, t, sh.masks);
   // Invariant 1 repair (see LatticeDiscovererBase::Remove): only buckets
   // that stored t can change, and they are recomputed from the live
@@ -251,6 +251,18 @@ void ShardedDiscoverer::RepairShardAfterRemoval(int shard, TupleId t) {
       if (ctx->Empty(m) || !ctx->Contains(m, t)) continue;
       ctx->Write(m, ComputeContextualSkyline(r, c, m, r.size()));
     }
+  }
+}
+
+void ShardedDiscoverer::CountArrival(TupleId t) {
+  for (auto& shard : shards_) {
+    shard->counter.OnArrivalMasks(*relation_, t, shard->masks);
+  }
+}
+
+void ShardedDiscoverer::CountRemoval(TupleId t) {
+  for (auto& shard : shards_) {
+    shard->counter.OnRemovalMasks(*relation_, t, shard->masks);
   }
 }
 

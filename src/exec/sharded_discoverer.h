@@ -89,6 +89,14 @@ class ShardedDiscoverer : public Discoverer {
   int num_shards() const { return static_cast<int>(shards_.size()); }
   int num_threads() const { return pool_->threads(); }
 
+  /// Count-only ingestion for delta-checkpoint recovery (docs/persistence.md):
+  /// folds an arrival/removal into every shard's counter slice without any
+  /// discovery or bucket work. The µ segments are restored separately from
+  /// the delta chain's bucket dumps; replaying counts this way re-derives
+  /// the |σ_C(R)| the full replay would have produced, at relation-scan cost.
+  void CountArrival(TupleId t);
+  void CountRemoval(TupleId t);
+
   /// |σ_C(R)| aggregated across the shard-partitioned counters (the count
   /// lives wholly in the shard owning C's mask).
   uint64_t ContextCount(const Constraint& c) const;

@@ -249,6 +249,7 @@ StatusOr<RestoredEngine> LoadEngineSnapshot(
   DiscoveryOptions disc_options;
   disc_options.max_bound_dims = static_cast<int>(r.ReadU32());
   disc_options.max_measure_dims = static_cast<int>(r.ReadU32());
+  disc_options.storage = options.storage;
   DiscoveryEngine::Config config;
   config.options = disc_options;
   config.tau = r.ReadF64();
@@ -369,6 +370,7 @@ StatusOr<RestoredShardedEngine> LoadShardedEngineSnapshot(
   config.num_threads = options.num_threads;
   config.options.max_bound_dims = static_cast<int>(r.ReadU32());
   config.options.max_measure_dims = static_cast<int>(r.ReadU32());
+  config.options.storage = options.storage;
   config.tau = r.ReadF64();
   r.ReadU8();  // saved rank_facts; the sharded engine always ranks
   auto saved_policy = static_cast<StoragePolicy>(r.ReadU8());

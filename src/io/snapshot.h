@@ -53,6 +53,12 @@ struct SnapshotLoadOptions {
   /// skipping tombstoned tuples reproduces exactly the state Remove() would
   /// have left. Costs one full-stream discovery pass — O(original run).
   bool allow_replay_rebuild = false;
+
+  /// µ-store backend for the restored engine. Snapshots carry bucket
+  /// contents, not backend identity (the dump format is backend-agnostic),
+  /// so the restore side picks freely — e.g. a run saved in-memory can be
+  /// reopened onto the paged store under a tighter cache budget.
+  StorageConfig storage;
 };
 
 /// A restored engine plus the relation it reads (the engine holds a raw
@@ -104,6 +110,10 @@ struct ShardedSnapshotLoadOptions {
   /// dump (baselines, C-CSC) rebuild by replaying discovery over the
   /// restored relation.
   bool allow_replay_rebuild = false;
+
+  /// µ-store backend for the restored engine's segments (see
+  /// SnapshotLoadOptions::storage).
+  StorageConfig storage;
 };
 
 /// Restores a snapshot (saved from either engine kind) into a ShardedEngine.

@@ -103,8 +103,10 @@ void SerializeConstraint(BinaryWriter* w, const Constraint& c) {
 
 Constraint DeserializeConstraint(BinaryReader* r, int num_dims) {
   DimMask bound = r->ReadU32();
-  if (!r->CheckCount(PopCount(bound), static_cast<uint64_t>(num_dims),
-                     "constraint bound count")) {
+  // Any mask numerically above FullMask has a bit beyond the lattice (a
+  // popcount check alone would pass e.g. 0b1000 for num_dims=3 and trip the
+  // invariant CHECK in FromBoundValues on corrupt input).
+  if (!r->CheckCount(bound, FullMask(num_dims), "constraint bound mask")) {
     return Constraint::Top(num_dims);
   }
   std::vector<ValueId> values;

@@ -284,6 +284,7 @@ HttpResponse FactServer::StatzResponse() const {
   server.Set("shed", JsonValue::Number(net.shed));
   server.Set("protocol_errors", JsonValue::Number(net.protocol_errors));
   server.Set("requests", JsonValue::Number(net.requests));
+  server.Set("idle_closed", JsonValue::Number(net.idle_closed));
   server.Set("active_connections", JsonValue::Number(net.active_connections));
   obj.Set("server", std::move(server));
 

@@ -10,6 +10,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <vector>
 
 namespace sitfact {
 namespace net {
@@ -102,6 +103,7 @@ Status EpollServer::Serve() {
         OnWritable(conn);
       }
     }
+    ReapIdleConnections();
   }
   // Flush any buffered responses (briefly, blocking) before closing.
   for (auto& [fd, conn] : connections_) {
@@ -147,6 +149,7 @@ void EpollServer::AcceptNew() {
     ++stats_.accepted;
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
+    conn->last_activity = std::chrono::steady_clock::now();
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.fd = fd;
@@ -164,6 +167,7 @@ bool EpollServer::OnReadable(Connection* conn) {
   while (true) {
     const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
     if (n > 0) {
+      conn->last_activity = std::chrono::steady_clock::now();
       conn->in.append(buf, static_cast<size_t>(n));
       // Oversized pipelined garbage with no complete request: bound input.
       if (conn->in.size() >
@@ -234,6 +238,7 @@ bool EpollServer::FlushOut(Connection* conn) {
     const ssize_t n = ::write(conn->fd, conn->out.data() + conn->out_pos,
                               conn->out.size() - conn->out_pos);
     if (n > 0) {
+      conn->last_activity = std::chrono::steady_clock::now();
       conn->out_pos += static_cast<size_t>(n);
       continue;
     }
@@ -263,6 +268,20 @@ void EpollServer::UpdateInterest(Connection* conn) {
   ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
   ev.data.fd = conn->fd;
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+}
+
+void EpollServer::ReapIdleConnections() {
+  if (options_.idle_timeout_ms <= 0 || connections_.empty()) return;
+  const auto deadline = std::chrono::steady_clock::now() -
+                        std::chrono::milliseconds(options_.idle_timeout_ms);
+  std::vector<int> idle;
+  for (const auto& [fd, conn] : connections_) {
+    if (conn->last_activity < deadline) idle.push_back(fd);
+  }
+  for (int fd : idle) {
+    ++stats_.idle_closed;
+    CloseConnection(fd);
+  }
 }
 
 void EpollServer::CloseConnection(int fd) {

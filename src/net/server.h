@@ -2,6 +2,7 @@
 #define SITFACT_NET_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -33,6 +34,11 @@ class EpollServer {
     int listen_backlog = 64;
     int max_connections = 64;
     int retry_after_seconds = 1;
+    /// Keep-alive connections idle longer than this are closed, freeing
+    /// their admission slot (otherwise max_connections dead keep-alive
+    /// clients would shed every new arrival forever). Also reaps stalled
+    /// writers that stop reading their response. <= 0 disables reaping.
+    int idle_timeout_ms = 30000;
     HttpLimits limits;
   };
 
@@ -42,6 +48,7 @@ class EpollServer {
     uint64_t shed = 0;            ///< connections answered 429 at the door
     uint64_t protocol_errors = 0; ///< requests failed in HTTP parsing
     uint64_t requests = 0;        ///< requests dispatched to the handler
+    uint64_t idle_closed = 0;     ///< connections reaped by idle_timeout_ms
     int active_connections = 0;
   };
 
@@ -83,6 +90,9 @@ class EpollServer {
     size_t out_pos = 0;
     bool close_after_flush = false;
     bool want_write = false;  ///< currently registered for EPOLLOUT
+    /// Last byte of progress in either direction; the idle sweep reaps
+    /// connections whose clock falls idle_timeout_ms behind.
+    std::chrono::steady_clock::time_point last_activity;
   };
 
   void AcceptNew();
@@ -94,6 +104,9 @@ class EpollServer {
   bool FlushOut(Connection* conn);
   void UpdateInterest(Connection* conn);
   void CloseConnection(int fd);
+  /// Closes every connection idle past options_.idle_timeout_ms (runs on
+  /// each event-loop tick, which epoll_wait bounds at ~100ms).
+  void ReapIdleConnections();
 
   Options options_;
   Handler handler_;

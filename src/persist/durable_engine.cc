@@ -6,7 +6,9 @@
 #include <filesystem>
 #include <utility>
 
+#include "common/binary_io.h"
 #include "io/snapshot.h"
+#include "storage/mu_store.h"
 
 namespace sitfact {
 namespace persist {
@@ -19,6 +21,90 @@ constexpr char kSnapshotPrefix[] = "snapshot-";
 constexpr char kSnapshotSuffix[] = ".sfsnap";
 constexpr char kWalPrefix[] = "wal-";
 constexpr char kWalSuffix[] = ".sfwal";
+constexpr char kDeltaPrefix[] = "delta-";
+constexpr char kDeltaSuffix[] = ".sfdelta";
+
+/// Delta checkpoint file (docs/persistence.md "Delta checkpoints"):
+///   "SFDELTA1"  magic, 8 bytes
+///   u32         format version (1)
+///   u64         base_seq  — the full snapshot this chain roots at
+///   u64         prev_seq  — the previous checkpoint in the chain (base_seq
+///               for the first delta)
+///   u64         delta_seq — the state is current through ops [0, delta_seq)
+///   u8          storage policy of the buckets (Invariant 1 or 2)
+///   u32         dimension count (sanity against the restored relation)
+///   u64         relation row count (incl. tombstones) at delta_seq
+///   u64         bucket count, then per bucket:
+///               constraint | u32 subspace mask | u32 len | u32 ids...
+///               (len 0 = bucket removed)
+///   u32         CRC-32 over everything above
+constexpr char kDeltaMagic[8] = {'S', 'F', 'D', 'E', 'L', 'T', 'A', '1'};
+constexpr uint32_t kDeltaVersion = 1;
+constexpr uint64_t kMaxDeltaBuckets = 1ull << 33;
+
+struct DeltaBucket {
+  Constraint constraint;
+  MeasureMask mask = 0;
+  std::vector<TupleId> tuples;
+};
+
+struct DeltaContents {
+  uint64_t base_seq = 0;
+  uint64_t prev_seq = 0;
+  uint64_t delta_seq = 0;
+  StoragePolicy policy = StoragePolicy::kAllSkylineConstraints;
+  uint64_t rows = 0;
+  std::vector<DeltaBucket> buckets;
+};
+
+StatusOr<DeltaContents> ReadDeltaFile(const std::string& path, int num_dims) {
+  BinaryReader r(path);
+  char magic[sizeof(kDeltaMagic)];
+  r.ReadRaw(magic, sizeof(magic));
+  if (!r.ok()) return r.status();
+  if (std::memcmp(magic, kDeltaMagic, sizeof(kDeltaMagic)) != 0) {
+    return Status::Corruption("not a sitfact delta (bad magic): " + path);
+  }
+  const uint32_t version = r.ReadU32();
+  if (version != kDeltaVersion) {
+    return Status::Corruption("unsupported delta version " +
+                              std::to_string(version));
+  }
+  DeltaContents out;
+  out.base_seq = r.ReadU64();
+  out.prev_seq = r.ReadU64();
+  out.delta_seq = r.ReadU64();
+  out.policy = static_cast<StoragePolicy>(r.ReadU8());
+  const uint32_t dims = r.ReadU32();
+  out.rows = r.ReadU64();
+  if (!r.ok()) return r.status();
+  if (dims != static_cast<uint32_t>(num_dims)) {
+    return Status::Corruption("delta dimension count mismatch in " + path);
+  }
+  const uint64_t buckets = r.ReadU64();
+  if (!r.CheckCount(buckets, kMaxDeltaBuckets, "delta bucket count")) {
+    return r.status();
+  }
+  for (uint64_t i = 0; i < buckets; ++i) {
+    DeltaBucket b;
+    b.constraint = DeserializeConstraint(&r, num_dims);
+    b.mask = r.ReadU32();
+    const uint32_t len = r.ReadU32();
+    if (!r.CheckCount(len, out.rows, "delta bucket size")) return r.status();
+    b.tuples.resize(len);
+    for (uint32_t k = 0; k < len; ++k) {
+      b.tuples[k] = r.ReadU32();
+      if (b.tuples[k] >= out.rows) {
+        return Status::Corruption("delta bucket tuple id out of range");
+      }
+    }
+    if (!r.ok()) return r.status();
+    out.buckets.push_back(std::move(b));
+  }
+  r.VerifyChecksum();
+  if (!r.ok()) return r.status();
+  return out;
+}
 
 std::string SeqName(const char* prefix, uint64_t seq, const char* suffix) {
   char buf[64];
@@ -34,6 +120,10 @@ std::string SnapshotPath(const std::string& dir, uint64_t seq) {
 
 std::string WalPath(const std::string& dir, uint64_t seq) {
   return (fs::path(dir) / SeqName(kWalPrefix, seq, kWalSuffix)).string();
+}
+
+std::string DeltaPath(const std::string& dir, uint64_t seq) {
+  return (fs::path(dir) / SeqName(kDeltaPrefix, seq, kDeltaSuffix)).string();
 }
 
 /// Files named <prefix><decimal seq><suffix> under `dir`, ascending by seq.
@@ -91,6 +181,10 @@ std::vector<StoreFile> ListWalSegments(const std::string& dir) {
 
 std::vector<StoreFile> ListSnapshots(const std::string& dir) {
   return ListSeqFiles(dir, kSnapshotPrefix, kSnapshotSuffix);
+}
+
+std::vector<StoreFile> ListDeltas(const std::string& dir) {
+  return ListSeqFiles(dir, kDeltaPrefix, kDeltaSuffix);
 }
 
 StatusOr<std::unique_ptr<DurableEngine>> DurableEngine::Open(
@@ -155,7 +249,9 @@ StatusOr<std::unique_ptr<DurableEngine>> DurableEngine::Open(
           d->relation_.get(), std::move(disc_or).value(), config);
     }
     d->recovery_.created = true;
-    Status genesis = d->Checkpoint();
+    d->EnableDeltaTrackingIfEligible();
+    // The genesis checkpoint is always full — a delta has no base yet.
+    Status genesis = d->CheckpointFull(d->next_seq_);
     if (!genesis.ok()) return genesis;
     return d;
   }
@@ -173,6 +269,7 @@ StatusOr<std::unique_ptr<DurableEngine>> DurableEngine::Open(
       load.num_shards = options.num_shards;
       load.num_threads = options.num_threads;
       load.allow_replay_rebuild = options.allow_replay_rebuild;
+      load.storage = options.discovery.storage;
       auto restored_or = LoadShardedEngineSnapshot(snapshots[i].path, load);
       if (restored_or.ok()) {
         RestoredShardedEngine restored = std::move(restored_or).value();
@@ -186,6 +283,7 @@ StatusOr<std::unique_ptr<DurableEngine>> DurableEngine::Open(
       SnapshotLoadOptions load;
       load.file_store_dir = d->options_.file_store_dir;
       load.allow_replay_rebuild = options.allow_replay_rebuild;
+      load.storage = options.discovery.storage;
       auto restored_or = LoadEngineSnapshot(snapshots[i].path, load);
       if (restored_or.ok()) {
         RestoredEngine restored = std::move(restored_or).value();
@@ -215,15 +313,21 @@ StatusOr<std::unique_ptr<DurableEngine>> DurableEngine::Open(
   const uint64_t snapshot_seq = snapshots[chosen].seq;
   d->recovery_.snapshot_seq = snapshot_seq;
   d->checkpoint_seq_ = snapshot_seq;
+  d->full_base_seq_ = snapshot_seq;
+  d->last_chain_seq_ = snapshot_seq;
+  const uint64_t base_rows = d->relation_->size();
 
-  // Replay the WAL tail: every op with seq >= snapshot_seq, in order,
+  // Collect the WAL tail: every op with seq >= snapshot_seq, in order,
   // stopping at the first torn record, gap, or unreadable file — ops past
   // such a point build on ops that no longer exist. One exception: a torn
   // tail at seq S followed by a segment starting exactly at S is not a
   // loss — it is the scar of a PREVIOUS recovery, which dropped the same
   // tail and rotated to a fresh segment at S; the successor holds the
   // acknowledged re-sent ops and the chain continues through it.
+  // Application is deferred until after the delta chain is chosen: ops the
+  // chain covers fold in count-only, the rest replay in full.
   uint64_t expected = snapshot_seq;
+  std::vector<WalOp> pending;
   std::vector<StoreFile> wals = ListSeqFiles(options.dir, kWalPrefix, kWalSuffix);
   // Segment i holds ops [seq_i, seq_{i+1}) when intact; pre-snapshot
   // segments are read too (cheap) with every op skipped by the seq guard.
@@ -261,29 +365,8 @@ StatusOr<std::unique_ptr<DurableEngine>> DurableEngine::Open(
         stop = true;
         break;
       }
-      Status applied = Status::Ok();
-      switch (op.kind) {
-        case WalOpKind::kAppend:
-          d->ApplyAppend(op.row);
-          break;
-        case WalOpKind::kRemove:
-          applied = d->ApplyRemove(op.target);
-          break;
-        case WalOpKind::kUpdate: {
-          auto report_or = d->ApplyUpdate(op.target, op.row);
-          applied = report_or.status();
-          break;
-        }
-        default:
-          applied = Status::Corruption("unknown WAL op kind");
-      }
-      if (!applied.ok()) {
-        return Status::Corruption("WAL replay failed at op " +
-                                  std::to_string(op.seq) + ": " +
-                                  applied.ToString());
-      }
+      pending.push_back(op);
       ++expected;
-      ++d->recovery_.replayed_ops;
     }
     if (stop) break;
     if (!contents.clean_tail && !has_segment_at(expected, wal_file)) {
@@ -298,13 +381,143 @@ StatusOr<std::unique_ptr<DurableEngine>> DurableEngine::Open(
   // ops build on ops the walk above declared lost, so they can never be
   // validly replayed — and leaving them around would let a future recovery
   // splice them onto the new timeline once re-sent ops advance the cursor
-  // back to their start_seq. Remove them now.
+  // back to their start_seq. Remove them now. The same applies to delta
+  // checkpoints past the cursor: their buckets reference tuples whose
+  // arrivals were just dropped.
   for (const StoreFile& wal_file : wals) {
     if (wal_file.seq > expected) {
       std::error_code ignored;
       fs::remove(wal_file.path, ignored);
     }
   }
+  std::vector<StoreFile> delta_files =
+      ListSeqFiles(options.dir, kDeltaPrefix, kDeltaSuffix);
+  {
+    auto dead = std::partition(
+        delta_files.begin(), delta_files.end(),
+        [expected](const StoreFile& f) { return f.seq <= expected; });
+    for (auto it = dead; it != delta_files.end(); ++it) {
+      std::error_code ignored;
+      fs::remove(it->path, ignored);
+    }
+    delta_files.erase(dead, delta_files.end());
+  }
+
+  // Choose the longest valid delta chain rooted at the recovered snapshot:
+  // base_seq must name it, prev_seq links each delta to its predecessor,
+  // and every file must decode CRC-clean with a row count matching what the
+  // WAL tail proves existed at its delta_seq. A corrupt or inconsistent
+  // delta simply shortens the chain — the ops it covered replay in full
+  // instead, so recovery degrades in time, never in correctness.
+  std::vector<DeltaContents> chain;
+  MuStore* store = d->mu_store();
+  if (store != nullptr && !delta_files.empty()) {
+    const StoragePolicy policy = d->storage_policy();
+    const int dims = d->relation_->schema().num_dimensions();
+    // Row count at seq s = base rows + arrivals among ops [snapshot_seq, s).
+    std::vector<uint64_t> rows_at(pending.size() + 1, base_rows);
+    for (size_t i = 0; i < pending.size(); ++i) {
+      rows_at[i + 1] =
+          rows_at[i] + (pending[i].kind == WalOpKind::kRemove ? 0 : 1);
+    }
+    uint64_t current = snapshot_seq;
+    bool extended = true;
+    while (extended) {
+      extended = false;
+      // Newest candidate first: after a chain cut, re-sent ops rebuild the
+      // same timeline (the WAL survived), so any decodable delta at a given
+      // seq is an equally valid state dump — prefer the longest jump.
+      for (size_t i = delta_files.size(); i-- > 0;) {
+        const StoreFile& f = delta_files[i];
+        if (f.seq <= current) break;
+        auto delta_or = ReadDeltaFile(f.path, dims);
+        if (!delta_or.ok()) {
+          d->recovery_.delta_note = f.path + ": " +
+                                    delta_or.status().ToString();
+          continue;
+        }
+        DeltaContents delta = std::move(delta_or).value();
+        if (delta.base_seq != snapshot_seq || delta.prev_seq != current ||
+            delta.delta_seq != f.seq) {
+          continue;
+        }
+        if (delta.policy != policy) {
+          d->recovery_.delta_note = f.path + ": storage policy mismatch";
+          continue;
+        }
+        if (delta.rows != rows_at[delta.delta_seq - snapshot_seq]) {
+          d->recovery_.delta_note = f.path + ": row count mismatch";
+          continue;
+        }
+        current = delta.delta_seq;
+        chain.push_back(std::move(delta));
+        extended = true;
+        break;
+      }
+    }
+  }
+
+  // Apply: ops the chain covers fold in count-only (relation rows + context
+  // cardinalities — the cheap, order-independent part of an arrival), the
+  // chain's buckets overwrite the base state in order, and everything past
+  // the chain replays through full discovery.
+  const uint64_t chain_end =
+      chain.empty() ? snapshot_seq : chain.back().delta_seq;
+  const size_t split = static_cast<size_t>(chain_end - snapshot_seq);
+  for (size_t i = 0; i < split; ++i) {
+    Status applied = d->ApplyCountOnly(pending[i]);
+    if (!applied.ok()) {
+      return Status::Corruption("count-only WAL replay failed at op " +
+                                std::to_string(pending[i].seq) + ": " +
+                                applied.ToString());
+    }
+    ++d->recovery_.count_only_ops;
+  }
+  for (const DeltaContents& delta : chain) {
+    for (const DeltaBucket& b : delta.buckets) {
+      store->GetOrCreate(b.constraint)->Write(b.mask, b.tuples);
+    }
+  }
+  d->recovery_.delta_chain = chain.size();
+  if (!chain.empty()) {
+    d->checkpoint_seq_ = chain_end;
+    d->last_chain_seq_ = chain_end;
+    d->deltas_since_full_ = static_cast<int>(chain.size());
+    if (d->engine_ != nullptr) {
+      Status rebuilt = d->engine_->discoverer().RebuildAuxiliary();
+      if (!rebuilt.ok()) return rebuilt;
+    }
+  }
+  // Dirty tracking starts here: the fully-replayed ops below mutate buckets
+  // the next delta checkpoint must capture. (The delta writes above happen
+  // with tracking off — their state is already durable.)
+  d->EnableDeltaTrackingIfEligible();
+  for (size_t i = split; i < pending.size(); ++i) {
+    const WalOp& op = pending[i];
+    Status applied = Status::Ok();
+    switch (op.kind) {
+      case WalOpKind::kAppend:
+        d->ApplyAppend(op.row);
+        break;
+      case WalOpKind::kRemove:
+        applied = d->ApplyRemove(op.target);
+        break;
+      case WalOpKind::kUpdate: {
+        auto report_or = d->ApplyUpdate(op.target, op.row);
+        applied = report_or.status();
+        break;
+      }
+      default:
+        applied = Status::Corruption("unknown WAL op kind");
+    }
+    if (!applied.ok()) {
+      return Status::Corruption("WAL replay failed at op " +
+                                std::to_string(op.seq) + ": " +
+                                applied.ToString());
+    }
+    ++d->recovery_.replayed_ops;
+  }
+
   // Creating the new segment truncates any file already named
   // wal-<expected>; safe, because the chain walk above replayed (or
   // deliberately dropped) everything such a file could hold.
@@ -464,8 +677,152 @@ StatusOr<ArrivalReport> DurableEngine::Update(TupleId t, const Row& row) {
   return report_or;
 }
 
+MuStore* DurableEngine::mu_store() {
+  if (engine_ != nullptr) return engine_->discoverer().mutable_store();
+  return sharded_engine_ != nullptr
+             ? sharded_engine_->discoverer().mutable_store()
+             : nullptr;
+}
+
+StoragePolicy DurableEngine::storage_policy() {
+  return engine_ != nullptr ? engine_->discoverer().storage_policy()
+                            : StoragePolicy::kAllSkylineConstraints;
+}
+
+void DurableEngine::EnableDeltaTrackingIfEligible() {
+  if (!options_.delta_checkpoints) return;
+  MuStore* store = mu_store();
+  if (store == nullptr || !store->SupportsDirtyTracking()) return;
+  // Delta recovery rewrites buckets through the dump path, so the algorithm
+  // must restore from bucket dumps. C-CSC keeps private skycubes and opts
+  // out; the sharded discoverer restores through its own segment path and
+  // is always eligible.
+  if (engine_ != nullptr &&
+      !engine_->discoverer().SupportsSnapshotRestore()) {
+    return;
+  }
+  store->set_dirty_tracking(true);
+}
+
+Status DurableEngine::ApplyCountOnly(const WalOp& op) {
+  switch (op.kind) {
+    case WalOpKind::kAppend: {
+      const TupleId t = relation_->Append(op.row);
+      if (engine_ != nullptr) {
+        engine_->mutable_counter().OnArrival(*relation_, t);
+      } else {
+        sharded_engine_->discoverer().CountArrival(t);
+      }
+      return Status::Ok();
+    }
+    case WalOpKind::kRemove: {
+      if (op.target >= relation_->size() || relation_->IsDeleted(op.target)) {
+        return Status::Corruption("count-only remove of a non-live tuple");
+      }
+      relation_->MarkDeleted(op.target);
+      if (engine_ != nullptr) {
+        engine_->mutable_counter().OnRemoval(*relation_, op.target);
+      } else {
+        sharded_engine_->discoverer().CountRemoval(op.target);
+      }
+      return Status::Ok();
+    }
+    case WalOpKind::kUpdate: {
+      WalOp remove;
+      remove.kind = WalOpKind::kRemove;
+      remove.target = op.target;
+      Status removed = ApplyCountOnly(remove);
+      if (!removed.ok()) return removed;
+      WalOp append;
+      append.kind = WalOpKind::kAppend;
+      append.row = op.row;
+      return ApplyCountOnly(append);
+    }
+  }
+  return Status::Corruption("unknown WAL op kind");
+}
+
+Status DurableEngine::RotateWal(uint64_t seq) {
+  if (wal_ != nullptr) wal_->Close();
+  auto wal_or = WalWriter::Create(WalPath(options_.dir, seq), seq);
+  if (!wal_or.ok()) return wal_or.status();
+  wal_ = std::move(wal_or).value();
+  checkpoint_seq_ = seq;
+  return Status::Ok();
+}
+
 Status DurableEngine::Checkpoint() {
   const uint64_t seq = next_seq_;
+  // The state at `seq` is already durably checkpointed; rewriting it would
+  // only fork the delta chain onto its own name.
+  if (seq == checkpoint_seq_) return Status::Ok();
+  MuStore* store = mu_store();
+  const int full_every = std::max(options_.full_snapshot_every, 1);
+  const bool delta = options_.delta_checkpoints && store != nullptr &&
+                     store->dirty_tracking() &&
+                     deltas_since_full_ + 1 < full_every;
+  return delta ? CheckpointDelta(seq) : CheckpointFull(seq);
+}
+
+Status DurableEngine::CheckpointDelta(uint64_t seq) {
+  MuStore* store = mu_store();
+  const std::string final_path = DeltaPath(options_.dir, seq);
+  const std::string tmp_path = final_path + ".tmp";
+
+  // Same publication discipline as full snapshots: write to a temp name,
+  // rename; readers see the whole CRC-valid file or none of it.
+  BinaryWriter w(tmp_path);
+  w.WriteRaw(kDeltaMagic, sizeof(kDeltaMagic));
+  w.WriteU32(kDeltaVersion);
+  w.WriteU64(full_base_seq_);
+  w.WriteU64(last_chain_seq_);
+  w.WriteU64(seq);
+  w.WriteU8(static_cast<uint8_t>(storage_policy()));
+  w.WriteU32(static_cast<uint32_t>(relation_->schema().num_dimensions()));
+  w.WriteU64(relation_->size());
+  w.WriteU64(store->DirtyBucketCount());
+  std::vector<std::pair<Constraint, MeasureMask>> dirty;
+  store->ForEachDirtyBucket([&dirty](const Constraint& c, MeasureMask m) {
+    dirty.emplace_back(c, m);
+  });
+  std::vector<TupleId> bucket;
+  for (const auto& [c, m] : dirty) {
+    bucket.clear();
+    MuStore::Context* ctx = store->Find(c);
+    if (ctx != nullptr) ctx->Read(m, &bucket);
+    SerializeConstraint(&w, c);
+    w.WriteU32(m);
+    w.WriteU32(static_cast<uint32_t>(bucket.size()));
+    for (TupleId t : bucket) w.WriteU32(t);
+  }
+  w.WriteChecksum();
+  Status saved = w.Close();
+  if (!saved.ok()) {
+    std::error_code ignored;
+    fs::remove(tmp_path, ignored);
+    return saved;
+  }
+  std::error_code ec;
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    std::error_code ignored;
+    fs::remove(tmp_path, ignored);
+    return Status::IoError("cannot publish delta " + final_path + ": " +
+                           ec.message());
+  }
+
+  Status rotated = RotateWal(seq);
+  if (!rotated.ok()) return rotated;
+  last_chain_seq_ = seq;
+  ++deltas_since_full_;
+  store->ClearDirty();
+  // No pruning here: the chain needs every link back to its base, and the
+  // WAL back to the oldest retained full snapshot. Both prune at the next
+  // full checkpoint.
+  return Status::Ok();
+}
+
+Status DurableEngine::CheckpointFull(uint64_t seq) {
   const std::string final_path = SnapshotPath(options_.dir, seq);
   const std::string tmp_path = final_path + ".tmp";
 
@@ -489,16 +846,20 @@ Status DurableEngine::Checkpoint() {
   }
 
   // Rotate the log: new ops land in a fresh segment starting at `seq`.
-  if (wal_ != nullptr) wal_->Close();
-  auto wal_or = WalWriter::Create(WalPath(options_.dir, seq), seq);
-  if (!wal_or.ok()) return wal_or.status();
-  wal_ = std::move(wal_or).value();
-  checkpoint_seq_ = seq;
+  Status rotated = RotateWal(seq);
+  if (!rotated.ok()) return rotated;
+  full_base_seq_ = seq;
+  last_chain_seq_ = seq;
+  deltas_since_full_ = 0;
+  if (MuStore* store = mu_store(); store != nullptr) store->ClearDirty();
 
-  // Prune. Snapshots: keep the newest keep_snapshots. WAL segments: segment
-  // i covers [start_i, start_{i+1}), so it stays while any retained
-  // snapshot might need it for replay — i.e. while its end is beyond the
-  // oldest retained snapshot's seq.
+  // Prune. Snapshots: keep the newest keep_snapshots full ones. Deltas
+  // chain off a full snapshot, so a delta older than the oldest retained
+  // full belongs to a pruned base and goes with it (a chain's links are
+  // always younger than their base and older than the next full). WAL
+  // segments: segment i covers [start_i, start_{i+1}), so it stays while
+  // any retained snapshot might need it for replay — i.e. while its end is
+  // beyond the oldest retained snapshot's seq.
   std::vector<StoreFile> snapshots =
       ListSeqFiles(options_.dir, kSnapshotPrefix, kSnapshotSuffix);
   uint64_t oldest_kept = seq;
@@ -513,6 +874,14 @@ Status DurableEngine::Checkpoint() {
                     snapshots.begin() + static_cast<ptrdiff_t>(drop));
   }
   if (!snapshots.empty()) oldest_kept = snapshots.front().seq;
+
+  for (const StoreFile& delta :
+       ListSeqFiles(options_.dir, kDeltaPrefix, kDeltaSuffix)) {
+    if (delta.seq < oldest_kept) {
+      std::error_code ignored;
+      fs::remove(delta.path, ignored);
+    }
+  }
 
   std::vector<StoreFile> wals =
       ListSeqFiles(options_.dir, kWalPrefix, kWalSuffix);

@@ -34,9 +34,26 @@ struct DurableOptions {
   /// written back.
   bool sync_every_op = false;
 
-  /// Snapshots retained after a checkpoint (≥ 1). Older ones are deleted
-  /// together with the WAL files their ops live in.
+  /// Snapshots retained after a checkpoint (≥ 1). With delta checkpoints
+  /// this counts FULL snapshots; a pruned full snapshot takes its delta
+  /// chain and the WAL files its ops live in along.
   int keep_snapshots = 2;
+
+  /// Checkpoint as bucket-granular deltas (delta-<seq>.sfdelta) chained off
+  /// the last full snapshot whenever the backend can — the algorithm's µ
+  /// store tracks dirty buckets (memory/paged/segmented stores) and the
+  /// algorithm restores from bucket dumps. A delta records only the buckets
+  /// mutated since the previous checkpoint, so on append-heavy streams it
+  /// is a small fraction of a full snapshot. Algorithms without that
+  /// support (C-CSC, the baselines, the file-backed FS* stores) silently
+  /// keep writing full snapshots.
+  bool delta_checkpoints = true;
+
+  /// Every Nth checkpoint writes a full snapshot instead of extending the
+  /// delta chain, bounding both recovery time (count-only WAL replay spans
+  /// at most N checkpoint intervals) and WAL retention. Values < 1 are
+  /// treated as 1 (full snapshots only).
+  int full_snapshot_every = 8;
 
   // --- creation-time engine shape ---
   std::string algorithm = "STopDown";
@@ -66,6 +83,9 @@ struct StoreFile {
 /// never disagree on what counts as a segment.
 std::vector<StoreFile> ListWalSegments(const std::string& dir);
 std::vector<StoreFile> ListSnapshots(const std::string& dir);
+/// Delta checkpoints (delta-<seq>.sfdelta), named by the sequence number
+/// their state is current through.
+std::vector<StoreFile> ListDeltas(const std::string& dir);
 
 /// What Open() had to do to get back to a consistent state.
 struct RecoveryInfo {
@@ -73,6 +93,11 @@ struct RecoveryInfo {
   bool created = false;
   /// Sequence number of the snapshot that seeded the state.
   uint64_t snapshot_seq = 0;
+  /// Delta checkpoints applied on top of the snapshot. Ops the chain covers
+  /// are folded count-only (relation + context counter, no discovery); ops
+  /// past the chain replay in full.
+  uint64_t delta_chain = 0;
+  uint64_t count_only_ops = 0;
   /// WAL ops replayed on top of it.
   uint64_t replayed_ops = 0;
   /// True when a torn or corrupt WAL tail was dropped; `note` says where.
@@ -80,6 +105,8 @@ struct RecoveryInfo {
   /// concerned — the producer re-sends from next_seq() (at-least-once).
   bool tail_truncated = false;
   std::string note;
+  /// Why the delta chain stopped short (corrupt/mismatched delta), if it did.
+  std::string delta_note;
 };
 
 /// Crash-safe facade over a DiscoveryEngine or ShardedEngine
@@ -166,7 +193,26 @@ class DurableEngine {
   ArrivalReport ApplyAppend(const Row& row);
   Status ApplyRemove(TupleId t);
   StatusOr<ArrivalReport> ApplyUpdate(TupleId t, const Row& row);
+  /// Count-only replay (delta recovery): folds the op into the relation and
+  /// the context counter without running discovery — the µ buckets for this
+  /// span come from the delta chain instead.
+  Status ApplyCountOnly(const WalOp& op);
   void MaybeAutoCheckpoint();
+
+  /// The active engine's µ store (nullptr for store-less baselines) and
+  /// storage policy.
+  MuStore* mu_store();
+  StoragePolicy storage_policy();
+  /// Turns on bucket dirty tracking when delta checkpoints are enabled and
+  /// the backend supports them (dirty-tracking store + dump-restorable
+  /// algorithm). Checkpoint() keys off store->dirty_tracking(), so this is
+  /// the single eligibility decision.
+  void EnableDeltaTrackingIfEligible();
+
+  Status CheckpointFull(uint64_t seq);
+  Status CheckpointDelta(uint64_t seq);
+  /// Post-checkpoint WAL rotation shared by both checkpoint kinds.
+  Status RotateWal(uint64_t seq);
 
   DurableOptions options_;
   std::unique_ptr<Relation> relation_;
@@ -174,7 +220,10 @@ class DurableEngine {
   std::unique_ptr<ShardedEngine> sharded_engine_;
   std::unique_ptr<WalWriter> wal_;
   uint64_t next_seq_ = 0;        // next op's sequence number
-  uint64_t checkpoint_seq_ = 0;  // seq as of the last durable snapshot
+  uint64_t checkpoint_seq_ = 0;  // seq as of the last durable checkpoint
+  uint64_t full_base_seq_ = 0;   // seq of the newest durable FULL snapshot
+  uint64_t last_chain_seq_ = 0;  // newest checkpoint (full or delta) seq
+  int deltas_since_full_ = 0;    // chain length since full_base_seq_
   Status checkpoint_status_;     // last auto-checkpoint outcome
   Status wal_status_;            // first WAL failure; poisons further ops
   RecoveryInfo recovery_;

@@ -8,6 +8,11 @@
 
 namespace sitfact {
 
+/// Assumed per-heap-block allocator header, counted by ApproxMemoryBytes so
+/// its totals track getrusage instead of undercounting by the (many small)
+/// container allocations' bookkeeping.
+inline constexpr size_t kHeapAllocOverhead = 16;
+
 /// In-memory µ store: constraint -> sorted-by-mask list of (subspace, bucket)
 /// entries. A flat sorted vector beats a per-context hash map because most
 /// contexts hold buckets for only a handful of subspaces.
@@ -26,6 +31,9 @@ class MemoryMuStore : public MuStore {
 
   /// The memory store notifies on every mutating Context operation.
   bool NotifiesObservers() const override { return true; }
+
+  /// Dirty tracking rides the same mutation funnel as the observer hook.
+  bool SupportsDirtyTracking() const override { return true; }
 
   /// Number of distinct constraints with an entry.
   size_t context_count() const { return contexts_.size(); }

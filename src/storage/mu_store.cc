@@ -1,5 +1,7 @@
 #include "storage/mu_store.h"
 
+#include <algorithm>
+
 #include "common/binary_io.h"
 
 namespace sitfact {
@@ -11,6 +13,27 @@ namespace {
 constexpr uint64_t kMaxBuckets = 1ull << 33;
 
 }  // namespace
+
+void MuStore::MarkDirtyBucket(const Constraint& c, MeasureMask m) {
+  if (!dirty_tracking_) return;
+  std::vector<MeasureMask>& masks = dirty_[c];
+  if (std::find(masks.begin(), masks.end(), m) == masks.end()) {
+    masks.push_back(m);
+  }
+}
+
+void MuStore::ForEachDirtyBucket(
+    const std::function<void(const Constraint&, MeasureMask)>& fn) const {
+  for (const auto& [constraint, masks] : dirty_) {
+    for (MeasureMask m : masks) fn(constraint, m);
+  }
+}
+
+uint64_t MuStore::DirtyBucketCount() const {
+  uint64_t count = 0;
+  for (const auto& [constraint, masks] : dirty_) count += masks.size();
+  return count;
+}
 
 void MuStore::SerializeBuckets(BinaryWriter* w) {
   uint64_t buckets = 0;

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -147,6 +148,46 @@ class MuStore {
   /// Approximate bytes held by the store's in-memory structures (Fig. 10a).
   virtual size_t ApproxMemoryBytes() const = 0;
 
+  /// --- Page-lifetime and dirty-tracking hooks ------------------------------
+  /// (docs/architecture.md "Paged µ-storage"; docs/persistence.md "Delta
+  /// checkpoints"). Memory-resident stores implement these trivially; the
+  /// paged store maps them onto its page cache.
+
+  /// True when the store records which buckets changed since the last
+  /// ClearDirty() — the raw material of page-granular delta checkpoints.
+  /// The in-memory and paged stores support it; the file store does not
+  /// (persist/ falls back to full snapshots over it).
+  virtual bool SupportsDirtyTracking() const { return false; }
+
+  /// Enables dirty tracking (default off; when off the mutation hot path
+  /// pays one branch). Disabling also clears the dirty set.
+  virtual void set_dirty_tracking(bool enabled) {
+    dirty_tracking_ = enabled;
+    if (!enabled) dirty_.clear();
+  }
+  bool dirty_tracking() const { return dirty_tracking_; }
+
+  /// Visits every (constraint, subspace) pair whose bucket mutated since the
+  /// last ClearDirty(), in unspecified order. The *current* contents are the
+  /// caller's to read back (Find + Read); a visited pair whose bucket is now
+  /// empty or absent means "removed".
+  virtual void ForEachDirtyBucket(
+      const std::function<void(const Constraint&, MeasureMask)>& fn) const;
+
+  virtual void ClearDirty() { dirty_.clear(); }
+  virtual uint64_t DirtyBucketCount() const;
+
+  /// Writes any buffered state through to the backing medium (the paged
+  /// store's dirty-page write-back). Trivially Ok for memory stores.
+  virtual Status Flush() { return Status::Ok(); }
+
+  /// Advisory page-lifetime hints: a caller about to make many passes over
+  /// one context may bracket them with Pin/Unpin so an out-of-core store
+  /// keeps that context's pages resident instead of thrashing its LRU.
+  /// Balanced, non-nesting per constraint; no-ops for memory stores.
+  virtual void PinContext(const Constraint& c) { (void)c; }
+  virtual void UnpinContext(const Constraint& c) { (void)c; }
+
   /// Persistence hook (docs/persistence.md): writes the bucket dump — a u64
   /// bucket count, then per bucket the constraint, subspace mask and tuple
   /// list. Costs two ForEachBucket passes (the file store pays two reads per
@@ -159,8 +200,17 @@ class MuStore {
   Status DeserializeBuckets(BinaryReader* r, int num_dims, TupleId max_tuple);
 
  protected:
+  /// Subclasses call this at every bucket mutation point — the same places
+  /// they notify the BucketObserver. No-op unless tracking is enabled.
+  void MarkDirtyBucket(const Constraint& c, MeasureMask m);
+
   MuStoreStats stats_;
   BucketObserver* bucket_observer_ = nullptr;
+  bool dirty_tracking_ = false;
+  /// Dirty set: constraint -> mutated subspace masks (linear-dedup vector;
+  /// a context touches at most 2^m̂ subspaces, almost always a handful).
+  std::unordered_map<Constraint, std::vector<MeasureMask>, ConstraintHash>
+      dirty_;
 };
 
 /// Decodes a bucket dump, writing each bucket into `store` — or, when

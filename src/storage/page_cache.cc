@@ -1,0 +1,240 @@
+#include "storage/page_cache.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/crc32.h"
+#include "common/logging.h"
+
+namespace sitfact {
+
+namespace {
+
+/// Slot header: magic marking the slot as ever-written, then the payload
+/// CRC. An unwritten slot (hole or beyond EOF) preads as zeros, which fails
+/// the magic check and decodes as a zeroed page — exactly what a fresh,
+/// never-written page holds.
+constexpr uint32_t kSlotMagic = 0x53504147;  // "GAPS" little-endian
+constexpr size_t kSlotHeaderBytes = 2 * sizeof(uint32_t);
+
+}  // namespace
+
+PageCache::PageCache(std::string path, uint32_t page_size,
+                     size_t capacity_bytes)
+    : path_(std::move(path)),
+      page_size_(page_size),
+      capacity_bytes_(capacity_bytes) {
+  SITFACT_CHECK(page_size_ >= sizeof(uint32_t));
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) {
+    RecordError(Status::IoError("cannot open spill file " + path_ + ": " +
+                                std::strerror(errno)));
+  }
+}
+
+PageCache::~PageCache() {
+  if (fd_ >= 0) ::close(fd_);
+  ::unlink(path_.c_str());
+}
+
+void PageCache::RecordError(Status status) {
+  if (status_.ok()) status_ = std::move(status);
+}
+
+uint64_t PageCache::SlotOffset(PageId id) const {
+  return static_cast<uint64_t>(id) * (kSlotHeaderBytes + page_size_);
+}
+
+PageCache::PageId PageCache::Allocate() {
+  PageId id;
+  if (!free_.empty()) {
+    id = free_.back();
+    free_.pop_back();
+  } else {
+    id = next_page_++;
+    if (next_page_ > high_water_pages_) high_water_pages_ = next_page_;
+  }
+  ++live_pages_;
+  Frame& frame = frames_[id];
+  frame.data = std::make_unique<uint8_t[]>(page_size_);
+  std::memset(frame.data.get(), 0, page_size_);
+  // Dirty from birth: if this id was recycled, the slot on disk still holds
+  // its previous life's bytes under a valid CRC; an eviction must overwrite
+  // them with the new (zeroed) content.
+  frame.dirty = true;
+  frame.lru_pos = lru_.insert(lru_.end(), id);
+  EvictIfOver();
+  return id;
+}
+
+PageCache::PageId PageCache::AllocateRun(uint32_t count) {
+  SITFACT_CHECK(count > 0);
+  PageId first = next_page_;
+  next_page_ += count;
+  if (next_page_ > high_water_pages_) high_water_pages_ = next_page_;
+  live_pages_ += count;
+  for (uint32_t k = 0; k < count; ++k) {
+    PageId id = first + k;
+    Frame& frame = frames_[id];
+    frame.data = std::make_unique<uint8_t[]>(page_size_);
+    std::memset(frame.data.get(), 0, page_size_);
+    frame.dirty = true;
+    frame.lru_pos = lru_.insert(lru_.end(), id);
+  }
+  EvictIfOver();
+  return first;
+}
+
+void PageCache::Free(PageId id) {
+  SITFACT_DCHECK(live_pages_ > 0);
+  --live_pages_;
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    if (it->second.pins > 0) {
+      it->second.zombie = true;  // advisory pin outlives the record; defer
+      return;
+    }
+    DropFrame(id);
+  }
+  free_.push_back(id);
+}
+
+void PageCache::DropFrame(PageId id) {
+  auto it = frames_.find(id);
+  if (it == frames_.end()) return;
+  if (it->second.pins == 0) lru_.erase(it->second.lru_pos);
+  frames_.erase(it);
+}
+
+uint8_t* PageCache::Pin(PageId id) {
+  auto it = frames_.find(id);
+  Frame* frame;
+  if (it != frames_.end()) {
+    ++stats_.hits;
+    frame = &it->second;
+  } else {
+    frame = LoadFrame(id);
+  }
+  if (frame->pins++ == 0) {
+    lru_.erase(frame->lru_pos);
+    frame->lru_pos = lru_.end();
+    ++pinned_pages_;
+  }
+  return frame->data.get();
+}
+
+void PageCache::Unpin(PageId id, bool dirty) {
+  auto it = frames_.find(id);
+  SITFACT_CHECK_MSG(it != frames_.end() && it->second.pins > 0,
+                    "Unpin of a page that is not pinned");
+  Frame& frame = it->second;
+  frame.dirty |= dirty;
+  if (--frame.pins == 0) {
+    --pinned_pages_;
+    if (frame.zombie) {
+      frames_.erase(it);
+      free_.push_back(id);
+      return;
+    }
+    frame.lru_pos = lru_.insert(lru_.end(), id);
+    EvictIfOver();
+  }
+}
+
+PageCache::Frame* PageCache::LoadFrame(PageId id) {
+  ++stats_.misses;
+  Frame& frame = frames_[id];
+  frame.data = std::make_unique<uint8_t[]>(page_size_);
+  frame.lru_pos = lru_.insert(lru_.end(), id);
+  uint8_t header[kSlotHeaderBytes];
+  bool loaded = false;
+  if (fd_ >= 0) {
+    ssize_t got = ::pread(fd_, header, kSlotHeaderBytes, SlotOffset(id));
+    if (got == static_cast<ssize_t>(kSlotHeaderBytes)) {
+      uint32_t magic, crc;
+      std::memcpy(&magic, header, sizeof(magic));
+      std::memcpy(&crc, header + sizeof(magic), sizeof(crc));
+      if (magic == kSlotMagic) {
+        got = ::pread(fd_, frame.data.get(), page_size_,
+                      SlotOffset(id) + kSlotHeaderBytes);
+        if (got == static_cast<ssize_t>(page_size_)) {
+          Crc32 check;
+          check.Update(frame.data.get(), page_size_);
+          if (check.value() == crc) {
+            loaded = true;
+          } else {
+            RecordError(Status::Corruption("page CRC mismatch in " + path_));
+          }
+        } else {
+          RecordError(Status::Corruption("short page read in " + path_));
+        }
+      } else if (magic != 0 || crc != 0) {
+        RecordError(Status::Corruption("bad page slot header in " + path_));
+      }
+      // magic == 0 && crc == 0: never-written slot, a zeroed page.
+    }
+    // Short header read: slot beyond EOF, i.e. never written; zeroed page.
+  }
+  if (!loaded) std::memset(frame.data.get(), 0, page_size_);
+  return &frame;
+}
+
+void PageCache::WriteBack(PageId id, Frame* frame) {
+  if (fd_ < 0) return;
+  ++stats_.writebacks;
+  Crc32 crc;
+  crc.Update(frame->data.get(), page_size_);
+  uint8_t header[kSlotHeaderBytes];
+  uint32_t magic = kSlotMagic;
+  uint32_t sum = crc.value();
+  std::memcpy(header, &magic, sizeof(magic));
+  std::memcpy(header + sizeof(magic), &sum, sizeof(sum));
+  bool ok =
+      ::pwrite(fd_, header, kSlotHeaderBytes, SlotOffset(id)) ==
+          static_cast<ssize_t>(kSlotHeaderBytes) &&
+      ::pwrite(fd_, frame->data.get(), page_size_,
+               SlotOffset(id) + kSlotHeaderBytes) ==
+          static_cast<ssize_t>(page_size_);
+  if (!ok) {
+    RecordError(Status::IoError("page writeback failed in " + path_ + ": " +
+                                std::strerror(errno)));
+  }
+  frame->dirty = false;
+}
+
+void PageCache::EvictIfOver() {
+  while (frames_.size() * static_cast<size_t>(page_size_) > capacity_bytes_ &&
+         !lru_.empty()) {
+    PageId victim = lru_.front();
+    auto it = frames_.find(victim);
+    SITFACT_DCHECK(it != frames_.end() && it->second.pins == 0);
+    if (it->second.dirty) WriteBack(victim, &it->second);
+    lru_.pop_front();
+    frames_.erase(it);
+    ++stats_.evictions;
+  }
+}
+
+Status PageCache::Flush() {
+  for (auto& [id, frame] : frames_) {
+    if (frame.dirty) WriteBack(id, &frame);
+  }
+  return status_;
+}
+
+size_t PageCache::MemoryBytes() const {
+  // Frame payloads + per-frame bookkeeping (hash node, LRU node).
+  return frames_.size() * (page_size_ + sizeof(Frame) + 5 * sizeof(void*)) +
+         frames_.bucket_count() * sizeof(void*) +
+         free_.capacity() * sizeof(PageId);
+}
+
+uint64_t PageCache::DiskBytes() const {
+  return high_water_pages_ * (kSlotHeaderBytes + page_size_);
+}
+
+}  // namespace sitfact

@@ -1,0 +1,132 @@
+#ifndef SITFACT_STORAGE_PAGE_CACHE_H_
+#define SITFACT_STORAGE_PAGE_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sitfact {
+
+/// Bounded LRU cache of fixed-size pages over one spill file, the paging
+/// substrate of PagedMuStore. The id space is flat (no tree): callers
+/// allocate pages, pin them to get at the bytes, and unpin with a dirty
+/// flag; when resident bytes exceed the budget the least-recently-unpinned
+/// clean or dirty page is evicted (dirty pages are written back first).
+/// Pinned pages are never evicted, so a pin is a lease on the pointer until
+/// the matching Unpin.
+///
+/// On-disk layout: slot i at offset i * (kSlotHeaderBytes + page_size),
+/// framed like a WAL record (persist/wal.h): u32 magic marking the slot as
+/// written, u32 CRC-32 of the payload, then the page bytes. A slot that was
+/// never written back reads as a zeroed page (fresh pages are zeroed, so
+/// the round trip is the identity); a CRC mismatch latches Corruption into
+/// status() and serves a zeroed page, mirroring FileMuStore's
+/// degraded-but-serving contract.
+///
+/// Single-threaded, like every store Context; the sharded engine gives each
+/// shard its own cache so no lock is needed.
+class PageCache {
+ public:
+  using PageId = uint32_t;
+  static constexpr PageId kInvalidPage = 0xFFFFFFFFu;
+
+  struct Stats {
+    uint64_t hits = 0;        // pins served from a resident frame
+    uint64_t misses = 0;      // pins that loaded the slot from disk
+    uint64_t evictions = 0;   // frames dropped to stay under budget
+    uint64_t writebacks = 0;  // dirty frames written to the spill file
+  };
+
+  /// Creates/truncates the spill file at `path`. `capacity_bytes` bounds
+  /// resident payload bytes (pinned pages may push past it — they cannot be
+  /// evicted). The file is unlinked by the destructor.
+  PageCache(std::string path, uint32_t page_size, size_t capacity_bytes);
+  ~PageCache();
+
+  PageCache(const PageCache&) = delete;
+  PageCache& operator=(const PageCache&) = delete;
+
+  /// A fresh zeroed page, resident and dirty (so a freed slot's stale disk
+  /// bytes can never resurface through the free list).
+  PageId Allocate();
+
+  /// `count` pages with consecutive ids (a multi-page record run). Always
+  /// fresh ids, never from the free list, so the run stays contiguous.
+  PageId AllocateRun(uint32_t count);
+
+  /// Returns the page to the free list. Safe while pinned (a zombie: the
+  /// frame survives until the last Unpin, then vanishes).
+  void Free(PageId id);
+
+  /// Pointer to the resident page bytes, loading the slot on a miss. Valid
+  /// until the matching Unpin. Pins nest.
+  uint8_t* Pin(PageId id);
+
+  /// Releases one pin; `dirty` records that the caller wrote the page.
+  /// Unpinned dirty pages are written back lazily (on eviction or Flush).
+  void Unpin(PageId id, bool dirty);
+
+  /// Writes every dirty frame back to the spill file. Pins are untouched.
+  Status Flush();
+
+  /// First IO/corruption error, if any; the cache keeps serving (degraded,
+  /// zeroed pages for unreadable slots) after an error.
+  const Status& status() const { return status_; }
+
+  const Stats& stats() const { return stats_; }
+  uint32_t page_size() const { return page_size_; }
+  size_t capacity_bytes() const { return capacity_bytes_; }
+  uint32_t resident_pages() const {
+    return static_cast<uint32_t>(frames_.size());
+  }
+  uint32_t pinned_pages() const { return pinned_pages_; }
+  /// Pages ever allocated and not freed (live id count).
+  uint32_t live_pages() const { return live_pages_; }
+
+  /// Resident frames + bookkeeping tables.
+  size_t MemoryBytes() const;
+  /// Spill-file footprint: every slot ever written (high-water).
+  uint64_t DiskBytes() const;
+
+ private:
+  struct Frame {
+    std::unique_ptr<uint8_t[]> data;
+    uint32_t pins = 0;
+    bool dirty = false;
+    bool zombie = false;  // freed while pinned; drop at last Unpin
+    /// Position in lru_ when pins == 0; lru_.end() otherwise.
+    std::list<PageId>::iterator lru_pos;
+  };
+
+  Frame* LoadFrame(PageId id);
+  void WriteBack(PageId id, Frame* frame);
+  void EvictIfOver();
+  void DropFrame(PageId id);
+  void RecordError(Status status);
+  uint64_t SlotOffset(PageId id) const;
+
+  std::string path_;
+  int fd_ = -1;
+  uint32_t page_size_;
+  size_t capacity_bytes_;
+  Status status_;
+  Stats stats_;
+  std::unordered_map<PageId, Frame> frames_;
+  /// Unpinned resident pages, least recently used at the front.
+  std::list<PageId> lru_;
+  std::vector<PageId> free_;
+  PageId next_page_ = 0;
+  uint32_t live_pages_ = 0;
+  uint32_t pinned_pages_ = 0;
+  uint64_t high_water_pages_ = 0;
+};
+
+}  // namespace sitfact
+
+#endif  // SITFACT_STORAGE_PAGE_CACHE_H_

@@ -1,5 +1,6 @@
 #include "storage/segmented_mu_store.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.h"
@@ -7,16 +8,24 @@
 namespace sitfact {
 
 SegmentedMuStore::SegmentedMuStore(int num_segments,
-                                   std::vector<uint8_t> segment_of_mask)
+                                   std::vector<uint8_t> segment_of_mask,
+                                   const StorageConfig& storage)
     : segment_of_mask_(std::move(segment_of_mask)) {
   SITFACT_CHECK(num_segments > 0);
   SITFACT_CHECK(!segment_of_mask_.empty());
   for (uint8_t s : segment_of_mask_) {
     SITFACT_CHECK(s < num_segments);
   }
+  // Each segment gets an equal slice of the cache budget (with a floor so
+  // a high shard count can't starve any one segment into thrashing).
+  StorageConfig per_segment = ResolvedStorageConfig(storage);
+  per_segment.cache_bytes =
+      std::max<size_t>(per_segment.cache_bytes /
+                           static_cast<size_t>(num_segments),
+                       size_t{1} << 20);
   segments_.reserve(static_cast<size_t>(num_segments));
   for (int i = 0; i < num_segments; ++i) {
-    segments_.push_back(std::make_unique<MemoryMuStore>());
+    segments_.push_back(CreateMuStore(per_segment));
   }
 }
 
@@ -39,6 +48,45 @@ void SegmentedMuStore::ForEachBucket(
 void SegmentedMuStore::set_bucket_observer(BucketObserver* observer) {
   bucket_observer_ = observer;
   for (auto& segment : segments_) segment->set_bucket_observer(observer);
+}
+
+void SegmentedMuStore::set_dirty_tracking(bool enabled) {
+  dirty_tracking_ = enabled;
+  for (auto& segment : segments_) segment->set_dirty_tracking(enabled);
+}
+
+void SegmentedMuStore::ForEachDirtyBucket(
+    const std::function<void(const Constraint&, MeasureMask)>& fn) const {
+  for (const auto& segment : segments_) segment->ForEachDirtyBucket(fn);
+}
+
+void SegmentedMuStore::ClearDirty() {
+  for (auto& segment : segments_) segment->ClearDirty();
+}
+
+uint64_t SegmentedMuStore::DirtyBucketCount() const {
+  uint64_t count = 0;
+  for (const auto& segment : segments_) count += segment->DirtyBucketCount();
+  return count;
+}
+
+Status SegmentedMuStore::Flush() {
+  Status first = Status::Ok();
+  for (auto& segment : segments_) {
+    Status s = segment->Flush();
+    if (first.ok() && !s.ok()) first = std::move(s);
+  }
+  return first;
+}
+
+void SegmentedMuStore::PinContext(const Constraint& c) {
+  SITFACT_DCHECK(c.bound_mask() < segment_of_mask_.size());
+  segments_[segment_of_mask_[c.bound_mask()]]->PinContext(c);
+}
+
+void SegmentedMuStore::UnpinContext(const Constraint& c) {
+  SITFACT_DCHECK(c.bound_mask() < segment_of_mask_.size());
+  segments_[segment_of_mask_[c.bound_mask()]]->UnpinContext(c);
 }
 
 const MuStoreStats& SegmentedMuStore::stats() const {

@@ -1,0 +1,98 @@
+#include "storage/storage_options.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "storage/memory_mu_store.h"
+#include "storage/paged_mu_store.h"
+
+namespace sitfact {
+
+namespace {
+
+std::atomic<uint64_t> g_spill_counter{0};
+
+const char* EnvOrNull(const char* name) {
+  const char* v = std::getenv(name);
+  return (v != nullptr && *v != '\0') ? v : nullptr;
+}
+
+}  // namespace
+
+StorageBackend ResolveStorageBackend(const StorageConfig& config) {
+  if (config.backend != StorageBackend::kAuto) return config.backend;
+  if (const char* env = EnvOrNull("SITFACT_STORAGE")) {
+    StatusOr<StorageBackend> parsed = ParseStorageBackend(env);
+    if (parsed.ok() && parsed.value() != StorageBackend::kAuto) {
+      return parsed.value();
+    }
+  }
+  return StorageBackend::kMemory;
+}
+
+StorageConfig ResolvedStorageConfig(StorageConfig config) {
+  bool from_env = config.backend == StorageBackend::kAuto;
+  config.backend = ResolveStorageBackend(config);
+  if (from_env) {
+    if (const char* env = EnvOrNull("SITFACT_STORAGE_CACHE_MB")) {
+      char* end = nullptr;
+      unsigned long long mb = std::strtoull(env, &end, 10);
+      if (end != env && mb > 0) {
+        config.cache_bytes = static_cast<size_t>(mb) << 20;
+      }
+    }
+  }
+  return config;
+}
+
+StatusOr<StorageBackend> ParseStorageBackend(const std::string& name) {
+  if (name == "auto") return StorageBackend::kAuto;
+  if (name == "memory") return StorageBackend::kMemory;
+  if (name == "paged") return StorageBackend::kPaged;
+  return Status::InvalidArgument("unknown storage backend: " + name +
+                                 " (expected memory|paged|auto)");
+}
+
+const char* StorageBackendName(StorageBackend backend) {
+  switch (backend) {
+    case StorageBackend::kAuto:
+      return "auto";
+    case StorageBackend::kMemory:
+      return "memory";
+    case StorageBackend::kPaged:
+      return "paged";
+  }
+  return "?";
+}
+
+std::string NewSpillFilePath(const StorageConfig& config) {
+  std::filesystem::path dir = config.spill_dir.empty()
+                                  ? std::filesystem::temp_directory_path()
+                                  : std::filesystem::path(config.spill_dir);
+  if (!config.spill_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);  // best effort
+  }
+  uint64_t id = g_spill_counter.fetch_add(1, std::memory_order_relaxed);
+  std::string name = "sitfact_spill_" + std::to_string(::getpid()) + "_" +
+                     std::to_string(id) + ".pages";
+  return (dir / name).string();
+}
+
+std::unique_ptr<MuStore> CreateMuStore(const StorageConfig& config) {
+  StorageConfig resolved = ResolvedStorageConfig(config);
+  if (resolved.backend == StorageBackend::kPaged) {
+    PagedStoreOptions opts;
+    opts.spill_path = NewSpillFilePath(resolved);
+    opts.page_size = resolved.page_size;
+    opts.cache_bytes = resolved.cache_bytes;
+    return std::make_unique<PagedMuStore>(std::move(opts));
+  }
+  return std::make_unique<MemoryMuStore>();
+}
+
+}  // namespace sitfact

@@ -1,0 +1,60 @@
+#ifndef SITFACT_STORAGE_STORAGE_OPTIONS_H_
+#define SITFACT_STORAGE_STORAGE_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "storage/mu_store.h"
+
+namespace sitfact {
+
+/// Which MuStore implementation backs a µ-keeping algorithm.
+enum class StorageBackend : uint8_t {
+  /// Resolve from the environment: SITFACT_STORAGE=memory|paged, defaulting
+  /// to memory. Lets CI pin whole test suites onto the paged backend
+  /// without touching call sites.
+  kAuto = 0,
+  kMemory,
+  /// Out-of-core PagedMuStore behind a bounded PageCache.
+  kPaged,
+};
+
+/// µ-store backend selection, carried inside DiscoveryOptions so it flows
+/// through every engine factory (sequential, sharded, durable, service,
+/// CLI) without new plumbing at each layer.
+struct StorageConfig {
+  StorageBackend backend = StorageBackend::kAuto;
+  /// Paged backend: resident page-cache budget (the --cache-mb knob; also
+  /// SITFACT_STORAGE_CACHE_MB). Divided across segments in a sharded store.
+  size_t cache_bytes = 64u << 20;
+  /// Paged backend: page payload bytes.
+  uint32_t page_size = 4096;
+  /// Directory for spill files; empty means the system temp directory.
+  /// Each store gets a unique file name (pid + counter), unlinked on
+  /// destruction.
+  std::string spill_dir;
+};
+
+/// kAuto resolved against SITFACT_STORAGE; other values pass through.
+StorageBackend ResolveStorageBackend(const StorageConfig& config);
+
+/// Returns `config` with kAuto resolved and, when the backend came from the
+/// environment, SITFACT_STORAGE_CACHE_MB applied to cache_bytes.
+StorageConfig ResolvedStorageConfig(StorageConfig config);
+
+/// Parses a --storage flag value ("memory", "paged", "auto").
+StatusOr<StorageBackend> ParseStorageBackend(const std::string& name);
+const char* StorageBackendName(StorageBackend backend);
+
+/// A unique spill-file path under config.spill_dir (or the temp dir).
+std::string NewSpillFilePath(const StorageConfig& config);
+
+/// Builds the store `config` asks for. Resolves kAuto first.
+std::unique_ptr<MuStore> CreateMuStore(const StorageConfig& config);
+
+}  // namespace sitfact
+
+#endif  // SITFACT_STORAGE_STORAGE_OPTIONS_H_

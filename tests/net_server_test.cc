@@ -509,6 +509,34 @@ TEST(FactServerSocket, ShedsBeyondConnectionLimitWith429) {
   EXPECT_GE(fx.server().net_stats().shed, 1u);
 }
 
+TEST(FactServerSocket, IdleKeepAliveConnectionsAreReaped) {
+  FactServer::Options options;
+  options.net.max_connections = 1;
+  options.net.idle_timeout_ms = 150;
+  ServingFixture fx(options);
+  fx.Start();
+
+  HttpClient idler("127.0.0.1", fx.port());
+  auto first = idler.Get("/healthz");
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_EQ(first.value().status, 200);
+
+  // The idler holds the only admission slot and goes quiet. Once the idle
+  // reaper fires, the slot frees up and a fresh connection is admitted
+  // (answered 200) instead of shed at the door with 429.
+  HttpClient next("127.0.0.1", fx.port());
+  bool admitted = false;
+  for (int attempt = 0; attempt < 100 && !admitted; ++attempt) {
+    auto retry = next.Get("/healthz");
+    admitted = retry.ok() && retry.value().status == 200;
+    if (!admitted) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_TRUE(admitted) << "idle keep-alive connection was never reaped";
+
+  fx.Stop();
+  EXPECT_GE(fx.server().net_stats().idle_closed, 1u);
+}
+
 TEST(FactServerSocket, CacheStaysCoherentAcrossEpochPublish) {
   // Hold back 40 rows; publish them mid-serving. Structured queries only —
   // the Relation is the writer thread's (textual `where` would read its

@@ -24,6 +24,7 @@
 #include "persist/durable_engine.h"
 #include "persist/wal.h"
 #include "service/fact_feed.h"
+#include "storage/storage_options.h"
 #include "test_util.h"
 
 #include <gtest/gtest.h>
@@ -751,6 +752,10 @@ TEST(PersistRecovery, CorruptSnapshotFallsBackToOlderOne) {
   options.algorithm = "STopDown";
   options.tau = 2.0;
   options.checkpoint_every = 10;
+  // This test is about FULL-snapshot fallback; force every checkpoint to be
+  // a full snapshot so there are several to fall back through. (Corrupt
+  // deltas have their own fallback tests below.)
+  options.delta_checkpoints = false;
   {
     auto durable_or = DurableEngine::Open(options, data.schema());
     ASSERT_TRUE(durable_or.ok());
@@ -951,6 +956,201 @@ TEST(PersistRecovery, SchemaMismatchOnReopenIsRejected) {
   Schema other({{"x"}, {"y"}}, {{"m", Direction::kLargerIsBetter}});
   auto durable_or = DurableEngine::Open(options, other);
   EXPECT_FALSE(durable_or.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Paged backend + delta checkpoints. The same differential bar as above,
+// with the µ store spilling to a bounded page cache and checkpoints written
+// as bucket-granular deltas; each test asserts the recovery actually walked
+// a delta chain, so the paged delta path is provably the thing under test.
+
+DurableOptions PagedOptions(const std::string& dir) {
+  DurableOptions options;
+  options.dir = dir;
+  options.tau = 2.0;
+  // A cache far below the µ-set working size, so records spill mid-stream.
+  options.discovery.storage.backend = StorageBackend::kPaged;
+  options.discovery.storage.page_size = 128;
+  options.discovery.storage.cache_bytes = 16u << 10;
+  return options;
+}
+
+TEST(PersistRecovery, PagedBackendKillRestoreWalksDeltaChain) {
+  Dataset data = NbaData(60);
+  std::vector<WalOp> script = MakeScript(data, /*mutations=*/true, 5);
+  RunResult reference = RunReference(data, "STopDown", script, "");
+  TempDir dir("paged_delta");
+  DurableOptions options = PagedOptions(dir.sub("store"));
+  options.algorithm = "STopDown";
+  options.checkpoint_every = 7;  // default full_snapshot_every=8: all deltas
+  const size_t cut = script.size() - 2;
+
+  RunResult got;
+  got.reports.resize(script.size());
+  {
+    auto durable_or = DurableEngine::Open(options, data.schema());
+    ASSERT_TRUE(durable_or.ok()) << durable_or.status().ToString();
+    for (size_t i = 0; i < cut; ++i) {
+      auto report_or = ApplyToDurable(durable_or.value().get(), script[i]);
+      ASSERT_TRUE(report_or.ok()) << report_or.status().ToString();
+      got.reports[i] = std::move(report_or).value();
+    }
+  }  // kill
+  auto durable_or = DurableEngine::Open(options, Schema());
+  ASSERT_TRUE(durable_or.ok()) << durable_or.status().ToString();
+  std::unique_ptr<DurableEngine> durable = std::move(durable_or).value();
+  EXPECT_GT(durable->recovery().delta_chain, 0u)
+      << "recovery did not walk a delta chain; the test lost its point";
+  EXPECT_GT(durable->recovery().count_only_ops, 0u);
+  for (size_t i = durable->next_seq(); i < script.size(); ++i) {
+    auto report_or = ApplyToDurable(durable.get(), script[i]);
+    ASSERT_TRUE(report_or.ok()) << report_or.status().ToString();
+    got.reports[i] = std::move(report_or).value();
+  }
+  got.relation_size = durable->relation().size();
+  got.live_size = durable->relation().live_size();
+  got.counts = CounterOf(durable.get());
+  auto probe_or = durable->Append(ProbeRow(data));
+  ASSERT_TRUE(probe_or.ok());
+  got.probe = std::move(probe_or).value();
+  ExpectRunsEqual(got, reference, "paged delta");
+}
+
+TEST(PersistRecovery, PagedShardedKillRestoreWalksDeltaChain) {
+  Dataset data = SyntheticData(50);
+  std::vector<WalOp> script = MakeScript(data, /*mutations=*/true, 5);
+  RunResult reference = RunReference(data, "SBottomUp", script, "");
+  TempDir dir("paged_sharded");
+  DurableOptions options = PagedOptions(dir.sub("store"));
+  options.num_shards = 3;
+  options.num_threads = 2;
+  options.checkpoint_every = 9;
+  const size_t cut = script.size() - 2;
+  {
+    auto durable_or = DurableEngine::Open(options, data.schema());
+    ASSERT_TRUE(durable_or.ok()) << durable_or.status().ToString();
+    for (size_t i = 0; i < cut; ++i) {
+      ASSERT_TRUE(ApplyToDurable(durable_or.value().get(), script[i]).ok());
+    }
+  }  // kill
+  auto durable_or = DurableEngine::Open(options, Schema());
+  ASSERT_TRUE(durable_or.ok()) << durable_or.status().ToString();
+  std::unique_ptr<DurableEngine> durable = std::move(durable_or).value();
+  ASSERT_TRUE(durable->sharded());
+  EXPECT_GT(durable->recovery().delta_chain, 0u);
+  for (size_t i = durable->next_seq(); i < script.size(); ++i) {
+    ASSERT_TRUE(ApplyToDurable(durable.get(), script[i]).ok());
+  }
+  EXPECT_EQ(durable->relation().size(), reference.relation_size);
+  EXPECT_EQ(durable->relation().live_size(), reference.live_size);
+  EXPECT_EQ(CounterOf(durable.get()), reference.counts);
+  auto probe_or = durable->Append(ProbeRow(data));
+  ASSERT_TRUE(probe_or.ok());
+  ExpectReportsEqual(probe_or.value(), reference.probe, "paged sharded probe");
+}
+
+// A corrupt delta must stop the chain walk at the last valid link, not kill
+// recovery: the ops the dropped suffix covered are still in the retained
+// WAL segments and replay in full.
+TEST(PersistRecovery, CorruptDeltaFallsBackToValidChainPrefix) {
+  Dataset data = SyntheticData(40);
+  std::vector<WalOp> script = MakeScript(data, /*mutations=*/false, 5);
+  RunResult reference = RunReference(data, "STopDown", script, "");
+  TempDir dir("corrupt_delta");
+  DurableOptions options = PagedOptions(dir.sub("store"));
+  options.algorithm = "STopDown";
+  options.checkpoint_every = 6;  // deltas at 6, 12, 18, 24, 30, 36
+  {
+    auto durable_or = DurableEngine::Open(options, data.schema());
+    ASSERT_TRUE(durable_or.ok()) << durable_or.status().ToString();
+    for (const WalOp& op : script) {
+      ASSERT_TRUE(ApplyToDurable(durable_or.value().get(), op).ok());
+    }
+  }  // kill
+  auto deltas = persist::ListDeltas(options.dir);
+  ASSERT_GE(deltas.size(), 2u);
+  {
+    const std::string& newest = deltas.back().path;
+    std::fstream f(newest, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(static_cast<std::streamoff>(fs::file_size(newest) / 2));
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(-1, std::ios::cur);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.write(&byte, 1);
+  }
+  auto durable_or = DurableEngine::Open(options, Schema());
+  ASSERT_TRUE(durable_or.ok()) << durable_or.status().ToString();
+  std::unique_ptr<DurableEngine> durable = std::move(durable_or).value();
+  EXPECT_GT(durable->recovery().delta_chain, 0u);
+  EXPECT_LT(durable->recovery().delta_chain, deltas.size())
+      << "the corrupt newest delta cannot have been applied";
+  EXPECT_FALSE(durable->recovery().delta_note.empty());
+  EXPECT_EQ(durable->next_seq(), script.size());
+  EXPECT_EQ(durable->relation().size(), reference.relation_size);
+  EXPECT_EQ(CounterOf(durable.get()), reference.counts);
+  auto probe_or = durable->Append(ProbeRow(data));
+  ASSERT_TRUE(probe_or.ok());
+  ExpectReportsEqual(probe_or.value(), reference.probe, "corrupt delta probe");
+}
+
+// A crash in the middle of the full-checkpoint compaction (pruning) phase
+// can leave orphans: deltas chained off an already-pruned full snapshot and
+// a half-written delta tmp file. Recovery must key the chain walk off the
+// snapshot it actually loaded and ignore both kinds of debris.
+TEST(PersistRecovery, CrashMidDeltaCompactionLeavesRecoverableStore) {
+  Dataset data = SyntheticData(40);
+  std::vector<WalOp> script = MakeScript(data, /*mutations=*/false, 5);
+  RunResult reference = RunReference(data, "STopDown", script, "");
+  TempDir dir("compaction_crash");
+  DurableOptions options = PagedOptions(dir.sub("store"));
+  options.algorithm = "STopDown";
+  options.checkpoint_every = 5;
+  options.full_snapshot_every = 2;  // delta-5, full-10, delta-15, full-20 ...
+  const std::string stale_delta = dir.sub("stale-delta-copy");
+  {
+    auto durable_or = DurableEngine::Open(options, data.schema());
+    ASSERT_TRUE(durable_or.ok()) << durable_or.status().ToString();
+    for (size_t i = 0; i < 8; ++i) {
+      ASSERT_TRUE(ApplyToDurable(durable_or.value().get(), script[i]).ok());
+    }
+    auto deltas = persist::ListDeltas(options.dir);
+    ASSERT_EQ(deltas.size(), 1u);  // delta-5, chained off the genesis full
+    fs::copy_file(deltas.front().path, stale_delta);
+  }  // kill
+  {
+    auto durable_or = DurableEngine::Open(options, Schema());
+    ASSERT_TRUE(durable_or.ok()) << durable_or.status().ToString();
+    for (size_t i = 8; i < 23; ++i) {
+      ASSERT_TRUE(ApplyToDurable(durable_or.value().get(), script[i]).ok());
+    }
+    // full-20's pruning removed the genesis snapshot and delta-5.
+    ASSERT_EQ(persist::ListSnapshots(options.dir).front().seq, 10u);
+  }  // kill
+  // Simulate the compaction crash: the pruned chain's delta resurfaces (the
+  // crash happened between removing the snapshot and its deltas) and a
+  // half-written delta tmp is left behind.
+  fs::copy_file(stale_delta,
+                fs::path(options.dir) / "delta-00000000000000000005.sfdelta");
+  {
+    std::ofstream tmp(fs::path(options.dir) /
+                          "delta-00000000000000000099.sfdelta.tmp",
+                      std::ios::binary);
+    tmp << "torn";
+  }
+  auto durable_or = DurableEngine::Open(options, Schema());
+  ASSERT_TRUE(durable_or.ok()) << durable_or.status().ToString();
+  std::unique_ptr<DurableEngine> durable = std::move(durable_or).value();
+  EXPECT_EQ(durable->recovery().snapshot_seq, 20u);
+  EXPECT_EQ(durable->next_seq(), 23u);
+  for (size_t i = durable->next_seq(); i < script.size(); ++i) {
+    ASSERT_TRUE(ApplyToDurable(durable.get(), script[i]).ok());
+  }
+  EXPECT_EQ(durable->relation().size(), reference.relation_size);
+  EXPECT_EQ(CounterOf(durable.get()), reference.counts);
+  auto probe_or = durable->Append(ProbeRow(data));
+  ASSERT_TRUE(probe_or.ok());
+  ExpectReportsEqual(probe_or.value(), reference.probe, "compaction probe");
 }
 
 }  // namespace

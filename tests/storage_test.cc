@@ -4,6 +4,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -14,12 +15,16 @@
 #include <gtest/gtest.h>
 
 #include "core/bottom_up.h"
+#include "core/engine.h"
 #include "core/shared_top_down.h"
 #include "exec/sharded_discoverer.h"
 #include "storage/context_counter.h"
 #include "storage/file_mu_store.h"
 #include "storage/memory_mu_store.h"
+#include "storage/page_cache.h"
+#include "storage/paged_mu_store.h"
 #include "storage/segmented_mu_store.h"
+#include "storage/storage_options.h"
 #include "test_util.h"
 
 namespace sitfact {
@@ -28,30 +33,46 @@ namespace {
 namespace fs = std::filesystem;
 using testing_util::PaperTableIV;
 
-class MuStoreContractTest : public ::testing::TestWithParam<bool> {
+enum class StoreKind { kMemory, kFile, kPaged };
+
+/// Unique per test AND process: ctest -j runs suites concurrently, and the
+/// file-backed stores remove their path on destruction.
+std::string UniqueTestPath(const char* prefix) {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  std::string name = info != nullptr ? info->name() : "unknown";
+  for (char& c : name) {
+    if (c == '/') c = '_';  // parameterized test names carry a slash
+  }
+  return (fs::temp_directory_path() /
+          (std::string(prefix) + "_" + std::to_string(::getpid()) + "_" +
+           name))
+      .string();
+}
+
+class MuStoreContractTest : public ::testing::TestWithParam<StoreKind> {
  protected:
   MuStoreContractTest() : data_(PaperTableIV()), relation_(data_.schema()) {
     for (const Row& row : data_.rows()) relation_.Append(row);
-    if (IsFileStore()) {
-      // Unique per test AND process: ctest -j runs these concurrently, and
-      // FileMuStore's destructor removes its whole directory tree.
-      const auto* info =
-          ::testing::UnitTest::GetInstance()->current_test_info();
-      std::string name = info != nullptr ? info->name() : "unknown";
-      for (char& c : name) {
-        if (c == '/') c = '_';  // parameterized test names carry a slash
+    switch (GetParam()) {
+      case StoreKind::kFile:
+        dir_ = UniqueTestPath("sitfact_store_test");
+        store_ = std::make_unique<FileMuStore>(dir_);
+        break;
+      case StoreKind::kPaged: {
+        // Tiny pages and a cache far below the working set, so the contract
+        // runs with records straddling evictions and reloads.
+        PagedStoreOptions options;
+        options.spill_path = UniqueTestPath("sitfact_store_spill");
+        options.page_size = 32;
+        options.cache_bytes = 64;
+        store_ = std::make_unique<PagedMuStore>(std::move(options));
+        break;
       }
-      dir_ = (fs::temp_directory_path() /
-              ("sitfact_store_test_" + std::to_string(::getpid()) + "_" +
-               name))
-                 .string();
-      store_ = std::make_unique<FileMuStore>(dir_);
-    } else {
-      store_ = std::make_unique<MemoryMuStore>();
+      case StoreKind::kMemory:
+        store_ = std::make_unique<MemoryMuStore>();
+        break;
     }
   }
-
-  bool IsFileStore() const { return GetParam(); }
 
   Dataset data_;
 
@@ -160,11 +181,21 @@ TEST_P(MuStoreContractTest, ForEachBucketVisitsExactlyTheNonEmptyBuckets) {
   EXPECT_EQ((seen[{0b011, 0b01}]), (std::vector<TupleId>{3, 4, 0}));
 }
 
-INSTANTIATE_TEST_SUITE_P(MemoryAndFile, MuStoreContractTest,
-                         ::testing::Values(false, true),
-                         [](const ::testing::TestParamInfo<bool>& info) {
-                           return info.param ? "FileMuStore" : "MemoryMuStore";
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, MuStoreContractTest,
+    ::testing::Values(StoreKind::kMemory, StoreKind::kFile,
+                      StoreKind::kPaged),
+    [](const ::testing::TestParamInfo<StoreKind>& info) {
+      switch (info.param) {
+        case StoreKind::kMemory:
+          return "MemoryMuStore";
+        case StoreKind::kFile:
+          return "FileMuStore";
+        case StoreKind::kPaged:
+          return "PagedMuStore";
+      }
+      return "Unknown";
+    });
 
 /// Shadow index maintained purely from BucketObserver callbacks; after any
 /// mutation sequence it must agree with a ForEachBucket dump of the store.
@@ -301,6 +332,286 @@ TEST(FileMuStore, CleanupRemovesDirectory) {
     EXPECT_TRUE(fs::exists(dir));
   }
   EXPECT_FALSE(fs::exists(dir));  // destructor cleans up
+}
+
+// ---------------------------------------------------------------------------
+// PageCache.
+
+TEST(PageCacheTest, RoundTripsBytesThroughEvictionAndReload) {
+  const std::string path = UniqueTestPath("sitfact_pagecache");
+  PageCache cache(path, /*page_size=*/64, /*capacity_bytes=*/64);
+  const PageCache::PageId p0 = cache.Allocate();
+  uint8_t* bytes = cache.Pin(p0);
+  for (uint32_t i = 0; i < 64; ++i) bytes[i] = static_cast<uint8_t>(i * 3);
+  cache.Unpin(p0, /*dirty=*/true);
+
+  // A second page pushes resident bytes past the one-page budget: p0 must
+  // be written back (it is dirty) and evicted.
+  const PageCache::PageId p1 = cache.Allocate();
+  ASSERT_NE(p0, p1);
+  EXPECT_GE(cache.stats().writebacks, 1u);
+  EXPECT_GE(cache.stats().evictions, 1u);
+
+  // Reloading p0 is a miss that must restore the exact bytes.
+  const uint64_t misses_before = cache.stats().misses;
+  bytes = cache.Pin(p0);
+  EXPECT_GT(cache.stats().misses, misses_before);
+  for (uint32_t i = 0; i < 64; ++i) {
+    ASSERT_EQ(bytes[i], static_cast<uint8_t>(i * 3)) << "byte " << i;
+  }
+  cache.Unpin(p0, /*dirty=*/false);
+  EXPECT_TRUE(cache.status().ok());
+}
+
+TEST(PageCacheTest, PinnedPagesAreNeverEvicted) {
+  const std::string path = UniqueTestPath("sitfact_pagecache");
+  PageCache cache(path, /*page_size=*/64, /*capacity_bytes=*/64);
+  const PageCache::PageId p0 = cache.Allocate();
+  uint8_t* bytes = cache.Pin(p0);
+  bytes[0] = 42;
+
+  // Budget pressure from fresh pages may evict anything unpinned, but the
+  // pinned frame (and the pointer lease) must survive.
+  cache.Allocate();
+  cache.Allocate();
+  EXPECT_EQ(cache.pinned_pages(), 1u);
+  EXPECT_EQ(bytes[0], 42);
+
+  // Re-pinning the resident frame is a hit, not a reload.
+  const uint64_t hits_before = cache.stats().hits;
+  uint8_t* again = cache.Pin(p0);
+  EXPECT_EQ(again, bytes);
+  EXPECT_GT(cache.stats().hits, hits_before);
+  cache.Unpin(p0, /*dirty=*/false);
+  cache.Unpin(p0, /*dirty=*/false);
+}
+
+TEST(PageCacheTest, FreedPagesComeBackZeroed) {
+  const std::string path = UniqueTestPath("sitfact_pagecache");
+  PageCache cache(path, /*page_size=*/64, /*capacity_bytes=*/256);
+  const PageCache::PageId p0 = cache.Allocate();
+  uint8_t* bytes = cache.Pin(p0);
+  std::fill(bytes, bytes + 64, 0xFF);
+  cache.Unpin(p0, /*dirty=*/true);
+  ASSERT_TRUE(cache.Flush().ok());  // stale bytes now on disk
+  cache.Free(p0);
+
+  // The free list hands the slot back; its old disk bytes must not
+  // resurface.
+  const PageCache::PageId p1 = cache.Allocate();
+  EXPECT_EQ(p1, p0);
+  bytes = cache.Pin(p1);
+  for (uint32_t i = 0; i < 64; ++i) ASSERT_EQ(bytes[i], 0u) << "byte " << i;
+  cache.Unpin(p1, /*dirty=*/false);
+}
+
+TEST(PageCacheTest, AllocateRunHandsOutContiguousLiveIds) {
+  const std::string path = UniqueTestPath("sitfact_pagecache");
+  PageCache cache(path, /*page_size=*/64, /*capacity_bytes=*/1024);
+  const PageCache::PageId single = cache.Allocate();
+  cache.Free(single);  // a free-list entry a run must NOT be built from
+  const PageCache::PageId run = cache.AllocateRun(3);
+  EXPECT_NE(run, single);
+  for (uint32_t i = 0; i < 3; ++i) {
+    uint8_t* bytes = cache.Pin(run + i);
+    ASSERT_NE(bytes, nullptr);
+    cache.Unpin(run + i, /*dirty=*/false);
+  }
+  EXPECT_EQ(cache.live_pages(), 3u);
+}
+
+TEST(PageCacheTest, CorruptSlotLatchesStatusAndServesZeroedPage) {
+  const std::string path = UniqueTestPath("sitfact_pagecache");
+  PageCache cache(path, /*page_size=*/64, /*capacity_bytes=*/64);
+  const PageCache::PageId p0 = cache.Allocate();
+  uint8_t* bytes = cache.Pin(p0);
+  std::fill(bytes, bytes + 64, 0x5A);
+  cache.Unpin(p0, /*dirty=*/true);
+  cache.Allocate();  // evicts + writes back p0
+  ASSERT_GE(cache.stats().writebacks, 1u);
+
+  // Flip a payload byte of slot 0 behind the cache's back (slot header is
+  // magic + CRC, so the payload starts at byte 8).
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.seekp(8 + 5);
+    const char garbage = 0x00;
+    f.write(&garbage, 1);
+  }
+
+  bytes = cache.Pin(p0);  // CRC mismatch -> degraded zeroed page
+  for (uint32_t i = 0; i < 64; ++i) ASSERT_EQ(bytes[i], 0u) << "byte " << i;
+  cache.Unpin(p0, /*dirty=*/false);
+  EXPECT_FALSE(cache.status().ok());
+  EXPECT_EQ(cache.status().code(), StatusCode::kCorruption);
+}
+
+// ---------------------------------------------------------------------------
+// PagedMuStore.
+
+TEST(PagedMuStore, ObserverShadowStaysLiveAcrossEvictionAndCompaction) {
+  // The observer contract must be unaffected by paging: a SkybandIndex-style
+  // shadow built from notifications has to agree with the store through a
+  // full discovery stream even when every record repeatedly spills and
+  // reloads, and across an explicit compaction sweep.
+  Dataset data = PaperTableIV();
+  Relation relation(data.schema());
+  DiscoveryOptions options;
+  options.storage.backend = StorageBackend::kPaged;
+  options.storage.page_size = 32;
+  options.storage.cache_bytes = 64;  // a fraction of the working set
+  SharedTopDownDiscoverer disc(&relation, options);
+  ASSERT_TRUE(disc.mutable_store()->SupportsDirtyTracking());
+
+  ShadowObserver observer;
+  disc.mutable_store()->set_bucket_observer(&observer);
+  std::vector<SkylineFact> facts;
+  for (const Row& row : data.rows()) {
+    disc.Discover(relation.Append(row), &facts);
+  }
+  EXPECT_GT(observer.notifications(), 0u);
+  observer.ExpectMatches(*disc.mutable_store());
+
+  auto* paged = static_cast<PagedMuStore*>(disc.mutable_store());
+  EXPECT_GT(paged->cache().stats().evictions, 0u)
+      << "cache budget did not force spills; the test lost its point";
+  paged->Compact();
+  observer.ExpectMatches(*disc.mutable_store());
+
+  relation.MarkDeleted(3);
+  ASSERT_TRUE(disc.Remove(3).ok());
+  observer.ExpectMatches(*disc.mutable_store());
+  EXPECT_TRUE(paged->status().ok());
+}
+
+TEST(PagedMuStore, CompactionReclaimsRelocationGarbage) {
+  PagedStoreOptions options;
+  options.spill_path = UniqueTestPath("sitfact_paged_compact");
+  options.page_size = 64;
+  options.cache_bytes = 1024;
+  PagedMuStore store(std::move(options));
+
+  // Sub-page records bump-allocate into shared pages, so every relocation
+  // (bucket growth) strands dead bytes that only the compaction sweep can
+  // reclaim. A wide lattice of small, repeatedly grown buckets drives
+  // allocated bytes past twice the live bytes.
+  Schema schema({{"d0"}, {"d1"}, {"d2"}, {"d3"}, {"d4"}, {"d5"}, {"d6"}},
+                {{"m0", Direction::kLargerIsBetter}});
+  Relation r(std::move(schema));
+  for (TupleId t = 0; t < 2; ++t) {
+    std::vector<std::string> values;
+    for (int d = 0; d < 7; ++d) {
+      values.push_back("t" + std::to_string(t) + "d" + std::to_string(d));
+    }
+    r.Append(Row{std::move(values), {1}});
+  }
+  std::vector<MuStore::Context*> contexts;
+  for (TupleId t = 0; t < 2; ++t) {
+    for (DimMask mask = 1; mask <= 0b1111111; ++mask) {
+      contexts.push_back(store.GetOrCreate(Constraint::ForTuple(r, t, mask)));
+    }
+  }
+  std::vector<TupleId> bucket;
+  for (TupleId t = 0; t < 8; ++t) {
+    bucket.push_back(t);
+    for (MuStore::Context* ctx : contexts) ctx->Write(0b1, bucket);
+  }
+  ASSERT_GE(store.compactions(), 1u);
+
+  // Every bucket must read back intact after the rewrite.
+  std::vector<TupleId> out;
+  for (MuStore::Context* ctx : contexts) {
+    ctx->Read(0b1, &out);
+    ASSERT_EQ(out, bucket);
+  }
+  EXPECT_TRUE(store.status().ok());
+}
+
+TEST(PagedMuStore, SpillFileIsRemovedOnDestruction) {
+  const std::string path = UniqueTestPath("sitfact_paged_cleanup");
+  {
+    PagedStoreOptions options;
+    options.spill_path = path;
+    PagedMuStore store(std::move(options));
+    Dataset data = PaperTableIV();
+    Relation r(data.schema());
+    for (const Row& row : data.rows()) r.Append(row);
+    store.GetOrCreate(Constraint::ForTuple(r, 4, 0b1))->Write(0b1, {1, 2});
+    ASSERT_TRUE(store.Flush().ok());
+    EXPECT_TRUE(fs::exists(path));
+  }
+  EXPECT_FALSE(fs::exists(path));
+}
+
+TEST(PagedMuStore, FactsMatchMemoryBackendAcrossAllAlgorithms) {
+  // The acceptance differential: every algorithm must produce
+  // tuple-for-tuple identical facts on the paged backend, under a cache
+  // small enough that records actually spill mid-stream.
+  testing_util::RandomDataConfig cfg;
+  cfg.num_tuples = 60;
+  cfg.num_dims = 4;
+  cfg.num_measures = 3;
+  cfg.seed = 20260808;
+  Dataset data = testing_util::RandomDataset(cfg);
+
+  const std::vector<std::string> algorithms = {
+      "BruteForce", "BaselineSeq", "BaselineIdx", "C-CSC",     "BottomUp",
+      "TopDown",    "SBottomUp",   "STopDown",    "FSBottomUp", "FSTopDown"};
+  for (const std::string& name : algorithms) {
+    SCOPED_TRACE(name);
+    std::vector<std::vector<std::vector<SkylineFact>>> streams;
+    for (const StorageBackend backend :
+         {StorageBackend::kMemory, StorageBackend::kPaged}) {
+      DiscoveryOptions options;
+      options.storage.backend = backend;
+      options.storage.page_size = 64;
+      options.storage.cache_bytes = 4096;
+      Relation rel(data.schema());
+      std::string dir;
+      if (name.rfind("FS", 0) == 0) {
+        dir = UniqueTestPath(("sitfact_paged_eq_" + name).c_str());
+      }
+      auto disc_or =
+          DiscoveryEngine::CreateDiscoverer(name, &rel, options, dir);
+      ASSERT_TRUE(disc_or.ok()) << disc_or.status().ToString();
+      auto disc = std::move(disc_or).value();
+      streams.push_back(testing_util::RunStream(&rel, disc.get(), data));
+    }
+    ASSERT_EQ(streams[0].size(), streams[1].size());
+    for (size_t i = 0; i < streams[0].size(); ++i) {
+      ASSERT_EQ(streams[0][i], streams[1][i])
+          << name << " diverged between memory and paged at arrival " << i;
+    }
+  }
+}
+
+// The fig10 accounting fix, pinned: ApproxMemoryBytes must include the
+// per-bucket container overhead (hash nodes, vector headers, allocator
+// headers), not just payload bytes — leaving it out undercounted getrusage
+// by ~30% at fig10 scale, making cross-backend RSS rows incomparable.
+TEST(MemoryMuStoreAccounting, IncludesPerBucketContainerOverhead) {
+  Dataset data = PaperTableIV();
+  Relation r(data.schema());
+  for (const Row& row : data.rows()) r.Append(row);
+  MemoryMuStore store;
+  for (TupleId t = 0; t < 5; ++t) {
+    for (DimMask mask = 1; mask <= 0b111; ++mask) {
+      MuStore::Context* ctx = store.GetOrCreate(Constraint::ForTuple(r, t, mask));
+      for (MeasureMask m = 1; m <= 0b11; ++m) ctx->Write(m, {0, 1, 2, 3});
+    }
+  }
+  const size_t payload = store.stats().stored_tuples * sizeof(TupleId);
+  size_t buckets = 0;
+  store.ForEachBucket([&](const Constraint&, MeasureMask,
+                          const std::vector<TupleId>&) { ++buckets; });
+  ASSERT_GT(buckets, 0u);
+  const size_t floor = payload + buckets * kHeapAllocOverhead;
+  EXPECT_GT(store.ApproxMemoryBytes(), floor)
+      << "ApproxMemoryBytes dropped the per-bucket container overhead";
+  // And it stays an approximation, not a wild overcount: within an order of
+  // magnitude of payload for this small-bucket workload.
+  EXPECT_LT(store.ApproxMemoryBytes(), payload * 40);
 }
 
 // ---------------------------------------------------------------------------

@@ -36,6 +36,7 @@
 #include "service/fact_service.h"
 #include "service/filter_parse.h"
 #include "service/query_api.h"
+#include "storage/storage_options.h"
 
 namespace sitfact {
 namespace cli {
@@ -153,6 +154,8 @@ USAGE
                        [--algorithm STopDown] [--dhat K] [--mhat K]
                        [--tau T] [--top K] [--entity DIM]
                        [--threads N] [--shards K]
+                       [--storage auto|memory|paged] [--cache-mb N]
+                       [--spill-dir DIR]
                        [--save-snapshot FILE] [--quiet]
   sitfact_cli query    --csv FILE --dims ... --measures ...
                        [--where d1=v1,d2=v2] [--subspace m1,m2]
@@ -173,6 +176,7 @@ USAGE
   sitfact_cli checkpoint --dir DIR [--csv FILE --dims ... --measures ...]
                        [--algorithm A | --threads N [--shards K]]
                        [--tau T] [--every N] [--sync] [--no-final]
+                       [--full-every N] [--no-delta]
                        [--top K] [--quiet]
   sitfact_cli restore  --dir DIR [--csv FILE] [--threads N [--shards K]]
                        [--every N] [--no-final] [--top K] [--quiet]
@@ -205,7 +209,13 @@ NOTES
   ingested row is WAL-logged before discovery, --every N snapshots the
   engine every N ops, and restore recovers from the newest valid snapshot
   plus the WAL tail — --no-final on checkpoint leaves the tail for restore
-  to replay, which is how a crash looks on disk.
+  to replay, which is how a crash looks on disk. Checkpoints between full
+  snapshots are bucket-granular deltas (every --full-every N'th is full;
+  --no-delta forces full snapshots only).
+  --storage picks the µ-store backend for any engine-building command:
+  "paged" spills bucket runs to disk behind a page cache capped at
+  --cache-mb (files under --spill-dir), trading bounded memory for I/O;
+  "auto" (the default) resolves SITFACT_STORAGE / SITFACT_STORAGE_CACHE_MB.
 )");
   return 2;
 }
@@ -290,6 +300,27 @@ class DiscoverPrinter {
   uint64_t arrivals_with_prominent_ = 0;
 };
 
+/// --storage / --cache-mb / --spill-dir: µ-store backend selection, shared
+/// by every engine-building command. "paged" spills bucket runs to disk
+/// behind a bounded page cache (docs/architecture.md); unset flags leave
+/// the kAuto default, which the factory resolves against SITFACT_STORAGE.
+Status ApplyStorageFlags(const Args& args, StorageConfig* storage) {
+  if (args.Has("storage")) {
+    auto backend_or = ParseStorageBackend(args.Get("storage"));
+    if (!backend_or.ok()) return backend_or.status();
+    storage->backend = backend_or.value();
+  }
+  if (args.Has("cache-mb")) {
+    const int mb = args.GetInt("cache-mb", 0);
+    if (mb <= 0) {
+      return Status::InvalidArgument("--cache-mb must be a positive integer");
+    }
+    storage->cache_bytes = static_cast<size_t>(mb) << 20;
+  }
+  if (args.Has("spill-dir")) storage->spill_dir = args.Get("spill-dir");
+  return Status::Ok();
+}
+
 /// Builds the narrator shared by both discover paths; returns false (after
 /// printing usage) when --entity names no dimension.
 bool MakeNarrator(const Args& args, const Dataset& data, Relation* relation,
@@ -373,6 +404,9 @@ int RunDiscover(const Args& args) {
   DiscoveryOptions options;
   options.max_bound_dims = args.GetInt("dhat", -1);
   options.max_measure_dims = args.GetInt("mhat", -1);
+  if (Status st = ApplyStorageFlags(args, &options.storage); !st.ok()) {
+    return PrintUsage(st.message());
+  }
 
   // Any explicit --threads/--shards goes to the sharded path, which owns
   // their validation (so `--threads 0` errors instead of silently running
@@ -491,6 +525,9 @@ int RunResume(const Args& args) {
   load_options.file_store_dir = TempStoreDir("resume");
   load_options.algorithm_override = args.Get("algorithm");
   load_options.allow_replay_rebuild = args.Has("replay");
+  if (Status st = ApplyStorageFlags(args, &load_options.storage); !st.ok()) {
+    return PrintUsage(st.message());
+  }
   auto restored_or = LoadEngineSnapshot(path, load_options);
   if (!restored_or.ok()) {
     std::fprintf(stderr, "%s\n", restored_or.status().ToString().c_str());
@@ -532,7 +569,7 @@ int RunResume(const Args& args) {
 namespace {
 
 /// Durability knobs shared by checkpoint and restore.
-persist::DurableOptions DurableOptionsFromFlags(const Args& args) {
+StatusOr<persist::DurableOptions> DurableOptionsFromFlags(const Args& args) {
   persist::DurableOptions opts;
   opts.dir = args.Get("dir");
   opts.checkpoint_every = static_cast<uint64_t>(args.GetInt("every", 0));
@@ -540,8 +577,16 @@ persist::DurableOptions DurableOptionsFromFlags(const Args& args) {
   opts.algorithm = args.Get("algorithm", "STopDown");
   opts.discovery.max_bound_dims = args.GetInt("dhat", -1);
   opts.discovery.max_measure_dims = args.GetInt("mhat", -1);
+  if (Status st = ApplyStorageFlags(args, &opts.discovery.storage);
+      !st.ok()) {
+    return st;
+  }
   opts.tau = args.GetDouble("tau", 2.0);
   opts.allow_replay_rebuild = args.Has("replay");
+  if (args.Has("full-every")) {
+    opts.full_snapshot_every = args.GetInt("full-every", 8);
+  }
+  if (args.Has("no-delta")) opts.delta_checkpoints = false;
   if (args.Has("threads") || args.Has("shards")) {
     const int threads = args.GetInt("threads", 1);
     opts.num_threads = threads;
@@ -677,7 +722,9 @@ void PrintFactPages(const FactService::Snapshot& snap,
 /// `facts --dir`: recover a durable store and serve immediately — the
 /// "crashed newsroom process comes back and answers queries" path.
 int RunFactsFromDurable(const Args& args) {
-  persist::DurableOptions opts = DurableOptionsFromFlags(args);
+  auto opts_or = DurableOptionsFromFlags(args);
+  if (!opts_or.ok()) return PrintUsage(opts_or.status().message());
+  persist::DurableOptions opts = std::move(opts_or).value();
   auto durable_or = persist::DurableEngine::Open(opts, Schema());
   if (!durable_or.ok()) {
     std::fprintf(stderr, "%s\n", durable_or.status().ToString().c_str());
@@ -734,6 +781,9 @@ int RunFacts(const Args& args) {
   DiscoveryOptions options;
   options.max_bound_dims = args.GetInt("dhat", -1);
   options.max_measure_dims = args.GetInt("mhat", -1);
+  if (Status st = ApplyStorageFlags(args, &options.storage); !st.ok()) {
+    return PrintUsage(st.message());
+  }
   const double tau = args.GetDouble("tau", 2.0);
 
   Relation relation(data.schema());
@@ -861,6 +911,9 @@ int RunServe(const Args& args) {
   DiscoveryOptions options;
   options.max_bound_dims = args.GetInt("dhat", -1);
   options.max_measure_dims = args.GetInt("mhat", -1);
+  if (Status st = ApplyStorageFlags(args, &options.storage); !st.ok()) {
+    return PrintUsage(st.message());
+  }
 
   Relation relation(data.schema());
   FactService::Options service_options;
@@ -971,7 +1024,9 @@ int RunCheckpoint(const Args& args) {
         "--algorithm does not combine with --threads/--shards (the sharded "
         "engine is its own algorithm)");
   }
-  persist::DurableOptions opts = DurableOptionsFromFlags(args);
+  auto opts_or = DurableOptionsFromFlags(args);
+  if (!opts_or.ok()) return PrintUsage(opts_or.status().message());
+  persist::DurableOptions opts = std::move(opts_or).value();
 
   Schema schema;
   Dataset data{Schema()};
@@ -1019,7 +1074,9 @@ int RunCheckpoint(const Args& args) {
 
 int RunRestore(const Args& args) {
   if (!args.Has("dir")) return PrintUsage("--dir is required");
-  persist::DurableOptions opts = DurableOptionsFromFlags(args);
+  auto opts_or = DurableOptionsFromFlags(args);
+  if (!opts_or.ok()) return PrintUsage(opts_or.status().message());
+  persist::DurableOptions opts = std::move(opts_or).value();
 
   auto durable_or = persist::DurableEngine::Open(opts, Schema());
   if (!durable_or.ok()) {
@@ -1037,6 +1094,15 @@ int RunRestore(const Args& args) {
       static_cast<unsigned long long>(info.snapshot_seq),
       static_cast<unsigned long long>(info.replayed_ops),
       durable->relation().size(), durable->relation().live_size());
+  if (info.delta_chain > 0) {
+    std::printf(
+        "  via %llu delta checkpoint(s); %llu op(s) folded count-only\n",
+        static_cast<unsigned long long>(info.delta_chain),
+        static_cast<unsigned long long>(info.count_only_ops));
+  }
+  if (!info.delta_note.empty()) {
+    std::printf("note: delta chain cut short: %s\n", info.delta_note.c_str());
+  }
   if (info.tail_truncated) {
     std::printf("note: WAL tail dropped (%s); re-send ops from seq %llu\n",
                 info.note.c_str(),

@@ -23,8 +23,8 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${BUILD:-$ROOT/build}"
 BENCHES=("$@")
 if [ ${#BENCHES[@]} -eq 0 ]; then
-  BENCHES=(fig07_time_baselines fig09_weather_time micro_dominance_batch
-           serving_load)
+  BENCHES=(fig07_time_baselines fig09_weather_time fig10_memory
+           micro_dominance_batch serving_load)
 fi
 
 for name in "${BENCHES[@]}"; do
